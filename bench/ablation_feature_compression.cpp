@@ -1,0 +1,69 @@
+// Ablation — lossless compression of feature payloads before upload: how
+// many wire bytes does LZ77 recover from each representation?  Binary ORB
+// descriptors are near-entropy already; float SIFT/PCA-SIFT payloads carry
+// structure (sign/exponent patterns) that compresses.  Extends the paper's
+// Table I space-overhead comparison with the achievable compressed sizes.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "index/serialize.hpp"
+#include "util/compress.hpp"
+
+namespace {
+
+using namespace bees;
+
+int main_impl() {
+  const int groups = bench::sized(10, 40);
+  util::print_banner(std::cout,
+                     "Ablation: lossless compression of feature payloads");
+  const wl::Imageset set = wl::make_kentucky_like(groups, 4, 256, 192, 1701);
+  wl::ImageStore store;
+  const feat::PcaModel pca = core::train_pca_model(store, set, 6);
+
+  double orb_raw = 0, orb_lz = 0;
+  double sift_raw = 0, sift_lz = 0;
+  double pca_raw = 0, pca_lz = 0;
+  for (const auto& spec : set.images) {
+    const auto orb_bytes = idx::serialize_binary(store.orb(spec, 0.0));
+    const auto sift_bytes = idx::serialize_float(store.sift(spec));
+    const auto pca_bytes = idx::serialize_float(store.pca_sift(spec, pca));
+    orb_raw += static_cast<double>(orb_bytes.size());
+    sift_raw += static_cast<double>(sift_bytes.size());
+    pca_raw += static_cast<double>(pca_bytes.size());
+    orb_lz += static_cast<double>(util::lz_compress(orb_bytes).size());
+    sift_lz += static_cast<double>(util::lz_compress(sift_bytes).size());
+    pca_lz += static_cast<double>(util::lz_compress(pca_bytes).size());
+
+    // Round-trip integrity on the first image (cheap sanity check).
+    if (&spec == &set.images.front()) {
+      const auto back = util::lz_decompress(util::lz_compress(orb_bytes));
+      if (back != orb_bytes) {
+        std::cerr << "FATAL: LZ round-trip mismatch\n";
+        return 1;
+      }
+    }
+  }
+
+  const auto n = static_cast<double>(set.images.size());
+  util::Table table({"payload", "raw_bytes/img", "lz_bytes/img", "ratio"});
+  table.add_row({"ORB (256-bit binary)", util::Table::num(orb_raw / n, 0),
+                 util::Table::num(orb_lz / n, 0),
+                 util::Table::pct(orb_lz / orb_raw)});
+  table.add_row({"SIFT (128 x f32)", util::Table::num(sift_raw / n, 0),
+                 util::Table::num(sift_lz / n, 0),
+                 util::Table::pct(sift_lz / sift_raw)});
+  table.add_row({"PCA-SIFT (36 x f32)", util::Table::num(pca_raw / n, 0),
+                 util::Table::num(pca_lz / n, 0),
+                 util::Table::pct(pca_lz / pca_raw)});
+  table.print(std::cout);
+  std::cout << "\nExpected: binary ORB descriptors and whitened PCA floats "
+               "are near-incompressible (stored mode caps them at ~100%), "
+               "while raw SIFT payloads — sparse, clamped histograms — "
+               "recover roughly a third of their bytes.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

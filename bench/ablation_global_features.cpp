@@ -1,0 +1,130 @@
+// Ablation — global color-histogram features versus local ORB features for
+// redundancy detection, mirroring the paper's related-work claim that
+// feature-based schemes (CARE, BEES) detect similarity more accurately
+// than metadata/color-histogram schemes (PhotoNet):
+//   - detection quality (TPR at a calibrated ~5% FPR) on ground-truth pairs,
+//   - extraction cost (the energy-model op counts),
+//   - wire bytes per image.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "bench/scheme_grid.hpp"
+#include "core/photonet.hpp"
+#include "features/global.hpp"
+#include "features/similarity.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace bees;
+
+int main_impl() {
+  const int groups = bench::sized(60, 300);
+  util::print_banner(std::cout,
+                     "Ablation: global (PhotoNet-style) vs local (ORB) "
+                     "redundancy detection");
+  const wl::Imageset set = wl::make_kentucky_like(groups, 2, 320, 240, 1801);
+  wl::ImageStore store;
+  util::Rng rng(1802);
+
+  struct Pair {
+    std::size_t a, b;
+    bool similar;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t g = 0; g < set.groups.size(); ++g) {
+    pairs.push_back({set.groups[g][0], set.groups[g][1], true});
+    for (int k = 0; k < 3; ++k) {
+      std::size_t other = rng.index(set.groups.size());
+      while (other == g) other = rng.index(set.groups.size());
+      pairs.push_back({set.groups[g][0], set.groups[other][1], false});
+    }
+  }
+
+  // Precompute both representations; track extraction cost.
+  std::vector<feat::ColorHistogram> histograms(set.images.size());
+  std::uint64_t global_ops = 0, local_ops = 0;
+  for (std::size_t i = 0; i < set.images.size(); ++i) {
+    histograms[i] = feat::color_histogram(store.pixels(set.images[i]),
+                                          &global_ops);
+    local_ops += store.orb(set.images[i], 0.0).stats.ops;
+  }
+
+  auto evaluate = [&](auto&& score_fn) {
+    std::vector<double> sim_scores, dis_scores;
+    for (const Pair& p : pairs) {
+      (p.similar ? sim_scores : dis_scores).push_back(score_fn(p.a, p.b));
+    }
+    const double threshold = util::percentile(dis_scores, 0.95);
+    std::size_t tp = 0;
+    for (const double s : sim_scores) tp += s > threshold ? 1 : 0;
+    return static_cast<double>(tp) / static_cast<double>(sim_scores.size());
+  };
+
+  const double tpr_global = evaluate([&](std::size_t a, std::size_t b) {
+    return feat::histogram_intersection(histograms[a], histograms[b]);
+  });
+  const double tpr_local = evaluate([&](std::size_t a, std::size_t b) {
+    return feat::jaccard_similarity(store.orb(set.images[a], 0.0),
+                                    store.orb(set.images[b], 0.0));
+  });
+
+  const auto n = static_cast<double>(set.images.size());
+  double orb_bytes = 0;
+  for (const auto& spec : set.images) {
+    orb_bytes += static_cast<double>(store.orb(spec, 0.0).wire_bytes());
+  }
+
+  util::Table table({"features", "TPR@5%FPR", "extract_ops/img",
+                     "wire_bytes/img"});
+  table.add_row({"color histogram (global)", util::Table::pct(tpr_global),
+                 util::Table::num(static_cast<double>(global_ops) / n, 0),
+                 util::Table::num(feat::ColorHistogram::kBins * 4, 0)});
+  table.add_row({"ORB (local)", util::Table::pct(tpr_local),
+                 util::Table::num(static_cast<double>(local_ops) / n, 0),
+                 util::Table::num(orb_bytes / n, 0)});
+  table.print(std::cout);
+  std::cout << "\nExpected: global features are orders cheaper and smaller "
+               "but markedly less accurate — the paper's rationale (via "
+               "CARE vs PhotoNet) for using local features in BEES.\n";
+
+  // Scheme-level comparison: PhotoNet as an extra baseline on the Fig. 7
+  // protocol (50% seeded cross-batch redundancy).
+  util::print_banner(std::cout,
+                     "Scheme-level: PhotoNet vs MRC vs BEES at 50% redundancy");
+  bench::GridSetup setup = bench::make_grid_setup(
+      bench::sized(30, 80), bench::sized(3, 8), 320, 240, 1803);
+  util::Table st({"scheme", "eliminated", "uploaded", "bytes", "energy"});
+  auto run_scheme = [&](core::UploadScheme& scheme) {
+    cloud::Server server;
+    core::seed_cross_batch_redundancy(setup.batch.images, 0.5, *setup.store,
+                                      server, setup.pca.get(), 1050,
+                                      setup.byte_scale);
+    net::Channel ch(net::ChannelParams::fixed(256000.0));
+    energy::Battery bat;
+    const core::BatchReport r =
+        scheme.upload_batch(setup.batch.images, server, ch, bat);
+    st.add_row({scheme.name(),
+                std::to_string(r.eliminated_cross_batch +
+                               r.eliminated_in_batch),
+                std::to_string(r.images_uploaded),
+                bench::mb(r.image_bytes + r.feature_bytes + r.rx_bytes),
+                bench::kj(r.energy.active_total())});
+  };
+  const core::SchemeConfig cfg = bench::make_config(setup.byte_scale);
+  core::PhotoNetScheme photonet(*setup.store, cfg);
+  core::MrcScheme mrc(*setup.store, cfg);
+  core::BeesScheme bees(*setup.store, cfg);
+  run_scheme(photonet);
+  run_scheme(mrc);
+  run_scheme(bees);
+  st.print(std::cout);
+  std::cout << "\nExpected: PhotoNet eliminates less of the seeded "
+               "redundancy (global features miss view changes) despite its "
+               "negligible feature cost; BEES remains cheapest overall.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

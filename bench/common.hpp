@@ -1,0 +1,67 @@
+// Shared plumbing for the figure/table benches: workload scale selection,
+// byte-scale calibration onto the paper's ~700 KB average image size, and
+// uniform scheme construction.
+//
+// Every bench runs at a laptop-friendly reduced scale by default; set
+// BEES_BENCH_SCALE=paper to run with workload sizes closer to the paper's
+// (several-fold slower).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/bees.hpp"
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+namespace bees::bench {
+
+/// True when BEES_BENCH_SCALE=paper is set in the environment.
+inline bool paper_scale() {
+  const char* v = std::getenv("BEES_BENCH_SCALE");
+  return v != nullptr && std::string(v) == "paper";
+}
+
+/// Picks a workload size: the reduced default or the near-paper value.
+inline int sized(int small, int paper) { return paper_scale() ? paper : small; }
+
+/// The paper's average image size: "all used images are resized to about
+/// 700 KB" (§IV-A).
+inline constexpr double kPaperImageBytes = 700.0 * 1024;
+
+/// Byte-scale multiplier so the mean original (as-shot) payload of the
+/// sampled images lands at ~700 KB, putting airtime/energy in the paper's
+/// absolute regime while preserving every ratio.
+inline double calibrate_byte_scale(wl::ImageStore& store,
+                                   const wl::Imageset& set,
+                                   std::size_t sample = 12) {
+  double total = 0.0;
+  const std::size_t n = std::min(sample, set.images.size());
+  if (n == 0) return 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<double>(store.original(set.images[i]).bytes);
+  }
+  return kPaperImageBytes / (total / static_cast<double>(n));
+}
+
+inline core::SchemeConfig make_config(double byte_scale) {
+  core::SchemeConfig cfg;
+  cfg.image_byte_scale = byte_scale;
+  return cfg;
+}
+
+/// Kilobyte / megabyte / kilojoule formatting helpers.
+inline std::string kb(double bytes) {
+  return util::Table::num(bytes / 1024.0, 1) + " KB";
+}
+inline std::string mb(double bytes) {
+  return util::Table::num(bytes / (1024.0 * 1024.0), 2) + " MB";
+}
+inline std::string kj(double joules) {
+  return util::Table::num(joules / 1000.0, 3) + " kJ";
+}
+
+}  // namespace bees::bench

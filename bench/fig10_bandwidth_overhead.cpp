@@ -1,0 +1,50 @@
+// Figure 10 — Network bandwidth overhead of the four schemes at
+// cross-batch redundancy ratios 0% / 25% / 50% / 75%.
+//
+// Protocol (paper §IV-B4): the Fig. 7 runs, reporting total wire bytes
+// (features + images + feedback).  Paper claims to check: bandwidth falls
+// with redundancy for the feature schemes; MRC slightly exceeds SmartEye
+// (thumbnail feedback); BEES cuts 77.4-79.2% vs SmartEye.
+#include <iostream>
+
+#include "bench/scheme_grid.hpp"
+
+namespace {
+
+using namespace bees;
+
+double total_bytes(const core::BatchReport& r) {
+  return r.image_bytes + r.feature_bytes + r.rx_bytes;
+}
+
+int main_impl() {
+  const int batch = bench::sized(40, 100);
+  const int similars = batch / 10;
+  util::print_banner(std::cout,
+                     "Figure 10: bandwidth overhead vs redundancy ratio");
+  std::cout << "Batch: " << batch << " images (" << similars
+            << " in-batch similar), payloads scaled to ~700 KB\n";
+
+  bench::GridSetup setup = bench::make_grid_setup(batch, similars, 320, 240, 1001);
+
+  util::Table table({"redundancy", "Direct", "SmartEye", "MRC", "BEES",
+                     "BEES_vs_SmartEye"});
+  for (const double ratio : {0.0, 0.25, 0.5, 0.75}) {
+    double b[4];
+    int i = 0;
+    for (const std::string name : {"Direct", "SmartEye", "MRC", "BEES"}) {
+      b[i++] = total_bytes(bench::run_cell(setup, name, ratio, 256000.0));
+    }
+    table.add_row({util::Table::pct(ratio, 0), bench::mb(b[0]),
+                   bench::mb(b[1]), bench::mb(b[2]), bench::mb(b[3]),
+                   "-" + util::Table::pct(1.0 - b[3] / b[1])});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference: BEES -77.4%..-79.2% vs SmartEye; MRC "
+               "slightly above SmartEye due to thumbnail feedback.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

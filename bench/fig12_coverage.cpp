@@ -1,0 +1,102 @@
+// Figure 12 — Situation-awareness coverage: multiple phones with full
+// batteries upload geotagged groups to one shared server until every
+// battery dies; coverage is the number of unique locations among the
+// images the server received.
+//
+// Protocol (paper §IV-B6): Paris-style geotagged imageset with a real-world
+// heavy-tailed location density, split evenly across the phones; one group
+// per phone per 20 minutes; the server indexes everything it receives, so
+// later uploads are deduplicated against earlier phones' images.  Paper
+// claims to check: BEES uploads more images (+18.8%) and covers far more
+// unique locations (+97.1%) than Direct Upload before the batteries die.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace bees;
+
+core::CoverageResult run_with(core::UploadScheme& scheme,
+                              const wl::Imageset& set, int phones,
+                              int group_size, double battery_j) {
+  cloud::Server server;
+  std::vector<core::CoveragePhone> fleet;
+  const std::size_t per_phone = set.images.size() / static_cast<std::size_t>(phones);
+  for (int p = 0; p < phones; ++p) {
+    core::CoveragePhone phone;
+    phone.scheme = &scheme;
+    net::ChannelParams chp;
+    chp.seed = 1200 + static_cast<std::uint64_t>(p);
+    phone.channel = net::Channel(chp);
+    phone.battery = energy::Battery(battery_j);
+    wl::Imageset slice;
+    slice.images.assign(
+        set.images.begin() + static_cast<std::ptrdiff_t>(p * per_phone),
+        set.images.begin() + static_cast<std::ptrdiff_t>((p + 1) * per_phone));
+    phone.groups = core::slice_groups(slice, static_cast<std::size_t>(group_size));
+    fleet.push_back(std::move(phone));
+  }
+  return core::run_coverage(fleet, 1200.0, server);
+}
+
+int main_impl() {
+  const int phones = bench::sized(6, 25);
+  const int images = bench::sized(3000, 16000);
+  const int locations = bench::sized(1400, 5500);
+  const int group_size = bench::sized(10, 40);
+  const double battery_j = bench::sized(4500, 43092);
+  util::print_banner(std::cout, "Figure 12: situation-awareness coverage");
+  std::cout << phones << " phones, " << images << " geotagged images over "
+            << locations << " locations (heavy-tailed), groups of "
+            << group_size << ", battery " << battery_j << " J\n";
+
+  const wl::Imageset set =
+      wl::make_paris_like(images, locations, wl::GeoBox{}, 240, 180, 1201);
+  // Ground truth: how many unique locations the full set covers.
+  std::size_t populated = 0;
+  for (const auto& g : set.groups) populated += g.empty() ? 0 : 1;
+
+  wl::ImageStore store;
+  const double byte_scale = bench::calibrate_byte_scale(store, set);
+  core::SchemeConfig cfg = bench::make_config(byte_scale);
+  cfg.cost.idle_power_w = 0.1;
+
+  core::DirectUploadScheme direct(store, cfg);
+  core::BeesScheme bees(store, cfg, true);
+  const core::CoverageResult rd =
+      run_with(direct, set, phones, group_size, battery_j);
+  const core::CoverageResult rb =
+      run_with(bees, set, phones, group_size, battery_j);
+
+  util::Table table({"scheme", "images_received", "unique_locations",
+                     "of_populated"});
+  table.add_row({"DirectUpload", std::to_string(rd.images_received),
+                 std::to_string(rd.unique_locations),
+                 util::Table::pct(static_cast<double>(rd.unique_locations) /
+                                  static_cast<double>(populated))});
+  table.add_row({"BEES", std::to_string(rb.images_received),
+                 std::to_string(rb.unique_locations),
+                 util::Table::pct(static_cast<double>(rb.unique_locations) /
+                                  static_cast<double>(populated))});
+  table.print(std::cout);
+
+  std::cout << "\nBEES vs Direct: images "
+            << (rb.images_received >= rd.images_received ? "+" : "")
+            << util::Table::pct(
+                   static_cast<double>(rb.images_received) /
+                       static_cast<double>(rd.images_received) -
+                   1.0)
+            << ", unique locations +"
+            << util::Table::pct(
+                   static_cast<double>(rb.unique_locations) /
+                       static_cast<double>(rd.unique_locations) -
+                   1.0)
+            << "\nPaper reference: BEES uploads +18.8% images with +97.1% "
+               "larger coverage before the batteries die.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -1,0 +1,105 @@
+// Figure 5 — The influence of (a) quality compression and (b) resolution
+// compression on upload bandwidth, plus the SSIM cost of quality
+// compression.
+//
+// Protocol (paper §III-C): compress batches of images at a sweep of
+// proportions with each method and measure the total upload payload.  The
+// paper's takeaways to check: both knobs cut bandwidth steeply; SSIM stays
+// acceptable up to quality proportion ~0.85 and degrades sharply past it —
+// hence AIU's fixed 0.85 quality proportion — and EAU sweeps the
+// resolution proportion over [0, 0.8].
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "imaging/codec.hpp"
+#include "imaging/codec_lossless.hpp"
+#include "imaging/quality.hpp"
+#include "imaging/transform.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace bees;
+
+int main_impl() {
+  const int count = bench::sized(30, 100);
+  const int width = 320, height = 240;
+  const wl::Imageset set = wl::make_disaster_like(count, 0, width, height, 501);
+  wl::ImageStore store;
+  const double byte_scale = bench::calibrate_byte_scale(store, set);
+
+  util::print_banner(std::cout,
+                     "Figure 5(a): quality compression vs bandwidth and SSIM");
+  std::cout << count << " images, payloads scaled to ~700 KB originals "
+            << "(x" << util::Table::num(byte_scale, 1) << ")\n";
+
+  util::Table qt({"quality_proportion", "total_payload", "vs_original",
+                  "mean_SSIM"});
+  double original_total = 0;
+  for (const auto& spec : set.images) {
+    original_total += static_cast<double>(store.original(spec).bytes) *
+                      byte_scale;
+  }
+  // Sweep starts at the as-shot quality (the store's original encoding,
+  // proportion 0.08 = quality 92) so "vs_original" is relative to what a
+  // camera writes, as in the paper.
+  for (const double p : {0.08, 0.3, 0.5, 0.7, 0.85, 0.92, 0.97}) {
+    double total = 0;
+    util::RunningStats ssim_stats;
+    for (const auto& spec : set.images) {
+      const wl::EncodedImage enc = store.encoded(spec, 0.0, p);
+      total += static_cast<double>(enc.bytes) * byte_scale;
+      // SSIM of the decoded upload against the as-shot image.
+      const img::Image& original = store.pixels(spec);
+      const img::Image decoded = img::decode_jpeg_like(
+          img::encode_jpeg_like(original, img::quality_from_proportion(p)));
+      ssim_stats.add(img::ssim(original, decoded));
+    }
+    qt.add_row({util::Table::num(p, 2), bench::mb(total),
+                util::Table::pct(total / original_total),
+                util::Table::num(ssim_stats.mean(), 3)});
+  }
+  qt.print(std::cout);
+  std::cout << "AIU design point: fixed quality proportion 0.85 — the knee "
+               "before SSIM collapses.\n";
+
+  util::print_banner(std::cout,
+                     "Figure 5(b): resolution compression vs bandwidth");
+  util::Table rt({"resolution_proportion", "resolution", "total_payload",
+                  "vs_original"});
+  for (const double p : {0.0, 0.2, 0.4, 0.6, 0.76, 0.8}) {
+    double total = 0;
+    int w = 0, h = 0;
+    for (const auto& spec : set.images) {
+      const wl::EncodedImage enc = store.encoded(spec, p, 0.08);
+      total += static_cast<double>(enc.bytes) * byte_scale;
+      w = enc.width;
+      h = enc.height;
+    }
+    rt.add_row({util::Table::num(p, 2),
+                std::to_string(w) + "x" + std::to_string(h), bench::mb(total),
+                util::Table::pct(total / original_total)});
+  }
+  rt.print(std::cout);
+  std::cout << "EAU design point: Cr = 0.8 - 0.8*Ebat; at Ebat=5% the paper "
+               "reports ~87% file-size reduction (proportion 0.76).\n";
+
+  // The lossless alternative the paper's SIII-C mentions (PNG) and rejects
+  // for AIU: exact pixels, but far larger payloads than any lossy point.
+  double lossless_total = 0;
+  for (const auto& spec : set.images) {
+    lossless_total += static_cast<double>(
+                          img::encode_lossless(store.pixels(spec)).size()) *
+                      byte_scale;
+  }
+  std::cout << "\nLossless (PNG-style predictive) total: "
+            << bench::mb(lossless_total) << " ("
+            << util::Table::pct(lossless_total / original_total)
+            << " of the as-shot JPEG payload) — why AIU uses lossy "
+               "compression.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -1,0 +1,55 @@
+// Figure 8 — Energy savings from energy-aware adaptation: BEES's energy
+// breakdown (feature extraction / feature upload / image upload) when the
+// phone starts the batch at 100% / 70% / 40% / 10% battery.
+//
+// Protocol (paper §IV-B3(2)): the same 100-image batch with 10 in-batch
+// similars and 25% cross-batch redundancy.  Paper claims to check: the
+// total and the extraction + image-upload components fall as Ebat falls
+// (EAC shrinks the bitmaps, EAU shrinks the uploads); the feature-upload
+// component is small throughout (lightweight ORB descriptors).
+#include <iostream>
+
+#include "bench/scheme_grid.hpp"
+
+namespace {
+
+using namespace bees;
+
+int main_impl() {
+  const int batch = bench::sized(40, 100);
+  const int similars = batch / 10;
+  util::print_banner(std::cout, "Figure 8: energy-aware adaptation breakdown");
+  std::cout << "Batch: " << batch << " images, 25% cross-batch redundancy, "
+            << "256 Kbps\n";
+
+  bench::GridSetup setup = bench::make_grid_setup(batch, similars, 320, 240, 801);
+
+  util::Table table({"Ebat", "extract_features", "upload_features",
+                     "upload_images", "total"});
+  double prev_total = -1;
+  bool monotone = true;
+  for (const int ebat : {100, 70, 40, 10}) {
+    const core::BatchReport r =
+        bench::run_cell(setup, "BEES", 0.25, 256000.0, ebat / 100.0);
+    const double total = r.energy.active_total();
+    table.add_row({std::to_string(ebat) + "%",
+                   util::Table::num(r.energy.extraction_j, 1) + " J",
+                   util::Table::num(r.energy.feature_tx_j, 1) + " J",
+                   util::Table::num(r.energy.image_tx_j +
+                                        r.energy.other_compute_j,
+                                    1) +
+                       " J",
+                   util::Table::num(total, 1) + " J"});
+    if (prev_total >= 0 && total > prev_total) monotone = false;
+    prev_total = total;
+  }
+  table.print(std::cout);
+  std::cout << "\nTotal decreases with Ebat: " << (monotone ? "yes" : "NO")
+            << " (paper: yes — EAC + EAU shed work as the battery drains; "
+               "feature upload stays small).\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

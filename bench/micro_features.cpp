@@ -1,0 +1,128 @@
+// Microbenchmarks (google-benchmark) of the substrate the figures are
+// built on: feature extraction, matching, LSH queries, the codec, and the
+// SSMM maximizer.  These are wall-clock benchmarks of the library itself
+// (the figure benches use the analytic cost model instead).
+#include <benchmark/benchmark.h>
+
+#include "features/orb.hpp"
+#include "features/sift.hpp"
+#include "features/similarity.hpp"
+#include "imaging/codec.hpp"
+#include "imaging/synth.hpp"
+#include "imaging/transform.hpp"
+#include "index/feature_index.hpp"
+#include "submodular/ssmm.hpp"
+#include "util/rng.hpp"
+#include "workload/image_store.hpp"
+
+namespace {
+
+using namespace bees;
+
+img::Image scene_sized(int width) {
+  return img::render_scene(img::SceneSpec{77, 18, 4}, width, width * 3 / 4);
+}
+
+void BM_RenderScene(benchmark::State& state) {
+  const auto width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        img::render_scene(img::SceneSpec{77, 18, 4}, width, width * 3 / 4));
+  }
+}
+BENCHMARK(BM_RenderScene)->Arg(240)->Arg(480);
+
+void BM_OrbExtract(benchmark::State& state) {
+  const img::Image scene = scene_sized(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::extract_orb(scene));
+  }
+}
+BENCHMARK(BM_OrbExtract)->Arg(240)->Arg(320)->Arg(480);
+
+void BM_SiftExtract(benchmark::State& state) {
+  const img::Image scene = scene_sized(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::extract_sift(scene));
+  }
+}
+BENCHMARK(BM_SiftExtract)->Arg(240)->Arg(320);
+
+void BM_BitmapCompressedOrb(benchmark::State& state) {
+  const img::Image scene = scene_sized(320);
+  const double proportion = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        feat::extract_orb(img::bitmap_compress(scene, proportion)));
+  }
+}
+BENCHMARK(BM_BitmapCompressedOrb)->Arg(0)->Arg(20)->Arg(40);
+
+void BM_JaccardSimilarity(benchmark::State& state) {
+  util::Rng rng(5);
+  img::ViewPerturbation pert;
+  const img::SceneSpec spec{99, 18, 4};
+  const auto a = feat::extract_orb(img::render_view(spec, 320, 240, pert, rng));
+  const auto b = feat::extract_orb(img::render_view(spec, 320, 240, pert, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::jaccard_similarity(a, b));
+  }
+}
+BENCHMARK(BM_JaccardSimilarity);
+
+void BM_LshQuery(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const wl::Imageset set = wl::make_kentucky_like(n, 1, 256, 192, 1501);
+  wl::ImageStore store;
+  idx::FeatureIndex index;
+  for (const auto& spec : set.images) index.insert(store.orb(spec, 0.0));
+  const auto& query = store.orb(set.images[0], 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.query(query, 4));
+  }
+}
+BENCHMARK(BM_LshQuery)->Arg(50)->Arg(100);
+
+void BM_CodecEncode(benchmark::State& state) {
+  const img::Image scene = scene_sized(320);
+  const auto quality = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::encode_jpeg_like(scene, quality));
+  }
+}
+BENCHMARK(BM_CodecEncode)->Arg(15)->Arg(85);
+
+void BM_CodecDecode(benchmark::State& state) {
+  const auto bytes = img::encode_jpeg_like(scene_sized(320), 85);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::decode_jpeg_like(bytes));
+  }
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_SsmmSelect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  sub::SimilarityGraph graph(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(0.15)) graph.set_weight(i, j, rng.uniform(0.02, 0.6));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sub::select_unique_images(graph, 0.019, {}));
+  }
+}
+BENCHMARK(BM_SsmmSelect)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_GaussianBlur(benchmark::State& state) {
+  const img::Image scene = img::to_gray(scene_sized(320));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::gaussian_blur(scene, 1.5));
+  }
+}
+BENCHMARK(BM_GaussianBlur);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Shared experiment grid for the Fig. 7 / 8 / 10 / 11 protocol: one batch
+// of N images containing in-batch similars, uploaded by each scheme
+// against a server pre-seeded with a controlled cross-batch redundancy
+// ratio (near-duplicates with similarity > 0.3, indexed under both feature
+// types so every scheme can detect them — the paper's fairness setup).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bench/common.hpp"
+
+namespace bees::bench {
+
+struct GridSetup {
+  wl::Imageset batch;
+  std::shared_ptr<wl::ImageStore> store;
+  std::shared_ptr<feat::PcaModel> pca;
+  double byte_scale = 1.0;
+};
+
+inline GridSetup make_grid_setup(int batch_size, int in_batch_similar,
+                                 int width, int height, std::uint64_t seed) {
+  GridSetup setup;
+  setup.batch =
+      wl::make_disaster_like(batch_size, in_batch_similar, width, height, seed);
+  setup.store = std::make_shared<wl::ImageStore>();
+  setup.byte_scale = calibrate_byte_scale(*setup.store, setup.batch);
+  setup.pca = std::make_shared<feat::PcaModel>(
+      core::train_pca_model(*setup.store, setup.batch, 4));
+  return setup;
+}
+
+/// Runs one grid cell: `scheme_name` in {Direct, SmartEye, MRC, BEES,
+/// BEES-EA} over the batch, with `redundancy_ratio` of the batch seeded on
+/// a fresh server, at a fixed `bitrate_bps`, starting from battery level
+/// `ebat`.  The same seeding salt is used for every scheme at a given
+/// ratio so all schemes face identical server contents.
+inline core::BatchReport run_cell(GridSetup& setup,
+                                  const std::string& scheme_name,
+                                  double redundancy_ratio, double bitrate_bps,
+                                  double ebat = 1.0) {
+  cloud::Server server;
+  core::seed_cross_batch_redundancy(
+      setup.batch.images, redundancy_ratio, *setup.store, server,
+      setup.pca.get(),
+      1000 + static_cast<std::uint64_t>(redundancy_ratio * 100),
+      setup.byte_scale);
+  net::Channel channel(net::ChannelParams::fixed(bitrate_bps));
+  energy::Battery battery;
+  battery.drain(battery.capacity_j() * (1.0 - ebat));
+
+  const core::SchemeConfig cfg = make_config(setup.byte_scale);
+  std::unique_ptr<core::UploadScheme> scheme;
+  if (scheme_name == "Direct") {
+    scheme = std::make_unique<core::DirectUploadScheme>(*setup.store, cfg);
+  } else if (scheme_name == "SmartEye") {
+    scheme = std::make_unique<core::SmartEyeScheme>(*setup.store, cfg,
+                                                    setup.pca);
+  } else if (scheme_name == "MRC") {
+    scheme = std::make_unique<core::MrcScheme>(*setup.store, cfg);
+  } else if (scheme_name == "BEES") {
+    scheme = std::make_unique<core::BeesScheme>(*setup.store, cfg, true);
+  } else if (scheme_name == "BEES-EA") {
+    scheme = std::make_unique<core::BeesScheme>(*setup.store, cfg, false);
+  } else {
+    throw std::invalid_argument("unknown scheme: " + scheme_name);
+  }
+  return scheme->upload_batch(setup.batch.images, server, channel, battery);
+}
+
+}  // namespace bees::bench

@@ -1,0 +1,83 @@
+// Table I — Space overheads of image features: SIFT vs PCA-SIFT vs BEES
+// (ORB), on Kentucky-like and Paris-like samples.
+//
+// Paper reference rows:
+//   Kentucky: images 6.67 GB; SIFT 3.40 GB (100%), PCA-SIFT 956 MB (25%),
+//             BEES 155.6 MB (4.46%)
+//   Paris:    images 361.5 GB; SIFT 424.3 GB (100%), PCA-SIFT 119.3 GB
+//             (25%), BEES 7.47 GB (1.76%)
+// The percentages are relative to SIFT; the BEES/ORB column must be about
+// one order below PCA-SIFT and about two below SIFT.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "index/serialize.hpp"
+
+namespace {
+
+using namespace bees;
+
+struct Row {
+  std::string name;
+  double image_bytes = 0;
+  double sift_bytes = 0;
+  double pca_bytes = 0;
+  double orb_bytes = 0;
+};
+
+Row measure(const std::string& name, const wl::Imageset& set,
+            wl::ImageStore& store, const feat::PcaModel& pca,
+            double byte_scale) {
+  Row row;
+  row.name = name;
+  for (const auto& spec : set.images) {
+    row.image_bytes +=
+        static_cast<double>(store.original(spec).bytes) * byte_scale;
+    row.sift_bytes +=
+        static_cast<double>(idx::serialize_float(store.sift(spec)).size());
+    row.pca_bytes += static_cast<double>(
+        idx::serialize_float(store.pca_sift(spec, pca)).size());
+    row.orb_bytes += static_cast<double>(
+        idx::serialize_binary(store.orb(spec, 0.0)).size());
+  }
+  return row;
+}
+
+int main_impl() {
+  const int kentucky_groups = bench::sized(12, 50);
+  const int paris_images = bench::sized(48, 200);
+  const int width = 256, height = 192;
+  util::print_banner(std::cout, "Table I: space overheads of image features");
+
+  wl::ImageStore store;
+  const wl::Imageset kentucky =
+      wl::make_kentucky_like(kentucky_groups, 4, width, height, 701);
+  const wl::Imageset paris =
+      wl::make_paris_like(paris_images, paris_images / 4, wl::GeoBox{}, width,
+                          height, 702);
+  const double byte_scale = bench::calibrate_byte_scale(store, kentucky);
+  const feat::PcaModel pca = core::train_pca_model(store, kentucky, 6);
+
+  util::Table table({"imageset", "image_size", "SIFT", "PCA-SIFT",
+                     "BEES (ORB)"});
+  for (const Row& row :
+       {measure("Kentucky-like", kentucky, store, pca, byte_scale),
+        measure("Paris-like", paris, store, pca, byte_scale)}) {
+    table.add_row({row.name, bench::mb(row.image_bytes),
+                   bench::mb(row.sift_bytes) + " (100%)",
+                   bench::mb(row.pca_bytes) + " (" +
+                       util::Table::pct(row.pca_bytes / row.sift_bytes) + ")",
+                   bench::mb(row.orb_bytes) + " (" +
+                       util::Table::pct(row.orb_bytes / row.sift_bytes) +
+                       ")"});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference: PCA-SIFT ~25% of SIFT; BEES/ORB ~4.46% "
+               "(Kentucky) and ~1.76% (Paris) of SIFT — roughly one order "
+               "below PCA-SIFT, two below SIFT.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -1,0 +1,73 @@
+// Disaster-relief scenario: a fleet of phones crowdsources geotagged photos
+// of an affected area to one relief server over damaged (0-512 Kbps,
+// fluctuating) links, until their batteries die.  The situation-awareness
+// value of the collected imagery is its location coverage (paper Fig. 12's
+// metric) — BEES's dedup + compression buys the relief team a much larger
+// covered area per joule.
+//
+// Build & run:  ./build/examples/disaster_relief
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/bees.hpp"
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+using namespace bees;
+
+namespace {
+
+core::CoverageResult simulate(core::UploadScheme& scheme,
+                              const wl::Imageset& area, int phones) {
+  cloud::Server relief_server;
+  std::vector<core::CoveragePhone> fleet;
+  const std::size_t per_phone = area.images.size() / static_cast<std::size_t>(phones);
+  for (int p = 0; p < phones; ++p) {
+    core::CoveragePhone phone;
+    phone.scheme = &scheme;
+    net::ChannelParams link;  // fluctuating 0..512 Kbps
+    link.seed = 7000 + static_cast<std::uint64_t>(p);
+    phone.channel = net::Channel(link);
+    phone.battery = energy::Battery(3000.0);  // partially charged phones
+    wl::Imageset mine;
+    mine.images.assign(
+        area.images.begin() + static_cast<std::ptrdiff_t>(p * per_phone),
+        area.images.begin() + static_cast<std::ptrdiff_t>((p + 1) * per_phone));
+    phone.groups = core::slice_groups(mine, 8);  // an album every 20 min
+    fleet.push_back(std::move(phone));
+  }
+  return core::run_coverage(fleet, 1200.0, relief_server);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kPhones = 4;
+  std::cout << "Affected area: 800 geotagged photos over 300 sites, "
+            << kPhones << " volunteer phones, 20-minute upload cadence\n\n";
+  const wl::Imageset area =
+      wl::make_paris_like(800, 300, wl::GeoBox{}, 240, 180, 7001);
+
+  wl::ImageStore store;
+  core::SchemeConfig config;
+  config.image_byte_scale = 20.0;
+  config.cost.idle_power_w = 0.1;  // screens dimmed to save power
+
+  core::DirectUploadScheme direct(store, config);
+  core::BeesScheme bees(store, config);
+
+  util::Table table({"scheme", "photos_received", "sites_covered",
+                     "hours_until_fleet_dead"});
+  for (core::UploadScheme* scheme :
+       {static_cast<core::UploadScheme*>(&direct),
+        static_cast<core::UploadScheme*>(&bees)}) {
+    const core::CoverageResult r = simulate(*scheme, area, kPhones);
+    table.add_row({scheme->name(), std::to_string(r.images_received),
+                   std::to_string(r.unique_locations),
+                   util::Table::num(r.hours_elapsed, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery duplicate photo Direct Upload ships is a site BEES "
+               "could have covered instead.\n";
+  return 0;
+}

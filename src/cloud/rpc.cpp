@@ -1,0 +1,42 @@
+#include "cloud/rpc.hpp"
+
+#include "net/protocol.hpp"
+#include "util/byte_io.hpp"
+
+namespace bees::cloud {
+
+std::vector<std::uint8_t> dispatch(Server& server,
+                                   const std::vector<std::uint8_t>& request) {
+  try {
+    const net::Envelope env = net::open_envelope(request);
+    switch (env.type) {
+      case net::MessageType::kBinaryQuery: {
+        const net::BinaryQueryRequest q =
+            net::decode_binary_query(env.payload);
+        const idx::QueryResult result = server.query_binary(
+            q.features, static_cast<double>(request.size()), q.top_k);
+        net::QueryResponse reply;
+        reply.max_similarity = result.max_similarity;
+        reply.best_id = result.best_id;
+        if (result.best_id != idx::kInvalidImageId) {
+          reply.thumbnail_bytes = server.thumbnail_bytes_of(result.best_id);
+        }
+        return net::encode(reply);
+      }
+      case net::MessageType::kImageUpload: {
+        const net::ImageUploadRequest u =
+            net::decode_image_upload(env.payload);
+        net::UploadAck ack;
+        ack.id = server.store_binary(u.features, u.image_bytes, u.geo,
+                                     u.thumbnail_bytes);
+        return net::encode(ack);
+      }
+      default:
+        return net::encode_error("unexpected message type");
+    }
+  } catch (const util::DecodeError& e) {
+    return net::encode_error(e.what());
+  }
+}
+
+}  // namespace bees::cloud

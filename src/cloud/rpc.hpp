@@ -1,0 +1,20 @@
+// Message-level entry point to the server: decode a protocol envelope,
+// perform the operation, encode the reply.  Makes the Server drivable from
+// raw bytes — what a production deployment would put behind a socket — and
+// lets tests prove every simulated exchange round-trips through the wire
+// format.
+#pragma once
+
+#include <vector>
+
+#include "cloud/server.hpp"
+
+namespace bees::cloud {
+
+/// Handles one request message; returns the encoded reply.  Malformed or
+/// unexpected messages produce an encoded error reply (never a throw): a
+/// server must not die because one phone sent garbage.
+std::vector<std::uint8_t> dispatch(Server& server,
+                                   const std::vector<std::uint8_t>& request);
+
+}  // namespace bees::cloud

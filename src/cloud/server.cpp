@@ -1,0 +1,104 @@
+#include "cloud/server.hpp"
+
+#include <cmath>
+
+namespace bees::cloud {
+
+Server::Server(const idx::FeatureIndexParams& binary_params,
+               const idx::FloatFeatureIndex::Params& float_params)
+    : binary_(binary_params), float_(float_params) {}
+
+void Server::note_location(const idx::GeoTag& geo) {
+  if (!geo.valid) return;
+  locations_.insert(idx::location_key(geo));
+  stats_.unique_locations = locations_.size();
+}
+
+idx::QueryResult Server::query_binary(const feat::BinaryFeatures& features,
+                                      double feature_bytes, int top_k) {
+  ++stats_.binary_queries;
+  stats_.feature_bytes_received += feature_bytes;
+  return binary_.query(features, top_k);
+}
+
+idx::QueryResult Server::query_float(const feat::FloatFeatures& features,
+                                     double feature_bytes, int top_k) {
+  ++stats_.float_queries;
+  stats_.feature_bytes_received += feature_bytes;
+  return float_.query(features, top_k);
+}
+
+idx::ImageId Server::store_binary(feat::BinaryFeatures features,
+                                  double image_bytes, const idx::GeoTag& geo,
+                                  double thumbnail_bytes) {
+  ++stats_.images_stored;
+  stats_.image_bytes_received += image_bytes;
+  note_location(geo);
+  const idx::ImageId id = binary_.insert(std::move(features), geo);
+  binary_thumb_bytes_.resize(id + 1, 0.0);
+  binary_thumb_bytes_[id] = thumbnail_bytes;
+  return id;
+}
+
+double Server::thumbnail_bytes_of(idx::ImageId id) const {
+  return id < binary_thumb_bytes_.size() ? binary_thumb_bytes_[id] : 0.0;
+}
+
+idx::ImageId Server::store_float(feat::FloatFeatures features,
+                                 double image_bytes, const idx::GeoTag& geo) {
+  ++stats_.images_stored;
+  stats_.image_bytes_received += image_bytes;
+  note_location(geo);
+  return float_.insert(std::move(features), geo);
+}
+
+void Server::store_plain(double image_bytes, const idx::GeoTag& geo) {
+  ++stats_.images_stored;
+  stats_.image_bytes_received += image_bytes;
+  note_location(geo);
+}
+
+double Server::query_global(const feat::ColorHistogram& histogram,
+                            const idx::GeoTag& geo, double feature_bytes,
+                            double geo_radius_deg) {
+  stats_.feature_bytes_received += feature_bytes;
+  double best = 0.0;
+  for (const auto& [stored, stored_geo] : global_entries_) {
+    if (geo.valid && stored_geo.valid) {
+      // Cheap box gate; PhotoNet treats far-apart photos as non-redundant
+      // regardless of appearance.
+      if (std::abs(stored_geo.lon - geo.lon) > geo_radius_deg ||
+          std::abs(stored_geo.lat - geo.lat) > geo_radius_deg) {
+        continue;
+      }
+    }
+    best = std::max(best, feat::histogram_intersection(histogram, stored));
+  }
+  return best;
+}
+
+void Server::store_global(const feat::ColorHistogram& histogram,
+                          double image_bytes, const idx::GeoTag& geo) {
+  ++stats_.images_stored;
+  stats_.image_bytes_received += image_bytes;
+  note_location(geo);
+  global_entries_.emplace_back(histogram, geo);
+}
+
+void Server::seed_binary(feat::BinaryFeatures features, const idx::GeoTag& geo,
+                         double thumbnail_bytes) {
+  const idx::ImageId id = binary_.insert(std::move(features), geo);
+  binary_thumb_bytes_.resize(id + 1, 0.0);
+  binary_thumb_bytes_[id] = thumbnail_bytes;
+}
+
+void Server::seed_float(feat::FloatFeatures features, const idx::GeoTag& geo) {
+  float_.insert(std::move(features), geo);
+}
+
+void Server::seed_global(const feat::ColorHistogram& histogram,
+                         const idx::GeoTag& geo) {
+  global_entries_.emplace_back(histogram, geo);
+}
+
+}  // namespace bees::cloud

@@ -1,0 +1,93 @@
+// The cloud server: feature index + image store + query handling.  One
+// Server instance backs each experiment; it answers CBRD similarity queries
+// and records what it received (bytes, images, unique geotagged locations —
+// the Fig. 12 coverage metric).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "features/global.hpp"
+#include "index/feature_index.hpp"
+#include "index/geo.hpp"
+
+namespace bees::cloud {
+
+struct ServerStats {
+  std::size_t images_stored = 0;
+  double image_bytes_received = 0.0;
+  double feature_bytes_received = 0.0;
+  std::size_t binary_queries = 0;
+  std::size_t float_queries = 0;
+  std::size_t unique_locations = 0;
+};
+
+class Server {
+ public:
+  explicit Server(const idx::FeatureIndexParams& binary_params = {},
+                  const idx::FloatFeatureIndex::Params& float_params = {});
+
+  /// CBRD query against the binary (ORB) index.  Counts the received
+  /// feature payload of `feature_bytes` wire bytes.
+  idx::QueryResult query_binary(const feat::BinaryFeatures& features,
+                                double feature_bytes, int top_k = 4);
+
+  /// CBRD query against the float (SIFT / PCA-SIFT) index.
+  idx::QueryResult query_float(const feat::FloatFeatures& features,
+                               double feature_bytes, int top_k = 4);
+
+  /// Stores an uploaded image: its features join the binary index so later
+  /// batches can detect cross-batch redundancy against it.
+  /// `thumbnail_bytes` is the size of the thumbnail the server would send
+  /// as MRC-style feedback when this image is a query's best match.
+  idx::ImageId store_binary(feat::BinaryFeatures features, double image_bytes,
+                            const idx::GeoTag& geo = {},
+                            double thumbnail_bytes = 0.0);
+
+  /// Stores an uploaded image indexed by float features (SmartEye path).
+  idx::ImageId store_float(feat::FloatFeatures features, double image_bytes,
+                           const idx::GeoTag& geo = {});
+
+  /// Stores an image that arrived without features (Direct Upload path).
+  void store_plain(double image_bytes, const idx::GeoTag& geo = {});
+
+  /// PhotoNet-style global query: the maximum color-histogram intersection
+  /// against stored global entries whose geotag lies within `geo_radius_deg`
+  /// of `geo` (geo gating is skipped when either side has no geotag).
+  double query_global(const feat::ColorHistogram& histogram,
+                      const idx::GeoTag& geo, double feature_bytes = 0.0,
+                      double geo_radius_deg = 0.005);
+
+  /// Stores an image deduplicated by global features (PhotoNet path).
+  void store_global(const feat::ColorHistogram& histogram, double image_bytes,
+                    const idx::GeoTag& geo = {});
+
+  /// Pre-seeds the binary index with features of an image the server
+  /// already holds (experiment setup: controlling cross-batch redundancy).
+  void seed_binary(feat::BinaryFeatures features, const idx::GeoTag& geo = {},
+                   double thumbnail_bytes = 0.0);
+  void seed_float(feat::FloatFeatures features, const idx::GeoTag& geo = {});
+  void seed_global(const feat::ColorHistogram& histogram,
+                   const idx::GeoTag& geo = {});
+
+  const ServerStats& stats() const noexcept { return stats_; }
+  const idx::FeatureIndex& binary_index() const noexcept { return binary_; }
+
+  /// Thumbnail payload for MRC-style feedback of a binary-indexed image;
+  /// 0 when unknown.
+  double thumbnail_bytes_of(idx::ImageId id) const;
+  const idx::FloatFeatureIndex& float_index() const noexcept { return float_; }
+
+ private:
+  void note_location(const idx::GeoTag& geo);
+
+  idx::FeatureIndex binary_;
+  idx::FloatFeatureIndex float_;
+  std::vector<double> binary_thumb_bytes_;  // parallel to binary_ ids
+  std::vector<std::pair<feat::ColorHistogram, idx::GeoTag>> global_entries_;
+  std::unordered_set<std::uint64_t> locations_;
+  ServerStats stats_;
+};
+
+}  // namespace bees::cloud

@@ -1,0 +1,63 @@
+// The paper's comparison schemes:
+//   - DirectUpload: ship every image as shot, no feature work.
+//   - SmartEye (Hua et al., INFOCOM 2015): PCA-SIFT features uploaded for
+//     cross-batch redundancy detection; unique images uploaded as shot.
+//   - MRC (Dao et al., CoNEXT 2014): ORB features uploaded for cross-batch
+//     redundancy detection with thumbnail feedback from the server; unique
+//     images uploaded as shot.
+// Neither baseline performs in-batch elimination, approximate extraction,
+// upload compression, or energy adaptation — those are BEES's additions.
+#pragma once
+
+#include "core/scheme.hpp"
+#include "features/pca.hpp"
+#include "index/serialize.hpp"
+#include "workload/imageset.hpp"
+
+namespace bees::core {
+
+class DirectUploadScheme final : public UploadScheme {
+ public:
+  DirectUploadScheme(wl::ImageStore& store, SchemeConfig config)
+      : UploadScheme("DirectUpload", store, std::move(config)) {}
+
+  BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
+                           cloud::Server& server, net::Channel& channel,
+                           energy::Battery& battery) override;
+};
+
+class SmartEyeScheme final : public UploadScheme {
+ public:
+  /// `pca` is the offline-trained PCA-SIFT projection (see train_pca_model).
+  SmartEyeScheme(wl::ImageStore& store, SchemeConfig config,
+                 std::shared_ptr<const feat::PcaModel> pca)
+      : UploadScheme("SmartEye", store, std::move(config)),
+        pca_(std::move(pca)) {}
+
+  BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
+                           cloud::Server& server, net::Channel& channel,
+                           energy::Battery& battery) override;
+
+ private:
+  std::shared_ptr<const feat::PcaModel> pca_;
+};
+
+class MrcScheme final : public UploadScheme {
+ public:
+  MrcScheme(wl::ImageStore& store, SchemeConfig config)
+      : UploadScheme("MRC", store, std::move(config)) {}
+
+  BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
+                           cloud::Server& server, net::Channel& channel,
+                           energy::Battery& battery) override;
+};
+
+/// Trains the PCA-SIFT projection on the SIFT descriptors of up to
+/// `max_training_images` images from `training` (Ke & Sukthankar's offline
+/// step, shared by SmartEye and the precision benches).
+feat::PcaModel train_pca_model(wl::ImageStore& store,
+                               const wl::Imageset& training,
+                               std::size_t max_training_images = 24,
+                               int output_dim = 36);
+
+}  // namespace bees::core

@@ -1,0 +1,123 @@
+#include "core/bees.hpp"
+
+#include <algorithm>
+
+#include "index/serialize.hpp"
+#include "submodular/graph.hpp"
+
+namespace bees::core {
+
+BatchReport BeesScheme::upload_batch(const std::vector<wl::ImageSpec>& batch,
+                                     cloud::Server& server,
+                                     net::Channel& channel,
+                                     energy::Battery& battery) {
+  BatchReport report;
+  report.images_offered = static_cast<int>(batch.size());
+  trace_ = {};
+  if (batch.empty()) return report;
+
+  // The batch runs under one knob setting, read once from the battery at
+  // batch start (the paper adapts per upload round).
+  const energy::adapt::Knobs knobs =
+      adaptive_ ? energy::adapt::Knobs::from_battery(battery.fraction())
+                : energy::adapt::Knobs::full_energy();
+  trace_.knobs = knobs;
+
+  // --- AFE: approximate feature extraction on compressed bitmaps. ---
+  std::vector<const feat::BinaryFeatures*> features(batch.size(), nullptr);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (battery.depleted()) {
+      report.aborted = true;
+      return report;
+    }
+    const feat::BinaryFeatures& f =
+        store().orb(batch[i], knobs.bitmap_compression);
+    features[i] = &f;
+    report.compute_seconds += charge_compute(f.stats.ops, battery);
+    report.energy.extraction_j += config().cost.compute_energy(f.stats.ops);
+  }
+
+  // Upload the batch's features in one message.
+  std::vector<double> per_image_fbytes(batch.size(), 0.0);
+  double fbytes = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    per_image_fbytes[i] =
+        static_cast<double>(idx::serialize_binary(*features[i]).size());
+    fbytes += per_image_fbytes[i];
+  }
+  const double fsecs = transfer_up(fbytes, channel, battery);
+  report.feature_tx_seconds += fsecs;
+  report.feature_bytes += fbytes;
+  report.energy.feature_tx_j += fsecs * config().cost.tx_power_w;
+
+  // --- ARD part 1: cross-batch redundancy detection (server queries). ---
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (battery.depleted()) {
+      report.aborted = true;
+      return report;
+    }
+    const idx::QueryResult result =
+        server.query_binary(*features[i], per_image_fbytes[i],
+                            config().top_k);
+    if (result.max_similarity > knobs.redundancy_threshold) {
+      ++report.eliminated_cross_batch;
+      trace_.cross_redundant.push_back(i);
+    } else {
+      survivors.push_back(i);
+    }
+  }
+
+  // --- ARD part 2: in-batch redundancy detection (SSMM, client side). ---
+  std::vector<std::size_t> selected;
+  if (!survivors.empty()) {
+    std::vector<feat::BinaryFeatures> survivor_features;
+    survivor_features.reserve(survivors.size());
+    for (const std::size_t i : survivors) {
+      survivor_features.push_back(*features[i]);
+    }
+    std::uint64_t graph_ops = 0;
+    const sub::SimilarityGraph graph = sub::build_similarity_graph(
+        survivor_features, config().match, &graph_ops);
+    report.compute_seconds += charge_compute(graph_ops, battery);
+    report.energy.other_compute_j += config().cost.compute_energy(graph_ops);
+
+    const sub::SsmmResult ssmm = sub::select_unique_images(
+        graph, knobs.ssmm_threshold, config().ssmm);
+    trace_.ssmm_budget = ssmm.budget;
+    report.eliminated_in_batch =
+        static_cast<int>(survivors.size() - ssmm.selected.size());
+    selected.reserve(ssmm.selected.size());
+    for (const std::size_t s : ssmm.selected) {
+      selected.push_back(survivors[s]);
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+  trace_.selected = selected;
+
+  // --- AIU: approximate image uploading of the selected summary. ---
+  for (const std::size_t i : selected) {
+    if (battery.depleted()) {
+      report.aborted = true;
+      return report;
+    }
+    const wl::EncodedImage enc =
+        store().encoded(batch[i], knobs.resolution_compression,
+                        knobs.quality_proportion);
+    report.compute_seconds += charge_compute(enc.ops, battery);
+    report.energy.other_compute_j += config().cost.compute_energy(enc.ops);
+
+    const double bytes = image_wire_bytes(enc.bytes);
+    const double secs = transfer_up(bytes, channel, battery);
+    report.image_tx_seconds += secs;
+    report.image_bytes += bytes;
+    report.energy.image_tx_j += secs * config().cost.tx_power_w;
+    const wl::EncodedImage thumb = store().encoded(batch[i], 0.75, 0.5);
+    server.store_binary(*features[i], bytes, batch[i].geo,
+                        image_wire_bytes(thumb.bytes));
+    ++report.images_uploaded;
+  }
+  return report;
+}
+
+}  // namespace bees::core

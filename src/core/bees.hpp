@@ -1,0 +1,53 @@
+// The BEES client pipeline — the paper's primary contribution (§II-III):
+//
+//   AFE  Approximate Feature Extraction: ORB on a bitmap compressed by the
+//        EAC proportion C(Ebat) = 0.4 - 0.4 Ebat.
+//   ARD  Approximate Redundancy Detection:
+//          CBRD — query the server index; redundant if max similarity
+//                 exceeds the EDR threshold T(Ebat) = 0.013 + 0.006 Ebat,
+//          IBRD — SSMM over the remaining batch images with edge threshold
+//                 Tw(Ebat); only the selected summary survives.
+//   AIU  Approximate Image Uploading: survivors are re-encoded with the
+//        fixed 0.85 quality proportion and the EAU resolution proportion
+//        Cr(Ebat) = 0.8 - 0.8 Ebat before transmission.
+//
+// With `adaptive` false the knobs are pinned at their full-energy values —
+// that configuration is the paper's BEES-EA ablation.
+#pragma once
+
+#include "core/scheme.hpp"
+#include "energy/adaptive.hpp"
+#include "workload/imageset.hpp"
+
+namespace bees::core {
+
+/// Per-stage outcome of the last processed batch, exposed for tests and the
+/// Fig. 8 energy-breakdown bench.
+struct BeesBatchTrace {
+  energy::adapt::Knobs knobs;          ///< Knob values used for the batch.
+  std::vector<std::size_t> cross_redundant;  ///< Batch indices CBRD dropped.
+  std::vector<std::size_t> selected;         ///< Batch indices AIU uploaded.
+  int ssmm_budget = 0;
+};
+
+class BeesScheme final : public UploadScheme {
+ public:
+  /// `adaptive` selects BEES (true) or BEES-EA (false).
+  BeesScheme(wl::ImageStore& store, SchemeConfig config, bool adaptive = true)
+      : UploadScheme(adaptive ? "BEES" : "BEES-EA", store, std::move(config)),
+        adaptive_(adaptive) {}
+
+  BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
+                           cloud::Server& server, net::Channel& channel,
+                           energy::Battery& battery) override;
+
+  bool adaptive() const noexcept { return adaptive_; }
+  /// Stage-level details of the most recent upload_batch call.
+  const BeesBatchTrace& last_trace() const noexcept { return trace_; }
+
+ private:
+  bool adaptive_;
+  BeesBatchTrace trace_;
+};
+
+}  // namespace bees::core

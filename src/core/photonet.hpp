@@ -1,0 +1,34 @@
+// PhotoNet-style baseline (Uddin et al., RTSS 2011 — cited by the paper as
+// the metadata/global-feature end of the design space): redundancy is
+// detected with geotags and color histograms only.  Extraction is orders
+// cheaper than any local-feature scheme and the query payload is a few
+// hundred bytes, but detection is markedly less accurate (see
+// bench/ablation_global_features) — the trade-off the paper invokes to
+// justify local features in BEES.
+//
+// Not part of the paper's own comparison set; provided as an extension
+// baseline.
+#pragma once
+
+#include "core/scheme.hpp"
+#include "workload/imageset.hpp"
+
+namespace bees::core {
+
+/// Color-histogram intersection above which PhotoNet considers two photos
+/// redundant.  Calibrated on the synthetic scenes so that near-duplicates
+/// (intersection ~0.85+) trip it while most unrelated pairs (~0.4-0.7)
+/// do not.
+inline constexpr double kPhotoNetThreshold = 0.8;
+
+class PhotoNetScheme final : public UploadScheme {
+ public:
+  PhotoNetScheme(wl::ImageStore& store, SchemeConfig config)
+      : UploadScheme("PhotoNet", store, std::move(config)) {}
+
+  BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
+                           cloud::Server& server, net::Channel& channel,
+                           energy::Battery& battery) override;
+};
+
+}  // namespace bees::core

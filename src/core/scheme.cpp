@@ -1,0 +1,43 @@
+#include "core/scheme.hpp"
+
+namespace bees::core {
+
+BatchReport& BatchReport::operator+=(const BatchReport& other) noexcept {
+  energy += other.energy;
+  compute_seconds += other.compute_seconds;
+  feature_tx_seconds += other.feature_tx_seconds;
+  image_tx_seconds += other.image_tx_seconds;
+  rx_seconds += other.rx_seconds;
+  feature_bytes += other.feature_bytes;
+  image_bytes += other.image_bytes;
+  rx_bytes += other.rx_bytes;
+  images_offered += other.images_offered;
+  images_uploaded += other.images_uploaded;
+  eliminated_cross_batch += other.eliminated_cross_batch;
+  eliminated_in_batch += other.eliminated_in_batch;
+  aborted = aborted || other.aborted;
+  return *this;
+}
+
+double UploadScheme::transfer_up(double bytes, net::Channel& channel,
+                                 energy::Battery& battery) const {
+  const double seconds = channel.transfer(bytes);
+  battery.drain(seconds * config_.cost.tx_power_w);
+  return seconds;
+}
+
+double UploadScheme::transfer_down(double bytes, net::Channel& channel,
+                                   energy::Battery& battery) const {
+  const double seconds = channel.transfer(bytes);
+  battery.drain(seconds * config_.cost.rx_power_w);
+  return seconds;
+}
+
+double UploadScheme::charge_compute(std::uint64_t ops,
+                                    energy::Battery& battery) const {
+  const double seconds = config_.cost.compute_seconds(ops);
+  battery.drain(config_.cost.compute_energy(ops));
+  return seconds;
+}
+
+}  // namespace bees::core

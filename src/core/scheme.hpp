@@ -1,0 +1,124 @@
+// The common interface every image-sharing scheme implements (BEES and the
+// paper's comparison schemes).  A scheme processes one image batch end to
+// end on the client: feature work, redundancy queries, payload uploads —
+// charging every joule to the phone battery and every byte to the channel —
+// and returns an itemized report that the benches aggregate into the
+// paper's figures.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/server.hpp"
+#include "energy/battery.hpp"
+#include "energy/cost_model.hpp"
+#include "features/matching.hpp"
+#include "net/channel.hpp"
+#include "submodular/ssmm.hpp"
+#include "workload/image_store.hpp"
+
+namespace bees::core {
+
+/// Similarity threshold used by the non-adaptive binary-feature schemes
+/// (MRC, BEES-EA): the paper's EDR law evaluated at full energy,
+/// T = 0.013 + 0.006 * 1.0.
+inline constexpr double kFixedSimilarityThreshold = 0.019;
+
+/// SmartEye's redundancy threshold, calibrated for the PCA-SIFT similarity
+/// landscape (unrelated pairs score ~0.02-0.05 there versus ~0.004-0.01
+/// under ORB, so the binary threshold cannot be reused).  The paper seeds
+/// redundant images at similarity > 0.3 precisely so that every scheme's
+/// own operating threshold detects them.
+inline constexpr double kSmartEyeSimilarityThreshold = 0.1;
+
+/// Thumbnail feedback payload of the MRC protocol, in wire bytes (already
+/// in the paper-scale byte domain, like scaled image payloads).
+inline constexpr double kThumbnailBytes = 40.0 * 1024;
+
+struct SchemeConfig {
+  energy::CostModel cost;
+  /// Multiplier from our codec's output bytes to paper-sized image payloads
+  /// (~700 KB average originals); applied to image payloads only.
+  double image_byte_scale = 1.0;
+  /// Ranked hits requested from the server per query.
+  int top_k = 4;
+  /// Matching parameters for client-side in-batch similarity (BEES IBRD).
+  feat::BinaryMatchParams match;
+  sub::SsmmParams ssmm;
+};
+
+/// Everything one batch cost, itemized.
+struct BatchReport {
+  energy::EnergyBreakdown energy;
+  double compute_seconds = 0.0;
+  double feature_tx_seconds = 0.0;
+  double image_tx_seconds = 0.0;
+  double rx_seconds = 0.0;
+  double feature_bytes = 0.0;
+  double image_bytes = 0.0;
+  double rx_bytes = 0.0;
+  int images_offered = 0;
+  int images_uploaded = 0;
+  int eliminated_cross_batch = 0;
+  int eliminated_in_batch = 0;
+  /// True if the battery died before the batch finished.
+  bool aborted = false;
+
+  /// Total client busy time — the quantity behind the Fig. 11 delay.
+  double busy_seconds() const noexcept {
+    return compute_seconds + feature_tx_seconds + image_tx_seconds +
+           rx_seconds;
+  }
+  /// Mean per-image delay over the batch (paper Fig. 11 metric).
+  double mean_delay_seconds() const noexcept {
+    return images_offered > 0 ? busy_seconds() / images_offered : 0.0;
+  }
+
+  BatchReport& operator+=(const BatchReport& other) noexcept;
+};
+
+/// Abstract image-sharing scheme.
+class UploadScheme {
+ public:
+  UploadScheme(std::string name, wl::ImageStore& store, SchemeConfig config)
+      : name_(std::move(name)), store_(&store), config_(std::move(config)) {}
+  virtual ~UploadScheme() = default;
+
+  UploadScheme(const UploadScheme&) = delete;
+  UploadScheme& operator=(const UploadScheme&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  const SchemeConfig& config() const noexcept { return config_; }
+
+  /// Uploads one batch.  The scheme must stop early (report.aborted) once
+  /// the battery is depleted.
+  virtual BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
+                                   cloud::Server& server, net::Channel& channel,
+                                   energy::Battery& battery) = 0;
+
+ protected:
+  wl::ImageStore& store() noexcept { return *store_; }
+
+  /// Scales a codec payload size to the paper-scale image byte domain.
+  double image_wire_bytes(std::size_t encoded_bytes) const noexcept {
+    return static_cast<double>(encoded_bytes) * config_.image_byte_scale;
+  }
+
+  /// Transfers `bytes` uplink, charging TX energy for the actual airtime.
+  /// Returns the airtime.
+  double transfer_up(double bytes, net::Channel& channel,
+                     energy::Battery& battery) const;
+  /// Transfers `bytes` downlink (RX energy).
+  double transfer_down(double bytes, net::Channel& channel,
+                       energy::Battery& battery) const;
+  /// Charges CPU work and returns the compute time.
+  double charge_compute(std::uint64_t ops, energy::Battery& battery) const;
+
+ private:
+  std::string name_;
+  wl::ImageStore* store_;
+  SchemeConfig config_;
+};
+
+}  // namespace bees::core

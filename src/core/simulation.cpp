@@ -1,0 +1,112 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+
+#include "features/global.hpp"
+#include "util/rng.hpp"
+
+namespace bees::core {
+
+std::vector<std::size_t> seed_cross_batch_redundancy(
+    const std::vector<wl::ImageSpec>& batch, double ratio,
+    wl::ImageStore& store, cloud::Server& server, const feat::PcaModel* pca,
+    std::uint64_t seed, double image_byte_scale) {
+  util::Rng rng(seed);
+  std::vector<std::size_t> indices(batch.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.shuffle(indices);
+  const auto count = static_cast<std::size_t>(
+      std::clamp(ratio, 0.0, 1.0) * static_cast<double>(batch.size()) + 0.5);
+  indices.resize(std::min(count, batch.size()));
+
+  for (const std::size_t i : indices) {
+    const wl::ImageSpec dup = wl::make_near_duplicate(batch[i], seed ^ i);
+    const double thumb =
+        static_cast<double>(store.encoded(dup, 0.75, 0.5).bytes) *
+        image_byte_scale;
+    server.seed_binary(store.orb(dup, 0.0), dup.geo, thumb);
+    server.seed_global(feat::color_histogram(store.pixels(dup)), dup.geo);
+    if (pca != nullptr) {
+      server.seed_float(store.pca_sift(dup, *pca), dup.geo);
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+LifetimeResult run_lifetime(
+    UploadScheme& scheme, const std::vector<std::vector<wl::ImageSpec>>& groups,
+    double interval_s, cloud::Server& server, net::Channel& channel,
+    energy::Battery& battery) {
+  LifetimeResult result;
+  result.curve.push_back({0.0, battery.fraction()});
+  double now_s = 0.0;
+  for (const auto& group : groups) {
+    if (battery.depleted()) break;
+    const BatchReport report =
+        scheme.upload_batch(group, server, channel, battery);
+    result.totals += report;
+    if (!report.aborted) ++result.groups_uploaded;
+
+    // The group occupies at least one interval of wall-clock time; slower
+    // uploads spill into the next interval (the phone keeps transmitting).
+    const double wall = std::max(interval_s, report.busy_seconds());
+    battery.drain(scheme.config().cost.idle_energy(wall));
+    channel.advance(std::max(0.0, wall - report.busy_seconds()));
+    now_s += wall;
+    result.curve.push_back({now_s / 3600.0, battery.fraction()});
+    if (report.aborted || battery.depleted()) {
+      result.battery_died = true;
+      break;
+    }
+  }
+  result.lifetime_hours = now_s / 3600.0;
+  result.battery_died = result.battery_died || battery.depleted();
+  return result;
+}
+
+CoverageResult run_coverage(std::vector<CoveragePhone>& phones,
+                            double interval_s, cloud::Server& server) {
+  CoverageResult result;
+  double now_s = 0.0;
+  bool any_progress = true;
+  while (any_progress) {
+    any_progress = false;
+    for (auto& phone : phones) {
+      if (phone.battery.depleted() ||
+          phone.next_group >= phone.groups.size()) {
+        continue;
+      }
+      const BatchReport report = phone.scheme->upload_batch(
+          phone.groups[phone.next_group], server, phone.channel,
+          phone.battery);
+      ++phone.next_group;
+      const double wall = std::max(interval_s, report.busy_seconds());
+      phone.battery.drain(
+          phone.scheme->config().cost.idle_energy(wall));
+      phone.channel.advance(std::max(0.0, wall - report.busy_seconds()));
+      if (!report.aborted) any_progress = true;
+    }
+    now_s += interval_s;
+  }
+  result.images_received = server.stats().images_stored;
+  result.unique_locations = server.stats().unique_locations;
+  result.hours_elapsed = now_s / 3600.0;
+  return result;
+}
+
+std::vector<std::vector<wl::ImageSpec>> slice_groups(const wl::Imageset& set,
+                                                     std::size_t group_size) {
+  std::vector<std::vector<wl::ImageSpec>> groups;
+  if (group_size == 0) return groups;
+  for (std::size_t start = 0; start < set.images.size();
+       start += group_size) {
+    const std::size_t end =
+        std::min(start + group_size, set.images.size());
+    groups.emplace_back(set.images.begin() + static_cast<std::ptrdiff_t>(start),
+                        set.images.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return groups;
+}
+
+}  // namespace bees::core

@@ -1,0 +1,63 @@
+// The three Energy-Aware Adaptive Schemes (EAAS) of the paper, §III:
+//   EAC (adaptive bitmap compression, AFE):  C  = 0.4 - 0.4 * Ebat
+//   EDR (energy-defined redundancy, ARD):    T  = 0.013 + 0.006 * Ebat
+//   SSMM edge threshold (ARD, in-batch):     Tw = 0.013 + 0.006 * Ebat
+//   EAU (adaptive resolution upload, AIU):   Cr = 0.8 - 0.8 * Ebat
+// plus the fixed quality-compression proportion of 0.85.
+//
+// Ebat is the remaining battery fraction in [0, 1].  When adaptation is
+// disabled (the BEES-EA baseline), every knob is pinned at its full-energy
+// value.
+#pragma once
+
+#include <algorithm>
+
+namespace bees::energy::adapt {
+
+/// EAC: bitmap compression proportion before feature extraction.
+inline double eac_compression(double ebat) noexcept {
+  ebat = std::clamp(ebat, 0.0, 1.0);
+  return std::clamp(0.4 - 0.4 * ebat, 0.0, 0.4);
+}
+
+/// EDR: cross-batch redundancy similarity threshold T.
+inline double edr_threshold(double ebat) noexcept {
+  ebat = std::clamp(ebat, 0.0, 1.0);
+  return 0.013 + 0.006 * ebat;
+}
+
+/// SSMM edge-cut threshold Tw (the paper reuses the EDR parameters).
+inline double ssmm_tw(double ebat) noexcept { return edr_threshold(ebat); }
+
+/// EAU: resolution compression proportion before upload.
+inline double eau_resolution(double ebat) noexcept {
+  ebat = std::clamp(ebat, 0.0, 1.0);
+  return std::clamp(0.8 - 0.8 * ebat, 0.0, 0.8);
+}
+
+/// The paper's fixed quality-compression proportion (JPEG-style), chosen at
+/// the knee of the SSIM curve (Fig. 5a).
+inline constexpr double kQualityProportion = 0.85;
+
+/// Knob values used by one upload round.  `from_battery` applies the
+/// adaptive laws; `full_energy` pins the BEES-EA (adaptation-off) values.
+struct Knobs {
+  double bitmap_compression = 0.0;   ///< C  (AFE)
+  double redundancy_threshold = 0.019;  ///< T  (CBRD)
+  double ssmm_threshold = 0.019;        ///< Tw (IBRD)
+  double resolution_compression = 0.0;  ///< Cr (AIU)
+  double quality_proportion = kQualityProportion;
+
+  static Knobs from_battery(double ebat) noexcept {
+    Knobs k;
+    k.bitmap_compression = eac_compression(ebat);
+    k.redundancy_threshold = edr_threshold(ebat);
+    k.ssmm_threshold = ssmm_tw(ebat);
+    k.resolution_compression = eau_resolution(ebat);
+    return k;
+  }
+
+  static Knobs full_energy() noexcept { return from_battery(1.0); }
+};
+
+}  // namespace bees::energy::adapt

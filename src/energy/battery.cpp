@@ -1,0 +1,21 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+
+namespace bees::energy {
+
+Battery::Battery(double capacity_j)
+    : capacity_j_(capacity_j), remaining_j_(capacity_j) {
+  if (capacity_j <= 0.0) {
+    throw std::invalid_argument("Battery: capacity must be positive");
+  }
+}
+
+double Battery::drain(double joules) {
+  joules = std::max(joules, 0.0);
+  const double drawn = std::min(joules, remaining_j_);
+  remaining_j_ -= drawn;
+  return drawn;
+}
+
+}  // namespace bees::energy

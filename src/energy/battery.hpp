@@ -1,0 +1,37 @@
+// Smartphone battery model.  The paper's prototype phone carries a
+// 3150 mAh / 3.8 V battery; its remaining fraction Ebat is the input to all
+// three energy-aware adaptive schemes.
+#pragma once
+
+#include <stdexcept>
+
+namespace bees::energy {
+
+/// Joule-accounted battery.  Drains saturate at empty (a phone cannot
+/// consume energy it does not have); the simulation driver checks
+/// depleted() to stop a phone.
+class Battery {
+ public:
+  /// The paper's device: 3150 mAh * 3.8 V * 3.6 = 43,092 J.
+  static constexpr double kDefaultCapacityJ = 3150.0 * 3.8 * 3.6;
+
+  explicit Battery(double capacity_j = kDefaultCapacityJ);
+
+  /// Consumes `joules` (>= 0), clamping at empty.  Returns the energy
+  /// actually drawn (less than requested only when the battery runs out).
+  double drain(double joules);
+
+  double capacity_j() const noexcept { return capacity_j_; }
+  double remaining_j() const noexcept { return remaining_j_; }
+  /// Remaining fraction Ebat in [0, 1] — the adaptive schemes' input.
+  double fraction() const noexcept { return remaining_j_ / capacity_j_; }
+  bool depleted() const noexcept { return remaining_j_ <= 0.0; }
+
+  void recharge_full() noexcept { remaining_j_ = capacity_j_; }
+
+ private:
+  double capacity_j_;
+  double remaining_j_;
+};
+
+}  // namespace bees::energy

@@ -1,0 +1,82 @@
+// Analytic smartphone energy/time cost model (the substitution for the
+// paper's on-device power measurements; see DESIGN.md §2).  Costs are
+// first-order resource-proportional:
+//   - CPU: joules and seconds proportional to the arithmetic work counted
+//     by the extractors/matchers themselves,
+//   - radio: TX/RX power times airtime at the channel's current bitrate,
+//   - baseline: idle + screen power for elapsed wall-clock time (the
+//     Fig. 9 protocol keeps the screen always bright).
+//
+// Byte quantities passed in are wire bytes; the core layer scales image
+// payloads onto paper-sized images (~700 KB average originals) before
+// calling in, so absolute airtime/energy land in the paper's regime while
+// every ratio is preserved.
+#pragma once
+
+#include <cstdint>
+
+namespace bees::energy {
+
+struct CostModel {
+  /// CPU throughput for the abstract op count (ops/second).  Calibrated so
+  /// ORB extraction of one image costs a few hundred milliseconds, matching
+  /// phone-class cores.
+  double cpu_ops_per_second = 2.5e7;
+  /// Active CPU power draw (W) while computing.
+  double cpu_power_w = 2.5;
+  /// WiFi transmit and receive power (W).
+  double tx_power_w = 1.2;
+  double rx_power_w = 0.9;
+  /// Baseline draw with the screen on (W), per the Fig. 9 protocol.
+  double idle_power_w = 0.8;
+
+  double compute_seconds(std::uint64_t ops) const noexcept {
+    return static_cast<double>(ops) / cpu_ops_per_second;
+  }
+  double compute_energy(std::uint64_t ops) const noexcept {
+    return compute_seconds(ops) * cpu_power_w;
+  }
+  /// Airtime for `bytes` at `bitrate_bps` (> 0).
+  double tx_seconds(double bytes, double bitrate_bps) const noexcept {
+    return bytes * 8.0 / bitrate_bps;
+  }
+  double tx_energy(double bytes, double bitrate_bps) const noexcept {
+    return tx_seconds(bytes, bitrate_bps) * tx_power_w;
+  }
+  double rx_energy(double bytes, double bitrate_bps) const noexcept {
+    return tx_seconds(bytes, bitrate_bps) * rx_power_w;
+  }
+  double idle_energy(double seconds) const noexcept {
+    return seconds * idle_power_w;
+  }
+};
+
+/// Itemized energy spent by one client action or batch; the Fig. 8
+/// breakdown reports these buckets.
+struct EnergyBreakdown {
+  double extraction_j = 0.0;      ///< Feature extraction CPU.
+  double other_compute_j = 0.0;   ///< Compression, IBRD graph, codec CPU.
+  double feature_tx_j = 0.0;      ///< Uploading feature sets.
+  double image_tx_j = 0.0;        ///< Uploading image payloads.
+  double rx_j = 0.0;              ///< Query responses / thumbnail feedback.
+  double idle_j = 0.0;            ///< Baseline over elapsed time.
+
+  double total() const noexcept {
+    return extraction_j + other_compute_j + feature_tx_j + image_tx_j + rx_j +
+           idle_j;
+  }
+  /// Total excluding the baseline draw — the "scheme overhead" of Fig. 7.
+  double active_total() const noexcept { return total() - idle_j; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& other) noexcept {
+    extraction_j += other.extraction_j;
+    other_compute_j += other.other_compute_j;
+    feature_tx_j += other.feature_tx_j;
+    image_tx_j += other.image_tx_j;
+    rx_j += other.rx_j;
+    idle_j += other.idle_j;
+    return *this;
+  }
+};
+
+}  // namespace bees::energy

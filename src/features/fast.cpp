@@ -1,0 +1,135 @@
+#include "features/fast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bees::feat {
+
+namespace {
+
+// Bresenham circle of radius 3: the 16 offsets used by the segment test.
+constexpr int kCircleX[16] = {0, 1, 2, 3, 3, 3, 2, 1, 0, -1, -2, -3, -3, -3, -2, -1};
+constexpr int kCircleY[16] = {-3, -3, -2, -1, 0, 1, 2, 3, 3, 3, 2, 1, 0, -1, -2, -3};
+
+/// Segment test: does a contiguous arc of >= 9 circle pixels sit entirely
+/// `t` brighter or `t` darker than the center?  Returns the arc SAD score
+/// (0 if not a corner).
+float segment_score(const img::Image& im, int x, int y, int t) {
+  const int center = im.at(x, y);
+  int states[16];  // +1 brighter, -1 darker, 0 similar
+  int diffs[16];
+  for (int i = 0; i < 16; ++i) {
+    const int v = im.at(x + kCircleX[i], y + kCircleY[i]);
+    const int d = v - center;
+    diffs[i] = std::abs(d);
+    states[i] = d > t ? 1 : (d < -t ? -1 : 0);
+  }
+  // Scan the doubled circle for a run of >= 9 equal non-zero states.
+  for (int want : {1, -1}) {
+    int run = 0;
+    float best = 0;
+    float run_sum = 0;
+    for (int i = 0; i < 32; ++i) {
+      const int k = i & 15;
+      if (states[k] == want) {
+        ++run;
+        run_sum += static_cast<float>(diffs[k]);
+        if (run >= 9) best = std::max(best, run_sum);
+        if (run >= 16) break;  // full circle
+      } else {
+        run = 0;
+        run_sum = 0;
+      }
+    }
+    if (best > 0) return best;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Keypoint> detect_fast(const img::Image& gray,
+                                  const FastParams& params,
+                                  std::uint64_t* ops) {
+  std::vector<Keypoint> out;
+  const int b = std::max(params.border, 3);
+  if (gray.width() <= 2 * b || gray.height() <= 2 * b) return out;
+
+  // Response map for non-max suppression (0 = not a corner).
+  std::vector<float> response(
+      static_cast<std::size_t>(gray.width()) * gray.height(), 0.0f);
+  std::uint64_t work = 0;
+  for (int y = b; y < gray.height() - b; ++y) {
+    for (int x = b; x < gray.width() - b; ++x) {
+      // Quick rejection for the 9-contiguous test: an arc of >= 9 pixels
+      // must contain at least 2 of the 4 compass points with the same
+      // sign (the 3-of-4 variant is only valid for FAST-12).
+      const int c = gray.at(x, y);
+      int brighter = 0, darker = 0;
+      for (int i : {0, 4, 8, 12}) {
+        const int v = gray.at(x + kCircleX[i], y + kCircleY[i]);
+        if (v - c > params.threshold) ++brighter;
+        if (c - v > params.threshold) ++darker;
+      }
+      work += 8;
+      if (brighter < 2 && darker < 2) continue;
+      const float score = segment_score(gray, x, y, params.threshold);
+      work += 64;
+      if (score > 0) {
+        response[static_cast<std::size_t>(y) * gray.width() + x] = score;
+      }
+    }
+  }
+
+  for (int y = b; y < gray.height() - b; ++y) {
+    for (int x = b; x < gray.width() - b; ++x) {
+      const float r =
+          response[static_cast<std::size_t>(y) * gray.width() + x];
+      if (r <= 0) continue;
+      if (params.nonmax_suppression) {
+        bool is_max = true;
+        for (int dy = -1; dy <= 1 && is_max; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            if (response[static_cast<std::size_t>(y + dy) * gray.width() +
+                         (x + dx)] > r) {
+              is_max = false;
+              break;
+            }
+          }
+        }
+        if (!is_max) continue;
+      }
+      Keypoint kp;
+      kp.x = static_cast<float>(x);
+      kp.y = static_cast<float>(y);
+      kp.response = r;
+      out.push_back(kp);
+    }
+  }
+  if (ops) *ops += work;
+  return out;
+}
+
+float harris_response(const img::Image& gray, int x, int y) {
+  // Gradient second-moment matrix over a 7x7 window.
+  double a = 0, bsum = 0, c = 0;
+  for (int dy = -3; dy <= 3; ++dy) {
+    for (int dx = -3; dx <= 3; ++dx) {
+      const int xx = x + dx, yy = y + dy;
+      const double ix = (gray.at_clamped(xx + 1, yy) -
+                         gray.at_clamped(xx - 1, yy)) * 0.5;
+      const double iy = (gray.at_clamped(xx, yy + 1) -
+                         gray.at_clamped(xx, yy - 1)) * 0.5;
+      a += ix * ix;
+      bsum += ix * iy;
+      c += iy * iy;
+    }
+  }
+  constexpr double k = 0.04;
+  const double det = a * c - bsum * bsum;
+  const double trace = a + c;
+  return static_cast<float>(det - k * trace * trace);
+}
+
+}  // namespace bees::feat

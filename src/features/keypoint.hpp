@@ -1,0 +1,86 @@
+// Keypoint and descriptor value types shared by all feature extractors.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace bees::feat {
+
+/// A detected interest point.  Coordinates are in the full-resolution image
+/// frame even when detection happened on a pyramid level.
+struct Keypoint {
+  float x = 0;
+  float y = 0;
+  float response = 0;   ///< Detector score (higher = stronger corner).
+  float angle = 0;      ///< Orientation in radians (intensity centroid).
+  int level = 0;        ///< Pyramid level the point was detected on.
+  float scale = 1.0f;   ///< Pyramid scale factor at that level.
+};
+
+/// 256-bit binary descriptor (ORB).  Stored as four 64-bit lanes so Hamming
+/// distance is four XOR+popcount operations.
+struct Descriptor256 {
+  std::array<std::uint64_t, 4> bits{};
+
+  void set_bit(int i) noexcept {
+    bits[static_cast<std::size_t>(i >> 6)] |= std::uint64_t{1} << (i & 63);
+  }
+  bool get_bit(int i) const noexcept {
+    return (bits[static_cast<std::size_t>(i >> 6)] >>
+            (i & 63)) & 1;
+  }
+
+  bool operator==(const Descriptor256&) const noexcept = default;
+};
+
+/// Hamming distance between two 256-bit descriptors, in [0, 256].
+inline int hamming_distance(const Descriptor256& a,
+                            const Descriptor256& b) noexcept {
+  int d = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    d += std::popcount(a.bits[i] ^ b.bits[i]);
+  }
+  return d;
+}
+
+/// Counters for the compute performed by an extraction, used by the energy
+/// model (energy = alpha * ops).  Extractors count the work they actually
+/// do: pixels touched by filters, descriptor comparisons, etc.
+struct ExtractionStats {
+  std::uint64_t ops = 0;          ///< Abstract arithmetic operations.
+  std::size_t keypoint_count = 0; ///< Descriptors produced.
+};
+
+/// A binary feature set: the ORB representation of one image.
+struct BinaryFeatures {
+  std::vector<Keypoint> keypoints;
+  std::vector<Descriptor256> descriptors;
+  ExtractionStats stats;
+
+  std::size_t size() const noexcept { return descriptors.size(); }
+  bool empty() const noexcept { return descriptors.empty(); }
+  /// Serialized byte cost of the descriptor payload (32 B per descriptor).
+  std::size_t wire_bytes() const noexcept { return descriptors.size() * 32; }
+};
+
+/// A float feature set: SIFT-style (dim=128) or PCA-SIFT-style (dim=36).
+struct FloatFeatures {
+  int dim = 0;
+  std::vector<Keypoint> keypoints;
+  std::vector<float> values;  ///< keypoints.size() * dim, row-major.
+  ExtractionStats stats;
+
+  std::size_t size() const noexcept {
+    return dim == 0 ? 0 : values.size() / static_cast<std::size_t>(dim);
+  }
+  bool empty() const noexcept { return values.empty(); }
+  const float* row(std::size_t i) const noexcept {
+    return values.data() + i * static_cast<std::size_t>(dim);
+  }
+  /// Serialized byte cost (4 B per component), the Table I quantity.
+  std::size_t wire_bytes() const noexcept { return values.size() * 4; }
+};
+
+}  // namespace bees::feat

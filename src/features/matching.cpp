@@ -1,0 +1,143 @@
+#include "features/matching.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace bees::feat {
+
+namespace {
+
+/// For every descriptor of `a`, the index of its Hamming-nearest descriptor
+/// in `b` if it passes the distance and ratio gates, else SIZE_MAX.
+std::vector<std::size_t> nearest_binary(const std::vector<Descriptor256>& a,
+                                        const std::vector<Descriptor256>& b,
+                                        const BinaryMatchParams& params,
+                                        std::vector<int>* distances,
+                                        std::uint64_t* ops) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> out(a.size(), kNone);
+  if (distances) distances->assign(a.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    int best = std::numeric_limits<int>::max();
+    int second = std::numeric_limits<int>::max();
+    std::size_t best_j = kNone;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const int d = hamming_distance(a[i], b[j]);
+      if (d < best) {
+        second = best;
+        best = d;
+        best_j = j;
+      } else if (d < second) {
+        second = d;
+      }
+    }
+    if (ops) *ops += b.size();
+    if (best <= params.max_distance &&
+        (second == std::numeric_limits<int>::max() ||
+         best < params.ratio * static_cast<double>(second))) {
+      out[i] = best_j;
+      if (distances) (*distances)[i] = best;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Match> match_binary(const std::vector<Descriptor256>& a,
+                                const std::vector<Descriptor256>& b,
+                                const BinaryMatchParams& params,
+                                std::uint64_t* ops) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<Match> matches;
+  if (a.empty() || b.empty()) return matches;
+  std::vector<int> dist_ab;
+  const auto fwd = nearest_binary(a, b, params, &dist_ab, ops);
+  if (!params.cross_check) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (fwd[i] != kNone) {
+        matches.push_back({i, fwd[i], static_cast<double>(dist_ab[i])});
+      }
+    }
+    return matches;
+  }
+  const auto rev = nearest_binary(b, a, params, nullptr, ops);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::size_t j = fwd[i];
+    if (j != kNone && rev[j] == i) {
+      matches.push_back({i, j, static_cast<double>(dist_ab[i])});
+    }
+  }
+  return matches;
+}
+
+double l2_sq(const float* x, const float* y, int dim) noexcept {
+  double acc = 0;
+  for (int d = 0; d < dim; ++d) {
+    const double diff = static_cast<double>(x[d]) - y[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+namespace {
+
+std::vector<std::size_t> nearest_float(const FloatFeatures& a,
+                                       const FloatFeatures& b,
+                                       const FloatMatchParams& params,
+                                       std::vector<double>* distances,
+                                       std::uint64_t* ops) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> out(a.size(), kNone);
+  if (distances) distances->assign(a.size(), 0.0);
+  const double max_sq = params.max_distance * params.max_distance;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    double second = best;
+    std::size_t best_j = kNone;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const double d = l2_sq(a.row(i), b.row(j), a.dim);
+      if (d < best) {
+        second = best;
+        best = d;
+        best_j = j;
+      } else if (d < second) {
+        second = d;
+      }
+    }
+    if (ops) *ops += b.size() * static_cast<std::uint64_t>(a.dim);
+    if (best <= max_sq &&
+        (!std::isfinite(second) ||
+         std::sqrt(best) < params.ratio * std::sqrt(second))) {
+      out[i] = best_j;
+      if (distances) (*distances)[i] = std::sqrt(best);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Match> match_float(const FloatFeatures& a, const FloatFeatures& b,
+                               const FloatMatchParams& params,
+                               std::uint64_t* ops) {
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<Match> matches;
+  if (a.empty() || b.empty() || a.dim != b.dim) return matches;
+  std::vector<double> dist_ab;
+  const auto fwd = nearest_float(a, b, params, &dist_ab, ops);
+  if (!params.cross_check) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (fwd[i] != kNone) matches.push_back({i, fwd[i], dist_ab[i]});
+    }
+    return matches;
+  }
+  const auto rev = nearest_float(b, a, params, nullptr, ops);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::size_t j = fwd[i];
+    if (j != kNone && rev[j] == i) matches.push_back({i, j, dist_ab[i]});
+  }
+  return matches;
+}
+
+}  // namespace bees::feat

@@ -1,0 +1,37 @@
+// ORB feature extraction (Rublee et al., ICCV 2011) built from scratch:
+// scale pyramid -> FAST-9 with Harris re-ranking -> intensity-centroid
+// orientation -> steered BRIEF-256 binary descriptors.
+//
+// This is the extractor BEES itself uses (paper §III-D selects ORB for its
+// two-orders-lower cost than SIFT).  The extractor counts its own arithmetic
+// work so the energy model can charge extraction joules proportional to the
+// image area actually processed — the mechanism behind the EAC scheme.
+#pragma once
+
+#include "features/keypoint.hpp"
+#include "imaging/image.hpp"
+
+namespace bees::feat {
+
+struct OrbParams {
+  int max_features = 400;     ///< Total descriptor budget across levels.
+  int levels = 6;             ///< Pyramid levels.
+  double scale_factor = 1.25; ///< Per-level downscale factor.
+  /// FAST arc threshold.  High enough to reject low-contrast texture
+  /// corners (which do not repeat across views) while keeping shape
+  /// corners and detail marks.
+  int fast_threshold = 28;
+  int patch_radius = 15;      ///< Orientation/descriptor patch (31x31).
+};
+
+/// Extracts ORB features from an RGB or grayscale image.
+BinaryFeatures extract_orb(const img::Image& image,
+                           const OrbParams& params = {});
+
+/// Intensity-centroid orientation of the patch centred at integer (x, y):
+/// atan2 of the first image moments over a circular patch.  Exposed for
+/// testing (a rotated patch must produce a rotated angle).
+float intensity_centroid_angle(const img::Image& gray, int x, int y,
+                               int radius);
+
+}  // namespace bees::feat

@@ -1,0 +1,187 @@
+#include "features/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bees::feat {
+
+namespace {
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix `a` (n x n,
+/// row-major, destroyed).  Returns eigenvalues; `vecs` receives the
+/// eigenvectors as columns.
+std::vector<double> jacobi_eigen(std::vector<double>& a, int n,
+                                 std::vector<double>& vecs) {
+  vecs.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) vecs[static_cast<std::size_t>(i) * n + i] = 1.0;
+  auto at = [&](std::vector<double>& m, int r, int c) -> double& {
+    return m[static_cast<std::size_t>(r) * n + c];
+  };
+  constexpr int kMaxSweeps = 50;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += at(a, p, q) * at(a, p, q);
+    }
+    if (off < 1e-18) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = at(a, p, q);
+        if (std::abs(apq) < 1e-15) continue;
+        const double theta = (at(a, q, q) - at(a, p, p)) / (2 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1));
+        const double c = 1.0 / std::sqrt(t * t + 1);
+        const double s = t * c;
+        for (int i = 0; i < n; ++i) {
+          const double aip = at(a, i, p);
+          const double aiq = at(a, i, q);
+          at(a, i, p) = c * aip - s * aiq;
+          at(a, i, q) = s * aip + c * aiq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double api = at(a, p, i);
+          const double aqi = at(a, q, i);
+          at(a, p, i) = c * api - s * aqi;
+          at(a, q, i) = s * api + c * aqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = at(vecs, i, p);
+          const double viq = at(vecs, i, q);
+          at(vecs, i, p) = c * vip - s * viq;
+          at(vecs, i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  std::vector<double> eigenvalues(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    eigenvalues[static_cast<std::size_t>(i)] = at(a, i, i);
+  }
+  return eigenvalues;
+}
+
+}  // namespace
+
+PcaModel PcaModel::fit(const std::vector<float>& rows, int input_dim,
+                       int output_dim) {
+  if (input_dim <= 0 || output_dim <= 0 || output_dim > input_dim) {
+    throw std::invalid_argument("PcaModel::fit: bad dimensions");
+  }
+  if (rows.empty() || rows.size() % static_cast<std::size_t>(input_dim)) {
+    throw std::invalid_argument("PcaModel::fit: rows not a multiple of dim");
+  }
+  const std::size_t n = rows.size() / static_cast<std::size_t>(input_dim);
+
+  PcaModel model;
+  model.input_dim_ = input_dim;
+  model.output_dim_ = output_dim;
+  model.mean_.assign(static_cast<std::size_t>(input_dim), 0.0f);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (int d = 0; d < input_dim; ++d) {
+      model.mean_[static_cast<std::size_t>(d)] +=
+          rows[r * static_cast<std::size_t>(input_dim) +
+               static_cast<std::size_t>(d)];
+    }
+  }
+  for (auto& m : model.mean_) m /= static_cast<float>(n);
+
+  // Covariance (input_dim x input_dim).
+  std::vector<double> cov(
+      static_cast<std::size_t>(input_dim) * static_cast<std::size_t>(input_dim),
+      0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = rows.data() + r * static_cast<std::size_t>(input_dim);
+    for (int i = 0; i < input_dim; ++i) {
+      const double di = row[i] - model.mean_[static_cast<std::size_t>(i)];
+      for (int j = i; j < input_dim; ++j) {
+        const double dj = row[j] - model.mean_[static_cast<std::size_t>(j)];
+        cov[static_cast<std::size_t>(i) * input_dim + j] += di * dj;
+      }
+    }
+  }
+  for (int i = 0; i < input_dim; ++i) {
+    for (int j = i; j < input_dim; ++j) {
+      const double v =
+          cov[static_cast<std::size_t>(i) * input_dim + j] /
+          static_cast<double>(std::max<std::size_t>(n - 1, 1));
+      cov[static_cast<std::size_t>(i) * input_dim + j] = v;
+      cov[static_cast<std::size_t>(j) * input_dim + i] = v;
+    }
+  }
+
+  std::vector<double> vecs;
+  std::vector<double> eigenvalues = jacobi_eigen(cov, input_dim, vecs);
+
+  // Sort components by descending eigenvalue.
+  std::vector<int> order(static_cast<std::size_t>(input_dim));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return eigenvalues[static_cast<std::size_t>(a)] >
+           eigenvalues[static_cast<std::size_t>(b)];
+  });
+
+  double total = 0, kept = 0;
+  for (double ev : eigenvalues) total += std::max(ev, 0.0);
+  model.basis_.assign(
+      static_cast<std::size_t>(output_dim) * static_cast<std::size_t>(input_dim),
+      0.0f);
+  for (int k = 0; k < output_dim; ++k) {
+    const int src = order[static_cast<std::size_t>(k)];
+    kept += std::max(eigenvalues[static_cast<std::size_t>(src)], 0.0);
+    for (int d = 0; d < input_dim; ++d) {
+      // Eigenvectors are columns of `vecs`.
+      model.basis_[static_cast<std::size_t>(k) * input_dim + d] =
+          static_cast<float>(vecs[static_cast<std::size_t>(d) * input_dim +
+                                  static_cast<std::size_t>(src)]);
+    }
+  }
+  model.explained_ = total > 0 ? kept / total : 1.0;
+  return model;
+}
+
+std::vector<float> PcaModel::project(const float* x) const {
+  std::vector<float> out(static_cast<std::size_t>(output_dim_), 0.0f);
+  for (int k = 0; k < output_dim_; ++k) {
+    double acc = 0;
+    const float* row =
+        basis_.data() + static_cast<std::size_t>(k) * input_dim_;
+    for (int d = 0; d < input_dim_; ++d) {
+      acc += static_cast<double>(row[d]) *
+             (x[d] - mean_[static_cast<std::size_t>(d)]);
+    }
+    out[static_cast<std::size_t>(k)] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+FloatFeatures PcaModel::project_features(const FloatFeatures& in) const {
+  if (in.dim != input_dim_) {
+    throw std::invalid_argument("PcaModel: dimension mismatch");
+  }
+  FloatFeatures out;
+  out.dim = output_dim_;
+  out.keypoints = in.keypoints;
+  out.stats = in.stats;
+  out.values.reserve(in.size() * static_cast<std::size_t>(output_dim_));
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::vector<float> p = project(in.row(i));
+    out.values.insert(out.values.end(), p.begin(), p.end());
+    out.stats.ops += static_cast<std::uint64_t>(input_dim_) *
+                     static_cast<std::uint64_t>(output_dim_) * 2;
+  }
+  return out;
+}
+
+PcaModel fit_pca_sift(const std::vector<FloatFeatures>& training_sets,
+                      int output_dim) {
+  std::vector<float> rows;
+  for (const auto& fs : training_sets) {
+    rows.insert(rows.end(), fs.values.begin(), fs.values.end());
+  }
+  return PcaModel::fit(rows, 128, output_dim);
+}
+
+}  // namespace bees::feat

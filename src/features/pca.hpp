@@ -1,0 +1,49 @@
+// Principal component analysis used to turn SIFT descriptors into the
+// compact PCA-SIFT representation (Ke & Sukthankar, CVPR 2004): a 36-D
+// projection learned from a training corpus of 128-D descriptors.
+#pragma once
+
+#include <vector>
+
+#include "features/keypoint.hpp"
+
+namespace bees::feat {
+
+/// A learned linear projection: y = B (x - mean), where B is
+/// output_dim x input_dim with orthonormal rows (leading eigenvectors of the
+/// training covariance).
+class PcaModel {
+ public:
+  /// Fits the top `output_dim` principal components of `rows` (each row has
+  /// `input_dim` values; rows.size() must be a multiple of input_dim).
+  /// Eigenvectors are obtained by cyclic Jacobi rotation of the covariance.
+  /// Throws std::invalid_argument for empty input or output_dim > input_dim.
+  static PcaModel fit(const std::vector<float>& rows, int input_dim,
+                      int output_dim);
+
+  /// Projects one vector (length input_dim) to output_dim values.
+  std::vector<float> project(const float* x) const;
+
+  /// Projects every descriptor of a FloatFeatures set, preserving keypoints
+  /// and accumulating projection work into stats.ops.
+  FloatFeatures project_features(const FloatFeatures& in) const;
+
+  int input_dim() const noexcept { return input_dim_; }
+  int output_dim() const noexcept { return output_dim_; }
+  /// Fraction of training variance captured by the retained components.
+  double explained_variance() const noexcept { return explained_; }
+
+ private:
+  int input_dim_ = 0;
+  int output_dim_ = 0;
+  std::vector<float> mean_;   // input_dim
+  std::vector<float> basis_;  // output_dim x input_dim, row-major
+  double explained_ = 0.0;
+};
+
+/// Fits a PCA-SIFT model (128 -> 36) from the SIFT descriptors of a set of
+/// training images' features, the offline step of Ke & Sukthankar.
+PcaModel fit_pca_sift(const std::vector<FloatFeatures>& training_sets,
+                      int output_dim = 36);
+
+}  // namespace bees::feat

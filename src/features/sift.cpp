@@ -1,0 +1,335 @@
+#include "features/sift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/transform.hpp"
+
+namespace bees::feat {
+
+namespace {
+
+/// Float grayscale plane used for the scale space.
+struct Planef {
+  int w = 0, h = 0;
+  std::vector<float> v;
+
+  float at(int x, int y) const noexcept {
+    x = std::clamp(x, 0, w - 1);
+    y = std::clamp(y, 0, h - 1);
+    return v[static_cast<std::size_t>(y) * w + x];
+  }
+};
+
+Planef from_image(const img::Image& gray) {
+  Planef p;
+  p.w = gray.width();
+  p.h = gray.height();
+  p.v.resize(static_cast<std::size_t>(p.w) * p.h);
+  for (int y = 0; y < p.h; ++y) {
+    for (int x = 0; x < p.w; ++x) {
+      p.v[static_cast<std::size_t>(y) * p.w + x] = gray.at(x, y);
+    }
+  }
+  return p;
+}
+
+Planef blur(const Planef& src, double sigma, std::uint64_t* ops) {
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  float norm = 0;
+  for (int i = -radius; i <= radius; ++i) {
+    const float val =
+        std::exp(-0.5f * static_cast<float>(i * i) /
+                 static_cast<float>(sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = val;
+    norm += val;
+  }
+  for (auto& k : kernel) k /= norm;
+
+  Planef tmp{src.w, src.h, std::vector<float>(src.v.size())};
+  for (int y = 0; y < src.h; ++y) {
+    for (int x = 0; x < src.w; ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] * src.at(x + i, y);
+      }
+      tmp.v[static_cast<std::size_t>(y) * src.w + x] = acc;
+    }
+  }
+  Planef out{src.w, src.h, std::vector<float>(src.v.size())};
+  for (int y = 0; y < src.h; ++y) {
+    for (int x = 0; x < src.w; ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] * tmp.at(x, y + i);
+      }
+      out.v[static_cast<std::size_t>(y) * src.w + x] = acc;
+    }
+  }
+  if (ops) {
+    *ops += static_cast<std::uint64_t>(src.w) * static_cast<std::uint64_t>(
+                src.h) * static_cast<std::uint64_t>(2 * (2 * radius + 1)) * 2;
+  }
+  return out;
+}
+
+Planef downsample2(const Planef& src) {
+  Planef out;
+  out.w = std::max(1, src.w / 2);
+  out.h = std::max(1, src.h / 2);
+  out.v.resize(static_cast<std::size_t>(out.w) * out.h);
+  for (int y = 0; y < out.h; ++y) {
+    for (int x = 0; x < out.w; ++x) {
+      out.v[static_cast<std::size_t>(y) * out.w + x] = src.at(2 * x, 2 * y);
+    }
+  }
+  return out;
+}
+
+struct Candidate {
+  int x, y, octave, scale;
+  float response;
+};
+
+/// Computes the dominant gradient orientation over a Gaussian-weighted
+/// neighbourhood (36-bin histogram, as in Lowe §5).
+float dominant_orientation(const Planef& plane, int x, int y, double sigma,
+                           std::uint64_t* ops) {
+  constexpr int kBins = 36;
+  float hist[kBins] = {};
+  const int radius = static_cast<int>(std::lround(3.0 * 1.5 * sigma));
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      const float gx = plane.at(x + dx + 1, y + dy) -
+                       plane.at(x + dx - 1, y + dy);
+      const float gy = plane.at(x + dx, y + dy + 1) -
+                       plane.at(x + dx, y + dy - 1);
+      const float mag = std::sqrt(gx * gx + gy * gy);
+      const float ang = std::atan2(gy, gx);  // [-pi, pi]
+      const float weight =
+          std::exp(-0.5f * static_cast<float>(dx * dx + dy * dy) /
+                   static_cast<float>(2.25 * sigma * sigma));
+      int bin = static_cast<int>(
+          std::floor((ang + static_cast<float>(M_PI)) /
+                     (2 * static_cast<float>(M_PI)) * kBins));
+      bin = std::clamp(bin, 0, kBins - 1);
+      hist[bin] += mag * weight;
+    }
+  }
+  if (ops) {
+    *ops += static_cast<std::uint64_t>(2 * radius + 1) *
+            static_cast<std::uint64_t>(2 * radius + 1) * 12;
+  }
+  // Circular smoothing stabilizes the peak under small rotations (Lowe §5).
+  float smoothed[kBins];
+  for (int i = 0; i < kBins; ++i) {
+    smoothed[i] = 0.25f * hist[(i + kBins - 1) % kBins] + 0.5f * hist[i] +
+                  0.25f * hist[(i + 1) % kBins];
+  }
+  int best = 0;
+  for (int i = 1; i < kBins; ++i) {
+    if (smoothed[i] > smoothed[best]) best = i;
+  }
+  // Parabolic interpolation of the peak for sub-bin accuracy.
+  const float l = smoothed[(best + kBins - 1) % kBins];
+  const float c = smoothed[best];
+  const float r = smoothed[(best + 1) % kBins];
+  float offset = 0.0f;
+  const float denom = l - 2 * c + r;
+  if (std::abs(denom) > 1e-9f) offset = 0.5f * (l - r) / denom;
+  const float bin = static_cast<float>(best) + 0.5f + offset;
+  return bin / kBins * 2 * static_cast<float>(M_PI) -
+         static_cast<float>(M_PI);
+}
+
+/// 4x4 spatial cells x 8 orientation bins over a 16x16 patch rotated to the
+/// keypoint orientation, with trilinear soft-assignment across the two
+/// spatial axes and the orientation axis (Lowe §6.1) — the standard
+/// robustness measure against small rotations and shifts.  Normalized,
+/// clamped at 0.2, renormalized.
+void compute_descriptor(const Planef& plane, int x, int y, float angle,
+                        float* out128, std::uint64_t* ops) {
+  std::fill(out128, out128 + 128, 0.0f);
+  const float cosa = std::cos(angle);
+  const float sina = std::sin(angle);
+  constexpr float kTwoPi = 2 * static_cast<float>(M_PI);
+  for (int dy = -8; dy < 8; ++dy) {
+    for (int dx = -8; dx < 8; ++dx) {
+      // Rotate the sample offset into the keypoint frame.
+      const float rx = cosa * dx + sina * dy;
+      const float ry = -sina * dx + cosa * dy;
+      const int sx = x + static_cast<int>(std::lround(rx));
+      const int sy = y + static_cast<int>(std::lround(ry));
+      const float gx = plane.at(sx + 1, sy) - plane.at(sx - 1, sy);
+      const float gy = plane.at(sx, sy + 1) - plane.at(sx, sy - 1);
+      const float mag = std::sqrt(gx * gx + gy * gy);
+      float ang = std::atan2(gy, gx) - angle;
+      while (ang < 0) ang += kTwoPi;
+      while (ang >= kTwoPi) ang -= kTwoPi;
+      // Continuous bin coordinates; each sample spreads over the 2x2x2
+      // neighbouring bins with bilinear weights.
+      const float cx = (static_cast<float>(dx) + 8.0f) / 4.0f - 0.5f;
+      const float cy = (static_cast<float>(dy) + 8.0f) / 4.0f - 0.5f;
+      const float co = ang / kTwoPi * 8.0f - 0.5f;
+      const int x0 = static_cast<int>(std::floor(cx));
+      const int y0 = static_cast<int>(std::floor(cy));
+      const int o0 = static_cast<int>(std::floor(co));
+      const float fx = cx - static_cast<float>(x0);
+      const float fy = cy - static_cast<float>(y0);
+      const float fo = co - static_cast<float>(o0);
+      for (int ix = 0; ix <= 1; ++ix) {
+        const int bx = x0 + ix;
+        if (bx < 0 || bx > 3) continue;
+        const float wx = ix ? fx : 1.0f - fx;
+        for (int iy = 0; iy <= 1; ++iy) {
+          const int by = y0 + iy;
+          if (by < 0 || by > 3) continue;
+          const float wy = iy ? fy : 1.0f - fy;
+          for (int io = 0; io <= 1; ++io) {
+            const int bo = ((o0 + io) % 8 + 8) % 8;  // orientation wraps
+            const float wo = io ? fo : 1.0f - fo;
+            out128[(by * 4 + bx) * 8 + bo] += mag * wx * wy * wo;
+          }
+        }
+      }
+    }
+  }
+  if (ops) *ops += 16 * 16 * 30;
+  // Normalize -> clamp -> renormalize (illumination invariance).
+  auto normalize = [&] {
+    float norm = 0;
+    for (int i = 0; i < 128; ++i) norm += out128[i] * out128[i];
+    norm = std::sqrt(norm);
+    if (norm > 1e-6f) {
+      for (int i = 0; i < 128; ++i) out128[i] /= norm;
+    }
+  };
+  normalize();
+  for (int i = 0; i < 128; ++i) out128[i] = std::min(out128[i], 0.2f);
+  normalize();
+}
+
+}  // namespace
+
+FloatFeatures extract_sift(const img::Image& image, const SiftParams& params) {
+  FloatFeatures out;
+  out.dim = 128;
+  img::Image gray = img::to_gray(image);
+  out.stats.ops += gray.pixel_count() * 3;
+  double coord_scale = 1.0;
+  if (params.upsample_first_octave) {
+    gray = img::resize(gray, gray.width() * 2, gray.height() * 2);
+    out.stats.ops += gray.pixel_count() * 4;
+    coord_scale = 0.5;
+  }
+
+  Planef base = from_image(gray);
+  const int s = params.scales_per_octave;
+  const double k = std::pow(2.0, 1.0 / s);
+
+  std::vector<Candidate> candidates;
+  std::vector<std::vector<Planef>> octave_blurs;
+
+  Planef current = base;
+  for (int octave = 0; octave < params.octaves; ++octave) {
+    if (current.w < 32 || current.h < 32) break;
+    // Build s+3 progressively blurred planes for this octave.
+    std::vector<Planef> blurs;
+    blurs.push_back(blur(current, params.sigma0, &out.stats.ops));
+    for (int i = 1; i < s + 3; ++i) {
+      const double sig_prev = params.sigma0 * std::pow(k, i - 1);
+      const double sig_total = params.sigma0 * std::pow(k, i);
+      const double sig_diff =
+          std::sqrt(sig_total * sig_total - sig_prev * sig_prev);
+      blurs.push_back(blur(blurs.back(), sig_diff, &out.stats.ops));
+    }
+    // DoG planes and 3x3x3 extrema.
+    std::vector<Planef> dog;
+    for (int i = 0; i + 1 < static_cast<int>(blurs.size()); ++i) {
+      Planef d{current.w, current.h,
+               std::vector<float>(current.v.size())};
+      for (std::size_t j = 0; j < d.v.size(); ++j) {
+        d.v[j] = blurs[static_cast<std::size_t>(i + 1)].v[j] -
+                 blurs[static_cast<std::size_t>(i)].v[j];
+      }
+      out.stats.ops += d.v.size();
+      dog.push_back(std::move(d));
+    }
+    for (int si = 1; si + 1 < static_cast<int>(dog.size()); ++si) {
+      const Planef& d = dog[static_cast<std::size_t>(si)];
+      for (int y = 9; y < current.h - 9; ++y) {
+        for (int x = 9; x < current.w - 9; ++x) {
+          const float v = d.at(x, y);
+          if (std::abs(v) < params.contrast_threshold) continue;
+          bool is_max = true, is_min = true;
+          for (int ds = -1; ds <= 1 && (is_max || is_min); ++ds) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dx = -1; dx <= 1; ++dx) {
+                if (ds == 0 && dy == 0 && dx == 0) continue;
+                const float nv =
+                    dog[static_cast<std::size_t>(si + ds)].at(x + dx, y + dy);
+                if (nv >= v) is_max = false;
+                if (nv <= v) is_min = false;
+              }
+            }
+          }
+          if (!is_max && !is_min) continue;
+          // Edge rejection (Lowe §4.1): keypoints on straight edges have a
+          // large principal-curvature ratio; reject when
+          // tr^2/det > (r+1)^2/r with r = 10.
+          const float dxx = d.at(x + 1, y) + d.at(x - 1, y) - 2 * v;
+          const float dyy = d.at(x, y + 1) + d.at(x, y - 1) - 2 * v;
+          const float dxy = 0.25f * (d.at(x + 1, y + 1) - d.at(x - 1, y + 1) -
+                                     d.at(x + 1, y - 1) + d.at(x - 1, y - 1));
+          const float trace = dxx + dyy;
+          const float det = dxx * dyy - dxy * dxy;
+          constexpr float kEdgeRatio = 10.0f;
+          constexpr float kEdgeBound =
+              (kEdgeRatio + 1) * (kEdgeRatio + 1) / kEdgeRatio;
+          if (det <= 0 || trace * trace / det > kEdgeBound) continue;
+          candidates.push_back({x, y, octave, si, std::abs(v)});
+        }
+      }
+      out.stats.ops += static_cast<std::uint64_t>(current.w) *
+                       static_cast<std::uint64_t>(current.h) * 6;
+    }
+    octave_blurs.push_back(std::move(blurs));
+    current = downsample2(current);
+  }
+
+  // Keep the strongest candidates.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.response > b.response;
+            });
+  if (candidates.size() > static_cast<std::size_t>(params.max_features)) {
+    candidates.resize(static_cast<std::size_t>(params.max_features));
+  }
+
+  for (const Candidate& c : candidates) {
+    const Planef& plane =
+        octave_blurs[static_cast<std::size_t>(c.octave)]
+                    [static_cast<std::size_t>(c.scale)];
+    const double sigma = params.sigma0 * std::pow(k, c.scale);
+    const float angle =
+        dominant_orientation(plane, c.x, c.y, sigma, &out.stats.ops);
+    float desc[128];
+    compute_descriptor(plane, c.x, c.y, angle, desc, &out.stats.ops);
+    Keypoint kp;
+    const auto scale_up =
+        static_cast<float>((1 << c.octave) * coord_scale);
+    kp.x = static_cast<float>(c.x) * scale_up;
+    kp.y = static_cast<float>(c.y) * scale_up;
+    kp.response = c.response;
+    kp.angle = angle;
+    kp.level = c.octave;
+    kp.scale = scale_up;
+    out.keypoints.push_back(kp);
+    out.values.insert(out.values.end(), desc, desc + 128);
+  }
+  out.stats.keypoint_count = out.size();
+  return out;
+}
+
+}  // namespace bees::feat

@@ -1,0 +1,31 @@
+// SIFT-style feature extraction (Lowe, IJCV 2004), simplified but faithful
+// in structure: Gaussian scale space -> DoG extrema -> gradient-orientation
+// keypoints -> 4x4x8 = 128-D descriptors.  Serves as the high-accuracy,
+// high-cost baseline of the paper (used by itself and, projected through
+// PCA, as the PCA-SIFT used by SmartEye).
+#pragma once
+
+#include "features/keypoint.hpp"
+#include "imaging/image.hpp"
+
+namespace bees::feat {
+
+struct SiftParams {
+  int octaves = 3;             ///< Scale-space octaves.
+  int scales_per_octave = 3;   ///< Intervals per octave (s); s+3 blurs built.
+  double sigma0 = 1.6;         ///< Base blur.
+  double contrast_threshold = 4.0;  ///< Min |DoG| response (0..255 scale).
+  int max_features = 400;      ///< Strongest keypoints kept.
+  /// Double the input first (Lowe's "-1 octave", §3.3): more keypoints and
+  /// the authentic cost profile (4x the base-octave convolution work).
+  bool upsample_first_octave = true;
+};
+
+/// Extracts 128-D SIFT-style features.  stats.ops counts the convolution
+/// and descriptor arithmetic actually performed, which is what makes SIFT
+/// roughly two orders of magnitude more expensive than ORB here, as in the
+/// paper's §III-D comparison.
+FloatFeatures extract_sift(const img::Image& image,
+                           const SiftParams& params = {});
+
+}  // namespace bees::feat

@@ -1,0 +1,364 @@
+#include "imaging/codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/bitstream.hpp"
+#include "util/byte_io.hpp"
+
+namespace bees::img {
+
+namespace {
+
+// Standard JPEG Annex K quantization tables.
+constexpr std::array<int, 64> kLumaQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::array<int, 64> kChromaQuant = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+// Zigzag scan order for an 8x8 block.
+constexpr std::array<int, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+constexpr std::uint32_t kMagic = 0x474a5042;  // "BPJG" little-endian
+constexpr std::uint64_t kEobRun = 63;         // sentinel: end of block
+
+/// Quality-scaled quantization table, libjpeg convention.
+std::array<int, 64> scaled_quant(const std::array<int, 64>& base,
+                                 int quality) {
+  quality = std::clamp(quality, 1, 100);
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<int, 64> q{};
+  for (int i = 0; i < 64; ++i) {
+    q[static_cast<std::size_t>(i)] = std::clamp(
+        (base[static_cast<std::size_t>(i)] * scale + 50) / 100, 1, 255);
+  }
+  return q;
+}
+
+// Precomputed DCT basis: cos((2x+1) u pi / 16) with normalization.
+struct DctTables {
+  float c[8][8];  // c[u][x]
+  DctTables() {
+    for (int u = 0; u < 8; ++u) {
+      const float alpha =
+          u == 0 ? std::sqrt(1.0f / 8.0f) : std::sqrt(2.0f / 8.0f);
+      for (int x = 0; x < 8; ++x) {
+        c[u][x] = alpha * std::cos(static_cast<float>((2 * x + 1) * u) *
+                                   static_cast<float>(M_PI) / 16.0f);
+      }
+    }
+  }
+};
+const DctTables kDct;
+
+/// One plane of samples with replicate padding to a multiple of 8.
+struct Plane {
+  int width = 0;   // true dimensions
+  int height = 0;
+  std::vector<float> samples;  // padded, row-major, level-shifted later
+
+  int padded_w() const noexcept { return (width + 7) / 8 * 8; }
+  int padded_h() const noexcept { return (height + 7) / 8 * 8; }
+
+  float at(int x, int y) const noexcept {
+    return samples[static_cast<std::size_t>(y) * padded_w() + x];
+  }
+  float& at(int x, int y) noexcept {
+    return samples[static_cast<std::size_t>(y) * padded_w() + x];
+  }
+};
+
+Plane make_plane(int w, int h) {
+  Plane p;
+  p.width = w;
+  p.height = h;
+  p.samples.assign(
+      static_cast<std::size_t>(p.padded_w()) * p.padded_h(), 0.0f);
+  return p;
+}
+
+void pad_replicate(Plane& p) {
+  for (int y = 0; y < p.padded_h(); ++y) {
+    const int sy = std::min(y, p.height - 1);
+    for (int x = 0; x < p.padded_w(); ++x) {
+      const int sx = std::min(x, p.width - 1);
+      if (x >= p.width || y >= p.height) p.at(x, y) = p.at(sx, sy);
+    }
+  }
+}
+
+void encode_plane(const Plane& plane, const std::array<int, 64>& quant,
+                  util::BitWriter& bw) {
+  const int bw8 = plane.padded_w() / 8;
+  const int bh8 = plane.padded_h() / 8;
+  int prev_dc = 0;
+  float block[64], coeff[64];
+  for (int by = 0; by < bh8; ++by) {
+    for (int bx = 0; bx < bw8; ++bx) {
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          block[y * 8 + x] = plane.at(bx * 8 + x, by * 8 + y) - 128.0f;
+        }
+      }
+      forward_dct_8x8(block, coeff);
+      int q[64];
+      for (int i = 0; i < 64; ++i) {
+        q[i] = static_cast<int>(
+            std::lround(coeff[kZigzag[static_cast<std::size_t>(i)]] /
+                        static_cast<float>(
+                            quant[static_cast<std::size_t>(i)])));
+      }
+      // DC: delta from previous block.
+      bw.put_se(q[0] - prev_dc);
+      prev_dc = q[0];
+      // AC: (zero-run, value) pairs, then an EOB sentinel.
+      int run = 0;
+      for (int i = 1; i < 64; ++i) {
+        if (q[i] == 0) {
+          ++run;
+          continue;
+        }
+        bw.put_ue(static_cast<std::uint64_t>(run));
+        bw.put_se(q[i]);
+        run = 0;
+      }
+      bw.put_ue(kEobRun);
+    }
+  }
+}
+
+void decode_plane(Plane& plane, const std::array<int, 64>& quant,
+                  util::BitReader& br) {
+  const int bw8 = plane.padded_w() / 8;
+  const int bh8 = plane.padded_h() / 8;
+  int prev_dc = 0;
+  float coeff[64], block[64];
+  for (int by = 0; by < bh8; ++by) {
+    for (int bx = 0; bx < bw8; ++bx) {
+      int q[64] = {};
+      prev_dc += static_cast<int>(br.get_se());
+      q[0] = prev_dc;
+      int i = 1;
+      while (i < 64) {
+        const std::uint64_t run = br.get_ue();
+        if (run == kEobRun) break;
+        i += static_cast<int>(run);
+        if (i >= 64) throw util::DecodeError("codec: AC run overflow");
+        q[i++] = static_cast<int>(br.get_se());
+      }
+      if (i >= 64) {
+        // The block filled exactly; consume its EOB sentinel.
+        if (br.get_ue() != kEobRun) {
+          throw util::DecodeError("codec: missing EOB");
+        }
+      }
+      for (int k = 0; k < 64; ++k) {
+        coeff[kZigzag[static_cast<std::size_t>(k)]] =
+            static_cast<float>(q[k]) *
+            static_cast<float>(quant[static_cast<std::size_t>(k)]);
+      }
+      inverse_dct_8x8(coeff, block);
+      for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+          plane.at(bx * 8 + x, by * 8 + y) = block[y * 8 + x] + 128.0f;
+        }
+      }
+    }
+  }
+}
+
+std::uint8_t to_u8(float v) noexcept {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0f, 255.0f));
+}
+
+}  // namespace
+
+void forward_dct_8x8(const float* in, float* out) noexcept {
+  // Rows then columns; O(8^3) per pass — plenty fast for the simulator and
+  // easy to verify against the orthonormal definition.
+  float tmp[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      float acc = 0.0f;
+      for (int x = 0; x < 8; ++x) acc += in[y * 8 + x] * kDct.c[u][x];
+      tmp[y * 8 + u] = acc;
+    }
+  }
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      float acc = 0.0f;
+      for (int y = 0; y < 8; ++y) acc += tmp[y * 8 + u] * kDct.c[v][y];
+      out[v * 8 + u] = acc;
+    }
+  }
+}
+
+void inverse_dct_8x8(const float* in, float* out) noexcept {
+  float tmp[64];
+  for (int v = 0; v < 8; ++v) {
+    for (int x = 0; x < 8; ++x) {
+      float acc = 0.0f;
+      for (int u = 0; u < 8; ++u) acc += in[v * 8 + u] * kDct.c[u][x];
+      tmp[v * 8 + x] = acc;
+    }
+  }
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      float acc = 0.0f;
+      for (int v = 0; v < 8; ++v) acc += tmp[v * 8 + x] * kDct.c[v][y];
+      out[y * 8 + x] = acc;
+    }
+  }
+}
+
+std::vector<std::uint8_t> encode_jpeg_like(const Image& src, int quality) {
+  quality = std::clamp(quality, 1, 100);
+  util::ByteWriter header;
+  header.put_u32(kMagic);
+  header.put_u32(static_cast<std::uint32_t>(src.width()));
+  header.put_u32(static_cast<std::uint32_t>(src.height()));
+  header.put_u8(static_cast<std::uint8_t>(src.channels()));
+  header.put_u8(static_cast<std::uint8_t>(quality));
+
+  const auto lq = scaled_quant(kLumaQuant, quality);
+  const auto cq = scaled_quant(kChromaQuant, quality);
+
+  util::BitWriter bw;
+  if (src.is_gray()) {
+    Plane y = make_plane(src.width(), src.height());
+    for (int j = 0; j < src.height(); ++j) {
+      for (int i = 0; i < src.width(); ++i) y.at(i, j) = src.at(i, j);
+    }
+    pad_replicate(y);
+    encode_plane(y, lq, bw);
+  } else {
+    // RGB -> YCbCr with 4:2:0 chroma subsampling (box average).
+    Plane y = make_plane(src.width(), src.height());
+    const int cw = (src.width() + 1) / 2;
+    const int chh = (src.height() + 1) / 2;
+    Plane cb = make_plane(cw, chh);
+    Plane cr = make_plane(cw, chh);
+    std::vector<float> cbf(static_cast<std::size_t>(src.width()) *
+                           src.height());
+    std::vector<float> crf(cbf.size());
+    for (int j = 0; j < src.height(); ++j) {
+      for (int i = 0; i < src.width(); ++i) {
+        const float r = src.at(i, j, 0);
+        const float g = src.at(i, j, 1);
+        const float b = src.at(i, j, 2);
+        y.at(i, j) = 0.299f * r + 0.587f * g + 0.114f * b;
+        const std::size_t k =
+            static_cast<std::size_t>(j) * src.width() + i;
+        cbf[k] = -0.168736f * r - 0.331264f * g + 0.5f * b + 128.0f;
+        crf[k] = 0.5f * r - 0.418688f * g - 0.081312f * b + 128.0f;
+      }
+    }
+    for (int j = 0; j < chh; ++j) {
+      for (int i = 0; i < cw; ++i) {
+        float sb = 0, sr = 0;
+        int n = 0;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            const int x = i * 2 + dx, yy = j * 2 + dy;
+            if (x < src.width() && yy < src.height()) {
+              const std::size_t k =
+                  static_cast<std::size_t>(yy) * src.width() + x;
+              sb += cbf[k];
+              sr += crf[k];
+              ++n;
+            }
+          }
+        }
+        cb.at(i, j) = sb / static_cast<float>(n);
+        cr.at(i, j) = sr / static_cast<float>(n);
+      }
+    }
+    pad_replicate(y);
+    pad_replicate(cb);
+    pad_replicate(cr);
+    encode_plane(y, lq, bw);
+    encode_plane(cb, cq, bw);
+    encode_plane(cr, cq, bw);
+  }
+
+  std::vector<std::uint8_t> out = header.take();
+  const std::vector<std::uint8_t> payload = bw.finish();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Image decode_jpeg_like(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader hr(bytes);
+  if (hr.get_u32() != kMagic) throw util::DecodeError("codec: bad magic");
+  const int w = static_cast<int>(hr.get_u32());
+  const int h = static_cast<int>(hr.get_u32());
+  const int channels = hr.get_u8();
+  const int quality = hr.get_u8();
+  if (w <= 0 || h <= 0 || (channels != 1 && channels != 3)) {
+    throw util::DecodeError("codec: bad header");
+  }
+  const auto lq = scaled_quant(kLumaQuant, quality);
+  const auto cq = scaled_quant(kChromaQuant, quality);
+  constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 1 + 1;
+  util::BitReader br(bytes, kHeaderBytes);
+
+  if (channels == 1) {
+    Plane y = make_plane(w, h);
+    decode_plane(y, lq, br);
+    Image out(w, h, 1);
+    for (int j = 0; j < h; ++j) {
+      for (int i = 0; i < w; ++i) out.set(i, j, to_u8(y.at(i, j)));
+    }
+    return out;
+  }
+
+  Plane y = make_plane(w, h);
+  const int cw = (w + 1) / 2;
+  const int chh = (h + 1) / 2;
+  Plane cb = make_plane(cw, chh);
+  Plane cr = make_plane(cw, chh);
+  decode_plane(y, lq, br);
+  decode_plane(cb, cq, br);
+  decode_plane(cr, cq, br);
+
+  Image out(w, h, 3);
+  for (int j = 0; j < h; ++j) {
+    for (int i = 0; i < w; ++i) {
+      const float yy = y.at(i, j);
+      // Nearest chroma sample (4:2:0 upsampling).
+      const float cbv = cb.at(std::min(i / 2, cw - 1), std::min(j / 2, chh - 1)) -
+                        128.0f;
+      const float crv = cr.at(std::min(i / 2, cw - 1), std::min(j / 2, chh - 1)) -
+                        128.0f;
+      out.set(i, j, to_u8(yy + 1.402f * crv), 0);
+      out.set(i, j, to_u8(yy - 0.344136f * cbv - 0.714136f * crv), 1);
+      out.set(i, j, to_u8(yy + 1.772f * cbv), 2);
+    }
+  }
+  return out;
+}
+
+int quality_from_proportion(double proportion) noexcept {
+  proportion = std::clamp(proportion, 0.0, 0.99);
+  return std::clamp(static_cast<int>(std::lround((1.0 - proportion) * 100.0)),
+                    1, 100);
+}
+
+std::size_t compressed_size(const Image& src, double quality_proportion) {
+  return encode_jpeg_like(src, quality_from_proportion(quality_proportion))
+      .size();
+}
+
+}  // namespace bees::img

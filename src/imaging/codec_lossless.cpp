@@ -1,0 +1,152 @@
+#include "imaging/codec_lossless.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/byte_io.hpp"
+#include "util/compress.hpp"
+
+namespace bees::img {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4c504242;  // "BBPL"
+
+enum class Filter : std::uint8_t {
+  kNone = 0,
+  kSub = 1,
+  kUp = 2,
+  kAverage = 3,
+  kPaeth = 4,
+};
+
+/// PNG's Paeth predictor: the neighbour (left, up, up-left) closest to
+/// left + up - upleft.
+std::uint8_t paeth(std::uint8_t left, std::uint8_t up,
+                   std::uint8_t upleft) noexcept {
+  const int p = static_cast<int>(left) + up - upleft;
+  const int pa = std::abs(p - left);
+  const int pb = std::abs(p - up);
+  const int pc = std::abs(p - upleft);
+  if (pa <= pb && pa <= pc) return left;
+  if (pb <= pc) return up;
+  return upleft;
+}
+
+/// Predicted value for sample x of `row` under `filter`.  `bpp` is bytes
+/// per pixel; `prev` is the previous row (nullptr for row 0).
+std::uint8_t predict(Filter filter, const std::uint8_t* row,
+                     const std::uint8_t* prev, std::size_t x,
+                     std::size_t bpp) noexcept {
+  const std::uint8_t left = x >= bpp ? row[x - bpp] : 0;
+  const std::uint8_t up = prev != nullptr ? prev[x] : 0;
+  const std::uint8_t upleft =
+      (prev != nullptr && x >= bpp) ? prev[x - bpp] : 0;
+  switch (filter) {
+    case Filter::kNone:
+      return 0;
+    case Filter::kSub:
+      return left;
+    case Filter::kUp:
+      return up;
+    case Filter::kAverage:
+      return static_cast<std::uint8_t>((left + up) / 2);
+    case Filter::kPaeth:
+      return paeth(left, up, upleft);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_lossless(const Image& src) {
+  util::ByteWriter header;
+  header.put_u32(kMagic);
+  header.put_u32(static_cast<std::uint32_t>(src.width()));
+  header.put_u32(static_cast<std::uint32_t>(src.height()));
+  header.put_u8(static_cast<std::uint8_t>(src.channels()));
+
+  const auto bpp = static_cast<std::size_t>(src.channels());
+  const std::size_t stride = static_cast<std::size_t>(src.width()) * bpp;
+  std::vector<std::uint8_t> filtered;
+  filtered.reserve(src.data().size() + static_cast<std::size_t>(src.height()));
+
+  std::vector<std::uint8_t> residual(stride);
+  for (int y = 0; y < src.height(); ++y) {
+    const std::uint8_t* row = src.data().data() + y * stride;
+    const std::uint8_t* prev =
+        y > 0 ? src.data().data() + (y - 1) * stride : nullptr;
+    // Pick the filter minimizing the sum of absolute residuals (PNG's
+    // standard heuristic, treating residuals as signed).
+    Filter best = Filter::kNone;
+    long best_cost = -1;
+    for (const Filter f : {Filter::kNone, Filter::kSub, Filter::kUp,
+                           Filter::kAverage, Filter::kPaeth}) {
+      long cost = 0;
+      for (std::size_t x = 0; x < stride; ++x) {
+        const auto r = static_cast<std::uint8_t>(
+            row[x] - predict(f, row, prev, x, bpp));
+        cost += std::min<int>(r, 256 - r);  // signed magnitude
+      }
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        best = f;
+      }
+    }
+    filtered.push_back(static_cast<std::uint8_t>(best));
+    for (std::size_t x = 0; x < stride; ++x) {
+      residual[x] =
+          static_cast<std::uint8_t>(row[x] - predict(best, row, prev, x, bpp));
+    }
+    filtered.insert(filtered.end(), residual.begin(), residual.end());
+  }
+
+  const auto compressed = util::lz_compress(filtered);
+  std::vector<std::uint8_t> out = header.take();
+  out.insert(out.end(), compressed.begin(), compressed.end());
+  return out;
+}
+
+Image decode_lossless(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  if (r.get_u32() != kMagic) {
+    throw util::DecodeError("lossless codec: bad magic");
+  }
+  const int w = static_cast<int>(r.get_u32());
+  const int h = static_cast<int>(r.get_u32());
+  const int channels = r.get_u8();
+  if (w <= 0 || h <= 0 || (channels != 1 && channels != 3)) {
+    throw util::DecodeError("lossless codec: bad header");
+  }
+  const std::size_t header_size = bytes.size() - r.remaining();
+  const std::vector<std::uint8_t> payload(
+      bytes.begin() + static_cast<std::ptrdiff_t>(header_size), bytes.end());
+  const std::vector<std::uint8_t> filtered = util::lz_decompress(payload);
+
+  const auto bpp = static_cast<std::size_t>(channels);
+  const std::size_t stride = static_cast<std::size_t>(w) * bpp;
+  if (filtered.size() != static_cast<std::size_t>(h) * (stride + 1)) {
+    throw util::DecodeError("lossless codec: payload size mismatch");
+  }
+  Image out(w, h, channels);
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* in_row =
+        filtered.data() + static_cast<std::size_t>(y) * (stride + 1);
+    const auto filter_byte = in_row[0];
+    if (filter_byte > 4) {
+      throw util::DecodeError("lossless codec: bad filter byte");
+    }
+    const auto filter = static_cast<Filter>(filter_byte);
+    std::uint8_t* row = out.data().data() + y * stride;
+    const std::uint8_t* prev =
+        y > 0 ? out.data().data() + (y - 1) * stride : nullptr;
+    for (std::size_t x = 0; x < stride; ++x) {
+      row[x] = static_cast<std::uint8_t>(in_row[1 + x] +
+                                         predict(filter, row, prev, x, bpp));
+    }
+  }
+  return out;
+}
+
+}  // namespace bees::img

@@ -1,0 +1,66 @@
+#include "imaging/ppm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bees::img {
+
+void write_pnm(const Image& im, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pnm: cannot open " + path);
+  out << (im.is_gray() ? "P5" : "P6") << '\n'
+      << im.width() << ' ' << im.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(im.data().data()),
+            static_cast<std::streamsize>(im.data().size()));
+  if (!out) throw std::runtime_error("write_pnm: write failed for " + path);
+}
+
+namespace {
+int read_token(std::istream& in) {
+  // Skips whitespace and '#' comments, then reads one integer.
+  for (;;) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      break;
+    }
+  }
+  int v = 0;
+  if (!(in >> v)) throw std::runtime_error("read_pnm: malformed header");
+  return v;
+}
+}  // namespace
+
+Image read_pnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pnm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  int channels = 0;
+  if (magic == "P5") {
+    channels = 1;
+  } else if (magic == "P6") {
+    channels = 3;
+  } else {
+    throw std::runtime_error("read_pnm: unsupported magic " + magic);
+  }
+  const int w = read_token(in);
+  const int h = read_token(in);
+  const int maxval = read_token(in);
+  if (maxval != 255) throw std::runtime_error("read_pnm: maxval must be 255");
+  in.get();  // single whitespace after header
+  Image im(w, h, channels);
+  in.read(reinterpret_cast<char*>(im.data().data()),
+          static_cast<std::streamsize>(im.data().size()));
+  if (in.gcount() != static_cast<std::streamsize>(im.data().size())) {
+    throw std::runtime_error("read_pnm: truncated pixel data");
+  }
+  return im;
+}
+
+}  // namespace bees::img

@@ -1,0 +1,19 @@
+// Minimal binary PPM (P6) / PGM (P5) reader and writer so the example
+// programs can emit viewable artifacts without any external image library.
+#pragma once
+
+#include <string>
+
+#include "imaging/image.hpp"
+
+namespace bees::img {
+
+/// Writes `im` to `path` as P6 (3-channel) or P5 (1-channel).
+/// Throws std::runtime_error on I/O failure.
+void write_pnm(const Image& im, const std::string& path);
+
+/// Reads a binary P5/P6 file.  Throws std::runtime_error on I/O or format
+/// errors.  Only maxval 255 is supported.
+Image read_pnm(const std::string& path);
+
+}  // namespace bees::img

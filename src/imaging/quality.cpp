@@ -1,0 +1,72 @@
+#include "imaging/quality.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "imaging/transform.hpp"
+
+namespace bees::img {
+
+double mse(const Image& a, const Image& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("mse: shape mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.data().size());
+}
+
+double psnr(const Image& a, const Image& b) {
+  const double m = mse(a, b);
+  if (m == 0.0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+double ssim(const Image& a, const Image& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("ssim: shape mismatch");
+  const Image ga = to_gray(a);
+  const Image gb = to_gray(b);
+  constexpr double kC1 = (0.01 * 255) * (0.01 * 255);
+  constexpr double kC2 = (0.03 * 255) * (0.03 * 255);
+  constexpr int kWin = 8;
+  constexpr int kStride = 4;
+
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (int y = 0; y + kWin <= ga.height(); y += kStride) {
+    for (int x = 0; x + kWin <= ga.width(); x += kStride) {
+      double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+      for (int j = 0; j < kWin; ++j) {
+        for (int i = 0; i < kWin; ++i) {
+          const double va = ga.at(x + i, y + j);
+          const double vb = gb.at(x + i, y + j);
+          sum_a += va;
+          sum_b += vb;
+          sum_aa += va * va;
+          sum_bb += vb * vb;
+          sum_ab += va * vb;
+        }
+      }
+      constexpr double n = kWin * kWin;
+      const double mu_a = sum_a / n;
+      const double mu_b = sum_b / n;
+      const double var_a = sum_aa / n - mu_a * mu_a;
+      const double var_b = sum_bb / n - mu_b * mu_b;
+      const double cov = sum_ab / n - mu_a * mu_b;
+      const double num = (2 * mu_a * mu_b + kC1) * (2 * cov + kC2);
+      const double den =
+          (mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2);
+      total += num / den;
+      ++windows;
+    }
+  }
+  if (windows == 0) {
+    // Image smaller than one window: fall back to a single global window.
+    return mse(a, b) == 0.0 ? 1.0 : 0.0;
+  }
+  return total / static_cast<double>(windows);
+}
+
+}  // namespace bees::img

@@ -1,0 +1,23 @@
+// Image quality metrics.  SSIM is the assessment the paper uses to justify
+// the fixed 0.85 quality-compression proportion (Fig. 5a); MSE/PSNR round
+// out the codec test suite.
+#pragma once
+
+#include "imaging/image.hpp"
+
+namespace bees::img {
+
+/// Mean squared error over all channels; images must have the same shape.
+double mse(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB (infinity for identical images is
+/// reported as 99.0).
+double psnr(const Image& a, const Image& b);
+
+/// Structural SIMilarity index (Wang et al., TIP 2004) computed on the
+/// luma channel with 8x8 windows, stride 4, and the standard constants
+/// C1 = (0.01*255)^2, C2 = (0.03*255)^2.  Result in [-1, 1]; 1 means
+/// identical.  Images must have the same shape.
+double ssim(const Image& a, const Image& b);
+
+}  // namespace bees::img

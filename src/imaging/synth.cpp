@@ -1,0 +1,227 @@
+#include "imaging/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/transform.hpp"
+
+namespace bees::img {
+
+namespace {
+
+/// Hash-based lattice gradient for value noise: deterministic pseudo-random
+/// value in [0, 1) at integer lattice point (x, y) for a given seed.
+double lattice_value(int x, int y, std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) *
+       0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) *
+       0xc2b2ae3d27d4eb4fULL;
+  h = util::splitmix64(h);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double smoothstep(double t) noexcept { return t * t * (3.0 - 2.0 * t); }
+
+double noise_at(double x, double y, std::uint64_t seed) noexcept {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const double tx = smoothstep(x - x0);
+  const double ty = smoothstep(y - y0);
+  const double v00 = lattice_value(x0, y0, seed);
+  const double v10 = lattice_value(x0 + 1, y0, seed);
+  const double v01 = lattice_value(x0, y0 + 1, seed);
+  const double v11 = lattice_value(x0 + 1, y0 + 1, seed);
+  const double a = v00 * (1 - tx) + v10 * tx;
+  const double b = v01 * (1 - tx) + v11 * tx;
+  return a * (1 - ty) + b * ty;
+}
+
+struct Color {
+  std::uint8_t r, g, b;
+};
+
+void draw_filled_rect(Image& im, int x0, int y0, int x1, int y1, Color c) {
+  x0 = std::clamp(x0, 0, im.width() - 1);
+  x1 = std::clamp(x1, 0, im.width() - 1);
+  y0 = std::clamp(y0, 0, im.height() - 1);
+  y1 = std::clamp(y1, 0, im.height() - 1);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      im.set(x, y, c.r, 0);
+      im.set(x, y, c.g, 1);
+      im.set(x, y, c.b, 2);
+    }
+  }
+}
+
+void draw_filled_circle(Image& im, int cx, int cy, int radius, Color c) {
+  const int x0 = std::max(0, cx - radius);
+  const int x1 = std::min(im.width() - 1, cx + radius);
+  const int y0 = std::max(0, cy - radius);
+  const int y1 = std::min(im.height() - 1, cy + radius);
+  const int r2 = radius * radius;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const int dx = x - cx, dy = y - cy;
+      if (dx * dx + dy * dy <= r2) {
+        im.set(x, y, c.r, 0);
+        im.set(x, y, c.g, 1);
+        im.set(x, y, c.b, 2);
+      }
+    }
+  }
+}
+
+void draw_triangle(Image& im, int cx, int cy, int size, double angle,
+                   Color c) {
+  // Three vertices of an equilateral triangle rotated by `angle`.
+  double vx[3], vy[3];
+  for (int i = 0; i < 3; ++i) {
+    const double a = angle + 2.0 * M_PI * i / 3.0;
+    vx[i] = cx + size * std::cos(a);
+    vy[i] = cy + size * std::sin(a);
+  }
+  const int x0 = std::clamp(
+      static_cast<int>(std::floor(std::min({vx[0], vx[1], vx[2]}))), 0,
+      im.width() - 1);
+  const int x1 = std::clamp(
+      static_cast<int>(std::ceil(std::max({vx[0], vx[1], vx[2]}))), 0,
+      im.width() - 1);
+  const int y0 = std::clamp(
+      static_cast<int>(std::floor(std::min({vy[0], vy[1], vy[2]}))), 0,
+      im.height() - 1);
+  const int y1 = std::clamp(
+      static_cast<int>(std::ceil(std::max({vy[0], vy[1], vy[2]}))), 0,
+      im.height() - 1);
+  auto edge = [](double ax, double ay, double bx, double by, double px,
+                 double py) {
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+  };
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double e0 = edge(vx[0], vy[0], vx[1], vy[1], x, y);
+      const double e1 = edge(vx[1], vy[1], vx[2], vy[2], x, y);
+      const double e2 = edge(vx[2], vy[2], vx[0], vy[0], x, y);
+      const bool inside = (e0 >= 0 && e1 >= 0 && e2 >= 0) ||
+                          (e0 <= 0 && e1 <= 0 && e2 <= 0);
+      if (inside) {
+        im.set(x, y, c.r, 0);
+        im.set(x, y, c.g, 1);
+        im.set(x, y, c.b, 2);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Image value_noise(int width, int height, int octaves, std::uint64_t seed) {
+  Image out(width, height, 1);
+  const int oct = std::max(1, octaves);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double amp = 1.0, freq = 4.0 / std::max(width, height), total = 0.0,
+             norm = 0.0;
+      for (int o = 0; o < oct; ++o) {
+        total += amp * noise_at(x * freq, y * freq,
+                                seed + static_cast<std::uint64_t>(o) * 977);
+        norm += amp;
+        amp *= 0.55;
+        freq *= 2.0;
+      }
+      out.set(x, y,
+              static_cast<std::uint8_t>(
+                  std::clamp(total / norm * 255.0, 0.0, 255.0)));
+    }
+  }
+  return out;
+}
+
+Image render_scene(const SceneSpec& spec, int width, int height) {
+  // Background: tinted fBm texture so the image has natural low-frequency
+  // content (matters for codec rate behaviour).
+  util::Rng rng(spec.seed);
+  const Image tex = value_noise(width, height, spec.noise_octaves, spec.seed);
+  const double tint_r = rng.uniform(0.6, 1.0);
+  const double tint_g = rng.uniform(0.6, 1.0);
+  const double tint_b = rng.uniform(0.6, 1.0);
+  Image im(width, height, 3);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double t = tex.at(x, y);
+      im.set(x, y, static_cast<std::uint8_t>(t * tint_r), 0);
+      im.set(x, y, static_cast<std::uint8_t>(t * tint_g), 1);
+      im.set(x, y, static_cast<std::uint8_t>(t * tint_b), 2);
+    }
+  }
+  // Foreground shapes: high-contrast rectangles / circles / triangles whose
+  // corners and edges give the detectors stable keypoints.
+  for (int s = 0; s < spec.shape_count; ++s) {
+    const Color c{static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                  static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                  static_cast<std::uint8_t>(rng.uniform_int(0, 255))};
+    const int cx = static_cast<int>(rng.uniform_int(0, width - 1));
+    const int cy = static_cast<int>(rng.uniform_int(0, height - 1));
+    const int size = static_cast<int>(
+        rng.uniform_int(std::max(4, width / 24), std::max(5, width / 7)));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        draw_filled_rect(im, cx - size, cy - size / 2, cx + size,
+                         cy + size / 2, c);
+        break;
+      case 1:
+        draw_filled_circle(im, cx, cy, size / 2 + 2, c);
+        break;
+      default:
+        draw_triangle(im, cx, cy, size, rng.uniform(0, 2 * M_PI), c);
+        break;
+    }
+  }
+  // Fine detail: small marks that survive re-photographing but not
+  // downscaling (see SceneSpec::detail_count).
+  for (int d = 0; d < spec.detail_count; ++d) {
+    const bool bright = rng.bernoulli(0.5);
+    const Color c{static_cast<std::uint8_t>(bright ? rng.uniform_int(200, 255)
+                                                   : rng.uniform_int(0, 55)),
+                  static_cast<std::uint8_t>(bright ? rng.uniform_int(200, 255)
+                                                   : rng.uniform_int(0, 55)),
+                  static_cast<std::uint8_t>(bright ? rng.uniform_int(200, 255)
+                                                   : rng.uniform_int(0, 55))};
+    const int cx = static_cast<int>(rng.uniform_int(0, width - 1));
+    const int cy = static_cast<int>(rng.uniform_int(0, height - 1));
+    const int size = static_cast<int>(rng.uniform_int(2, 4));
+    if (rng.bernoulli(0.5)) {
+      draw_filled_rect(im, cx - size, cy - size, cx + size, cy + size, c);
+    } else {
+      draw_filled_circle(im, cx, cy, size, c);
+    }
+  }
+  return im;
+}
+
+Image render_view(const SceneSpec& spec, int width, int height,
+                  const ViewPerturbation& pert, util::Rng& rng) {
+  Image base = render_scene(spec, width, height);
+  const double angle = rng.uniform(-pert.max_rotation_rad,
+                                   pert.max_rotation_rad);
+  const double scale = 1.0 + rng.uniform(-pert.max_scale_delta,
+                                         pert.max_scale_delta);
+  const double tx = rng.uniform(-pert.max_translate_frac,
+                                pert.max_translate_frac) * width;
+  const double ty = rng.uniform(-pert.max_translate_frac,
+                                pert.max_translate_frac) * height;
+  const Affine m = Affine::rotation_about(width / 2.0, height / 2.0, angle,
+                                          scale, tx, ty);
+  Image view = warp_affine(base, m);
+  const double gain =
+      1.0 + rng.uniform(-pert.max_gain_delta, pert.max_gain_delta);
+  const double bias = rng.uniform(-pert.max_bias, pert.max_bias);
+  view = adjust_brightness_contrast(view, gain, bias);
+  if (pert.noise_stddev > 0) {
+    view = add_gaussian_noise(view, pert.noise_stddev, rng);
+  }
+  return view;
+}
+
+}  // namespace bees::img

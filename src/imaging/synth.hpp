@@ -1,0 +1,53 @@
+// Deterministic synthetic scene rendering.  Stands in for the paper's photo
+// datasets (see DESIGN.md §2): each scene is a textured background with
+// random high-contrast shapes, giving the corner structure that FAST/ORB
+// detectors key on.  Rendering is a pure function of (SceneSpec, size), so
+// two renders of the same spec are identical and "similar images" are
+// produced by perturbing the view, exactly the group structure of the
+// Kentucky imageset.
+#pragma once
+
+#include <cstdint>
+
+#include "imaging/image.hpp"
+#include "util/rng.hpp"
+
+namespace bees::img {
+
+/// Multi-octave value noise ("fBm") texture in [0, 255]; deterministic in
+/// (width, height, octaves, seed).  Used as the natural-image-like background
+/// that keeps the JPEG-style codec's rate behaviour realistic.
+Image value_noise(int width, int height, int octaves, std::uint64_t seed);
+
+/// Everything needed to re-render one scene.
+struct SceneSpec {
+  std::uint64_t seed = 1;  ///< Determines texture, shapes, and palette.
+  int shape_count = 14;    ///< Number of foreground shapes.
+  int noise_octaves = 4;   ///< Background texture roughness.
+  /// Small high-contrast marks (2-6 px).  They are stable scene features at
+  /// full resolution but vanish under bitmap compression — the fine detail
+  /// whose loss makes compressed-query precision degrade (paper Fig. 3a).
+  int detail_count = 40;
+};
+
+/// Renders the scene at the requested resolution as an RGB image.
+Image render_scene(const SceneSpec& spec, int width, int height);
+
+/// A perturbed "photo" of a scene: small rotation/scale/translation plus
+/// illumination change and sensor noise.  This models a second shot of the
+/// same subject (one member of a Kentucky group).
+struct ViewPerturbation {
+  double max_rotation_rad = 0.06;
+  double max_scale_delta = 0.05;
+  double max_translate_frac = 0.03;  ///< Fraction of the image dimension.
+  double max_gain_delta = 0.12;
+  double max_bias = 10.0;
+  double noise_stddev = 2.5;
+};
+
+/// Renders `spec` and then applies a random view perturbation drawn from
+/// `rng`.  Separate calls give distinct but similar images of one scene.
+Image render_view(const SceneSpec& spec, int width, int height,
+                  const ViewPerturbation& pert, util::Rng& rng);
+
+}  // namespace bees::img

@@ -1,0 +1,181 @@
+#include "imaging/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bees::img {
+
+namespace {
+std::uint8_t clamp_u8(double v) noexcept {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+/// Bilinear sample with replicate borders at real-valued (fx, fy).
+double sample_bilinear(const Image& src, double fx, double fy,
+                       int c) noexcept {
+  const int x0 = static_cast<int>(std::floor(fx));
+  const int y0 = static_cast<int>(std::floor(fy));
+  const double ax = fx - x0;
+  const double ay = fy - y0;
+  const double p00 = src.at_clamped(x0, y0, c);
+  const double p10 = src.at_clamped(x0 + 1, y0, c);
+  const double p01 = src.at_clamped(x0, y0 + 1, c);
+  const double p11 = src.at_clamped(x0 + 1, y0 + 1, c);
+  return p00 * (1 - ax) * (1 - ay) + p10 * ax * (1 - ay) +
+         p01 * (1 - ax) * ay + p11 * ax * ay;
+}
+}  // namespace
+
+Image to_gray(const Image& src) {
+  if (src.is_gray()) return src;
+  Image out(src.width(), src.height(), 1);
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      const double r = src.at(x, y, 0);
+      const double g = src.at(x, y, 1);
+      const double b = src.at(x, y, 2);
+      out.set(x, y, clamp_u8(0.299 * r + 0.587 * g + 0.114 * b));
+    }
+  }
+  return out;
+}
+
+Image resize(const Image& src, int new_width, int new_height) {
+  if (new_width <= 0 || new_height <= 0) {
+    throw std::invalid_argument("resize: dimensions must be positive");
+  }
+  Image out(new_width, new_height, src.channels());
+  const double sx = static_cast<double>(src.width()) / new_width;
+  const double sy = static_cast<double>(src.height()) / new_height;
+  for (int y = 0; y < new_height; ++y) {
+    // Map pixel centers to pixel centers.
+    const double fy = (y + 0.5) * sy - 0.5;
+    for (int x = 0; x < new_width; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      for (int c = 0; c < src.channels(); ++c) {
+        out.set(x, y, clamp_u8(sample_bilinear(src, fx, fy, c)), c);
+      }
+    }
+  }
+  return out;
+}
+
+Image bitmap_compress(const Image& src, double proportion) {
+  proportion = std::clamp(proportion, 0.0, 0.99);
+  if (proportion == 0.0) return src;
+  const int w = std::max(8, static_cast<int>(
+                                std::lround(src.width() * (1 - proportion))));
+  const int h = std::max(8, static_cast<int>(
+                                std::lround(src.height() * (1 - proportion))));
+  return resize(src, w, h);
+}
+
+Image gaussian_blur(const Image& src, double sigma) {
+  if (sigma <= 0) throw std::invalid_argument("gaussian_blur: sigma <= 0");
+  const int radius = static_cast<int>(std::ceil(3.0 * sigma));
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double norm = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (i * i) / (sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = v;
+    norm += v;
+  }
+  for (auto& k : kernel) k /= norm;
+
+  // Horizontal pass into a float buffer, then vertical pass.
+  const int w = src.width(), h = src.height(), ch = src.channels();
+  std::vector<double> tmp(static_cast<std::size_t>(w) * h * ch);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < ch; ++c) {
+        double acc = 0.0;
+        for (int i = -radius; i <= radius; ++i) {
+          acc += kernel[static_cast<std::size_t>(i + radius)] *
+                 src.at_clamped(x + i, y, c);
+        }
+        tmp[(static_cast<std::size_t>(y) * w + x) * ch + c] = acc;
+      }
+    }
+  }
+  Image out(w, h, ch);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < ch; ++c) {
+        double acc = 0.0;
+        for (int i = -radius; i <= radius; ++i) {
+          const int yy = std::clamp(y + i, 0, h - 1);
+          acc += kernel[static_cast<std::size_t>(i + radius)] *
+                 tmp[(static_cast<std::size_t>(yy) * w + x) * ch + c];
+        }
+        out.set(x, y, clamp_u8(acc), c);
+      }
+    }
+  }
+  return out;
+}
+
+Affine Affine::rotation_about(double cx, double cy, double angle_rad,
+                              double scale, double tx, double ty) {
+  // Destination->source: rotate by -angle and scale by 1/scale about the
+  // center, then undo the translation.
+  const double cosr = std::cos(-angle_rad) / scale;
+  const double sinr = std::sin(-angle_rad) / scale;
+  Affine m;
+  m.a = cosr;
+  m.b = -sinr;
+  m.d = sinr;
+  m.e = cosr;
+  // Solve so that (cx + tx, cy + ty) maps back to (cx, cy).
+  m.c = cx - m.a * (cx + tx) - m.b * (cy + ty);
+  m.f = cy - m.d * (cx + tx) - m.e * (cy + ty);
+  return m;
+}
+
+Image warp_affine(const Image& src, const Affine& m) {
+  Image out(src.width(), src.height(), src.channels());
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      const double fx = m.a * x + m.b * y + m.c;
+      const double fy = m.d * x + m.e * y + m.f;
+      for (int c = 0; c < src.channels(); ++c) {
+        out.set(x, y, clamp_u8(sample_bilinear(src, fx, fy, c)), c);
+      }
+    }
+  }
+  return out;
+}
+
+Image adjust_brightness_contrast(const Image& src, double gain, double bias) {
+  Image out(src.width(), src.height(), src.channels());
+  for (std::size_t i = 0; i < src.data().size(); ++i) {
+    out.data()[i] = clamp_u8(gain * src.data()[i] + bias);
+  }
+  return out;
+}
+
+Image add_gaussian_noise(const Image& src, double stddev, util::Rng& rng) {
+  Image out(src.width(), src.height(), src.channels());
+  for (std::size_t i = 0; i < src.data().size(); ++i) {
+    out.data()[i] = clamp_u8(src.data()[i] + rng.normal(0.0, stddev));
+  }
+  return out;
+}
+
+Image crop(const Image& src, int x, int y, int w, int h) {
+  if (x < 0 || y < 0 || w <= 0 || h <= 0 || x + w > src.width() ||
+      y + h > src.height()) {
+    throw std::invalid_argument("crop: rectangle out of bounds");
+  }
+  Image out(w, h, src.channels());
+  for (int yy = 0; yy < h; ++yy) {
+    for (int xx = 0; xx < w; ++xx) {
+      for (int c = 0; c < src.channels(); ++c) {
+        out.set(xx, yy, src.at(x + xx, y + yy, c), c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bees::img

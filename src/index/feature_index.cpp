@@ -1,0 +1,141 @@
+#include "index/feature_index.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "features/similarity.hpp"
+
+namespace bees::idx {
+
+FeatureIndex::FeatureIndex(const FeatureIndexParams& params)
+    : params_(params), lsh_(params.lsh) {}
+
+ImageId FeatureIndex::insert(feat::BinaryFeatures features,
+                             const GeoTag& geo) {
+  const auto id = static_cast<ImageId>(images_.size());
+  for (const auto& d : features.descriptors) lsh_.insert(d, id);
+  wire_bytes_ += features.wire_bytes();
+  images_.push_back({std::move(features), geo});
+  return id;
+}
+
+QueryResult FeatureIndex::rescore(const feat::BinaryFeatures& query_features,
+                                  const std::vector<ImageId>& candidates,
+                                  int top_k) const {
+  QueryResult result;
+  for (const ImageId id : candidates) {
+    const double sim = feat::jaccard_similarity(
+        query_features, images_[id].features, params_.match, &result.ops);
+    result.hits.push_back({id, sim});
+  }
+  result.candidates_checked = candidates.size();
+  std::sort(result.hits.begin(), result.hits.end(),
+            [](const QueryHit& a, const QueryHit& b) {
+              return a.similarity > b.similarity;
+            });
+  if (result.hits.size() > static_cast<std::size_t>(top_k)) {
+    result.hits.resize(static_cast<std::size_t>(top_k));
+  }
+  if (!result.hits.empty()) {
+    result.max_similarity = result.hits.front().similarity;
+    result.best_id = result.hits.front().id;
+  }
+  return result;
+}
+
+QueryResult FeatureIndex::query(const feat::BinaryFeatures& query_features,
+                                int top_k) const {
+  if (images_.empty() || query_features.empty()) return {};
+  // LSH voting: every query descriptor votes for owners of colliding
+  // stored descriptors.
+  std::unordered_map<std::uint32_t, std::uint32_t> votes;
+  for (const auto& d : query_features.descriptors) lsh_.vote(d, votes);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranked(votes.begin(),
+                                                              votes.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<ImageId> candidates;
+  const auto budget = static_cast<std::size_t>(params_.max_candidates);
+  for (const auto& [id, count] : ranked) {
+    if (candidates.size() >= budget) break;
+    candidates.push_back(id);
+  }
+  return rescore(query_features, candidates, top_k);
+}
+
+QueryResult FeatureIndex::query_exact(
+    const feat::BinaryFeatures& query_features, int top_k) const {
+  if (images_.empty() || query_features.empty()) return {};
+  std::vector<ImageId> all(images_.size());
+  for (std::size_t i = 0; i < images_.size(); ++i) {
+    all[i] = static_cast<ImageId>(i);
+  }
+  return rescore(query_features, all, top_k);
+}
+
+FloatFeatureIndex::FloatFeatureIndex(const Params& params) : params_(params) {}
+
+std::vector<float> FloatFeatureIndex::centroid_of(
+    const feat::FloatFeatures& f) {
+  std::vector<float> c(static_cast<std::size_t>(f.dim), 0.0f);
+  if (f.empty()) return c;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const float* row = f.row(i);
+    for (int d = 0; d < f.dim; ++d) c[static_cast<std::size_t>(d)] += row[d];
+  }
+  for (auto& v : c) v /= static_cast<float>(f.size());
+  return c;
+}
+
+ImageId FloatFeatureIndex::insert(feat::FloatFeatures features,
+                                  const GeoTag& geo) {
+  const auto id = static_cast<ImageId>(images_.size());
+  wire_bytes_ += features.wire_bytes();
+  Entry e;
+  e.centroid = centroid_of(features);
+  e.features = std::move(features);
+  e.geo = geo;
+  images_.push_back(std::move(e));
+  return id;
+}
+
+QueryResult FloatFeatureIndex::query(const feat::FloatFeatures& query_features,
+                                     int top_k) const {
+  QueryResult result;
+  if (images_.empty() || query_features.empty()) return result;
+  const std::vector<float> qc = centroid_of(query_features);
+  // Prune by centroid distance, then rescore exactly.
+  std::vector<std::pair<double, ImageId>> ranked;
+  ranked.reserve(images_.size());
+  for (std::size_t i = 0; i < images_.size(); ++i) {
+    if (images_[i].features.dim != query_features.dim) continue;
+    const double d = feat::l2_sq(qc.data(), images_[i].centroid.data(),
+                                 query_features.dim);
+    ranked.emplace_back(d, static_cast<ImageId>(i));
+  }
+  std::sort(ranked.begin(), ranked.end());
+  const auto budget = std::min<std::size_t>(
+      ranked.size(), static_cast<std::size_t>(params_.max_candidates));
+  for (std::size_t i = 0; i < budget; ++i) {
+    const ImageId id = ranked[i].second;
+    const double sim = feat::jaccard_similarity(
+        query_features, images_[id].features, params_.match, &result.ops);
+    result.hits.push_back({id, sim});
+  }
+  result.candidates_checked = budget;
+  std::sort(result.hits.begin(), result.hits.end(),
+            [](const QueryHit& a, const QueryHit& b) {
+              return a.similarity > b.similarity;
+            });
+  if (result.hits.size() > static_cast<std::size_t>(top_k)) {
+    result.hits.resize(static_cast<std::size_t>(top_k));
+  }
+  if (!result.hits.empty()) {
+    result.max_similarity = result.hits.front().similarity;
+    result.best_id = result.hits.front().id;
+  }
+  return result;
+}
+
+}  // namespace bees::idx

@@ -1,0 +1,128 @@
+// The server-side image feature index: the data structure the paper's CBRD
+// stage queries ("if there exist similar images in the servers, the image
+// does not need to be uploaded").  LSH narrows a query to a handful of
+// candidate images; exact Jaccard similarity (Eq. 2) is then computed
+// against each candidate's stored descriptor set.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "features/matching.hpp"
+#include "index/geo.hpp"
+#include "index/lsh.hpp"
+
+namespace bees::idx {
+
+using ImageId = std::uint32_t;
+inline constexpr ImageId kInvalidImageId =
+    std::numeric_limits<ImageId>::max();
+
+/// One ranked hit of a similarity query.
+struct QueryHit {
+  ImageId id = kInvalidImageId;
+  double similarity = 0.0;
+};
+
+/// Result of querying the index with one image's features.
+struct QueryResult {
+  /// Ranked hits, most similar first (up to the requested top-k).
+  std::vector<QueryHit> hits;
+  /// The paper's "maximum similarity": similarity to the most similar
+  /// stored image, 0 if the index is empty.
+  double max_similarity = 0.0;
+  ImageId best_id = kInvalidImageId;
+  /// Candidate images whose descriptors were exactly matched.
+  std::size_t candidates_checked = 0;
+  /// Descriptor-comparison work performed (for the server-cost ablation).
+  std::uint64_t ops = 0;
+};
+
+struct FeatureIndexParams {
+  LshParams lsh;
+  /// Exact-rescore budget: the top candidates by LSH votes.
+  int max_candidates = 16;
+  feat::BinaryMatchParams match;
+};
+
+/// Index over binary (ORB) feature sets.
+class FeatureIndex {
+ public:
+  explicit FeatureIndex(const FeatureIndexParams& params = {});
+
+  /// Stores an image's features (and optional geotag); returns its id.
+  ImageId insert(feat::BinaryFeatures features, const GeoTag& geo = {});
+
+  /// Queries with LSH candidate generation + exact rescoring.
+  QueryResult query(const feat::BinaryFeatures& query_features,
+                    int top_k = 4) const;
+
+  /// Exhaustive query over every stored image (no LSH); the accuracy
+  /// reference for the LSH ablation bench.
+  QueryResult query_exact(const feat::BinaryFeatures& query_features,
+                          int top_k = 4) const;
+
+  std::size_t image_count() const noexcept { return images_.size(); }
+  std::size_t descriptor_count() const noexcept { return lsh_.descriptor_count(); }
+  /// Total serialized descriptor bytes stored (Table I space overhead).
+  std::size_t wire_bytes() const noexcept { return wire_bytes_; }
+
+  const feat::BinaryFeatures& features_of(ImageId id) const {
+    return images_.at(id).features;
+  }
+  const GeoTag& geo_of(ImageId id) const { return images_.at(id).geo; }
+
+ private:
+  struct Entry {
+    feat::BinaryFeatures features;
+    GeoTag geo;
+  };
+
+  QueryResult rescore(const feat::BinaryFeatures& query_features,
+                      const std::vector<ImageId>& candidates,
+                      int top_k) const;
+
+  FeatureIndexParams params_;
+  DescriptorLsh lsh_;
+  std::vector<Entry> images_;
+  std::size_t wire_bytes_ = 0;
+};
+
+/// Index over float (SIFT / PCA-SIFT) feature sets, used by the SmartEye
+/// baseline.  Candidates are pruned by centroid distance (no float LSH),
+/// then exactly rescored.
+class FloatFeatureIndex {
+ public:
+  struct Params {
+    int max_candidates = 16;
+    feat::FloatMatchParams match;
+  };
+
+  FloatFeatureIndex() : FloatFeatureIndex(Params{}) {}
+  explicit FloatFeatureIndex(const Params& params);
+
+  ImageId insert(feat::FloatFeatures features, const GeoTag& geo = {});
+  QueryResult query(const feat::FloatFeatures& query_features,
+                    int top_k = 4) const;
+
+  std::size_t image_count() const noexcept { return images_.size(); }
+  std::size_t wire_bytes() const noexcept { return wire_bytes_; }
+
+ private:
+  struct Entry {
+    feat::FloatFeatures features;
+    std::vector<float> centroid;
+    GeoTag geo;
+  };
+
+  static std::vector<float> centroid_of(const feat::FloatFeatures& f);
+
+  Params params_;
+  std::vector<Entry> images_;
+  std::size_t wire_bytes_ = 0;
+};
+
+}  // namespace bees::idx

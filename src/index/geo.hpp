@@ -1,0 +1,33 @@
+// Geotag metadata attached to uploaded images.  The Fig. 12 coverage
+// experiment counts unique quantized locations among the images a server
+// received.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace bees::idx {
+
+/// A longitude/latitude pair in degrees; `valid` is false for images with
+/// no location (Kentucky-like sets).
+struct GeoTag {
+  double lon = 0.0;
+  double lat = 0.0;
+  bool valid = false;
+
+  bool operator==(const GeoTag&) const noexcept = default;
+};
+
+/// Quantizes a geotag to a grid key for unique-location counting.  The
+/// default cell of 1e-4 degrees (~11 m) matches the paper's notion of a
+/// distinct longitude/latitude.
+inline std::uint64_t location_key(const GeoTag& g,
+                                  double cell_deg = 1e-4) noexcept {
+  const auto qlon = static_cast<std::int64_t>(std::llround(g.lon / cell_deg));
+  const auto qlat = static_cast<std::int64_t>(std::llround(g.lat / cell_deg));
+  // Pack two 32-bit lattice coordinates into one key.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(qlon)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(qlat));
+}
+
+}  // namespace bees::idx

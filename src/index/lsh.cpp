@@ -1,0 +1,61 @@
+#include "index/lsh.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace bees::idx {
+
+DescriptorLsh::DescriptorLsh(const LshParams& params)
+    : bits_per_key_(params.bits_per_key) {
+  if (params.tables <= 0 || params.bits_per_key <= 0 ||
+      params.bits_per_key > 32) {
+    throw std::invalid_argument("DescriptorLsh: bad parameters");
+  }
+  util::Rng rng(params.seed);
+  positions_.resize(static_cast<std::size_t>(params.tables));
+  buckets_.resize(static_cast<std::size_t>(params.tables));
+  for (auto& pos : positions_) {
+    // Sample k distinct bit positions per table.
+    std::vector<int> all(256);
+    std::iota(all.begin(), all.end(), 0);
+    rng.shuffle(all);
+    pos.assign(all.begin(), all.begin() + params.bits_per_key);
+  }
+}
+
+std::uint32_t DescriptorLsh::key_for(const feat::Descriptor256& d,
+                                     std::size_t table) const noexcept {
+  std::uint32_t key = 0;
+  for (const int bit : positions_[table]) {
+    key = (key << 1) | (d.get_bit(bit) ? 1u : 0u);
+  }
+  return key;
+}
+
+void DescriptorLsh::insert(const feat::Descriptor256& d,
+                           std::uint32_t payload) {
+  for (std::size_t t = 0; t < positions_.size(); ++t) {
+    buckets_[t][key_for(d, t)].push_back(payload);
+  }
+  ++inserted_;
+}
+
+void DescriptorLsh::vote(
+    const feat::Descriptor256& d,
+    std::unordered_map<std::uint32_t, std::uint32_t>& votes) const {
+  for (std::size_t t = 0; t < positions_.size(); ++t) {
+    const auto it = buckets_[t].find(key_for(d, t));
+    if (it == buckets_[t].end()) continue;
+    for (const std::uint32_t payload : it->second) ++votes[payload];
+  }
+}
+
+double DescriptorLsh::table_collision_probability(int hamming) const noexcept {
+  const double p = 1.0 - static_cast<double>(hamming) / 256.0;
+  return std::pow(p, bits_per_key_);
+}
+
+}  // namespace bees::idx

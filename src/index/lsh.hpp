@@ -1,0 +1,56 @@
+// Bit-sampling locality-sensitive hashing for 256-bit ORB descriptors.
+// For Hamming space, sampling k random bit positions is the classic LSH
+// family: descriptors within distance d collide in one table with
+// probability (1 - d/256)^k.  The server index uses several tables to turn
+// a batch query into a small candidate set instead of a full scan.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "features/keypoint.hpp"
+
+namespace bees::idx {
+
+struct LshParams {
+  int tables = 6;        ///< Independent hash tables (L).
+  int bits_per_key = 16; ///< Sampled bit positions per table (k).
+  std::uint64_t seed = 0xbee5bee5ULL;  ///< Determines sampled positions.
+};
+
+/// Multi-table bit-sampling LSH mapping descriptors to caller-supplied
+/// 32-bit payloads (the owning image id).  Buckets hold payload lists;
+/// queries return collision votes per payload.
+class DescriptorLsh {
+ public:
+  explicit DescriptorLsh(const LshParams& params = {});
+
+  /// Inserts one descriptor owned by `payload` into all tables.
+  void insert(const feat::Descriptor256& d, std::uint32_t payload);
+
+  /// Accumulates, for each payload, how many (table, descriptor) collisions
+  /// the query descriptor produces.  A payload colliding in several tables
+  /// or with several stored descriptors accrues a larger vote.
+  void vote(const feat::Descriptor256& d,
+            std::unordered_map<std::uint32_t, std::uint32_t>& votes) const;
+
+  std::size_t descriptor_count() const noexcept { return inserted_; }
+  int tables() const noexcept { return static_cast<int>(positions_.size()); }
+
+  /// Collision probability of a single table for two descriptors at Hamming
+  /// distance `d` — the analytic (1 - d/256)^k, used by tests.
+  double table_collision_probability(int hamming) const noexcept;
+
+ private:
+  std::uint32_t key_for(const feat::Descriptor256& d, std::size_t table) const
+      noexcept;
+
+  std::vector<std::vector<int>> positions_;  // per table: sampled bit indices
+  std::vector<std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>>
+      buckets_;
+  std::size_t inserted_ = 0;
+  int bits_per_key_ = 16;
+};
+
+}  // namespace bees::idx

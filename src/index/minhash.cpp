@@ -1,0 +1,83 @@
+#include "index/minhash.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace bees::idx {
+
+MinHasher::MinHasher(const MinHashParams& params) : params_(params) {
+  if (params.hashes <= 0 || params.token_bits <= 0 ||
+      params.token_bits > 64) {
+    throw std::invalid_argument("MinHasher: bad parameters");
+  }
+  util::Rng rng(params.seed);
+  std::vector<int> all(256);
+  std::iota(all.begin(), all.end(), 0);
+  rng.shuffle(all);
+  token_positions_.assign(all.begin(), all.begin() + params.token_bits);
+  salts_.reserve(static_cast<std::size_t>(params.hashes));
+  for (int h = 0; h < params.hashes; ++h) {
+    salts_.push_back(rng.next_u64() | 1);
+  }
+}
+
+std::uint64_t MinHasher::token_of(const feat::Descriptor256& d) const
+    noexcept {
+  std::uint64_t token = 0;
+  for (const int bit : token_positions_) {
+    token = (token << 1) | (d.get_bit(bit) ? 1u : 0u);
+  }
+  return token;
+}
+
+MinHashSketch MinHasher::sketch(
+    const std::vector<feat::Descriptor256>& descriptors,
+    std::uint64_t* ops) const {
+  MinHashSketch s;
+  s.minima.assign(salts_.size(), std::numeric_limits<std::uint64_t>::max());
+  for (const auto& d : descriptors) {
+    const std::uint64_t token = token_of(d);
+    for (std::size_t h = 0; h < salts_.size(); ++h) {
+      // Hash the token under salt h (splitmix of token xor salt).
+      std::uint64_t state = token ^ salts_[h];
+      const std::uint64_t value = util::splitmix64(state);
+      s.minima[h] = std::min(s.minima[h], value);
+    }
+  }
+  if (ops) *ops += descriptors.size() * salts_.size();
+  return s;
+}
+
+double MinHasher::estimate_similarity(const MinHashSketch& a,
+                                      const MinHashSketch& b) const noexcept {
+  if (a.minima.size() != b.minima.size() || a.minima.empty()) return 0.0;
+  // Empty-set sketches (all sentinel) have no defined similarity.
+  const auto sentinel = std::numeric_limits<std::uint64_t>::max();
+  if (a.minima[0] == sentinel || b.minima[0] == sentinel) return 0.0;
+  std::size_t agree = 0;
+  for (std::size_t h = 0; h < a.minima.size(); ++h) {
+    if (a.minima[h] == b.minima[h]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.minima.size());
+}
+
+double MinHasher::exact_token_jaccard(
+    const std::vector<feat::Descriptor256>& a,
+    const std::vector<feat::Descriptor256>& b) const {
+  std::unordered_set<std::uint64_t> sa, sb;
+  for (const auto& d : a) sa.insert(token_of(d));
+  for (const auto& d : b) sb.insert(token_of(d));
+  if (sa.empty() && sb.empty()) return 0.0;
+  std::size_t inter = 0;
+  for (const auto t : sa) inter += sb.count(t);
+  const std::size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace bees::idx

@@ -1,0 +1,71 @@
+// MinHash sketches for Eq. 2.  The paper defines image similarity as the
+// Jaccard similarity of two ORB descriptor *sets*; MinHash is the classic
+// sublinear estimator for exactly that quantity.  A phone can upload a
+// fixed-size sketch (k 64-bit minima, e.g. 512 B at k = 64) instead of the
+// full descriptor payload, and the server can estimate max-similarity
+// against its index without any descriptor matching — a further point on
+// the paper's approximate-computing spectrum, evaluated in
+// bench/ablation_minhash.
+//
+// Because two ORB descriptor sets never share bit-identical descriptors
+// across photos, each descriptor is first quantized to a coarse token (its
+// high-order bits under a fixed sampled mask) so that genuinely matching
+// descriptors collide; the sketch then estimates Jaccard over token sets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "features/keypoint.hpp"
+
+namespace bees::idx {
+
+struct MinHashParams {
+  int hashes = 64;        ///< Sketch size k (one 64-bit minimum each).
+  int token_bits = 32;    ///< Descriptor bits sampled into the token.
+  std::uint64_t seed = 0x5ee7c0deULL;
+};
+
+/// A fixed-size MinHash sketch of one image's descriptor set.
+struct MinHashSketch {
+  std::vector<std::uint64_t> minima;
+
+  std::size_t wire_bytes() const noexcept { return minima.size() * 8; }
+};
+
+/// Builds sketches under one fixed parameterization (the token mask and
+/// hash salts are derived from the seed, so all sketches from one
+/// MinHasher are comparable).
+class MinHasher {
+ public:
+  explicit MinHasher(const MinHashParams& params = {});
+
+  /// Sketches a descriptor set.  `ops` (if non-null) accumulates the
+  /// hashing work (|descriptors| * k).
+  MinHashSketch sketch(const std::vector<feat::Descriptor256>& descriptors,
+                       std::uint64_t* ops = nullptr) const;
+
+  /// Estimates the Jaccard similarity of the underlying token sets: the
+  /// fraction of agreeing minima.  Unbiased for true Jaccard; stderr is
+  /// sqrt(J(1-J)/k).
+  double estimate_similarity(const MinHashSketch& a,
+                             const MinHashSketch& b) const noexcept;
+
+  /// Exact Jaccard over the token sets (the quantity the sketch
+  /// estimates), for tests and the ablation.
+  double exact_token_jaccard(
+      const std::vector<feat::Descriptor256>& a,
+      const std::vector<feat::Descriptor256>& b) const;
+
+  int hashes() const noexcept { return params_.hashes; }
+
+ private:
+  std::uint64_t token_of(const feat::Descriptor256& d) const noexcept;
+
+  MinHashParams params_;
+  std::vector<int> token_positions_;   // sampled descriptor bit indices
+  std::vector<std::uint64_t> salts_;   // one per hash function
+};
+
+}  // namespace bees::idx

@@ -1,0 +1,76 @@
+#include "index/persistence.hpp"
+
+#include <fstream>
+
+#include "index/serialize.hpp"
+#include "util/byte_io.hpp"
+#include "util/compress.hpp"
+
+namespace bees::idx {
+
+namespace {
+constexpr std::uint32_t kSnapshotMagic = 0x53454542;  // "BEES"
+constexpr std::uint32_t kSnapshotVersion = 1;
+}  // namespace
+
+void save_index_snapshot(const FeatureIndex& index, const std::string& path) {
+  util::ByteWriter w;
+  w.put_u32(kSnapshotMagic);
+  w.put_u32(kSnapshotVersion);
+  w.put_varint(index.image_count());
+  for (std::size_t i = 0; i < index.image_count(); ++i) {
+    const auto id = static_cast<ImageId>(i);
+    const auto features = serialize_binary(index.features_of(id));
+    w.put_varint(features.size());
+    w.put_bytes(features);
+    const GeoTag& geo = index.geo_of(id);
+    w.put_u8(geo.valid ? 1 : 0);
+    w.put_f64(geo.lon);
+    w.put_f64(geo.lat);
+  }
+  const auto compressed = util::lz_compress(w.bytes());
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_index_snapshot: cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(compressed.data()),
+            static_cast<std::streamsize>(compressed.size()));
+  if (!out) {
+    throw std::runtime_error("save_index_snapshot: write failed for " + path);
+  }
+}
+
+FeatureIndex load_index_snapshot(const std::string& path,
+                                 const FeatureIndexParams& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_index_snapshot: cannot open " + path);
+  }
+  std::vector<std::uint8_t> compressed(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto bytes = util::lz_decompress(compressed);
+
+  util::ByteReader r(bytes);
+  if (r.get_u32() != kSnapshotMagic) {
+    throw util::DecodeError("load_index_snapshot: bad magic");
+  }
+  if (r.get_u32() != kSnapshotVersion) {
+    throw util::DecodeError("load_index_snapshot: unsupported version");
+  }
+  FeatureIndex index(params);
+  const auto count = r.get_varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto feature_len = static_cast<std::size_t>(r.get_varint());
+    const auto feature_bytes = r.get_bytes(feature_len);
+    feat::BinaryFeatures features = deserialize_binary(feature_bytes);
+    GeoTag geo;
+    geo.valid = r.get_u8() != 0;
+    geo.lon = r.get_f64();
+    geo.lat = r.get_f64();
+    index.insert(std::move(features), geo);
+  }
+  return index;
+}
+
+}  // namespace bees::idx

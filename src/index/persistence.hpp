@@ -1,0 +1,24 @@
+// Durable storage for the server's feature index: the cloud side of BEES
+// must survive restarts without re-receiving every image, so the index's
+// entries (descriptor sets + geotags) serialize to a single LZ-compressed
+// snapshot file.  LSH tables are derived state and are rebuilt on load.
+#pragma once
+
+#include <string>
+
+#include "index/feature_index.hpp"
+
+namespace bees::idx {
+
+/// Writes a snapshot of every indexed image to `path`.
+/// Throws std::runtime_error on I/O failure.
+void save_index_snapshot(const FeatureIndex& index, const std::string& path);
+
+/// Rebuilds an index from a snapshot, inserting every image into a fresh
+/// index constructed with `params` (the LSH configuration can differ from
+/// the one that wrote the snapshot).  Throws std::runtime_error on I/O
+/// failure and util::DecodeError on a corrupt snapshot.
+FeatureIndex load_index_snapshot(const std::string& path,
+                                 const FeatureIndexParams& params = {});
+
+}  // namespace bees::idx

@@ -1,0 +1,52 @@
+#include "index/serialize.hpp"
+
+#include "util/byte_io.hpp"
+
+namespace bees::idx {
+
+std::vector<std::uint8_t> serialize_binary(const feat::BinaryFeatures& f) {
+  util::ByteWriter w;
+  w.put_varint(f.descriptors.size());
+  for (const auto& d : f.descriptors) {
+    for (const auto lane : d.bits) w.put_u64(lane);
+  }
+  return w.take();
+}
+
+feat::BinaryFeatures deserialize_binary(
+    const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  feat::BinaryFeatures f;
+  const auto n = r.get_varint();
+  f.descriptors.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    feat::Descriptor256 d;
+    for (auto& lane : d.bits) lane = r.get_u64();
+    f.descriptors.push_back(d);
+  }
+  f.stats.keypoint_count = f.descriptors.size();
+  return f;
+}
+
+std::vector<std::uint8_t> serialize_float(const feat::FloatFeatures& f) {
+  util::ByteWriter w;
+  w.put_varint(f.size());
+  w.put_varint(static_cast<std::uint64_t>(f.dim));
+  for (const float v : f.values) w.put_f32(v);
+  return w.take();
+}
+
+feat::FloatFeatures deserialize_float(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  feat::FloatFeatures f;
+  const auto n = r.get_varint();
+  f.dim = static_cast<int>(r.get_varint());
+  f.values.reserve(n * static_cast<std::uint64_t>(f.dim));
+  for (std::uint64_t i = 0; i < n * static_cast<std::uint64_t>(f.dim); ++i) {
+    f.values.push_back(r.get_f32());
+  }
+  f.stats.keypoint_count = f.size();
+  return f;
+}
+
+}  // namespace bees::idx

@@ -1,0 +1,25 @@
+// Wire format for feature sets.  These byte counts are what the simulated
+// channel actually carries when a client uploads features for redundancy
+// detection, and what Table I measures as feature space overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "features/keypoint.hpp"
+
+namespace bees::idx {
+
+/// Encodes a binary (ORB) feature set: varint count + 32 bytes/descriptor.
+std::vector<std::uint8_t> serialize_binary(const feat::BinaryFeatures& f);
+/// Inverse of serialize_binary (keypoint geometry is not carried — the
+/// server only needs descriptors).  Throws util::DecodeError on bad input.
+feat::BinaryFeatures deserialize_binary(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Encodes a float (SIFT / PCA-SIFT) feature set: varint count + varint dim
+/// + 4 bytes per component.
+std::vector<std::uint8_t> serialize_float(const feat::FloatFeatures& f);
+feat::FloatFeatures deserialize_float(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace bees::idx

@@ -1,0 +1,244 @@
+#include "index/vocabulary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "features/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace bees::idx {
+
+namespace {
+
+/// Bitwise-majority center of a descriptor group (k-majority centroid).
+feat::Descriptor256 majority_center(
+    const std::vector<feat::Descriptor256>& members) {
+  feat::Descriptor256 center;
+  if (members.empty()) return center;
+  for (int bit = 0; bit < 256; ++bit) {
+    std::size_t ones = 0;
+    for (const auto& m : members) ones += m.get_bit(bit) ? 1 : 0;
+    if (ones * 2 >= members.size()) center.set_bit(bit);
+  }
+  return center;
+}
+
+/// One k-majority clustering of `points` into at most k groups.  Returns
+/// the centers; `assignment[i]` gets the center index of points[i].
+std::vector<feat::Descriptor256> k_majority(
+    const std::vector<feat::Descriptor256>& points, int k, int iterations,
+    util::Rng& rng, std::vector<int>& assignment) {
+  const int clusters = std::min<int>(k, static_cast<int>(points.size()));
+  std::vector<feat::Descriptor256> centers;
+  // Initialize with distinct random points.
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (int c = 0; c < clusters; ++c) {
+    centers.push_back(points[order[static_cast<std::size_t>(c)]]);
+  }
+
+  assignment.assign(points.size(), 0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    bool moved = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      int best_d = feat::hamming_distance(points[i], centers[0]);
+      for (int c = 1; c < clusters; ++c) {
+        const int d = feat::hamming_distance(
+            points[i], centers[static_cast<std::size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        moved = true;
+      }
+    }
+    if (!moved && iter > 0) break;
+    // Recompute majority centers; empty clusters keep their old center.
+    std::vector<std::vector<feat::Descriptor256>> groups(
+        static_cast<std::size_t>(clusters));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      groups[static_cast<std::size_t>(assignment[i])].push_back(points[i]);
+    }
+    for (int c = 0; c < clusters; ++c) {
+      if (!groups[static_cast<std::size_t>(c)].empty()) {
+        centers[static_cast<std::size_t>(c)] =
+            majority_center(groups[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+VocabularyTree VocabularyTree::train(
+    const std::vector<feat::Descriptor256>& sample,
+    const VocabularyParams& params) {
+  if (sample.empty()) {
+    throw std::invalid_argument("VocabularyTree: empty training sample");
+  }
+  if (params.branching < 2 || params.depth < 1) {
+    throw std::invalid_argument("VocabularyTree: bad parameters");
+  }
+  VocabularyTree tree;
+  tree.params_ = params;
+  util::Rng rng(params.seed);
+
+  // Each work item expands one node; children are appended contiguously to
+  // nodes_ so a (first_child, child_count) pair describes them.
+  struct Work {
+    std::size_t node;
+    std::vector<feat::Descriptor256> members;
+    int levels_left;
+  };
+  tree.nodes_.push_back({});  // root (its center is unused)
+  std::vector<Work> queue;
+  queue.push_back({0, sample, params.depth});
+
+  while (!queue.empty()) {
+    Work work = std::move(queue.back());
+    queue.pop_back();
+    if (work.levels_left == 0 || work.members.size() <= 1) {
+      tree.nodes_[work.node].first_child = -1;
+      tree.nodes_[work.node].child_count = 0;
+      tree.nodes_[work.node].leaf_id = tree.leaf_count_++;
+      continue;
+    }
+    std::vector<int> assignment;
+    const auto centers = k_majority(work.members, params.branching,
+                                    params.kmeans_iterations, rng,
+                                    assignment);
+    tree.nodes_[work.node].first_child =
+        static_cast<std::int32_t>(tree.nodes_.size());
+    tree.nodes_[work.node].child_count =
+        static_cast<std::int32_t>(centers.size());
+    std::vector<std::vector<feat::Descriptor256>> groups(centers.size());
+    for (std::size_t i = 0; i < work.members.size(); ++i) {
+      groups[static_cast<std::size_t>(assignment[i])].push_back(
+          work.members[i]);
+    }
+    const std::size_t first = tree.nodes_.size();
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      Node child;
+      child.center = centers[c];
+      tree.nodes_.push_back(child);
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      queue.push_back({first + c, std::move(groups[c]),
+                       work.levels_left - 1});
+    }
+  }
+  return tree;
+}
+
+std::uint32_t VocabularyTree::quantize(const feat::Descriptor256& d) const
+    noexcept {
+  std::size_t node = 0;
+  while (nodes_[node].first_child >= 0) {
+    const auto first = static_cast<std::size_t>(nodes_[node].first_child);
+    const auto count = static_cast<std::size_t>(nodes_[node].child_count);
+    std::size_t best = first;
+    int best_d = feat::hamming_distance(d, nodes_[first].center);
+    for (std::size_t c = first + 1; c < first + count; ++c) {
+      const int dist = feat::hamming_distance(d, nodes_[c].center);
+      if (dist < best_d) {
+        best_d = dist;
+        best = c;
+      }
+    }
+    node = best;
+  }
+  return nodes_[node].leaf_id;
+}
+
+VocabularyIndex::VocabularyIndex(VocabularyTree tree, const Params& params)
+    : tree_(std::move(tree)), params_(params) {}
+
+double VocabularyIndex::idf(std::uint32_t word) const noexcept {
+  const auto it = document_frequency_.find(word);
+  const double df = it == document_frequency_.end() ? 0.0 : it->second;
+  return std::log(static_cast<double>(images_.size() + 1) / (1.0 + df));
+}
+
+ImageId VocabularyIndex::insert(feat::BinaryFeatures features,
+                                const GeoTag& geo) {
+  const auto id = static_cast<ImageId>(images_.size());
+  Entry entry;
+  entry.geo = geo;
+  // Term-frequency histogram over visual words, L1-normalized.
+  for (const auto& d : features.descriptors) {
+    entry.histogram[tree_.quantize(d)] += 1.0f;
+  }
+  if (!features.descriptors.empty()) {
+    const auto norm = static_cast<float>(features.descriptors.size());
+    for (auto& [word, tf] : entry.histogram) tf /= norm;
+  }
+  for (const auto& [word, tf] : entry.histogram) {
+    inverted_[word].emplace_back(id, tf);
+    ++document_frequency_[word];
+  }
+  entry.features = std::move(features);
+  images_.push_back(std::move(entry));
+  return id;
+}
+
+QueryResult VocabularyIndex::query(const feat::BinaryFeatures& query_features,
+                                   int top_k) const {
+  QueryResult result;
+  if (images_.empty() || query_features.empty()) return result;
+
+  // Query word histogram.
+  std::unordered_map<std::uint32_t, float> qh;
+  for (const auto& d : query_features.descriptors) {
+    qh[tree_.quantize(d)] += 1.0f;
+  }
+  const auto qnorm = static_cast<float>(query_features.descriptors.size());
+  for (auto& [word, tf] : qh) tf /= qnorm;
+
+  // Accumulate IDF-weighted histogram-intersection scores via the
+  // inverted file (only images sharing a word are touched).
+  std::unordered_map<ImageId, double> scores;
+  for (const auto& [word, qtf] : qh) {
+    const auto it = inverted_.find(word);
+    if (it == inverted_.end()) continue;
+    const double w = idf(word);
+    for (const auto& [image, tf] : it->second) {
+      scores[image] += w * std::min(qtf, tf);
+    }
+  }
+
+  std::vector<std::pair<double, ImageId>> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [image, score] : scores) ranked.emplace_back(score, image);
+  std::sort(ranked.rbegin(), ranked.rend());
+  const auto budget = std::min<std::size_t>(
+      ranked.size(), static_cast<std::size_t>(params_.max_candidates));
+
+  for (std::size_t i = 0; i < budget; ++i) {
+    const ImageId id = ranked[i].second;
+    const double sim = feat::jaccard_similarity(
+        query_features, images_[id].features, params_.match, &result.ops);
+    result.hits.push_back({id, sim});
+  }
+  result.candidates_checked = budget;
+  std::sort(result.hits.begin(), result.hits.end(),
+            [](const QueryHit& a, const QueryHit& b) {
+              return a.similarity > b.similarity;
+            });
+  if (result.hits.size() > static_cast<std::size_t>(top_k)) {
+    result.hits.resize(static_cast<std::size_t>(top_k));
+  }
+  if (!result.hits.empty()) {
+    result.max_similarity = result.hits.front().similarity;
+    result.best_id = result.hits.front().id;
+  }
+  return result;
+}
+
+}  // namespace bees::idx

@@ -1,0 +1,100 @@
+// Hierarchical vocabulary tree over binary descriptors (Nistér &
+// Stewénius, CVPR 2006 — the paper behind the Kentucky benchmark BEES
+// evaluates precision on), adapted to 256-bit ORB descriptors with
+// k-majority clustering (cluster center = bitwise majority of members,
+// the binary analogue of the k-means centroid).
+//
+// The tree quantizes each descriptor to a leaf "visual word"; images are
+// TF-IDF-weighted word histograms in an inverted file, scored with the
+// normalized-histogram intersection of the original paper; top candidates
+// are exactly rescored like the LSH path.  This is the classic alternative
+// to LSH for the server index — compared head-to-head in
+// bench/ablation_vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "index/feature_index.hpp"
+
+namespace bees::idx {
+
+struct VocabularyParams {
+  int branching = 8;   ///< Children per node (k).
+  int depth = 3;       ///< Levels below the root: k^depth leaves.
+  int kmeans_iterations = 8;
+  std::uint64_t seed = 0xb0cab1e5ULL;
+};
+
+/// The quantizer: a tree of binary cluster centers.
+class VocabularyTree {
+ public:
+  /// Trains the tree on a descriptor sample (hierarchical k-majority).
+  /// Throws std::invalid_argument on empty input or bad parameters.
+  static VocabularyTree train(const std::vector<feat::Descriptor256>& sample,
+                              const VocabularyParams& params);
+
+  /// Quantizes a descriptor to its leaf word id in [0, leaf_count).
+  std::uint32_t quantize(const feat::Descriptor256& d) const noexcept;
+
+  std::uint32_t leaf_count() const noexcept { return leaf_count_; }
+  int branching() const noexcept { return params_.branching; }
+  int depth() const noexcept { return params_.depth; }
+
+ private:
+  struct Node {
+    feat::Descriptor256 center;
+    std::int32_t first_child = -1;  ///< Index of child 0; -1 for leaves.
+    std::int32_t child_count = 0;   ///< Children are contiguous in nodes_.
+    std::uint32_t leaf_id = 0;      ///< Valid for leaves.
+  };
+
+  VocabularyParams params_;
+  std::vector<Node> nodes_;
+  std::uint32_t leaf_count_ = 0;
+};
+
+/// Server index built on the vocabulary tree: inverted file + TF-IDF
+/// scoring + exact rescoring of the top candidates.  API-compatible with
+/// FeatureIndex so benches can swap them.
+class VocabularyIndex {
+ public:
+  struct Params {
+    int max_candidates = 16;
+    feat::BinaryMatchParams match;
+  };
+
+  explicit VocabularyIndex(VocabularyTree tree)
+      : VocabularyIndex(std::move(tree), Params{}) {}
+  VocabularyIndex(VocabularyTree tree, const Params& params);
+
+  ImageId insert(feat::BinaryFeatures features, const GeoTag& geo = {});
+  QueryResult query(const feat::BinaryFeatures& query_features,
+                    int top_k = 4) const;
+
+  std::size_t image_count() const noexcept { return images_.size(); }
+  const VocabularyTree& tree() const noexcept { return tree_; }
+
+ private:
+  struct Entry {
+    feat::BinaryFeatures features;
+    GeoTag geo;
+    std::unordered_map<std::uint32_t, float> histogram;  // normalized TF
+  };
+
+  /// idf(word) = ln(N / (1 + images containing word)).
+  double idf(std::uint32_t word) const noexcept;
+
+  VocabularyTree tree_;
+  Params params_;
+  std::vector<Entry> images_;
+  /// word -> postings of (image, normalized tf).
+  std::unordered_map<std::uint32_t,
+                     std::vector<std::pair<ImageId, float>>>
+      inverted_;
+  std::unordered_map<std::uint32_t, std::uint32_t> document_frequency_;
+};
+
+}  // namespace bees::idx

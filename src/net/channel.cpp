@@ -1,0 +1,68 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bees::net {
+
+Channel::Channel(const ChannelParams& params)
+    : params_(params), rng_(params.seed), bps_(params.initial_bps) {
+  if (params.max_bps <= 0.0 || params.min_bps < 0.0 ||
+      params.min_bps > params.max_bps) {
+    throw std::invalid_argument("Channel: bad bitrate bounds");
+  }
+  if (params.update_interval_s <= 0.0) {
+    throw std::invalid_argument("Channel: bad update interval");
+  }
+  bps_ = std::clamp(bps_, params.min_bps, params.max_bps);
+  next_update_s_ = params.update_interval_s;
+}
+
+void Channel::resample() noexcept {
+  if (params_.step_bps <= 0.0) return;
+  // Reflecting bounded random walk keeps the long-run distribution roughly
+  // uniform over [min, max] with median near the midpoint.
+  double next = bps_ + rng_.normal(0.0, params_.step_bps);
+  const double span = params_.max_bps - params_.min_bps;
+  if (span <= 0.0) return;
+  while (next < params_.min_bps || next > params_.max_bps) {
+    if (next < params_.min_bps) next = 2 * params_.min_bps - next;
+    if (next > params_.max_bps) next = 2 * params_.max_bps - next;
+  }
+  bps_ = next;
+}
+
+double Channel::transfer(double bytes) {
+  if (bytes <= 0.0) return 0.0;
+  double bits = bytes * 8.0;
+  const double start = now_s_;
+  // Guard against a channel stuck at 0 bps forever (min == max == 0 is
+  // rejected by the constructor, so the walk will eventually move).
+  while (bits > 0.0) {
+    const double until_update = next_update_s_ - now_s_;
+    if (bps_ > 0.0) {
+      const double can_send = bps_ * until_update;
+      if (can_send >= bits) {
+        now_s_ += bits / bps_;
+        bits = 0.0;
+        break;
+      }
+      bits -= can_send;
+    }
+    now_s_ = next_update_s_;
+    next_update_s_ += params_.update_interval_s;
+    resample();
+  }
+  return now_s_ - start;
+}
+
+void Channel::advance(double seconds) {
+  if (seconds <= 0.0) return;
+  now_s_ += seconds;
+  while (now_s_ >= next_update_s_) {
+    next_update_s_ += params_.update_interval_s;
+    resample();
+  }
+}
+
+}  // namespace bees::net

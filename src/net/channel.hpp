@@ -1,0 +1,62 @@
+// Simulated low-bandwidth wireless channel.  The paper's testbed throttles
+// each phone's WiFi so the bitrate "fluctuates from 0 Kbps to 512 Kbps";
+// we model that as a bounded random walk resampled once per second, and
+// integrate transfer time across the fluctuation.  A fixed-rate mode
+// reproduces the Fig. 11 delay sweep at 128 / 256 / 512 Kbps medians.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace bees::net {
+
+struct ChannelParams {
+  double min_bps = 0.0;
+  double max_bps = 512.0 * 1000.0;
+  /// Starting (and long-run median) bitrate; defaults to the band midpoint.
+  double initial_bps = 256.0 * 1000.0;
+  /// Random-walk step stddev per update (bps); 0 makes the rate constant.
+  double step_bps = 48.0 * 1000.0;
+  /// How often the bitrate is resampled (seconds).
+  double update_interval_s = 1.0;
+  std::uint64_t seed = 0xcafef00dULL;
+
+  /// Convenience: a constant-rate channel.
+  static ChannelParams fixed(double bps) {
+    ChannelParams p;
+    p.min_bps = p.max_bps = p.initial_bps = bps;
+    p.step_bps = 0.0;
+    return p;
+  }
+};
+
+/// A channel with its own clock.  All transfers advance the clock by the
+/// airtime they consume; idle time can be advanced explicitly by the
+/// simulation driver.
+class Channel {
+ public:
+  explicit Channel(const ChannelParams& params = {});
+
+  /// Transfers `bytes` and returns the airtime consumed (seconds).  The
+  /// random walk resamples the instantaneous bitrate every
+  /// update_interval_s; intervals at 0 bps simply stall.
+  double transfer(double bytes);
+
+  /// Advances the clock without transferring (phone idle / computing).
+  void advance(double seconds);
+
+  double now() const noexcept { return now_s_; }
+  double current_bps() const noexcept { return bps_; }
+
+ private:
+  void resample() noexcept;
+
+  ChannelParams params_;
+  util::Rng rng_;
+  double bps_;
+  double now_s_ = 0.0;
+  double next_update_s_ = 0.0;
+};
+
+}  // namespace bees::net

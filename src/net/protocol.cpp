@@ -1,0 +1,130 @@
+#include "net/protocol.hpp"
+
+#include "index/serialize.hpp"
+#include "util/byte_io.hpp"
+
+namespace bees::net {
+
+namespace {
+
+std::vector<std::uint8_t> seal(MessageType type,
+                               std::vector<std::uint8_t> payload) {
+  util::ByteWriter w;
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_varint(payload.size());
+  w.put_bytes(payload);
+  return w.take();
+}
+
+void put_geo(util::ByteWriter& w, const idx::GeoTag& geo) {
+  w.put_u8(geo.valid ? 1 : 0);
+  w.put_f64(geo.lon);
+  w.put_f64(geo.lat);
+}
+
+idx::GeoTag get_geo(util::ByteReader& r) {
+  idx::GeoTag geo;
+  geo.valid = r.get_u8() != 0;
+  geo.lon = r.get_f64();
+  geo.lat = r.get_f64();
+  return geo;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const BinaryQueryRequest& m) {
+  util::ByteWriter w;
+  const auto features = idx::serialize_binary(m.features);
+  w.put_varint(features.size());
+  w.put_bytes(features);
+  w.put_u32(static_cast<std::uint32_t>(m.top_k));
+  return seal(MessageType::kBinaryQuery, w.take());
+}
+
+std::vector<std::uint8_t> encode(const QueryResponse& m) {
+  util::ByteWriter w;
+  w.put_f64(m.max_similarity);
+  w.put_u32(m.best_id);
+  w.put_f64(m.thumbnail_bytes);
+  return seal(MessageType::kQueryResponse, w.take());
+}
+
+std::vector<std::uint8_t> encode(const ImageUploadRequest& m) {
+  util::ByteWriter w;
+  const auto features = idx::serialize_binary(m.features);
+  w.put_varint(features.size());
+  w.put_bytes(features);
+  w.put_f64(m.image_bytes);
+  put_geo(w, m.geo);
+  w.put_f64(m.thumbnail_bytes);
+  return seal(MessageType::kImageUpload, w.take());
+}
+
+std::vector<std::uint8_t> encode(const UploadAck& m) {
+  util::ByteWriter w;
+  w.put_u32(m.id);
+  return seal(MessageType::kUploadAck, w.take());
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& what) {
+  util::ByteWriter w;
+  w.put_string(what);
+  return seal(MessageType::kError, w.take());
+}
+
+Envelope open_envelope(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  Envelope env;
+  const auto type = r.get_u8();
+  if (type < 1 || type > 5) throw util::DecodeError("protocol: bad type");
+  env.type = static_cast<MessageType>(type);
+  const auto len = static_cast<std::size_t>(r.get_varint());
+  env.payload = r.get_bytes(len);
+  if (!r.done()) throw util::DecodeError("protocol: trailing bytes");
+  return env;
+}
+
+BinaryQueryRequest decode_binary_query(
+    const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  BinaryQueryRequest m;
+  const auto len = static_cast<std::size_t>(r.get_varint());
+  m.features = idx::deserialize_binary(r.get_bytes(len));
+  m.top_k = static_cast<std::int32_t>(r.get_u32());
+  return m;
+}
+
+QueryResponse decode_query_response(const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  QueryResponse m;
+  m.max_similarity = r.get_f64();
+  m.best_id = r.get_u32();
+  m.thumbnail_bytes = r.get_f64();
+  return m;
+}
+
+ImageUploadRequest decode_image_upload(
+    const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  ImageUploadRequest m;
+  const auto len = static_cast<std::size_t>(r.get_varint());
+  m.features = idx::deserialize_binary(r.get_bytes(len));
+  m.image_bytes = r.get_f64();
+  m.geo = get_geo(r);
+  m.thumbnail_bytes = r.get_f64();
+  return m;
+}
+
+UploadAck decode_upload_ack(const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  UploadAck m;
+  m.id = r.get_u32();
+  return m;
+}
+
+std::string decode_error(const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  return r.get_string();
+}
+
+}  // namespace bees::net

@@ -1,0 +1,74 @@
+// The client<->server wire protocol: typed messages in a self-describing
+// envelope (type byte + varint length + payload).  The simulation drives
+// Server through direct calls for speed, but every exchange it models is
+// expressible — and tested — as encoded messages through cloud::dispatch,
+// so the byte counts the energy/bandwidth model charges correspond to a
+// real serializable protocol.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "index/feature_index.hpp"
+#include "index/geo.hpp"
+
+namespace bees::net {
+
+enum class MessageType : std::uint8_t {
+  kBinaryQuery = 1,   ///< CBRD query with ORB features.
+  kImageUpload = 2,   ///< Unique-image upload (features + payload size).
+  kQueryResponse = 3, ///< Server's similarity verdict.
+  kUploadAck = 4,     ///< Server's acknowledgement of a stored image.
+  kError = 5,
+};
+
+struct BinaryQueryRequest {
+  feat::BinaryFeatures features;
+  std::int32_t top_k = 4;
+};
+
+struct QueryResponse {
+  double max_similarity = 0.0;
+  idx::ImageId best_id = idx::kInvalidImageId;
+  /// Size of the thumbnail feedback the server would attach (MRC path).
+  double thumbnail_bytes = 0.0;
+};
+
+struct ImageUploadRequest {
+  feat::BinaryFeatures features;
+  double image_bytes = 0.0;  ///< Payload size (the pixels themselves are
+                             ///< modelled, not carried, in the simulator).
+  idx::GeoTag geo;
+  double thumbnail_bytes = 0.0;
+};
+
+struct UploadAck {
+  idx::ImageId id = idx::kInvalidImageId;
+};
+
+/// Envelope: returns type + payload bytes, or nullopt for malformed input.
+struct Envelope {
+  MessageType type;
+  std::vector<std::uint8_t> payload;
+};
+
+std::vector<std::uint8_t> encode(const BinaryQueryRequest& m);
+std::vector<std::uint8_t> encode(const QueryResponse& m);
+std::vector<std::uint8_t> encode(const ImageUploadRequest& m);
+std::vector<std::uint8_t> encode(const UploadAck& m);
+/// An error report (message text carried for diagnostics).
+std::vector<std::uint8_t> encode_error(const std::string& what);
+
+/// Splits an envelope; throws util::DecodeError on malformed input.
+Envelope open_envelope(const std::vector<std::uint8_t>& bytes);
+
+BinaryQueryRequest decode_binary_query(const std::vector<std::uint8_t>& payload);
+QueryResponse decode_query_response(const std::vector<std::uint8_t>& payload);
+ImageUploadRequest decode_image_upload(const std::vector<std::uint8_t>& payload);
+UploadAck decode_upload_ack(const std::vector<std::uint8_t>& payload);
+std::string decode_error(const std::vector<std::uint8_t>& payload);
+
+}  // namespace bees::net

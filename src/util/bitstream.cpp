@@ -1,0 +1,75 @@
+#include "util/bitstream.hpp"
+
+namespace bees::util {
+
+void BitWriter::put_bit(bool b) {
+  cur_ = static_cast<std::uint8_t>((cur_ << 1) | (b ? 1 : 0));
+  if (++cur_bits_ == 8) {
+    buf_.push_back(cur_);
+    cur_ = 0;
+    cur_bits_ = 0;
+  }
+  ++bits_;
+}
+
+void BitWriter::put_bits(std::uint64_t v, int n) {
+  for (int i = n - 1; i >= 0; --i) put_bit((v >> i) & 1);
+}
+
+void BitWriter::put_ue(std::uint64_t v) {
+  // Exp-Golomb: code (v+1) with as many leading zeros as its bit length
+  // minus one.
+  const std::uint64_t code = v + 1;
+  int len = 0;
+  for (std::uint64_t t = code; t > 1; t >>= 1) ++len;
+  for (int i = 0; i < len; ++i) put_bit(false);
+  put_bits(code, len + 1);
+}
+
+void BitWriter::put_se(std::int64_t v) {
+  const std::uint64_t mapped = v > 0 ? static_cast<std::uint64_t>(v) * 2 - 1
+                                     : static_cast<std::uint64_t>(-v) * 2;
+  put_ue(mapped);
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (cur_bits_ > 0) {
+    cur_ = static_cast<std::uint8_t>(cur_ << (8 - cur_bits_));
+    buf_.push_back(cur_);
+    cur_ = 0;
+    cur_bits_ = 0;
+  }
+  return std::move(buf_);
+}
+
+bool BitReader::get_bit() {
+  const std::size_t byte = pos_ / 8;
+  if (byte >= buf_.size()) throw DecodeError("BitReader: past end");
+  const bool b = (buf_[byte] >> (7 - pos_ % 8)) & 1;
+  ++pos_;
+  return b;
+}
+
+std::uint64_t BitReader::get_bits(int n) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i) v = (v << 1) | (get_bit() ? 1 : 0);
+  return v;
+}
+
+std::uint64_t BitReader::get_ue() {
+  int zeros = 0;
+  while (!get_bit()) {
+    if (++zeros > 63) throw DecodeError("BitReader: bad EG code");
+  }
+  std::uint64_t code = 1;
+  for (int i = 0; i < zeros; ++i) code = (code << 1) | (get_bit() ? 1 : 0);
+  return code - 1;
+}
+
+std::int64_t BitReader::get_se() {
+  const std::uint64_t mapped = get_ue();
+  if (mapped & 1) return static_cast<std::int64_t>((mapped + 1) / 2);
+  return -static_cast<std::int64_t>(mapped / 2);
+}
+
+}  // namespace bees::util

@@ -1,0 +1,52 @@
+// Bit-level writer/reader with Exp-Golomb integer codes (MSB-first).
+// Shared by the JPEG-style image codec and the LZ77 byte compressor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/byte_io.hpp"
+
+namespace bees::util {
+
+/// Append-only bit writer.
+class BitWriter {
+ public:
+  void put_bit(bool b);
+  /// Writes the `n` low bits of `v`, most significant first (n <= 64).
+  void put_bits(std::uint64_t v, int n);
+  /// Unsigned Exp-Golomb code.
+  void put_ue(std::uint64_t v);
+  /// Signed Exp-Golomb code (0, 1, -1, 2, -2, ... mapping).
+  void put_se(std::int64_t v);
+  /// Flushes the partial byte (zero-padded) and returns the buffer.
+  std::vector<std::uint8_t> finish();
+
+  std::size_t bit_count() const noexcept { return bits_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint8_t cur_ = 0;
+  int cur_bits_ = 0;
+  std::size_t bits_ = 0;
+};
+
+/// Sequential bit reader matching BitWriter.  Throws util::DecodeError
+/// past the end of the buffer.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& buf,
+                     std::size_t start_byte = 0)
+      : buf_(buf), pos_(start_byte * 8) {}
+
+  bool get_bit();
+  std::uint64_t get_bits(int n);
+  std::uint64_t get_ue();
+  std::int64_t get_se();
+
+ private:
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_;  // in bits
+};
+
+}  // namespace bees::util

@@ -1,0 +1,120 @@
+#include "util/byte_io.hpp"
+
+#include <cstring>
+
+namespace bees::util {
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  put_u8(static_cast<std::uint8_t>(v));
+  put_u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  put_u16(static_cast<std::uint16_t>(v));
+  put_u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v));
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::put_f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u32(bits);
+}
+
+void ByteWriter::put_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits);
+}
+
+void ByteWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::put_string(const std::string& s) {
+  put_varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::get_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::get_u16() {
+  const auto lo = get_u8();
+  const auto hi = get_u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::get_u32() {
+  const std::uint32_t lo = get_u16();
+  const std::uint32_t hi = get_u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t ByteReader::get_u64() {
+  const std::uint64_t lo = get_u32();
+  const std::uint64_t hi = get_u32();
+  return lo | (hi << 32);
+}
+
+float ByteReader::get_f32() {
+  const std::uint32_t bits = get_u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+double ByteReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::uint64_t ByteReader::get_varint() {
+  std::uint64_t result = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t byte = get_u8();
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) return result;
+    shift += 7;
+    if (shift >= 64) throw DecodeError("ByteReader: varint overflow");
+  }
+}
+
+std::vector<std::uint8_t> ByteReader::get_bytes(std::size_t n) {
+  require(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                data_.begin() + static_cast<long>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::get_string() {
+  const auto n = static_cast<std::size_t>(get_varint());
+  require(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+}  // namespace bees::util

@@ -1,0 +1,69 @@
+// Little-endian byte buffer writer/reader.  Used for feature-set
+// serialization (what the client actually sends over the simulated channel,
+// so Table I space overheads are measured on real wire bytes) and for the
+// JPEG-style codec bit/byte stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bees::util {
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f32(float v);
+  void put_f64(double v);
+  /// Unsigned LEB128 varint; compact for small counts.
+  void put_varint(std::uint64_t v);
+  void put_bytes(std::span<const std::uint8_t> bytes);
+  void put_string(const std::string& s);  // varint length + bytes
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Thrown by ByteReader on truncated or malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Sequential little-endian decoder over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  float get_f32();
+  double get_f64();
+  std::uint64_t get_varint();
+  /// Copies `n` bytes out; throws DecodeError if fewer remain.
+  std::vector<std::uint8_t> get_bytes(std::size_t n);
+  std::string get_string();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bees::util

@@ -1,0 +1,23 @@
+// General-purpose lossless byte compression: greedy LZ77 over a 64 KiB
+// window with hash-chain match search and Exp-Golomb-coded tokens.  Used to
+// shrink feature payloads before they ride the bandwidth-constrained
+// channel (an extension beyond the paper — evaluated in
+// bench/ablation_feature_compression) and usable on any byte stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bees::util {
+
+/// Compresses `data`; the output always round-trips through
+/// lz_decompress.  Incompressible input grows by a small header plus ~1
+/// bit per byte of literal overhead.
+std::vector<std::uint8_t> lz_compress(std::span<const std::uint8_t> data);
+
+/// Inverse of lz_compress.  Throws DecodeError on malformed input.
+std::vector<std::uint8_t> lz_decompress(
+    const std::vector<std::uint8_t>& compressed);
+
+}  // namespace bees::util

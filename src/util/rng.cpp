@@ -1,0 +1,103 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace bees::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Expand the seed through SplitMix64 as recommended by the xoshiro authors;
+  // this avoids the all-zero state for any input seed.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform; cache the second variate.
+  double u1 = next_double();
+  double u2 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = next_double();
+  while (u <= 0.0) u = next_double();
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  double u = next_double();
+  while (u <= 0.0) u = next_double();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  return static_cast<std::size_t>(next_u64() % n);
+}
+
+Rng Rng::fork(std::uint64_t salt) noexcept {
+  // Mix the salt with fresh parent entropy so that distinct salts give
+  // independent streams even for consecutive integers.
+  std::uint64_t mix = next_u64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(mix);
+}
+
+}  // namespace bees::util

@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation for simulation and workload
+// synthesis.  Every stochastic component of the repository (scene generator,
+// channel fluctuation, LSH bit sampling, ...) draws from an explicitly seeded
+// Rng so that experiments are reproducible bit-for-bit across runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bees::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full xoshiro state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG (Blackman & Vigna).  Small, fast, and statistically
+/// strong enough for workload synthesis and Monte-Carlo simulation.
+class Rng {
+ public:
+  /// Constructs a generator whose entire stream is determined by `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).  Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (mean 0, stddev 1).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed value with the given rate (> 0).
+  double exponential(double rate) noexcept;
+
+  /// Pareto-distributed value with scale `xm` > 0 and shape `alpha` > 0.
+  /// Used for heavy-tailed spatial densities (Paris-like imageset).
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Uniformly random index in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n) noexcept;
+
+  /// Fisher-Yates shuffle of `v` in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = index(i + 1);
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; the child stream is a pure
+  /// function of (parent seed, salt), so subsystems can be re-seeded
+  /// independently of call order.
+  Rng fork(std::uint64_t salt) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace bees::util

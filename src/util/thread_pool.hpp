@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool with a parallel_for helper.  The heaviest
+// client-side computation in BEES is the IBRD pairwise-similarity graph
+// (O(n^2) descriptor matchings per batch); build_similarity_graph_parallel
+// spreads it across cores.  Deterministic: the work partition is static,
+// so results are identical to the serial path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bees::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; it may run on any worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.  If any task threw,
+  /// rethrows the first captured exception.
+  void wait_idle();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool, blocking until done.
+  /// Work is split into contiguous chunks, one batch per worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace bees::util

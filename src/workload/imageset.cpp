@@ -1,0 +1,212 @@
+#include "workload/imageset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace bees::wl {
+
+img::Image ImageSpec::render() const {
+  if (view_seed == 0) return img::render_scene(scene, width, height);
+  util::Rng rng(view_seed);
+  return img::render_view(scene, width, height, perturbation, rng);
+}
+
+std::uint64_t ImageSpec::cache_key() const noexcept {
+  std::uint64_t h = scene.seed;
+  h = util::splitmix64(h) ^ view_seed;
+  h = util::splitmix64(h) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(width)) << 32 |
+       static_cast<std::uint32_t>(height));
+  return util::splitmix64(h);
+}
+
+Imageset make_kentucky_like(int n_groups, int per_group, int width, int height,
+                            std::uint64_t seed, double max_view_strength) {
+  util::Rng rng(seed);
+  Imageset set;
+  set.groups.resize(static_cast<std::size_t>(n_groups));
+  for (int g = 0; g < n_groups; ++g) {
+    img::SceneSpec scene;
+    scene.seed = rng.next_u64() | 1;  // never 0
+    scene.shape_count = static_cast<int>(rng.uniform_int(12, 26));
+    for (int v = 0; v < per_group; ++v) {
+      ImageSpec spec;
+      spec.scene = scene;
+      spec.view_seed = rng.next_u64() | 1;
+      // Vary the shot difficulty: some views are near-duplicates, some are
+      // strong viewpoint changes — like the real Kentucky set, where a few
+      // views of each object are genuinely hard to match.
+      const double strength = rng.uniform(0.5, max_view_strength);
+      spec.perturbation.max_rotation_rad *= strength;
+      spec.perturbation.max_scale_delta *= strength;
+      spec.perturbation.max_translate_frac *= strength;
+      spec.perturbation.max_gain_delta *= strength;
+      spec.perturbation.max_bias *= strength;
+      spec.perturbation.noise_stddev *= std::min(strength, 2.0);
+      spec.width = width;
+      spec.height = height;
+      spec.group = static_cast<std::size_t>(g);
+      set.groups[static_cast<std::size_t>(g)].push_back(set.images.size());
+      set.images.push_back(spec);
+    }
+  }
+  return set;
+}
+
+Imageset make_disaster_like(int n_images, int similar_count, int width,
+                            int height, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Imageset set;
+  const int unique = n_images - similar_count;
+  for (int i = 0; i < unique; ++i) {
+    ImageSpec spec;
+    spec.scene.seed = rng.next_u64() | 1;
+    spec.scene.shape_count = static_cast<int>(rng.uniform_int(12, 26));
+    spec.view_seed = rng.next_u64() | 1;
+    spec.width = width;
+    spec.height = height;
+    spec.group = static_cast<std::size_t>(i);
+    set.groups.push_back({set.images.size()});
+    set.images.push_back(spec);
+  }
+  // Extra views of randomly chosen earlier images: the in-batch redundancy.
+  // Mild perturbation keeps their pairwise similarity high.
+  img::ViewPerturbation mild;
+  mild.max_rotation_rad = 0.03;
+  mild.max_scale_delta = 0.02;
+  mild.max_translate_frac = 0.015;
+  mild.max_gain_delta = 0.06;
+  mild.max_bias = 5.0;
+  mild.noise_stddev = 1.5;
+  for (int i = 0; i < similar_count; ++i) {
+    const std::size_t target = rng.index(static_cast<std::size_t>(unique));
+    ImageSpec spec = set.images[set.groups[target].front()];
+    spec.view_seed = rng.next_u64() | 1;
+    spec.perturbation = mild;
+    set.groups[target].push_back(set.images.size());
+    set.images.push_back(spec);
+  }
+  // Shuffle so similar images are interleaved through the batch, then
+  // rebuild the group index.
+  rng.shuffle(set.images);
+  set.groups.clear();
+  std::vector<std::size_t> group_of;
+  for (std::size_t i = 0; i < set.images.size(); ++i) {
+    const std::size_t g = set.images[i].group;
+    if (set.groups.size() <= g) set.groups.resize(g + 1);
+    set.groups[g].push_back(i);
+  }
+  return set;
+}
+
+Imageset make_paris_like(int n_images, int n_locations, const GeoBox& box,
+                         int width, int height, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Imageset set;
+  // Locations with Pareto popularity: a few hotspots hold most images.
+  struct Location {
+    idx::GeoTag geo;
+    double weight;
+    // A location hosts several distinct subjects (scenes): photos taken at
+    // the same spot are not all of the same thing, so only a fraction of
+    // same-location images are similar — as in the real Flickr data, where
+    // deduplication removes part, not all, of a dense location's images.
+    std::vector<img::SceneSpec> scenes;
+  };
+  std::vector<Location> locations;
+  locations.reserve(static_cast<std::size_t>(n_locations));
+  double total_weight = 0;
+  for (int l = 0; l < n_locations; ++l) {
+    Location loc;
+    loc.geo.lon = rng.uniform(box.lon_min, box.lon_max);
+    loc.geo.lat = rng.uniform(box.lat_min, box.lat_max);
+    loc.geo.valid = true;
+    loc.weight = rng.pareto(1.0, 1.1);  // heavy tail
+    const int scene_count = static_cast<int>(rng.uniform_int(1, 4));
+    for (int s = 0; s < scene_count; ++s) {
+      img::SceneSpec scene;
+      scene.seed = rng.next_u64() | 1;
+      scene.shape_count = static_cast<int>(rng.uniform_int(12, 26));
+      loc.scenes.push_back(scene);
+    }
+    total_weight += loc.weight;
+    locations.push_back(loc);
+  }
+  // Cumulative weights for sampling.
+  std::vector<double> cumulative;
+  cumulative.reserve(locations.size());
+  double acc = 0;
+  for (const auto& loc : locations) {
+    acc += loc.weight / total_weight;
+    cumulative.push_back(acc);
+  }
+  set.groups.resize(locations.size());
+  for (int i = 0; i < n_images; ++i) {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const auto li = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     locations.size() - 1)));
+    ImageSpec spec;
+    spec.scene = locations[li].scenes[rng.index(locations[li].scenes.size())];
+    spec.view_seed = rng.next_u64() | 1;
+    spec.width = width;
+    spec.height = height;
+    spec.geo = locations[li].geo;
+    spec.group = li;
+    set.groups[li].push_back(set.images.size());
+    set.images.push_back(spec);
+  }
+  return set;
+}
+
+Imageset make_burst_like(int n_bursts, int shots_per_burst, int width,
+                         int height, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Imageset set;
+  set.groups.resize(static_cast<std::size_t>(n_bursts));
+  img::ViewPerturbation burst;  // hand shake + sensor noise only
+  burst.max_rotation_rad = 0.008;
+  burst.max_scale_delta = 0.004;
+  burst.max_translate_frac = 0.004;
+  burst.max_gain_delta = 0.02;
+  burst.max_bias = 2.0;
+  burst.noise_stddev = 2.0;
+  for (int b = 0; b < n_bursts; ++b) {
+    img::SceneSpec scene;
+    scene.seed = rng.next_u64() | 1;
+    scene.shape_count = static_cast<int>(rng.uniform_int(12, 26));
+    for (int s = 0; s < shots_per_burst; ++s) {
+      ImageSpec spec;
+      spec.scene = scene;
+      spec.view_seed = rng.next_u64() | 1;
+      spec.perturbation = burst;
+      spec.width = width;
+      spec.height = height;
+      spec.group = static_cast<std::size_t>(b);
+      set.groups[static_cast<std::size_t>(b)].push_back(set.images.size());
+      set.images.push_back(spec);
+    }
+  }
+  return set;
+}
+
+ImageSpec make_near_duplicate(const ImageSpec& base, std::uint64_t salt) {
+  ImageSpec dup = base;
+  std::uint64_t h = base.view_seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  dup.view_seed = util::splitmix64(h) | 1;
+  // Barely perturbed: similarity with `base` comfortably exceeds the
+  // paper's 0.3 bar for seeded redundant images.
+  dup.perturbation.max_rotation_rad = 0.015;
+  dup.perturbation.max_scale_delta = 0.01;
+  dup.perturbation.max_translate_frac = 0.008;
+  dup.perturbation.max_gain_delta = 0.04;
+  dup.perturbation.max_bias = 3.0;
+  dup.perturbation.noise_stddev = 1.0;
+  return dup;
+}
+
+}  // namespace bees::wl

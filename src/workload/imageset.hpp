@@ -1,0 +1,89 @@
+// Synthetic imageset generators standing in for the paper's three datasets
+// (DESIGN.md §2):
+//   - Kentucky-like: groups of `per_group` perturbed views of one scene
+//     (the precision / similarity-distribution experiments),
+//   - disaster-like: a mixed set with a controlled fraction of in-batch
+//     similar images (the energy / bandwidth / delay experiments),
+//   - Paris-like: geotagged images over a lon/lat bounding box with a
+//     heavy-tailed location density (the lifetime / coverage experiments).
+//
+// Every image is an ImageSpec — a pure recipe (scene seed + view seed) —
+// so sets of thousands of images cost nothing until rendered.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imaging/image.hpp"
+#include "imaging/synth.hpp"
+#include "index/geo.hpp"
+
+namespace bees::wl {
+
+/// Recipe for one deterministic image.
+struct ImageSpec {
+  img::SceneSpec scene;
+  std::uint64_t view_seed = 0;  ///< 0 renders the canonical (unperturbed) view.
+  img::ViewPerturbation perturbation;
+  int width = 480;
+  int height = 360;
+  idx::GeoTag geo;
+  std::size_t group = 0;  ///< Ground-truth scene/group index within the set.
+
+  /// Renders the image; identical calls produce identical pixels.
+  img::Image render() const;
+
+  /// Stable cache key: distinct specs get distinct keys with overwhelming
+  /// probability (hash of scene seed, view seed, and dimensions).
+  std::uint64_t cache_key() const noexcept;
+};
+
+struct Imageset {
+  std::vector<ImageSpec> images;
+  std::vector<std::vector<std::size_t>> groups;  ///< Image indices per group.
+};
+
+/// Kentucky-like: `n_groups` scenes, `per_group` similar views each.
+/// `max_view_strength` scales the hardest view perturbation in the set
+/// (1 = all mild near-duplicates; larger values mix in strong viewpoint
+/// changes whose pair similarity approaches the dissimilar regime, like
+/// the hardest shots of the real Kentucky benchmark).
+Imageset make_kentucky_like(int n_groups, int per_group, int width, int height,
+                            std::uint64_t seed,
+                            double max_view_strength = 3.0);
+
+/// Disaster-like: `n_images` total; `similar_count` of them are extra views
+/// of earlier images in the set (the paper's "10 in-batch similar images in
+/// the 100").  Perturbations are mild so those pairs score well above the
+/// redundancy thresholds.
+Imageset make_disaster_like(int n_images, int similar_count, int width,
+                            int height, std::uint64_t seed);
+
+/// Geographic bounding box (degrees).
+struct GeoBox {
+  double lon_min = 2.31;
+  double lon_max = 2.34;
+  double lat_min = 48.855;
+  double lat_max = 48.872;
+};
+
+/// Paris-like: `n_images` distributed over `n_locations` spots whose
+/// popularity is Pareto (heavy-tailed, like the paper's "densest location
+/// has 5,399 images").  Images at the same location view the same scene.
+Imageset make_paris_like(int n_images, int n_locations, const GeoBox& box,
+                         int width, int height, std::uint64_t seed);
+
+/// Burst-shooting workload: `n_bursts` subjects, `shots_per_burst` nearly
+/// identical sequential shots of each — the paper's §I motivating case of
+/// in-batch redundancy ("burst shooting and taking multiple pictures for
+/// identical objects").  Shots within a burst differ only by sensor noise
+/// and sub-pixel hand shake, so their pairwise similarity is very high.
+Imageset make_burst_like(int n_bursts, int shots_per_burst, int width,
+                         int height, std::uint64_t seed);
+
+/// Derives a near-duplicate spec of `base` (very mild perturbation), used
+/// to pre-seed servers with cross-batch redundant images whose similarity
+/// with the upload exceeds the paper's 0.3 bar.
+ImageSpec make_near_duplicate(const ImageSpec& base, std::uint64_t salt);
+
+}  // namespace bees::wl

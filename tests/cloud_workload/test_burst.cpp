@@ -1,0 +1,60 @@
+// Burst-shooting workload: the paper's motivating in-batch case.  Shots of
+// one burst must be near-duplicates, and SSMM must collapse each burst to
+// (about) one retained image.
+#include <gtest/gtest.h>
+
+#include "features/similarity.hpp"
+#include "submodular/ssmm.hpp"
+#include "workload/image_store.hpp"
+
+namespace bees::wl {
+namespace {
+
+TEST(BurstLike, StructureMatchesRequest) {
+  const Imageset set = make_burst_like(4, 5, 160, 120, 141);
+  EXPECT_EQ(set.images.size(), 20u);
+  ASSERT_EQ(set.groups.size(), 4u);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(set.groups[b].size(), 5u);
+    for (const auto i : set.groups[b]) {
+      EXPECT_EQ(set.images[i].scene.seed,
+                set.images[set.groups[b][0]].scene.seed);
+    }
+  }
+}
+
+TEST(BurstLike, ShotsWithinBurstAreNearDuplicates) {
+  ImageStore store;
+  const Imageset set = make_burst_like(2, 3, 240, 180, 143);
+  const auto& a = store.orb(set.images[set.groups[0][0]], 0.0);
+  const auto& b = store.orb(set.images[set.groups[0][1]], 0.0);
+  const auto& other = store.orb(set.images[set.groups[1][0]], 0.0);
+  const double within = feat::jaccard_similarity(a, b);
+  const double across = feat::jaccard_similarity(a, other);
+  EXPECT_GT(within, 0.3);  // burst shots exceed even the seeding bar
+  EXPECT_LT(across, 0.05);
+}
+
+TEST(BurstLike, SsmmCollapsesEachBurstToOneImage) {
+  ImageStore store;
+  const Imageset set = make_burst_like(5, 4, 200, 150, 149);
+  std::vector<feat::BinaryFeatures> batch;
+  for (const auto& spec : set.images) batch.push_back(store.orb(spec, 0.0));
+  const sub::SimilarityGraph graph = sub::build_similarity_graph(batch);
+  const sub::SsmmResult r = sub::select_unique_images(graph, 0.019, {});
+  // 5 bursts -> budget 5, one representative each (allow one merge/split).
+  EXPECT_GE(r.budget, 4);
+  EXPECT_LE(r.budget, 6);
+  EXPECT_EQ(r.selected.size(), static_cast<std::size_t>(r.budget));
+  // Every burst is represented in the selection.
+  std::vector<bool> covered(5, false);
+  for (const auto sel : r.selected) {
+    covered[set.images[sel].group] = true;
+  }
+  int covered_count = 0;
+  for (const bool c : covered) covered_count += c ? 1 : 0;
+  EXPECT_GE(covered_count, 4);
+}
+
+}  // namespace
+}  // namespace bees::wl

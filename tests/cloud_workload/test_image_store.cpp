@@ -1,0 +1,113 @@
+#include "workload/image_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "imaging/codec.hpp"
+
+namespace bees::wl {
+namespace {
+
+Imageset small_set() { return make_kentucky_like(3, 2, 160, 120, 51); }
+
+TEST(ImageStore, PixelsAreCachedByIdentity) {
+  ImageStore store;
+  const Imageset set = small_set();
+  const img::Image& a = store.pixels(set.images[0]);
+  const img::Image& b = store.pixels(set.images[0]);
+  EXPECT_EQ(&a, &b);  // same cached object
+  EXPECT_EQ(store.pixel_cache_size(), 1u);
+}
+
+TEST(ImageStore, LruEvictsOldestPixels) {
+  ImageStore::Params p;
+  p.pixel_cache_capacity = 2;
+  ImageStore store(p);
+  const Imageset set = small_set();
+  store.pixels(set.images[0]);
+  store.pixels(set.images[1]);
+  store.pixels(set.images[2]);  // evicts images[0]
+  EXPECT_EQ(store.pixel_cache_size(), 2u);
+  // Re-requesting the evicted image still works (recomputed).
+  const img::Image& again = store.pixels(set.images[0]);
+  EXPECT_EQ(again, set.images[0].render());
+}
+
+TEST(ImageStore, OrbCachedPerCompressionBucket) {
+  ImageStore store;
+  const Imageset set = small_set();
+  const auto& full = store.orb(set.images[0], 0.0);
+  const auto& full2 = store.orb(set.images[0], 0.0);
+  EXPECT_EQ(&full, &full2);
+  const auto& compressed = store.orb(set.images[0], 0.4);
+  EXPECT_NE(&full, &compressed);
+  EXPECT_LT(compressed.stats.ops, full.stats.ops);
+}
+
+TEST(ImageStore, CachedStatsStillChargeWork) {
+  // The recorded ops of a cached extraction must be non-zero so energy is
+  // charged on every logical use.
+  ImageStore store;
+  const Imageset set = small_set();
+  store.orb(set.images[0], 0.2);
+  EXPECT_GT(store.orb(set.images[0], 0.2).stats.ops, 0u);
+}
+
+TEST(ImageStore, SiftAndPcaSiftCached) {
+  ImageStore store;
+  const Imageset set = small_set();
+  const auto& sift = store.sift(set.images[0]);
+  EXPECT_EQ(&sift, &store.sift(set.images[0]));
+  const feat::PcaModel model = core::train_pca_model(store, set, 2);
+  const auto& pca = store.pca_sift(set.images[0], model);
+  EXPECT_EQ(pca.dim, 36);
+  EXPECT_EQ(&pca, &store.pca_sift(set.images[0], model));
+  EXPECT_GT(pca.stats.ops, sift.stats.ops);
+}
+
+TEST(ImageStore, EncodedSizesShrinkWithCompression) {
+  ImageStore store;
+  const Imageset set = small_set();
+  const EncodedImage original = store.encoded(set.images[0], 0.0, 0.0);
+  const EncodedImage quality = store.encoded(set.images[0], 0.0, 0.85);
+  const EncodedImage resolution = store.encoded(set.images[0], 0.5, 0.0);
+  const EncodedImage both = store.encoded(set.images[0], 0.5, 0.85);
+  EXPECT_LT(quality.bytes, original.bytes);
+  EXPECT_LT(resolution.bytes, original.bytes);
+  EXPECT_LT(both.bytes, quality.bytes);
+  EXPECT_LT(both.bytes, resolution.bytes);
+}
+
+TEST(ImageStore, EncodedTracksResolution) {
+  ImageStore store;
+  const Imageset set = small_set();
+  const EncodedImage full = store.encoded(set.images[0], 0.0, 0.5);
+  EXPECT_EQ(full.width, 160);
+  EXPECT_EQ(full.height, 120);
+  const EncodedImage half = store.encoded(set.images[0], 0.5, 0.5);
+  EXPECT_EQ(half.width, 80);
+  EXPECT_EQ(half.height, 60);
+  EXPECT_GT(half.ops, 0u);
+}
+
+TEST(ImageStore, OriginalUsesConfiguredQuality) {
+  ImageStore::Params p;
+  p.original_quality = 92;
+  ImageStore store(p);
+  const Imageset set = small_set();
+  const EncodedImage original = store.original(set.images[0]);
+  // Must equal encoding at proportion 1 - 0.92 = 0.08.
+  const EncodedImage direct = store.encoded(set.images[0], 0.0, 0.08);
+  EXPECT_EQ(original.bytes, direct.bytes);
+}
+
+TEST(ImageStore, DistinctImagesDistinctCaches) {
+  ImageStore store;
+  const Imageset set = small_set();
+  const auto& f0 = store.orb(set.images[0], 0.0);
+  const auto& f1 = store.orb(set.images[1], 0.0);
+  EXPECT_NE(&f0, &f1);
+}
+
+}  // namespace
+}  // namespace bees::wl

@@ -1,0 +1,147 @@
+#include "workload/imageset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "features/orb.hpp"
+#include "features/similarity.hpp"
+
+namespace bees::wl {
+namespace {
+
+TEST(ImageSpec, RenderIsDeterministic) {
+  Imageset set = make_kentucky_like(2, 2, 96, 72, 11);
+  for (const auto& spec : set.images) {
+    EXPECT_EQ(spec.render(), spec.render());
+  }
+}
+
+TEST(ImageSpec, CacheKeysAreDistinct) {
+  Imageset set = make_kentucky_like(10, 4, 96, 72, 13);
+  std::set<std::uint64_t> keys;
+  for (const auto& spec : set.images) keys.insert(spec.cache_key());
+  EXPECT_EQ(keys.size(), set.images.size());
+}
+
+TEST(KentuckyLike, GroupStructure) {
+  const Imageset set = make_kentucky_like(5, 4, 96, 72, 17);
+  EXPECT_EQ(set.images.size(), 20u);
+  ASSERT_EQ(set.groups.size(), 5u);
+  for (std::size_t g = 0; g < 5; ++g) {
+    EXPECT_EQ(set.groups[g].size(), 4u);
+    for (const auto i : set.groups[g]) {
+      EXPECT_EQ(set.images[i].group, g);
+      // All views of a group share the scene seed.
+      EXPECT_EQ(set.images[i].scene.seed,
+                set.images[set.groups[g][0]].scene.seed);
+    }
+  }
+}
+
+TEST(KentuckyLike, GroupMembersAreSimilarImages) {
+  const Imageset set = make_kentucky_like(2, 2, 240, 180, 19);
+  const auto f0 = feat::extract_orb(set.images[set.groups[0][0]].render());
+  const auto f1 = feat::extract_orb(set.images[set.groups[0][1]].render());
+  const auto g0 = feat::extract_orb(set.images[set.groups[1][0]].render());
+  const double within = feat::jaccard_similarity(f0, f1);
+  const double across = feat::jaccard_similarity(f0, g0);
+  EXPECT_GT(within, 0.04);
+  EXPECT_GT(within, across * 2);
+}
+
+TEST(DisasterLike, HasRequestedSimilarCount) {
+  const Imageset set = make_disaster_like(30, 6, 96, 72, 23);
+  EXPECT_EQ(set.images.size(), 30u);
+  // 24 unique scenes; 6 extra views spread over them.
+  std::size_t multi = 0, singles = 0;
+  for (const auto& g : set.groups) {
+    if (g.size() > 1) multi += g.size() - 1;
+    if (g.size() == 1) ++singles;
+  }
+  EXPECT_EQ(multi, 6u);
+  EXPECT_EQ(set.groups.size(), 24u);
+  EXPECT_GE(singles, 18u);
+}
+
+TEST(DisasterLike, GroupsIndexTheShuffledImages) {
+  const Imageset set = make_disaster_like(20, 5, 96, 72, 29);
+  for (std::size_t g = 0; g < set.groups.size(); ++g) {
+    for (const auto i : set.groups[g]) {
+      ASSERT_LT(i, set.images.size());
+      EXPECT_EQ(set.images[i].group, g);
+    }
+  }
+}
+
+TEST(ParisLike, GeotagsInsideBoundingBox) {
+  const GeoBox box{2.31, 2.34, 48.855, 48.872};
+  const Imageset set = make_paris_like(200, 40, box, 96, 72, 31);
+  EXPECT_EQ(set.images.size(), 200u);
+  for (const auto& spec : set.images) {
+    ASSERT_TRUE(spec.geo.valid);
+    EXPECT_GE(spec.geo.lon, box.lon_min);
+    EXPECT_LE(spec.geo.lon, box.lon_max);
+    EXPECT_GE(spec.geo.lat, box.lat_min);
+    EXPECT_LE(spec.geo.lat, box.lat_max);
+  }
+}
+
+TEST(ParisLike, DensityIsHeavyTailed) {
+  const Imageset set = make_paris_like(2000, 100, GeoBox{}, 96, 72, 37);
+  std::vector<std::size_t> sizes;
+  for (const auto& g : set.groups) sizes.push_back(g.size());
+  std::sort(sizes.rbegin(), sizes.rend());
+  // The densest location holds far more than the mean of 20 (the paper's
+  // real distribution: densest has 5,399 of 165,539).
+  EXPECT_GT(sizes.front(), 100u);
+  // And a long tail of sparse locations exists.
+  EXPECT_LT(sizes.back(), 10u);
+}
+
+TEST(ParisLike, SameLocationSharesGeoAndAFewScenes) {
+  const Imageset set = make_paris_like(300, 30, GeoBox{}, 96, 72, 41);
+  for (const auto& g : set.groups) {
+    std::set<std::uint64_t> scenes;
+    for (const auto i : g) {
+      EXPECT_EQ(set.images[i].geo, set.images[g.front()].geo);
+      scenes.insert(set.images[i].scene.seed);
+    }
+    // Each location hosts between 1 and 4 distinct subjects.
+    if (!g.empty()) {
+      EXPECT_GE(scenes.size(), 1u);
+      EXPECT_LE(scenes.size(), 4u);
+    }
+  }
+  // Dense locations host repeated shots of the same subject (the source of
+  // the redundancy BEES eliminates).
+  bool any_repeat = false;
+  for (const auto& g : set.groups) {
+    std::set<std::uint64_t> scenes;
+    for (const auto i : g) scenes.insert(set.images[i].scene.seed);
+    any_repeat |= (g.size() > scenes.size());
+  }
+  EXPECT_TRUE(any_repeat);
+}
+
+TEST(NearDuplicate, ScoresAbovePaperBar) {
+  // Fig. 7 setup requires seeded redundant images with similarity > 0.3.
+  const Imageset set = make_kentucky_like(2, 1, 320, 240, 43);
+  const ImageSpec& base = set.images[0];
+  const ImageSpec dup = make_near_duplicate(base, 7);
+  EXPECT_NE(dup.view_seed, base.view_seed);
+  const auto fb = feat::extract_orb(base.render());
+  const auto fd = feat::extract_orb(dup.render());
+  EXPECT_GT(feat::jaccard_similarity(fb, fd), 0.3);
+}
+
+TEST(NearDuplicate, DistinctSaltsDistinctDuplicates) {
+  const Imageset set = make_kentucky_like(1, 1, 96, 72, 47);
+  const ImageSpec d1 = make_near_duplicate(set.images[0], 1);
+  const ImageSpec d2 = make_near_duplicate(set.images[0], 2);
+  EXPECT_NE(d1.view_seed, d2.view_seed);
+}
+
+}  // namespace
+}  // namespace bees::wl

@@ -1,0 +1,131 @@
+// Protocol + dispatcher tests: every simulated exchange must round-trip
+// through the encoded wire format, and a server fed garbage must answer
+// with an error instead of dying.
+#include "cloud/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "features/orb.hpp"
+#include "imaging/synth.hpp"
+#include "net/protocol.hpp"
+#include "util/byte_io.hpp"
+#include "util/rng.hpp"
+
+namespace bees::cloud {
+namespace {
+
+feat::BinaryFeatures features_of(std::uint64_t seed) {
+  return feat::extract_orb(
+      img::render_scene(img::SceneSpec{seed, 18, 4}, 200, 150));
+}
+
+TEST(Protocol, QueryRequestRoundTrips) {
+  net::BinaryQueryRequest request;
+  request.features = features_of(21);
+  request.top_k = 7;
+  const auto env = net::open_envelope(net::encode(request));
+  EXPECT_EQ(env.type, net::MessageType::kBinaryQuery);
+  const net::BinaryQueryRequest back = net::decode_binary_query(env.payload);
+  EXPECT_EQ(back.top_k, 7);
+  ASSERT_EQ(back.features.size(), request.features.size());
+  for (std::size_t i = 0; i < back.features.size(); ++i) {
+    EXPECT_EQ(back.features.descriptors[i], request.features.descriptors[i]);
+  }
+}
+
+TEST(Protocol, QueryResponseRoundTrips) {
+  net::QueryResponse reply;
+  reply.max_similarity = 0.125;
+  reply.best_id = 42;
+  reply.thumbnail_bytes = 8192.0;
+  const auto env = net::open_envelope(net::encode(reply));
+  EXPECT_EQ(env.type, net::MessageType::kQueryResponse);
+  const net::QueryResponse back = net::decode_query_response(env.payload);
+  EXPECT_DOUBLE_EQ(back.max_similarity, 0.125);
+  EXPECT_EQ(back.best_id, 42u);
+  EXPECT_DOUBLE_EQ(back.thumbnail_bytes, 8192.0);
+}
+
+TEST(Protocol, ImageUploadRoundTrips) {
+  net::ImageUploadRequest upload;
+  upload.features = features_of(23);
+  upload.image_bytes = 123456.0;
+  upload.geo = {2.33, 48.86, true};
+  upload.thumbnail_bytes = 9999.0;
+  const auto env = net::open_envelope(net::encode(upload));
+  EXPECT_EQ(env.type, net::MessageType::kImageUpload);
+  const net::ImageUploadRequest back = net::decode_image_upload(env.payload);
+  EXPECT_DOUBLE_EQ(back.image_bytes, 123456.0);
+  EXPECT_EQ(back.geo, upload.geo);
+  EXPECT_EQ(back.features.size(), upload.features.size());
+}
+
+TEST(Protocol, MalformedEnvelopeThrows) {
+  EXPECT_THROW(net::open_envelope({}), util::DecodeError);
+  EXPECT_THROW(net::open_envelope({0x00, 0x01}), util::DecodeError);
+  EXPECT_THROW(net::open_envelope({0x77, 0x01, 0x00}), util::DecodeError);
+  // Trailing junk after a valid envelope is rejected.
+  auto valid = net::encode(net::UploadAck{3});
+  valid.push_back(0xff);
+  EXPECT_THROW(net::open_envelope(valid), util::DecodeError);
+}
+
+TEST(Dispatch, FullUploadThenQueryExchange) {
+  Server server;
+  // Phone A uploads an image through the wire format.
+  net::ImageUploadRequest upload;
+  upload.features = features_of(31);
+  upload.image_bytes = 700.0 * 1024;
+  upload.geo = {2.32, 48.87, true};
+  upload.thumbnail_bytes = 40.0 * 1024;
+  const auto ack_bytes = dispatch(server, net::encode(upload));
+  const auto ack_env = net::open_envelope(ack_bytes);
+  ASSERT_EQ(ack_env.type, net::MessageType::kUploadAck);
+  const net::UploadAck ack = net::decode_upload_ack(ack_env.payload);
+  EXPECT_EQ(ack.id, 0u);
+  EXPECT_EQ(server.stats().images_stored, 1u);
+
+  // Phone B queries with a view of the same scene.
+  util::Rng rng(5);
+  net::BinaryQueryRequest query;
+  query.features = feat::extract_orb(img::render_view(
+      img::SceneSpec{31, 18, 4}, 200, 150, img::ViewPerturbation{}, rng));
+  const auto reply_bytes = dispatch(server, net::encode(query));
+  const auto reply_env = net::open_envelope(reply_bytes);
+  ASSERT_EQ(reply_env.type, net::MessageType::kQueryResponse);
+  const net::QueryResponse reply =
+      net::decode_query_response(reply_env.payload);
+  EXPECT_EQ(reply.best_id, 0u);
+  EXPECT_GT(reply.max_similarity, 0.02);
+  EXPECT_DOUBLE_EQ(reply.thumbnail_bytes, 40.0 * 1024);
+}
+
+TEST(Dispatch, GarbageGetsErrorReplyNotCrash) {
+  Server server;
+  util::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto reply = dispatch(server, junk);
+    const auto env = net::open_envelope(reply);
+    // A garbage request can only yield an error (or, if it accidentally
+    // parses, a legitimate reply type).
+    EXPECT_TRUE(env.type == net::MessageType::kError ||
+                env.type == net::MessageType::kQueryResponse ||
+                env.type == net::MessageType::kUploadAck);
+  }
+  EXPECT_EQ(server.stats().images_stored, 0u);
+}
+
+TEST(Dispatch, UnexpectedMessageTypeIsAnError) {
+  Server server;
+  // A response-type message is not a valid request.
+  const auto reply = dispatch(server, net::encode(net::QueryResponse{}));
+  const auto env = net::open_envelope(reply);
+  EXPECT_EQ(env.type, net::MessageType::kError);
+  EXPECT_FALSE(net::decode_error(env.payload).empty());
+}
+
+}  // namespace
+}  // namespace bees::cloud

@@ -1,0 +1,110 @@
+// Wire-accounting invariants: what the client reports sending must equal
+// what the server reports receiving, for every scheme.  A mismatch would
+// mean some figure double-counts or drops bytes.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/bees.hpp"
+#include "core/photonet.hpp"
+#include "core/simulation.hpp"
+
+namespace bees::core {
+namespace {
+
+class AccountingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_ = new wl::Imageset(wl::make_disaster_like(12, 3, 200, 150, 151));
+    store_ = new wl::ImageStore();
+    pca_ = new feat::PcaModel(train_pca_model(*store_, *set_, 3));
+  }
+  static void TearDownTestSuite() {
+    delete pca_;
+    delete store_;
+    delete set_;
+    pca_ = nullptr;
+    store_ = nullptr;
+    set_ = nullptr;
+  }
+
+  void check(UploadScheme& scheme, bool with_redundancy) {
+    cloud::Server server;
+    if (with_redundancy) {
+      seed_cross_batch_redundancy(set_->images, 0.25, *store_, server, pca_,
+                                  153, scheme.config().image_byte_scale);
+    }
+    net::Channel ch(net::ChannelParams::fixed(256000.0));
+    energy::Battery bat;
+    const BatchReport r = scheme.upload_batch(set_->images, server, ch, bat);
+    // Images: server received exactly what the client sent.
+    EXPECT_NEAR(server.stats().image_bytes_received, r.image_bytes, 1e-6)
+        << scheme.name();
+    // Features: likewise (Direct sends none).
+    EXPECT_NEAR(server.stats().feature_bytes_received, r.feature_bytes, 1e-6)
+        << scheme.name();
+    // Stored image count matches the uploads.
+    EXPECT_EQ(server.stats().images_stored,
+              static_cast<std::size_t>(r.images_uploaded))
+        << scheme.name();
+    // Conservation: every image is uploaded or eliminated, never both.
+    EXPECT_EQ(r.images_uploaded + r.eliminated_cross_batch +
+                  r.eliminated_in_batch,
+              r.images_offered)
+        << scheme.name();
+  }
+
+  SchemeConfig config() const {
+    SchemeConfig cfg;
+    cfg.image_byte_scale = 4.0;
+    return cfg;
+  }
+
+  static wl::Imageset* set_;
+  static wl::ImageStore* store_;
+  static feat::PcaModel* pca_;
+};
+
+wl::Imageset* AccountingTest::set_ = nullptr;
+wl::ImageStore* AccountingTest::store_ = nullptr;
+feat::PcaModel* AccountingTest::pca_ = nullptr;
+
+TEST_F(AccountingTest, DirectUpload) {
+  DirectUploadScheme s(*store_, config());
+  check(s, false);
+  check(s, true);
+}
+
+TEST_F(AccountingTest, SmartEye) {
+  SmartEyeScheme s(*store_, config(),
+                   std::shared_ptr<const feat::PcaModel>(
+                       pca_, [](const feat::PcaModel*) {}));
+  check(s, false);
+  check(s, true);
+}
+
+TEST_F(AccountingTest, Mrc) {
+  MrcScheme s(*store_, config());
+  check(s, false);
+  check(s, true);
+}
+
+TEST_F(AccountingTest, PhotoNet) {
+  PhotoNetScheme s(*store_, config());
+  check(s, false);
+  check(s, true);
+}
+
+TEST_F(AccountingTest, Bees) {
+  BeesScheme s(*store_, config());
+  check(s, false);
+  check(s, true);
+}
+
+TEST_F(AccountingTest, BeesEa) {
+  BeesScheme s(*store_, config(), /*adaptive=*/false);
+  check(s, false);
+  check(s, true);
+}
+
+}  // namespace
+}  // namespace bees::core

@@ -1,0 +1,170 @@
+// Stage-level tests of the BEES pipeline: the energy-aware knobs must flow
+// through AFE / ARD / AIU exactly as the paper's §III laws dictate.
+#include <gtest/gtest.h>
+
+#include "core/bees.hpp"
+#include "core/simulation.hpp"
+
+namespace bees::core {
+namespace {
+
+class BeesPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_ = new wl::Imageset(wl::make_disaster_like(12, 3, 200, 150, 81));
+    store_ = new wl::ImageStore();
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete set_;
+    store_ = nullptr;
+    set_ = nullptr;
+  }
+
+  SchemeConfig config() const {
+    SchemeConfig cfg;
+    cfg.image_byte_scale = 4.0;
+    return cfg;
+  }
+  static net::Channel fixed_channel() {
+    return net::Channel(net::ChannelParams::fixed(256000.0));
+  }
+
+  static wl::Imageset* set_;
+  static wl::ImageStore* store_;
+};
+
+wl::Imageset* BeesPipelineTest::set_ = nullptr;
+wl::ImageStore* BeesPipelineTest::store_ = nullptr;
+
+TEST_F(BeesPipelineTest, FullBatteryUsesFullEnergyKnobs) {
+  BeesScheme bees(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  bees.upload_batch(set_->images, server, ch, bat);
+  const auto& knobs = bees.last_trace().knobs;
+  EXPECT_NEAR(knobs.bitmap_compression, 0.0, 1e-9);
+  EXPECT_NEAR(knobs.redundancy_threshold, 0.019, 1e-9);
+  EXPECT_NEAR(knobs.resolution_compression, 0.0, 1e-9);
+}
+
+TEST_F(BeesPipelineTest, LowBatteryAppliesAdaptiveLaws) {
+  BeesScheme bees(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  bat.drain(bat.capacity_j() * 0.9);  // Ebat = 10%
+  bees.upload_batch(set_->images, server, ch, bat);
+  const auto& knobs = bees.last_trace().knobs;
+  EXPECT_NEAR(knobs.bitmap_compression, 0.4 - 0.4 * 0.1, 1e-6);
+  EXPECT_NEAR(knobs.redundancy_threshold, 0.013 + 0.006 * 0.1, 1e-6);
+  EXPECT_NEAR(knobs.resolution_compression, 0.8 - 0.8 * 0.1, 1e-6);
+}
+
+TEST_F(BeesPipelineTest, BeesEaIgnoresBatteryLevel) {
+  BeesScheme bees_ea(*store_, config(), /*adaptive=*/false);
+  EXPECT_EQ(bees_ea.name(), "BEES-EA");
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  bat.drain(bat.capacity_j() * 0.95);
+  bees_ea.upload_batch(set_->images, server, ch, bat);
+  const auto& knobs = bees_ea.last_trace().knobs;
+  EXPECT_NEAR(knobs.bitmap_compression, 0.0, 1e-9);
+  EXPECT_NEAR(knobs.resolution_compression, 0.0, 1e-9);
+}
+
+TEST_F(BeesPipelineTest, LowBatteryConsumesLessEnergyAndBytes) {
+  // The whole point of EAAS: the same batch costs less at low charge.
+  BeesScheme bees(*store_, config());
+  auto run_at = [&](double ebat) {
+    cloud::Server server;
+    net::Channel ch = fixed_channel();
+    energy::Battery bat;
+    bat.drain(bat.capacity_j() * (1.0 - ebat));
+    return bees.upload_batch(set_->images, server, ch, bat);
+  };
+  const BatchReport full = run_at(1.0);
+  const BatchReport low = run_at(0.1);
+  EXPECT_LT(low.energy.active_total(), full.energy.active_total());
+  EXPECT_LT(low.image_bytes, full.image_bytes);
+  EXPECT_LT(low.energy.extraction_j, full.energy.extraction_j);
+}
+
+TEST_F(BeesPipelineTest, TraceSelectionIsConsistent) {
+  BeesScheme bees(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const BatchReport r = bees.upload_batch(set_->images, server, ch, bat);
+  const BeesBatchTrace& trace = bees.last_trace();
+  EXPECT_EQ(trace.selected.size(),
+            static_cast<std::size_t>(r.images_uploaded));
+  EXPECT_EQ(trace.cross_redundant.size(),
+            static_cast<std::size_t>(r.eliminated_cross_batch));
+  // Selected and cross-redundant sets are disjoint subsets of the batch.
+  for (const auto i : trace.selected) {
+    EXPECT_LT(i, set_->images.size());
+    for (const auto j : trace.cross_redundant) EXPECT_NE(i, j);
+  }
+  // SSMM budget bounds the upload count.
+  EXPECT_LE(r.images_uploaded, trace.ssmm_budget);
+}
+
+TEST_F(BeesPipelineTest, UploadedImagesEnterServerIndex) {
+  BeesScheme bees(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const BatchReport r1 = bees.upload_batch(set_->images, server, ch, bat);
+  EXPECT_GT(r1.images_uploaded, 0);
+  // Re-uploading the identical batch: the images whose features the server
+  // stored are certainly cross-batch redundant (similarity 1 with
+  // themselves); the in-batch-eliminated ones may fall either to CBRD (via
+  // their uploaded representative) or to IBRD again.  Nothing new should
+  // reach the server.
+  const BatchReport r2 = bees.upload_batch(set_->images, server, ch, bat);
+  EXPECT_GE(r2.eliminated_cross_batch, r1.images_uploaded);
+  EXPECT_LE(r2.images_uploaded, 2);
+}
+
+TEST_F(BeesPipelineTest, EmptyBatchIsNoOp) {
+  BeesScheme bees(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const BatchReport r = bees.upload_batch({}, server, ch, bat);
+  EXPECT_EQ(r.images_offered, 0);
+  EXPECT_EQ(r.images_uploaded, 0);
+  EXPECT_DOUBLE_EQ(bat.fraction(), 1.0);
+}
+
+TEST_F(BeesPipelineTest, FeatureBytesScaleWithCompression) {
+  // AFE at low battery extracts from smaller bitmaps -> fewer keypoints ->
+  // smaller feature payload.
+  BeesScheme bees(*store_, config());
+  auto feature_bytes_at = [&](double ebat) {
+    cloud::Server server;
+    net::Channel ch = fixed_channel();
+    energy::Battery bat;
+    bat.drain(bat.capacity_j() * (1.0 - ebat));
+    return bees.upload_batch(set_->images, server, ch, bat).feature_bytes;
+  };
+  EXPECT_LE(feature_bytes_at(0.05), feature_bytes_at(1.0));
+}
+
+TEST_F(BeesPipelineTest, EnergyConservation) {
+  // Battery drain must equal the itemized active energy (no idle inside a
+  // batch).
+  BeesScheme bees(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const BatchReport r = bees.upload_batch(set_->images, server, ch, bat);
+  EXPECT_NEAR(bat.capacity_j() - bat.remaining_j(),
+              r.energy.active_total(), 1e-6);
+}
+
+}  // namespace
+}  // namespace bees::core

@@ -1,0 +1,112 @@
+#include "core/photonet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/simulation.hpp"
+#include "features/global.hpp"
+
+namespace bees::core {
+namespace {
+
+class PhotoNetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_ = new wl::Imageset(wl::make_disaster_like(14, 3, 200, 150, 121));
+    store_ = new wl::ImageStore();
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete set_;
+    store_ = nullptr;
+    set_ = nullptr;
+  }
+
+  SchemeConfig config() const {
+    SchemeConfig cfg;
+    cfg.image_byte_scale = 4.0;
+    return cfg;
+  }
+  static net::Channel fixed_channel() {
+    return net::Channel(net::ChannelParams::fixed(256000.0));
+  }
+
+  static wl::Imageset* set_;
+  static wl::ImageStore* store_;
+};
+
+wl::Imageset* PhotoNetTest::set_ = nullptr;
+wl::ImageStore* PhotoNetTest::store_ = nullptr;
+
+TEST_F(PhotoNetTest, UploadsEverythingToEmptyServer) {
+  PhotoNetScheme photonet(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const BatchReport r = photonet.upload_batch(set_->images, server, ch, bat);
+  EXPECT_EQ(r.images_uploaded, 14);
+  EXPECT_EQ(server.stats().images_stored, 14u);
+  EXPECT_GT(r.feature_bytes, 0.0);
+}
+
+TEST_F(PhotoNetTest, DetectsRepeatUploadAsRedundant) {
+  PhotoNetScheme photonet(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  photonet.upload_batch(set_->images, server, ch, bat);
+  // The identical batch again: histograms match exactly, geo is absent so
+  // the geo gate is skipped.
+  const BatchReport r2 = photonet.upload_batch(set_->images, server, ch, bat);
+  EXPECT_EQ(r2.images_uploaded, 0);
+  EXPECT_EQ(r2.eliminated_cross_batch, 14);
+}
+
+TEST_F(PhotoNetTest, ExtractionIsOrdersCheaperThanMrc) {
+  PhotoNetScheme photonet(*store_, config());
+  MrcScheme mrc(*store_, config());
+  auto extraction_energy = [&](UploadScheme& s) {
+    cloud::Server server;
+    net::Channel ch = fixed_channel();
+    energy::Battery bat;
+    return s.upload_batch(set_->images, server, ch, bat)
+        .energy.extraction_j;
+  };
+  EXPECT_LT(extraction_energy(photonet) * 10, extraction_energy(mrc));
+}
+
+TEST_F(PhotoNetTest, FeaturePayloadIsTiny) {
+  PhotoNetScheme photonet(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const BatchReport r = photonet.upload_batch(set_->images, server, ch, bat);
+  // ~273 B per image versus kilobytes for descriptor sets.
+  EXPECT_LT(r.feature_bytes / r.images_offered, 400.0);
+}
+
+TEST_F(PhotoNetTest, GeoGateBlocksFarMatches) {
+  // Two identical-looking photos at distant locations are NOT redundant
+  // under PhotoNet (different places need separate coverage).
+  cloud::Server server;
+  wl::ImageSpec near = set_->images[0];
+  near.geo = {2.32, 48.86, true};
+  const feat::ColorHistogram h =
+      feat::color_histogram(store_->pixels(near));
+  server.store_global(h, 1000.0, near.geo);
+  EXPECT_GT(server.query_global(h, near.geo), kPhotoNetThreshold);
+  const idx::GeoTag far{2.50, 48.86, true};
+  EXPECT_DOUBLE_EQ(server.query_global(h, far), 0.0);
+}
+
+TEST_F(PhotoNetTest, AbortsOnDeadBattery) {
+  PhotoNetScheme photonet(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat(0.01);
+  const BatchReport r = photonet.upload_batch(set_->images, server, ch, bat);
+  EXPECT_TRUE(r.aborted);
+}
+
+}  // namespace
+}  // namespace bees::core

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/bees.hpp"
+#include "core/simulation.hpp"
+
+namespace bees::core {
+namespace {
+
+/// Shared workload and store for the scheme integration tests: a 16-image
+/// disaster-like batch with 4 in-batch similar images, at reduced size for
+/// test speed.  Extraction results are cached across all tests in the
+/// suite.
+class SchemeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_ = new wl::Imageset(wl::make_disaster_like(16, 4, 200, 150, 61));
+    store_ = new wl::ImageStore();
+    pca_ = new feat::PcaModel(train_pca_model(*store_, *set_, 4));
+  }
+  static void TearDownTestSuite() {
+    delete pca_;
+    delete store_;
+    delete set_;
+    pca_ = nullptr;
+    store_ = nullptr;
+    set_ = nullptr;
+  }
+
+  SchemeConfig config() const {
+    SchemeConfig cfg;
+    cfg.image_byte_scale = 4.0;
+    return cfg;
+  }
+  static net::Channel fixed_channel() {
+    return net::Channel(net::ChannelParams::fixed(256000.0));
+  }
+
+  static wl::Imageset* set_;
+  static wl::ImageStore* store_;
+  static feat::PcaModel* pca_;
+};
+
+wl::Imageset* SchemeTest::set_ = nullptr;
+wl::ImageStore* SchemeTest::store_ = nullptr;
+feat::PcaModel* SchemeTest::pca_ = nullptr;
+
+TEST_F(SchemeTest, DirectUploadsEverything) {
+  DirectUploadScheme direct(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const BatchReport r = direct.upload_batch(set_->images, server, ch, bat);
+  EXPECT_EQ(r.images_uploaded, 16);
+  EXPECT_EQ(r.eliminated_cross_batch, 0);
+  EXPECT_EQ(r.eliminated_in_batch, 0);
+  EXPECT_DOUBLE_EQ(r.feature_bytes, 0.0);
+  EXPECT_GT(r.image_bytes, 0.0);
+  EXPECT_EQ(server.stats().images_stored, 16u);
+  // Energy was drained from the battery, itemized as image TX only.
+  EXPECT_NEAR(bat.capacity_j() - bat.remaining_j(), r.energy.total(), 1e-6);
+  EXPECT_DOUBLE_EQ(r.energy.extraction_j, 0.0);
+}
+
+TEST_F(SchemeTest, MrcDetectsSeededCrossBatchRedundancy) {
+  MrcScheme mrc(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const auto seeded = seed_cross_batch_redundancy(set_->images, 0.5, *store_,
+                                                  server, nullptr, 71);
+  const BatchReport r = mrc.upload_batch(set_->images, server, ch, bat);
+  EXPECT_GE(r.eliminated_cross_batch, static_cast<int>(seeded.size()));
+  EXPECT_EQ(r.eliminated_in_batch, 0);  // MRC cannot see in-batch redundancy
+  EXPECT_GT(r.feature_bytes, 0.0);
+  EXPECT_GT(r.rx_bytes, 0.0);  // thumbnail feedback
+}
+
+TEST_F(SchemeTest, SmartEyeDetectsSeededCrossBatchRedundancy) {
+  SmartEyeScheme smarteye(*store_, config(),
+                          std::shared_ptr<const feat::PcaModel>(
+                              pca_, [](const feat::PcaModel*) {}));
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const auto seeded = seed_cross_batch_redundancy(set_->images, 0.25, *store_,
+                                                  server, pca_, 73);
+  const BatchReport r = smarteye.upload_batch(set_->images, server, ch, bat);
+  EXPECT_GE(r.eliminated_cross_batch, static_cast<int>(seeded.size()) - 1);
+  EXPECT_GT(r.energy.extraction_j, 0.0);
+  EXPECT_EQ(r.rx_bytes, 0.0);  // no thumbnail feedback in SmartEye
+}
+
+TEST_F(SchemeTest, BeesEliminatesInBatchRedundancy) {
+  BeesScheme bees(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const BatchReport r = bees.upload_batch(set_->images, server, ch, bat);
+  // The workload has 4 in-batch similar images and nothing on the server.
+  // A couple of extra merges are legitimate: the paper's own similarity
+  // distribution has a false-positive tail at these thresholds (Fig. 4).
+  EXPECT_EQ(r.eliminated_cross_batch, 0);
+  EXPECT_GE(r.eliminated_in_batch, 3);
+  EXPECT_LE(r.eliminated_in_batch, 9);
+  EXPECT_EQ(r.images_uploaded + r.eliminated_in_batch, 16);
+  EXPECT_GE(r.images_uploaded, 7);
+}
+
+TEST_F(SchemeTest, BeesUsesFarFewerBytesThanBaselines) {
+  auto run = [&](UploadScheme& s) {
+    cloud::Server server;
+    net::Channel ch = fixed_channel();
+    energy::Battery bat;
+    const BatchReport r = s.upload_batch(set_->images, server, ch, bat);
+    return r.image_bytes + r.feature_bytes + r.rx_bytes;
+  };
+  DirectUploadScheme direct(*store_, config());
+  MrcScheme mrc(*store_, config());
+  BeesScheme bees(*store_, config());
+  const double direct_bytes = run(direct);
+  const double mrc_bytes = run(mrc);
+  const double bees_bytes = run(bees);
+  // With no server-side redundancy, MRC pays the feature overhead on top
+  // of everything Direct pays.
+  EXPECT_GT(mrc_bytes, direct_bytes);
+  // BEES compresses and drops in-batch similars: well under half.
+  EXPECT_LT(bees_bytes, direct_bytes * 0.5);
+}
+
+TEST_F(SchemeTest, EnergyOrderingMatchesPaperAtZeroRedundancy) {
+  // Paper §IV-B3: "in the worst case with no cross-batch redundancy, BEES
+  // also obtains 67.6% energy saving while SmartEye and MRC consume more
+  // energy than Direct Upload."
+  auto active_energy = [&](UploadScheme& s) {
+    cloud::Server server;
+    net::Channel ch = fixed_channel();
+    energy::Battery bat;
+    return s.upload_batch(set_->images, server, ch, bat)
+        .energy.active_total();
+  };
+  DirectUploadScheme direct(*store_, config());
+  MrcScheme mrc(*store_, config());
+  BeesScheme bees(*store_, config());
+  const double e_direct = active_energy(direct);
+  const double e_mrc = active_energy(mrc);
+  const double e_bees = active_energy(bees);
+  EXPECT_GT(e_mrc, e_direct);
+  EXPECT_LT(e_bees, e_direct * 0.55);
+}
+
+TEST_F(SchemeTest, SchemesAbortWhenBatteryDies) {
+  DirectUploadScheme direct(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat(1.0);  // one joule: dies mid-batch
+  const BatchReport r = direct.upload_batch(set_->images, server, ch, bat);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_LT(r.images_uploaded, 16);
+  BeesScheme bees(*store_, config());
+  energy::Battery bat2(0.0001);
+  const BatchReport r2 = bees.upload_batch(set_->images, server, ch, bat2);
+  EXPECT_TRUE(r2.aborted);
+}
+
+TEST_F(SchemeTest, MeanDelayIsBusyOverOffered) {
+  DirectUploadScheme direct(*store_, config());
+  cloud::Server server;
+  net::Channel ch = fixed_channel();
+  energy::Battery bat;
+  const BatchReport r = direct.upload_batch(set_->images, server, ch, bat);
+  EXPECT_NEAR(r.mean_delay_seconds(), r.busy_seconds() / 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(BatchReport{}.mean_delay_seconds(), 0.0);
+}
+
+TEST_F(SchemeTest, ReportAccumulationIsFieldwise) {
+  BatchReport a, b;
+  a.images_uploaded = 2;
+  a.image_bytes = 10;
+  b.images_uploaded = 3;
+  b.feature_bytes = 5;
+  b.aborted = true;
+  a += b;
+  EXPECT_EQ(a.images_uploaded, 5);
+  EXPECT_DOUBLE_EQ(a.image_bytes, 10.0);
+  EXPECT_DOUBLE_EQ(a.feature_bytes, 5.0);
+  EXPECT_TRUE(a.aborted);
+}
+
+}  // namespace
+}  // namespace bees::core

@@ -1,0 +1,167 @@
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/bees.hpp"
+
+namespace bees::core {
+namespace {
+
+class SimulationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // 6 groups of 8 geotagged images with location-level redundancy.
+    set_ = new wl::Imageset(
+        wl::make_paris_like(48, 10, wl::GeoBox{}, 160, 120, 91));
+    store_ = new wl::ImageStore();
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete set_;
+    store_ = nullptr;
+    set_ = nullptr;
+  }
+
+  SchemeConfig config() const {
+    SchemeConfig cfg;
+    cfg.image_byte_scale = 8.0;
+    return cfg;
+  }
+
+  static wl::Imageset* set_;
+  static wl::ImageStore* store_;
+};
+
+wl::Imageset* SimulationTest::set_ = nullptr;
+wl::ImageStore* SimulationTest::store_ = nullptr;
+
+TEST_F(SimulationTest, SliceGroupsPartitionsTheSet) {
+  const auto groups = slice_groups(*set_, 8);
+  EXPECT_EQ(groups.size(), 6u);
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, 48u);
+  const auto ragged = slice_groups(*set_, 10);
+  EXPECT_EQ(ragged.size(), 5u);
+  EXPECT_EQ(ragged.back().size(), 8u);
+  EXPECT_TRUE(slice_groups(*set_, 0).empty());
+}
+
+TEST_F(SimulationTest, LifetimeCurveIsMonotoneDecreasing) {
+  DirectUploadScheme direct(*store_, config());
+  cloud::Server server;
+  net::Channel ch(net::ChannelParams::fixed(256000.0));
+  energy::Battery bat(200.0);  // small battery so it dies within the run
+  const LifetimeResult r = run_lifetime(direct, slice_groups(*set_, 8),
+                                        60.0, server, ch, bat);
+  ASSERT_GE(r.curve.size(), 2u);
+  for (std::size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_LE(r.curve[i].battery_fraction, r.curve[i - 1].battery_fraction);
+    EXPECT_GE(r.curve[i].hours, r.curve[i - 1].hours);
+  }
+  EXPECT_TRUE(r.battery_died);
+  EXPECT_GT(r.lifetime_hours, 0.0);
+}
+
+TEST_F(SimulationTest, BeesOutlivesDirectUpload) {
+  const auto groups = slice_groups(*set_, 8);
+  auto lifetime_of = [&](UploadScheme& s) {
+    cloud::Server server;
+    net::Channel ch(net::ChannelParams::fixed(256000.0));
+    energy::Battery bat(500.0);
+    return run_lifetime(s, groups, 60.0, server, ch, bat);
+  };
+  DirectUploadScheme direct(*store_, config());
+  BeesScheme bees(*store_, config());
+  const LifetimeResult ld = lifetime_of(direct);
+  const LifetimeResult lb = lifetime_of(bees);
+  // Either BEES survives the whole run with charge left, or it lasted
+  // strictly longer.
+  if (lb.battery_died) {
+    EXPECT_GT(lb.lifetime_hours, ld.lifetime_hours);
+  } else {
+    EXPECT_EQ(lb.groups_uploaded, static_cast<int>(groups.size()));
+  }
+  EXPECT_GE(lb.groups_uploaded, ld.groups_uploaded);
+}
+
+TEST_F(SimulationTest, IdleDrainAppliesPerInterval) {
+  // With an empty workload nothing is uploaded, but each interval still
+  // costs idle/screen energy... no groups means no intervals, so craft one
+  // empty group.
+  DirectUploadScheme direct(*store_, config());
+  cloud::Server server;
+  net::Channel ch(net::ChannelParams::fixed(256000.0));
+  energy::Battery bat(1000.0);
+  std::vector<std::vector<wl::ImageSpec>> groups{{}, {}};
+  const LifetimeResult r = run_lifetime(direct, groups, 100.0, server, ch, bat);
+  // Two intervals of 100 s at idle_power 0.8 W = 160 J.
+  EXPECT_NEAR(bat.remaining_j(), 1000.0 - 160.0, 1e-6);
+  EXPECT_EQ(r.groups_uploaded, 2);
+  EXPECT_FALSE(r.battery_died);
+}
+
+TEST_F(SimulationTest, SeedRedundancyReturnsRequestedFraction) {
+  cloud::Server server;
+  const auto idx = seed_cross_batch_redundancy(set_->images, 0.25, *store_,
+                                               server, nullptr, 3);
+  EXPECT_EQ(idx.size(), 12u);
+  EXPECT_EQ(server.binary_index().image_count(), 12u);
+  // Indices are unique and in range.
+  for (std::size_t i = 1; i < idx.size(); ++i) EXPECT_LT(idx[i - 1], idx[i]);
+  EXPECT_LT(idx.back(), set_->images.size());
+}
+
+TEST_F(SimulationTest, SeedRedundancyZeroAndFull) {
+  cloud::Server server;
+  EXPECT_TRUE(seed_cross_batch_redundancy(set_->images, 0.0, *store_, server,
+                                          nullptr, 3)
+                  .empty());
+  const auto all = seed_cross_batch_redundancy(set_->images, 1.0, *store_,
+                                               server, nullptr, 3);
+  EXPECT_EQ(all.size(), set_->images.size());
+}
+
+TEST_F(SimulationTest, CoverageRunsToCompletion) {
+  cloud::Server server;
+  BeesScheme bees(*store_, config());
+  std::vector<CoveragePhone> phones;
+  for (int p = 0; p < 2; ++p) {
+    CoveragePhone phone;
+    phone.scheme = &bees;
+    phone.channel = net::Channel(net::ChannelParams::fixed(256000.0));
+    phone.battery = energy::Battery(2000.0);
+    phone.groups = slice_groups(*set_, 12);
+    phones.push_back(std::move(phone));
+  }
+  const CoverageResult r = run_coverage(phones, 60.0, server);
+  EXPECT_GT(r.images_received, 0u);
+  EXPECT_GT(r.unique_locations, 0u);
+  EXPECT_LE(r.unique_locations, 10u);  // at most the location count
+  EXPECT_GT(r.hours_elapsed, 0.0);
+}
+
+TEST_F(SimulationTest, CoverageBeatsDirectOnUniqueLocations) {
+  // The Fig. 12 story in miniature: under the same small battery, BEES
+  // spends energy on *new* locations instead of duplicates.
+  auto coverage_of = [&](UploadScheme& s) {
+    cloud::Server server;
+    std::vector<CoveragePhone> phones(1);
+    phones[0].scheme = &s;
+    phones[0].channel = net::Channel(net::ChannelParams::fixed(256000.0));
+    phones[0].battery = energy::Battery(600.0);
+    phones[0].groups = slice_groups(*set_, 8);
+    return run_coverage(phones, 60.0, server);
+  };
+  DirectUploadScheme direct(*store_, config());
+  BeesScheme bees(*store_, config());
+  const CoverageResult cd = coverage_of(direct);
+  const CoverageResult cb = coverage_of(bees);
+  // At this tiny scale the effect is statistical; allow one location of
+  // slack (the full-size comparison is bench/fig12_coverage).
+  EXPECT_GE(cb.unique_locations + 1, cd.unique_locations);
+}
+
+}  // namespace
+}  // namespace bees::core

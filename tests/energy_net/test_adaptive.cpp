@@ -1,0 +1,82 @@
+#include "energy/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bees::energy::adapt {
+namespace {
+
+TEST(Eac, MatchesPaperLaw) {
+  // C = 0.4 - 0.4 * Ebat (paper §III-A).
+  EXPECT_DOUBLE_EQ(eac_compression(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(eac_compression(0.5), 0.2);
+  EXPECT_NEAR(eac_compression(0.05), 0.38, 1e-12);  // the paper's example
+  EXPECT_DOUBLE_EQ(eac_compression(0.0), 0.4);
+}
+
+TEST(Eac, ClampsOutOfRangeBattery) {
+  EXPECT_DOUBLE_EQ(eac_compression(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(eac_compression(-0.2), 0.4);
+}
+
+TEST(Edr, MatchesPaperLaw) {
+  // T = 0.013 + 0.006 * Ebat (paper §III-B1).
+  EXPECT_DOUBLE_EQ(edr_threshold(0.0), 0.013);
+  EXPECT_DOUBLE_EQ(edr_threshold(1.0), 0.019);
+  EXPECT_NEAR(edr_threshold(0.5), 0.016, 1e-12);
+}
+
+TEST(Edr, LowBatteryEliminatesMoreAggressively) {
+  // A lower threshold marks more images redundant — "eliminate more images
+  // by reducing T when the energy is insufficient."
+  EXPECT_LT(edr_threshold(0.1), edr_threshold(0.9));
+}
+
+TEST(SsmmTw, ReusesEdrParameters) {
+  for (const double e : {0.0, 0.3, 0.7, 1.0}) {
+    EXPECT_DOUBLE_EQ(ssmm_tw(e), edr_threshold(e));
+  }
+}
+
+TEST(Eau, MatchesPaperLaw) {
+  // Cr = 0.8 - 0.8 * Ebat (paper §III-C).
+  EXPECT_DOUBLE_EQ(eau_resolution(1.0), 0.0);
+  EXPECT_NEAR(eau_resolution(0.05), 0.76, 1e-12);  // the paper's example
+  EXPECT_DOUBLE_EQ(eau_resolution(0.0), 0.8);
+}
+
+TEST(QualityProportion, IsTheFixed085) {
+  EXPECT_DOUBLE_EQ(kQualityProportion, 0.85);
+}
+
+TEST(Knobs, FromBatteryAppliesAllLaws) {
+  const Knobs k = Knobs::from_battery(0.25);
+  EXPECT_NEAR(k.bitmap_compression, 0.3, 1e-12);
+  EXPECT_NEAR(k.redundancy_threshold, 0.0145, 1e-12);
+  EXPECT_NEAR(k.ssmm_threshold, 0.0145, 1e-12);
+  EXPECT_NEAR(k.resolution_compression, 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(k.quality_proportion, 0.85);
+}
+
+TEST(Knobs, FullEnergyPinsBeesEaValues) {
+  const Knobs k = Knobs::full_energy();
+  EXPECT_DOUBLE_EQ(k.bitmap_compression, 0.0);
+  EXPECT_DOUBLE_EQ(k.redundancy_threshold, 0.019);
+  EXPECT_DOUBLE_EQ(k.resolution_compression, 0.0);
+}
+
+TEST(Knobs, MonotoneInBattery) {
+  // Less battery -> more compression, lower threshold.
+  double prev_c = -1, prev_cr = -1, prev_t = 1;
+  for (double e = 1.0; e >= -0.001; e -= 0.1) {
+    const Knobs k = Knobs::from_battery(e);
+    EXPECT_GE(k.bitmap_compression, prev_c);
+    EXPECT_GE(k.resolution_compression, prev_cr);
+    EXPECT_LE(k.redundancy_threshold, prev_t);
+    prev_c = k.bitmap_compression;
+    prev_cr = k.resolution_compression;
+    prev_t = k.redundancy_threshold;
+  }
+}
+
+}  // namespace
+}  // namespace bees::energy::adapt

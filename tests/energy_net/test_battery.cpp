@@ -1,0 +1,51 @@
+#include "energy/battery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bees::energy {
+namespace {
+
+TEST(Battery, DefaultMatchesPaperDevice) {
+  Battery b;
+  // 3150 mAh * 3.8 V = 11.97 Wh = 43,092 J.
+  EXPECT_NEAR(b.capacity_j(), 43092.0, 1.0);
+  EXPECT_DOUBLE_EQ(b.fraction(), 1.0);
+  EXPECT_FALSE(b.depleted());
+}
+
+TEST(Battery, DrainReducesRemaining) {
+  Battery b(100.0);
+  EXPECT_DOUBLE_EQ(b.drain(30.0), 30.0);
+  EXPECT_DOUBLE_EQ(b.remaining_j(), 70.0);
+  EXPECT_DOUBLE_EQ(b.fraction(), 0.7);
+}
+
+TEST(Battery, DrainSaturatesAtEmpty) {
+  Battery b(50.0);
+  EXPECT_DOUBLE_EQ(b.drain(80.0), 50.0);  // only what was left
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.remaining_j(), 0.0);
+  EXPECT_DOUBLE_EQ(b.drain(10.0), 0.0);
+}
+
+TEST(Battery, NegativeDrainIsIgnored) {
+  Battery b(100.0);
+  EXPECT_DOUBLE_EQ(b.drain(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.remaining_j(), 100.0);
+}
+
+TEST(Battery, RechargeRestoresFull) {
+  Battery b(100.0);
+  b.drain(100.0);
+  EXPECT_TRUE(b.depleted());
+  b.recharge_full();
+  EXPECT_DOUBLE_EQ(b.fraction(), 1.0);
+}
+
+TEST(Battery, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(Battery(0.0), std::invalid_argument);
+  EXPECT_THROW(Battery(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bees::energy

@@ -1,0 +1,131 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bees::net {
+namespace {
+
+TEST(Channel, FixedRateTransferTimeIsExact) {
+  Channel ch(ChannelParams::fixed(128000.0));
+  // 16,000 bytes = 128,000 bits -> exactly 1 second.
+  EXPECT_NEAR(ch.transfer(16000.0), 1.0, 1e-9);
+  EXPECT_NEAR(ch.now(), 1.0, 1e-9);
+}
+
+TEST(Channel, ZeroBytesIsFree) {
+  Channel ch(ChannelParams::fixed(128000.0));
+  EXPECT_DOUBLE_EQ(ch.transfer(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ch.now(), 0.0);
+}
+
+TEST(Channel, TransfersAccumulateTime) {
+  Channel ch(ChannelParams::fixed(256000.0));
+  ch.transfer(32000.0);
+  ch.transfer(32000.0);
+  EXPECT_NEAR(ch.now(), 2.0, 1e-9);
+}
+
+TEST(Channel, AdvanceMovesClockWithoutTransfer) {
+  Channel ch(ChannelParams::fixed(256000.0));
+  ch.advance(5.5);
+  EXPECT_DOUBLE_EQ(ch.now(), 5.5);
+}
+
+TEST(Channel, FluctuatingRateStaysInBounds) {
+  ChannelParams p;  // 0..512 Kbps walk
+  Channel ch(p);
+  for (int i = 0; i < 2000; ++i) {
+    ch.advance(1.0);
+    EXPECT_GE(ch.current_bps(), p.min_bps);
+    EXPECT_LE(ch.current_bps(), p.max_bps);
+  }
+}
+
+TEST(Channel, FluctuatingRateActuallyMoves) {
+  Channel ch{ChannelParams{}};
+  const double start = ch.current_bps();
+  bool moved = false;
+  for (int i = 0; i < 50; ++i) {
+    ch.advance(1.0);
+    moved |= (ch.current_bps() != start);
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Channel, DeterministicPerSeed) {
+  ChannelParams p;
+  p.seed = 77;
+  Channel a(p), b(p);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.transfer(10000.0), b.transfer(10000.0));
+  }
+}
+
+TEST(Channel, DifferentSeedsDiverge) {
+  ChannelParams pa, pb;
+  pa.seed = 1;
+  pb.seed = 2;
+  Channel a(pa), b(pb);
+  double da = 0, db = 0;
+  for (int i = 0; i < 50; ++i) {
+    da += a.transfer(50000.0);
+    db += b.transfer(50000.0);
+  }
+  EXPECT_NE(da, db);
+}
+
+TEST(Channel, FluctuatingTransferTimeNearNominal) {
+  // Long transfers over the 0-512 Kbps walk should average near the 256
+  // Kbps midpoint: total time within a factor ~2 of nominal.
+  ChannelParams p;
+  p.seed = 5;
+  Channel ch(p);
+  const double bytes = 512.0 * 1024 * 10;  // ~160 s nominal at 256 Kbps
+  const double nominal = bytes * 8 / 256000.0;
+  const double actual = ch.transfer(bytes);
+  EXPECT_GT(actual, nominal * 0.5);
+  EXPECT_LT(actual, nominal * 2.5);
+}
+
+TEST(Channel, SurvivesZeroRateIntervals) {
+  // min 0 means the walk can stall at 0 bps; transfers must still finish.
+  ChannelParams p;
+  p.min_bps = 0;
+  p.max_bps = 64000;
+  p.initial_bps = 0.0;  // start stalled
+  p.step_bps = 32000;
+  p.seed = 9;
+  Channel ch(p);
+  const double t = ch.transfer(8000.0);
+  EXPECT_GT(t, 0.0);
+  EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(Channel, RejectsBadParams) {
+  ChannelParams p;
+  p.min_bps = -1;
+  EXPECT_THROW(Channel{p}, std::invalid_argument);
+  p = {};
+  p.min_bps = 100;
+  p.max_bps = 50;
+  EXPECT_THROW(Channel{p}, std::invalid_argument);
+  p = {};
+  p.update_interval_s = 0;
+  EXPECT_THROW(Channel{p}, std::invalid_argument);
+  p = {};
+  p.max_bps = 0;
+  EXPECT_THROW(Channel{p}, std::invalid_argument);
+}
+
+TEST(Channel, FixedFactoryProducesConstantRate) {
+  Channel ch(ChannelParams::fixed(512000.0));
+  for (int i = 0; i < 20; ++i) {
+    ch.advance(1.0);
+    EXPECT_DOUBLE_EQ(ch.current_bps(), 512000.0);
+  }
+}
+
+}  // namespace
+}  // namespace bees::net

@@ -1,0 +1,59 @@
+#include "energy/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bees::energy {
+namespace {
+
+TEST(CostModel, ComputeTimeAndEnergy) {
+  CostModel m;
+  m.cpu_ops_per_second = 1e6;
+  m.cpu_power_w = 2.0;
+  EXPECT_DOUBLE_EQ(m.compute_seconds(500000), 0.5);
+  EXPECT_DOUBLE_EQ(m.compute_energy(500000), 1.0);
+}
+
+TEST(CostModel, AirtimeMatchesBitrate) {
+  CostModel m;
+  // 700 KB at 128 Kbps: 700*1024*8 / 128000 = 44.8 s — the paper's Fig. 11
+  // Direct-Upload regime.
+  EXPECT_NEAR(m.tx_seconds(700.0 * 1024, 128000.0), 44.8, 0.01);
+}
+
+TEST(CostModel, EnergySplitsByPower) {
+  CostModel m;
+  m.tx_power_w = 1.2;
+  m.rx_power_w = 0.9;
+  m.idle_power_w = 0.8;
+  const double bytes = 1000.0, rate = 8000.0;  // 1 second of airtime
+  EXPECT_DOUBLE_EQ(m.tx_energy(bytes, rate), 1.2);
+  EXPECT_DOUBLE_EQ(m.rx_energy(bytes, rate), 0.9);
+  EXPECT_DOUBLE_EQ(m.idle_energy(10.0), 8.0);
+}
+
+TEST(EnergyBreakdown, TotalsAndActiveTotals) {
+  EnergyBreakdown e;
+  e.extraction_j = 1;
+  e.other_compute_j = 2;
+  e.feature_tx_j = 3;
+  e.image_tx_j = 4;
+  e.rx_j = 5;
+  e.idle_j = 6;
+  EXPECT_DOUBLE_EQ(e.total(), 21.0);
+  EXPECT_DOUBLE_EQ(e.active_total(), 15.0);
+}
+
+TEST(EnergyBreakdown, AccumulationAddsFieldwise) {
+  EnergyBreakdown a, b;
+  a.extraction_j = 1;
+  a.image_tx_j = 2;
+  b.extraction_j = 3;
+  b.rx_j = 4;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.extraction_j, 4.0);
+  EXPECT_DOUBLE_EQ(a.image_tx_j, 2.0);
+  EXPECT_DOUBLE_EQ(a.rx_j, 4.0);
+}
+
+}  // namespace
+}  // namespace bees::energy

@@ -1,0 +1,114 @@
+#include "features/fast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/synth.hpp"
+#include "imaging/transform.hpp"
+
+namespace bees::feat {
+namespace {
+
+/// A bright square on a dark background: four unambiguous corners.
+img::Image square_image(int size = 64) {
+  img::Image im(size, size, 1);
+  im.fill(20);
+  for (int y = 24; y < 40; ++y) {
+    for (int x = 24; x < 40; ++x) im.set(x, y, 220);
+  }
+  return im;
+}
+
+TEST(Fast, FlatImageHasNoCorners) {
+  img::Image im(64, 64, 1);
+  im.fill(128);
+  EXPECT_TRUE(detect_fast(im, FastParams{}).empty());
+}
+
+TEST(Fast, DetectsSquareCorners) {
+  FastParams p;
+  p.border = 4;
+  const auto kps = detect_fast(square_image(), p);
+  ASSERT_FALSE(kps.empty());
+  // Each detected keypoint must be near one of the 4 square corners.
+  const double corners[4][2] = {{24, 24}, {39, 24}, {24, 39}, {39, 39}};
+  for (const auto& kp : kps) {
+    double best = 1e9;
+    for (const auto& c : corners) {
+      const double d = std::hypot(kp.x - c[0], kp.y - c[1]);
+      best = std::min(best, d);
+    }
+    EXPECT_LT(best, 4.0) << "stray corner at " << kp.x << "," << kp.y;
+  }
+}
+
+TEST(Fast, StraightEdgeIsNotACorner) {
+  // A half-plane: strong edge, no corner anywhere away from the border.
+  img::Image im(64, 64, 1);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 32; x < 64; ++x) im.set(x, y, 255);
+  }
+  FastParams p;
+  p.border = 8;
+  EXPECT_TRUE(detect_fast(im, p).empty());
+}
+
+TEST(Fast, NonmaxSuppressionReducesDetections) {
+  FastParams with, without;
+  with.border = without.border = 4;
+  without.nonmax_suppression = false;
+  const auto a = detect_fast(square_image(), with);
+  const auto b = detect_fast(square_image(), without);
+  EXPECT_LE(a.size(), b.size());
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(Fast, RespectsBorder) {
+  FastParams p;
+  p.border = 20;
+  const auto kps = detect_fast(square_image(), p);
+  for (const auto& kp : kps) {
+    EXPECT_GE(kp.x, 20);
+    EXPECT_GE(kp.y, 20);
+    EXPECT_LT(kp.x, 44);
+    EXPECT_LT(kp.y, 44);
+  }
+}
+
+TEST(Fast, HigherThresholdFindsFewer) {
+  const img::Image scene =
+      img::to_gray(img::render_scene(img::SceneSpec{7}, 128, 96));
+  FastParams lo, hi;
+  lo.border = hi.border = 4;
+  lo.threshold = 10;
+  hi.threshold = 40;
+  EXPECT_GE(detect_fast(scene, lo).size(), detect_fast(scene, hi).size());
+}
+
+TEST(Fast, TinyImageIsHandled) {
+  img::Image im(8, 8, 1);
+  im.fill(0);
+  EXPECT_TRUE(detect_fast(im, FastParams{}).empty());
+}
+
+TEST(Fast, OpsCounterAccumulates) {
+  std::uint64_t ops = 0;
+  FastParams p;
+  p.border = 4;
+  detect_fast(square_image(), p, &ops);
+  EXPECT_GT(ops, 0u);
+}
+
+TEST(Harris, CornerBeatsEdgeAndFlat) {
+  const img::Image im = square_image();
+  const float corner = harris_response(im, 24, 24);
+  const float edge = harris_response(im, 32, 24);  // mid-edge of square
+  const float flat = harris_response(im, 8, 8);
+  EXPECT_GT(corner, edge);
+  EXPECT_GT(corner, flat);
+  EXPECT_NEAR(flat, 0.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace bees::feat

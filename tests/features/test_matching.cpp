@@ -1,0 +1,182 @@
+#include "features/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bees::feat {
+namespace {
+
+Descriptor256 random_descriptor(util::Rng& rng) {
+  Descriptor256 d;
+  for (auto& lane : d.bits) lane = rng.next_u64();
+  return d;
+}
+
+Descriptor256 flip_bits(Descriptor256 d, int count, util::Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    const int bit = static_cast<int>(rng.index(256));
+    d.bits[static_cast<std::size_t>(bit >> 6)] ^= std::uint64_t{1}
+                                                  << (bit & 63);
+  }
+  return d;
+}
+
+TEST(Hamming, SelfDistanceZeroAndSymmetry) {
+  util::Rng rng(1);
+  const Descriptor256 a = random_descriptor(rng);
+  const Descriptor256 b = random_descriptor(rng);
+  EXPECT_EQ(hamming_distance(a, a), 0);
+  EXPECT_EQ(hamming_distance(a, b), hamming_distance(b, a));
+}
+
+TEST(Hamming, CountsFlippedBits) {
+  util::Rng rng(2);
+  const Descriptor256 a = random_descriptor(rng);
+  Descriptor256 b = a;
+  b.bits[0] ^= 0b1011;  // 3 bits
+  EXPECT_EQ(hamming_distance(a, b), 3);
+}
+
+TEST(Hamming, RandomPairsNear128) {
+  util::Rng rng(3);
+  double total = 0;
+  for (int i = 0; i < 200; ++i) {
+    total += hamming_distance(random_descriptor(rng), random_descriptor(rng));
+  }
+  EXPECT_NEAR(total / 200, 128.0, 8.0);
+}
+
+TEST(MatchBinary, FindsNearDuplicates) {
+  util::Rng rng(5);
+  std::vector<Descriptor256> a, b;
+  for (int i = 0; i < 30; ++i) {
+    const Descriptor256 d = random_descriptor(rng);
+    a.push_back(d);
+    b.push_back(flip_bits(d, 10, rng));  // well within max_distance 48
+  }
+  const auto matches = match_binary(a, b);
+  EXPECT_GT(matches.size(), 25u);
+  for (const auto& m : matches) {
+    EXPECT_EQ(m.index_a, m.index_b);  // random descriptors are far apart
+    EXPECT_LE(m.distance, 48);
+  }
+}
+
+TEST(MatchBinary, RejectsDistantDescriptors) {
+  util::Rng rng(7);
+  std::vector<Descriptor256> a, b;
+  for (int i = 0; i < 20; ++i) a.push_back(random_descriptor(rng));
+  for (int i = 0; i < 20; ++i) b.push_back(random_descriptor(rng));
+  EXPECT_TRUE(match_binary(a, b).empty());
+}
+
+TEST(MatchBinary, RatioTestRejectsAmbiguousMatch) {
+  util::Rng rng(9);
+  const Descriptor256 base = random_descriptor(rng);
+  // Two candidates nearly equidistant from the query: ambiguous.
+  std::vector<Descriptor256> a{flip_bits(base, 5, rng)};
+  std::vector<Descriptor256> b{flip_bits(base, 6, rng),
+                               flip_bits(base, 7, rng)};
+  BinaryMatchParams strict;
+  strict.ratio = 0.5;
+  strict.cross_check = false;
+  EXPECT_TRUE(match_binary(a, b, strict).empty());
+  BinaryMatchParams lax;
+  lax.ratio = 0.999;
+  lax.cross_check = false;
+  EXPECT_FALSE(match_binary(a, b, lax).empty());
+}
+
+TEST(MatchBinary, CrossCheckDropsOneSidedMatches) {
+  util::Rng rng(11);
+  const Descriptor256 base = random_descriptor(rng);
+  // a0 and a1 both nearest to b0, but b0's mutual partner is only one of
+  // them; the other must be dropped under cross-checking.
+  std::vector<Descriptor256> a{flip_bits(base, 4, rng),
+                               flip_bits(base, 20, rng)};
+  std::vector<Descriptor256> b{base};
+  BinaryMatchParams p;
+  p.ratio = 1.0;  // disable ratio test (each side has one candidate anyway)
+  const auto matches = match_binary(a, b, p);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].index_a, 0u);
+}
+
+TEST(MatchBinary, EmptyInputs) {
+  util::Rng rng(13);
+  std::vector<Descriptor256> some{random_descriptor(rng)};
+  EXPECT_TRUE(match_binary({}, some).empty());
+  EXPECT_TRUE(match_binary(some, {}).empty());
+  EXPECT_TRUE(match_binary({}, {}).empty());
+}
+
+TEST(MatchBinary, OpsCounterCountsComparisons) {
+  util::Rng rng(15);
+  std::vector<Descriptor256> a, b;
+  for (int i = 0; i < 10; ++i) a.push_back(random_descriptor(rng));
+  for (int i = 0; i < 20; ++i) b.push_back(random_descriptor(rng));
+  std::uint64_t ops = 0;
+  BinaryMatchParams p;
+  p.cross_check = false;
+  match_binary(a, b, p, &ops);
+  EXPECT_EQ(ops, 200u);
+  ops = 0;
+  p.cross_check = true;
+  match_binary(a, b, p, &ops);
+  EXPECT_EQ(ops, 400u);  // both directions
+}
+
+TEST(L2Sq, KnownValue) {
+  const float x[3] = {1, 2, 3};
+  const float y[3] = {4, 6, 3};
+  EXPECT_DOUBLE_EQ(l2_sq(x, y, 3), 25.0);
+}
+
+FloatFeatures make_float_features(const std::vector<std::vector<float>>& rows) {
+  FloatFeatures f;
+  if (rows.empty()) return f;
+  f.dim = static_cast<int>(rows[0].size());
+  for (const auto& r : rows) {
+    f.values.insert(f.values.end(), r.begin(), r.end());
+    f.keypoints.emplace_back();
+  }
+  return f;
+}
+
+TEST(MatchFloat, FindsNearestWithinThreshold) {
+  const FloatFeatures a = make_float_features({{0, 0}, {10, 10}});
+  const FloatFeatures b = make_float_features({{0.1f, 0}, {10, 10.1f}});
+  FloatMatchParams p;
+  p.max_distance = 0.5;
+  const auto matches = match_float(a, b, p);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].index_a, matches[0].index_b);
+}
+
+TEST(MatchFloat, ThresholdRejectsFarPoints) {
+  const FloatFeatures a = make_float_features({{0, 0}});
+  const FloatFeatures b = make_float_features({{5, 5}});
+  FloatMatchParams p;
+  p.max_distance = 1.0;
+  EXPECT_TRUE(match_float(a, b, p).empty());
+}
+
+TEST(MatchFloat, DimensionMismatchYieldsNothing) {
+  const FloatFeatures a = make_float_features({{0, 0}});
+  const FloatFeatures b = make_float_features({{0, 0, 0}});
+  EXPECT_TRUE(match_float(a, b).empty());
+}
+
+TEST(MatchFloat, RatioTestRejectsAmbiguity) {
+  const FloatFeatures a = make_float_features({{0, 0}});
+  const FloatFeatures b = make_float_features({{0.3f, 0}, {0, 0.31f}});
+  FloatMatchParams strict;
+  strict.max_distance = 1.0;
+  strict.ratio = 0.8;
+  strict.cross_check = false;
+  EXPECT_TRUE(match_float(a, b, strict).empty());
+}
+
+}  // namespace
+}  // namespace bees::feat

@@ -1,0 +1,143 @@
+#include "features/orb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/matching.hpp"
+#include "features/similarity.hpp"
+#include "imaging/synth.hpp"
+#include "imaging/transform.hpp"
+
+namespace bees::feat {
+namespace {
+
+img::Image test_scene(std::uint64_t seed = 91, int w = 240, int h = 180) {
+  return img::render_scene(img::SceneSpec{seed, 18, 4}, w, h);
+}
+
+TEST(Orb, ExtractsKeypointsFromScene) {
+  const BinaryFeatures f = extract_orb(test_scene());
+  EXPECT_GT(f.size(), 20u);
+  EXPECT_EQ(f.keypoints.size(), f.descriptors.size());
+  EXPECT_EQ(f.stats.keypoint_count, f.size());
+  EXPECT_GT(f.stats.ops, 0u);
+}
+
+TEST(Orb, Deterministic) {
+  const BinaryFeatures a = extract_orb(test_scene());
+  const BinaryFeatures b = extract_orb(test_scene());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.descriptors[i], b.descriptors[i]);
+  }
+}
+
+TEST(Orb, KeypointsInFullResolutionFrame) {
+  const img::Image scene = test_scene();
+  const BinaryFeatures f = extract_orb(scene);
+  for (const auto& kp : f.keypoints) {
+    EXPECT_GE(kp.x, 0);
+    EXPECT_GE(kp.y, 0);
+    EXPECT_LT(kp.x, scene.width());
+    EXPECT_LT(kp.y, scene.height());
+  }
+}
+
+TEST(Orb, RespectsFeatureBudget) {
+  OrbParams p;
+  p.max_features = 50;
+  const BinaryFeatures f = extract_orb(test_scene(91, 480, 360), p);
+  EXPECT_LE(f.size(), 60u);  // small slack for per-level rounding
+}
+
+TEST(Orb, FlatImageYieldsNothing) {
+  img::Image flat(128, 128, 1);
+  flat.fill(77);
+  EXPECT_TRUE(extract_orb(flat).empty());
+}
+
+TEST(Orb, WireBytesAre32PerDescriptor) {
+  const BinaryFeatures f = extract_orb(test_scene());
+  EXPECT_EQ(f.wire_bytes(), f.size() * 32);
+}
+
+TEST(Orb, MatchesRotatedView) {
+  const img::Image scene = test_scene(17);
+  const img::Affine rot = img::Affine::rotation_about(
+      scene.width() / 2.0, scene.height() / 2.0, 0.12);
+  const img::Image rotated = img::warp_affine(scene, rot);
+  const BinaryFeatures fa = extract_orb(scene);
+  const BinaryFeatures fb = extract_orb(rotated);
+  const double sim = jaccard_similarity(fa, fb);
+  EXPECT_GT(sim, 0.08);  // well above unrelated-scene similarity (~0.005)
+}
+
+TEST(Orb, MatchesScaledView) {
+  const img::Image scene = test_scene(19);
+  const img::Image smaller = img::bitmap_compress(scene, 0.25);
+  const BinaryFeatures fa = extract_orb(scene);
+  const BinaryFeatures fb = extract_orb(smaller);
+  EXPECT_GT(jaccard_similarity(fa, fb), 0.05);
+}
+
+TEST(Orb, UnrelatedScenesScoreNearZero) {
+  const BinaryFeatures fa = extract_orb(test_scene(23));
+  const BinaryFeatures fb = extract_orb(test_scene(29));
+  EXPECT_LT(jaccard_similarity(fa, fb), 0.05);
+}
+
+TEST(Orb, CompressionReducesWork) {
+  const img::Image scene = test_scene(31, 320, 240);
+  const BinaryFeatures full = extract_orb(scene);
+  const BinaryFeatures small = extract_orb(img::bitmap_compress(scene, 0.5));
+  EXPECT_LT(small.stats.ops, full.stats.ops);
+}
+
+TEST(Orb, DescriptorBitsAreBalanced) {
+  // Degenerate descriptors (all zeros / all ones) would indicate a broken
+  // BRIEF pattern; across keypoints the mean popcount should be near 128.
+  const BinaryFeatures f = extract_orb(test_scene(37));
+  ASSERT_FALSE(f.empty());
+  double total = 0;
+  for (const auto& d : f.descriptors) {
+    total += hamming_distance(d, Descriptor256{});
+  }
+  const double mean = total / static_cast<double>(f.size());
+  EXPECT_GT(mean, 70.0);
+  EXPECT_LT(mean, 190.0);
+}
+
+TEST(IntensityCentroid, RotatesWithPatch) {
+  // A patch with mass on the right has angle ~0; rotating the gradient by
+  // 90 degrees moves the angle by ~pi/2.
+  img::Image right(33, 33, 1);
+  img::Image down(33, 33, 1);
+  for (int y = 0; y < 33; ++y) {
+    for (int x = 0; x < 33; ++x) {
+      right.set(x, y, static_cast<std::uint8_t>(x * 7));
+      down.set(x, y, static_cast<std::uint8_t>(y * 7));
+    }
+  }
+  const float a_right = intensity_centroid_angle(right, 16, 16, 15);
+  const float a_down = intensity_centroid_angle(down, 16, 16, 15);
+  EXPECT_NEAR(a_right, 0.0f, 0.1f);
+  EXPECT_NEAR(a_down, static_cast<float>(M_PI) / 2, 0.1f);
+}
+
+class OrbLevelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrbLevelSweep, MoreLevelsNeverFewerScales) {
+  OrbParams p;
+  p.levels = GetParam();
+  const BinaryFeatures f = extract_orb(test_scene(41, 320, 240), p);
+  EXPECT_FALSE(f.empty());
+  for (const auto& kp : f.keypoints) {
+    EXPECT_LT(kp.level, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, OrbLevelSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace bees::feat

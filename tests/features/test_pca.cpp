@@ -1,0 +1,127 @@
+#include "features/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/matching.hpp"
+#include "features/sift.hpp"
+#include "imaging/transform.hpp"
+#include "imaging/synth.hpp"
+#include "util/rng.hpp"
+
+namespace bees::feat {
+namespace {
+
+/// Synthetic data concentrated in a known 2-D subspace of R^6 plus tiny
+/// isotropic noise.
+std::vector<float> low_rank_data(std::size_t n, util::Rng& rng) {
+  std::vector<float> rows;
+  rows.reserve(n * 6);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.normal(0.0, 5.0);
+    const double b = rng.normal(0.0, 2.0);
+    const double base[6] = {a, a, b, -b, a + b, 0.0};
+    for (const double v : base) {
+      rows.push_back(static_cast<float>(v + rng.normal(0.0, 0.01)));
+    }
+  }
+  return rows;
+}
+
+TEST(Pca, RecoversLowRankSubspace) {
+  util::Rng rng(3);
+  const auto rows = low_rank_data(500, rng);
+  const PcaModel model = PcaModel::fit(rows, 6, 2);
+  EXPECT_EQ(model.input_dim(), 6);
+  EXPECT_EQ(model.output_dim(), 2);
+  // Two components capture nearly all variance of rank-2 data.
+  EXPECT_GT(model.explained_variance(), 0.999);
+}
+
+TEST(Pca, ProjectionPreservesPairwiseStructure) {
+  util::Rng rng(5);
+  const auto rows = low_rank_data(300, rng);
+  const PcaModel model = PcaModel::fit(rows, 6, 2);
+  // Distances in the projected space approximate distances in the original
+  // space for data that lives in the retained subspace.
+  const float* x = rows.data();
+  const float* y = rows.data() + 6 * 10;
+  double orig = 0;
+  for (int d = 0; d < 6; ++d) {
+    orig += (x[d] - y[d]) * (x[d] - y[d]);
+  }
+  const auto px = model.project(x);
+  const auto py = model.project(y);
+  double proj = 0;
+  for (int d = 0; d < 2; ++d) proj += (px[d] - py[d]) * (px[d] - py[d]);
+  EXPECT_NEAR(std::sqrt(proj), std::sqrt(orig), 0.05 * std::sqrt(orig) + 0.1);
+}
+
+TEST(Pca, IdentityWhenKeepingAllComponents) {
+  util::Rng rng(7);
+  const auto rows = low_rank_data(200, rng);
+  const PcaModel model = PcaModel::fit(rows, 6, 6);
+  EXPECT_NEAR(model.explained_variance(), 1.0, 1e-9);
+}
+
+TEST(Pca, RejectsBadInput) {
+  EXPECT_THROW(PcaModel::fit({}, 6, 2), std::invalid_argument);
+  EXPECT_THROW(PcaModel::fit({1.0f, 2.0f, 3.0f}, 2, 1),
+               std::invalid_argument);  // not a multiple of dim
+  std::vector<float> ok(12, 1.0f);
+  EXPECT_THROW(PcaModel::fit(ok, 6, 7), std::invalid_argument);
+  EXPECT_THROW(PcaModel::fit(ok, 0, 0), std::invalid_argument);
+}
+
+TEST(Pca, ProjectFeaturesKeepsKeypointsAndAddsOps) {
+  const img::Image scene = img::render_scene(img::SceneSpec{15, 18, 4}, 200, 150);
+  const FloatFeatures sift = extract_sift(scene);
+  ASSERT_GT(sift.size(), 0u);
+  const PcaModel model = fit_pca_sift({sift}, 36);
+  const FloatFeatures projected = model.project_features(sift);
+  EXPECT_EQ(projected.dim, 36);
+  EXPECT_EQ(projected.size(), sift.size());
+  EXPECT_EQ(projected.keypoints.size(), sift.keypoints.size());
+  EXPECT_GT(projected.stats.ops, sift.stats.ops);  // projection adds work
+}
+
+TEST(Pca, ProjectFeaturesRejectsDimensionMismatch) {
+  util::Rng rng(11);
+  const auto rows = low_rank_data(100, rng);
+  const PcaModel model = PcaModel::fit(rows, 6, 2);
+  FloatFeatures wrong;
+  wrong.dim = 5;
+  wrong.values.assign(10, 0.0f);
+  EXPECT_THROW(model.project_features(wrong), std::invalid_argument);
+}
+
+TEST(PcaSift, CompressesBytesByFactor128Over36) {
+  const img::Image scene = img::render_scene(img::SceneSpec{21, 18, 4}, 200, 150);
+  const FloatFeatures sift = extract_sift(scene);
+  ASSERT_GT(sift.size(), 0u);
+  const PcaModel model = fit_pca_sift({sift});
+  const FloatFeatures pca = model.project_features(sift);
+  // Per-descriptor bytes: 36/128 of SIFT — the Table I "25%" mechanism
+  // (the paper rounds 36/128 = 28% to a quarter).
+  EXPECT_NEAR(static_cast<double>(pca.wire_bytes()) / sift.wire_bytes(),
+              36.0 / 128.0, 1e-9);
+}
+
+TEST(PcaSift, SimilarViewsStillMatchAfterProjection) {
+  const img::Image base = img::render_scene(img::SceneSpec{25, 18, 4}, 200, 150);
+  const img::Affine rot = img::Affine::rotation_about(100, 75, 0.06);
+  const img::Image view = img::warp_affine(base, rot);
+  const FloatFeatures sa = extract_sift(base);
+  const FloatFeatures sb = extract_sift(view);
+  const PcaModel model = fit_pca_sift({sa, sb});
+  const FloatFeatures pa = model.project_features(sa);
+  const FloatFeatures pb = model.project_features(sb);
+  FloatMatchParams mp;
+  mp.max_distance = 0.5;  // projected space keeps distances but not norms
+  const auto matches = match_float(pa, pb, mp);
+  EXPECT_GT(matches.size(), 3u);
+}
+
+}  // namespace
+}  // namespace bees::feat

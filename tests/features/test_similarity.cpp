@@ -1,0 +1,102 @@
+#include "features/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "features/orb.hpp"
+#include "imaging/synth.hpp"
+#include "util/rng.hpp"
+
+namespace bees::feat {
+namespace {
+
+TEST(JaccardFromMatches, ClosedFormValues) {
+  // |S1|=10, |S2|=10, 5 matches -> 5 / (10+10-5) = 1/3.
+  EXPECT_DOUBLE_EQ(jaccard_from_matches(10, 10, 5), 5.0 / 15.0);
+  // Perfect overlap.
+  EXPECT_DOUBLE_EQ(jaccard_from_matches(8, 8, 8), 1.0);
+  // No matches.
+  EXPECT_DOUBLE_EQ(jaccard_from_matches(8, 12, 0), 0.0);
+  // Empty sets.
+  EXPECT_DOUBLE_EQ(jaccard_from_matches(0, 0, 0), 0.0);
+}
+
+TEST(JaccardFromMatches, ClampsImpossibleMatchCounts) {
+  // A match count larger than the smaller set cannot push the score past 1.
+  EXPECT_LE(jaccard_from_matches(5, 10, 9), 1.0);
+}
+
+TEST(Jaccard, SelfSimilarityIsOne) {
+  const img::Image scene = img::render_scene(img::SceneSpec{61, 18, 4}, 200, 150);
+  const BinaryFeatures f = extract_orb(scene);
+  ASSERT_GT(f.size(), 10u);
+  EXPECT_DOUBLE_EQ(jaccard_similarity(f, f), 1.0);
+}
+
+TEST(Jaccard, Symmetric) {
+  const BinaryFeatures a =
+      extract_orb(img::render_scene(img::SceneSpec{63, 18, 4}, 200, 150));
+  const BinaryFeatures b =
+      extract_orb(img::render_scene(img::SceneSpec{65, 18, 4}, 200, 150));
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), jaccard_similarity(b, a));
+}
+
+TEST(Jaccard, InUnitInterval) {
+  util::Rng rng(1);
+  img::ViewPerturbation pert;
+  const img::SceneSpec spec{67, 18, 4};
+  const BinaryFeatures a =
+      extract_orb(img::render_view(spec, 200, 150, pert, rng));
+  const BinaryFeatures b =
+      extract_orb(img::render_view(spec, 200, 150, pert, rng));
+  const double s = jaccard_similarity(a, b);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(Jaccard, SimilarPairsBeatDissimilarPairs) {
+  // The separation that makes the paper's thresholds (0.013-0.019)
+  // meaningful.  Averaged over several scenes to be robust.
+  util::Rng rng(2);
+  img::ViewPerturbation pert;
+  double sim_total = 0, dis_total = 0;
+  constexpr int kScenes = 4;
+  std::vector<BinaryFeatures> first, second;
+  for (int s = 0; s < kScenes; ++s) {
+    const img::SceneSpec spec{static_cast<std::uint64_t>(100 + s), 18, 4};
+    first.push_back(extract_orb(img::render_view(spec, 240, 180, pert, rng)));
+    second.push_back(extract_orb(img::render_view(spec, 240, 180, pert, rng)));
+  }
+  int dis_count = 0;
+  for (int i = 0; i < kScenes; ++i) {
+    sim_total += jaccard_similarity(first[i], second[i]);
+    for (int j = 0; j < kScenes; ++j) {
+      if (i == j) continue;
+      dis_total += jaccard_similarity(first[i], second[j]);
+      ++dis_count;
+    }
+  }
+  const double sim_mean = sim_total / kScenes;
+  const double dis_mean = dis_total / dis_count;
+  EXPECT_GT(sim_mean, 0.05);
+  EXPECT_LT(dis_mean, 0.02);
+  EXPECT_GT(sim_mean, dis_mean * 4);
+}
+
+TEST(Jaccard, EmptySetsScoreZero) {
+  BinaryFeatures empty;
+  const BinaryFeatures f =
+      extract_orb(img::render_scene(img::SceneSpec{69, 18, 4}, 200, 150));
+  EXPECT_DOUBLE_EQ(jaccard_similarity(empty, f), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity(empty, empty), 0.0);
+}
+
+TEST(Jaccard, OpsAccumulate) {
+  const BinaryFeatures a =
+      extract_orb(img::render_scene(img::SceneSpec{71, 18, 4}, 200, 150));
+  std::uint64_t ops = 0;
+  jaccard_similarity(a, a, {}, &ops);
+  EXPECT_GT(ops, 0u);
+}
+
+}  // namespace
+}  // namespace bees::feat

@@ -1,0 +1,82 @@
+#include "imaging/ppm_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "imaging/synth.hpp"
+
+namespace bees::img {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(PpmIo, RgbRoundTrip) {
+  const Image src = render_scene(SceneSpec{3}, 32, 24);
+  const std::string path = temp_path("bees_test_rgb.ppm");
+  write_pnm(src, path);
+  const Image back = read_pnm(path);
+  EXPECT_EQ(back, src);
+  std::remove(path.c_str());
+}
+
+TEST(PpmIo, GrayRoundTrip) {
+  const Image src = value_noise(16, 16, 2, 5);
+  const std::string path = temp_path("bees_test_gray.pgm");
+  write_pnm(src, path);
+  const Image back = read_pnm(path);
+  EXPECT_EQ(back, src);
+  std::remove(path.c_str());
+}
+
+TEST(PpmIo, MissingFileThrows) {
+  EXPECT_THROW(read_pnm("/nonexistent/dir/file.ppm"), std::runtime_error);
+}
+
+TEST(PpmIo, UnwritablePathThrows) {
+  const Image src = value_noise(8, 8, 2, 7);
+  EXPECT_THROW(write_pnm(src, "/nonexistent/dir/file.ppm"),
+               std::runtime_error);
+}
+
+TEST(PpmIo, BadMagicThrows) {
+  const std::string path = temp_path("bees_test_bad.ppm");
+  {
+    std::ofstream out(path);
+    out << "P3\n2 2\n255\n0 0 0 0 0 0 0 0 0 0 0 0\n";
+  }
+  EXPECT_THROW(read_pnm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PpmIo, TruncatedPixelDataThrows) {
+  const std::string path = temp_path("bees_test_trunc.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n4 4\n255\n";
+    out.write("\x01\x02", 2);  // 2 of 16 bytes
+  }
+  EXPECT_THROW(read_pnm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PpmIo, HeaderCommentsAreSkipped) {
+  const std::string path = temp_path("bees_test_comment.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n# a comment\n2 1\n# another\n255\n";
+    out.write("\x0a\x0b", 2);
+  }
+  const Image im = read_pnm(path);
+  EXPECT_EQ(im.width(), 2);
+  EXPECT_EQ(im.height(), 1);
+  EXPECT_EQ(im.at(0, 0), 0x0a);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bees::img

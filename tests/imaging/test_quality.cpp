@@ -1,0 +1,91 @@
+#include "imaging/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "imaging/synth.hpp"
+#include "imaging/transform.hpp"
+#include "util/rng.hpp"
+
+namespace bees::img {
+namespace {
+
+TEST(Mse, IdenticalImagesScoreZero) {
+  const Image a = value_noise(32, 32, 3, 1);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+}
+
+TEST(Mse, KnownDifference) {
+  Image a(2, 1, 1), b(2, 1, 1);
+  a.set(0, 0, 10);
+  b.set(0, 0, 14);  // diff 4 -> sq 16; other pixel identical
+  EXPECT_DOUBLE_EQ(mse(a, b), 8.0);
+}
+
+TEST(Mse, ShapeMismatchThrows) {
+  Image a(2, 2, 1), b(3, 2, 1);
+  EXPECT_THROW(mse(a, b), std::invalid_argument);
+}
+
+TEST(Psnr, IdenticalIsCapped) {
+  const Image a = value_noise(16, 16, 2, 3);
+  EXPECT_DOUBLE_EQ(psnr(a, a), 99.0);
+}
+
+TEST(Psnr, DecreasesWithNoise) {
+  util::Rng rng(7);
+  const Image a = value_noise(64, 64, 3, 5);
+  const Image mild = add_gaussian_noise(a, 2.0, rng);
+  const Image heavy = add_gaussian_noise(a, 20.0, rng);
+  EXPECT_GT(psnr(a, mild), psnr(a, heavy));
+  EXPECT_GT(psnr(a, mild), 35.0);
+}
+
+TEST(Ssim, IdenticalIsOne) {
+  const Image a = render_scene(SceneSpec{11}, 64, 64);
+  EXPECT_NEAR(ssim(a, a), 1.0, 1e-9);
+}
+
+TEST(Ssim, DegradesMonotonicallyWithNoise) {
+  util::Rng rng(9);
+  const Image a = render_scene(SceneSpec{13}, 64, 64);
+  double prev = 1.0;
+  for (const double noise : {2.0, 8.0, 25.0, 60.0}) {
+    util::Rng local(static_cast<std::uint64_t>(noise * 100));
+    const double s = ssim(a, add_gaussian_noise(a, noise, local));
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Ssim, InRangeForUnrelatedImages) {
+  const Image a = render_scene(SceneSpec{17}, 64, 64);
+  const Image b = render_scene(SceneSpec{18}, 64, 64);
+  const double s = ssim(a, b);
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+  EXPECT_LT(s, 0.6);  // unrelated scenes shouldn't look similar
+}
+
+TEST(Ssim, BrightnessShiftPenalizedLessThanStructureLoss) {
+  const Image a = render_scene(SceneSpec{19}, 64, 64);
+  const Image brighter = adjust_brightness_contrast(a, 1.0, 12.0);
+  const Image blurred = gaussian_blur(a, 4.0);
+  EXPECT_GT(ssim(a, brighter), ssim(a, blurred));
+}
+
+TEST(Ssim, ShapeMismatchThrows) {
+  Image a(16, 16, 1), b(16, 8, 1);
+  EXPECT_THROW(ssim(a, b), std::invalid_argument);
+}
+
+TEST(Ssim, TinyImagesFallBack) {
+  Image a(4, 4, 1), b(4, 4, 1);
+  a.fill(10);
+  b.fill(10);
+  EXPECT_DOUBLE_EQ(ssim(a, b), 1.0);
+  b.fill(200);
+  EXPECT_DOUBLE_EQ(ssim(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace bees::img

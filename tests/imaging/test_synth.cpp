@@ -1,0 +1,94 @@
+#include "imaging/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "imaging/quality.hpp"
+#include "imaging/transform.hpp"
+
+namespace bees::img {
+namespace {
+
+TEST(ValueNoise, DeterministicInSeed) {
+  EXPECT_EQ(value_noise(32, 24, 3, 7), value_noise(32, 24, 3, 7));
+}
+
+TEST(ValueNoise, DifferentSeedsDiffer) {
+  EXPECT_NE(value_noise(32, 24, 3, 7), value_noise(32, 24, 3, 8));
+}
+
+TEST(ValueNoise, HasSpatialStructure) {
+  // Neighbouring pixels should be correlated (it's low-frequency noise, not
+  // white noise): the mean absolute neighbour difference stays small.
+  const Image n = value_noise(64, 64, 3, 11);
+  double diff = 0;
+  int count = 0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 1; x < 64; ++x) {
+      diff += std::abs(static_cast<int>(n.at(x, y)) - n.at(x - 1, y));
+      ++count;
+    }
+  }
+  EXPECT_LT(diff / count, 10.0);
+}
+
+TEST(RenderScene, DeterministicAndSeedSensitive) {
+  SceneSpec a{123, 10, 3};
+  SceneSpec b{124, 10, 3};
+  EXPECT_EQ(render_scene(a, 64, 48), render_scene(a, 64, 48));
+  EXPECT_NE(render_scene(a, 64, 48), render_scene(b, 64, 48));
+}
+
+TEST(RenderScene, ProducesRgbOfRequestedSize) {
+  const Image im = render_scene(SceneSpec{5}, 80, 60);
+  EXPECT_EQ(im.width(), 80);
+  EXPECT_EQ(im.height(), 60);
+  EXPECT_EQ(im.channels(), 3);
+}
+
+TEST(RenderScene, HasContrast) {
+  const Image im = render_scene(SceneSpec{9, 16, 4}, 96, 96);
+  const Image g = to_gray(im);
+  std::uint8_t lo = 255, hi = 0;
+  for (const auto v : g.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 60);  // shapes create real contrast for the detectors
+}
+
+TEST(RenderView, DiffersFromCanonicalButSimilar) {
+  SceneSpec spec{31};
+  const Image canonical = render_scene(spec, 96, 72);
+  util::Rng rng(1);
+  const Image view = render_view(spec, 96, 72, ViewPerturbation{}, rng);
+  EXPECT_NE(view, canonical);
+  // Still the same scene: SSIM well above what unrelated scenes score.
+  EXPECT_GT(ssim(canonical, view), 0.35);
+  const Image other = render_scene(SceneSpec{32}, 96, 72);
+  EXPECT_LT(ssim(canonical, other), ssim(canonical, view));
+}
+
+TEST(RenderView, DistinctDrawsDistinctViews) {
+  SceneSpec spec{33};
+  util::Rng rng(2);
+  const Image v1 = render_view(spec, 64, 48, ViewPerturbation{}, rng);
+  const Image v2 = render_view(spec, 64, 48, ViewPerturbation{}, rng);
+  EXPECT_NE(v1, v2);
+}
+
+TEST(RenderView, ZeroPerturbationStillAppliesNoiseOnly) {
+  SceneSpec spec{35};
+  ViewPerturbation none;
+  none.max_rotation_rad = 0;
+  none.max_scale_delta = 0;
+  none.max_translate_frac = 0;
+  none.max_gain_delta = 0;
+  none.max_bias = 0;
+  none.noise_stddev = 0;
+  util::Rng rng(3);
+  const Image v = render_view(spec, 64, 48, none, rng);
+  EXPECT_EQ(v, render_scene(spec, 64, 48));
+}
+
+}  // namespace
+}  // namespace bees::img

@@ -1,0 +1,166 @@
+#include "index/minhash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "features/orb.hpp"
+#include "imaging/synth.hpp"
+#include "util/rng.hpp"
+
+namespace bees::idx {
+namespace {
+
+feat::Descriptor256 random_descriptor(util::Rng& rng) {
+  feat::Descriptor256 d;
+  for (auto& lane : d.bits) lane = rng.next_u64();
+  return d;
+}
+
+TEST(MinHash, RejectsBadParams) {
+  MinHashParams p;
+  p.hashes = 0;
+  EXPECT_THROW(MinHasher{p}, std::invalid_argument);
+  p = {};
+  p.token_bits = 0;
+  EXPECT_THROW(MinHasher{p}, std::invalid_argument);
+  p = {};
+  p.token_bits = 65;
+  EXPECT_THROW(MinHasher{p}, std::invalid_argument);
+}
+
+TEST(MinHash, SketchHasRequestedSize) {
+  MinHashParams p;
+  p.hashes = 48;
+  MinHasher hasher(p);
+  util::Rng rng(1);
+  std::vector<feat::Descriptor256> set;
+  for (int i = 0; i < 20; ++i) set.push_back(random_descriptor(rng));
+  const MinHashSketch s = hasher.sketch(set);
+  EXPECT_EQ(s.minima.size(), 48u);
+  EXPECT_EQ(s.wire_bytes(), 48u * 8);
+}
+
+TEST(MinHash, IdenticalSetsScoreOne) {
+  MinHasher hasher;
+  util::Rng rng(2);
+  std::vector<feat::Descriptor256> set;
+  for (int i = 0; i < 30; ++i) set.push_back(random_descriptor(rng));
+  const MinHashSketch a = hasher.sketch(set);
+  const MinHashSketch b = hasher.sketch(set);
+  EXPECT_DOUBLE_EQ(hasher.estimate_similarity(a, b), 1.0);
+}
+
+TEST(MinHash, DisjointSetsScoreNearZero) {
+  MinHasher hasher;
+  util::Rng rng(3);
+  std::vector<feat::Descriptor256> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(random_descriptor(rng));
+    b.push_back(random_descriptor(rng));
+  }
+  EXPECT_LT(hasher.estimate_similarity(hasher.sketch(a), hasher.sketch(b)),
+            0.1);
+}
+
+TEST(MinHash, EmptySketchScoresZero) {
+  MinHasher hasher;
+  util::Rng rng(4);
+  std::vector<feat::Descriptor256> set{random_descriptor(rng)};
+  const MinHashSketch empty = hasher.sketch({});
+  const MinHashSketch full = hasher.sketch(set);
+  EXPECT_DOUBLE_EQ(hasher.estimate_similarity(empty, full), 0.0);
+  EXPECT_DOUBLE_EQ(hasher.estimate_similarity(empty, empty), 0.0);
+}
+
+TEST(MinHash, EstimateTracksExactTokenJaccard) {
+  // Partial overlap: |A ∩ B| / |A ∪ B| known by construction, estimate
+  // within a few standard errors with k = 256.
+  MinHashParams p;
+  p.hashes = 256;
+  MinHasher hasher(p);
+  util::Rng rng(5);
+  std::vector<feat::Descriptor256> shared, only_a, only_b;
+  for (int i = 0; i < 60; ++i) shared.push_back(random_descriptor(rng));
+  for (int i = 0; i < 20; ++i) only_a.push_back(random_descriptor(rng));
+  for (int i = 0; i < 20; ++i) only_b.push_back(random_descriptor(rng));
+  std::vector<feat::Descriptor256> a = shared, b = shared;
+  a.insert(a.end(), only_a.begin(), only_a.end());
+  b.insert(b.end(), only_b.begin(), only_b.end());
+
+  const double exact = hasher.exact_token_jaccard(a, b);
+  EXPECT_NEAR(exact, 0.6, 0.02);  // 60 / 100 with random tokens
+  const double estimate =
+      hasher.estimate_similarity(hasher.sketch(a), hasher.sketch(b));
+  const double stderr_bound = 3.0 * std::sqrt(0.6 * 0.4 / 256.0);
+  EXPECT_NEAR(estimate, exact, stderr_bound);
+}
+
+class MinHashAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHashAccuracy, ErrorShrinksWithSketchSize) {
+  // Mean absolute estimation error over trials must be within the
+  // theoretical O(1/sqrt(k)) budget.
+  MinHashParams p;
+  p.hashes = GetParam();
+  MinHasher hasher(p);
+  util::Rng rng(6);
+  double total_error = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<feat::Descriptor256> shared, a, b;
+    const int n_shared = static_cast<int>(rng.uniform_int(10, 60));
+    for (int i = 0; i < n_shared; ++i) shared.push_back(random_descriptor(rng));
+    a = shared;
+    b = shared;
+    for (int i = 0; i < 25; ++i) {
+      a.push_back(random_descriptor(rng));
+      b.push_back(random_descriptor(rng));
+    }
+    const double exact = hasher.exact_token_jaccard(a, b);
+    const double est =
+        hasher.estimate_similarity(hasher.sketch(a), hasher.sketch(b));
+    total_error += std::abs(est - exact);
+  }
+  const double mean_error = total_error / kTrials;
+  EXPECT_LT(mean_error, 2.0 / std::sqrt(static_cast<double>(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(SketchSizes, MinHashAccuracy,
+                         ::testing::Values(32, 64, 128, 256));
+
+TEST(MinHash, WorksOnRealOrbDescriptors) {
+  // Two views of one scene share matching descriptors but not identical
+  // ones; the coarse token quantization must still let them collide so the
+  // sketch sees the overlap.
+  util::Rng rng(7);
+  const img::SceneSpec spec{55, 18, 4};
+  const auto fa = feat::extract_orb(
+      img::render_view(spec, 240, 180, img::ViewPerturbation{}, rng));
+  const auto fb = feat::extract_orb(
+      img::render_view(spec, 240, 180, img::ViewPerturbation{}, rng));
+  const auto fo = feat::extract_orb(
+      img::render_scene(img::SceneSpec{56, 18, 4}, 240, 180));
+  MinHashParams p;
+  p.hashes = 128;
+  p.token_bits = 24;  // coarse: tolerate descriptor bit noise
+  MinHasher hasher(p);
+  const double sim_pair = hasher.estimate_similarity(
+      hasher.sketch(fa.descriptors), hasher.sketch(fb.descriptors));
+  const double sim_other = hasher.estimate_similarity(
+      hasher.sketch(fa.descriptors), hasher.sketch(fo.descriptors));
+  EXPECT_GT(sim_pair, sim_other);
+}
+
+TEST(MinHash, OpsCharged) {
+  MinHasher hasher;
+  util::Rng rng(8);
+  std::vector<feat::Descriptor256> set;
+  for (int i = 0; i < 10; ++i) set.push_back(random_descriptor(rng));
+  std::uint64_t ops = 0;
+  hasher.sketch(set, &ops);
+  EXPECT_EQ(ops, 10u * static_cast<unsigned>(hasher.hashes()));
+}
+
+}  // namespace
+}  // namespace bees::idx

@@ -1,0 +1,128 @@
+#include "index/persistence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "features/orb.hpp"
+#include "imaging/synth.hpp"
+#include "util/byte_io.hpp"
+#include "util/rng.hpp"
+
+namespace bees::idx {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+FeatureIndex make_index(int images) {
+  FeatureIndex index;
+  util::Rng rng(11);
+  img::ViewPerturbation pert;
+  for (int i = 0; i < images; ++i) {
+    const img::SceneSpec spec{static_cast<std::uint64_t>(9900 + i), 18, 4};
+    GeoTag geo{2.31 + 0.001 * i, 48.86, true};
+    index.insert(feat::extract_orb(
+                     img::render_view(spec, 200, 150, pert, rng)),
+                 geo);
+  }
+  return index;
+}
+
+TEST(Persistence, RoundTripPreservesEverything) {
+  const FeatureIndex original = make_index(4);
+  const std::string path = temp_path("bees_index_snapshot.bin");
+  save_index_snapshot(original, path);
+  const FeatureIndex loaded = load_index_snapshot(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.image_count(), original.image_count());
+  for (std::size_t i = 0; i < original.image_count(); ++i) {
+    const auto id = static_cast<ImageId>(i);
+    ASSERT_EQ(loaded.features_of(id).size(), original.features_of(id).size());
+    for (std::size_t d = 0; d < original.features_of(id).size(); ++d) {
+      EXPECT_EQ(loaded.features_of(id).descriptors[d],
+                original.features_of(id).descriptors[d]);
+    }
+    EXPECT_EQ(loaded.geo_of(id), original.geo_of(id));
+  }
+}
+
+TEST(Persistence, LoadedIndexAnswersQueriesIdentically) {
+  const FeatureIndex original = make_index(5);
+  const std::string path = temp_path("bees_index_snapshot2.bin");
+  save_index_snapshot(original, path);
+  const FeatureIndex loaded = load_index_snapshot(path);
+  std::remove(path.c_str());
+
+  // Query with fresh views of the indexed scenes.
+  util::Rng rng(12);
+  img::ViewPerturbation pert;
+  for (int i = 0; i < 5; ++i) {
+    const img::SceneSpec spec{static_cast<std::uint64_t>(9900 + i), 18, 4};
+    const auto query = feat::extract_orb(
+        img::render_view(spec, 200, 150, pert, rng));
+    const QueryResult a = original.query(query);
+    const QueryResult b = loaded.query(query);
+    EXPECT_EQ(a.best_id, b.best_id);
+    EXPECT_NEAR(a.max_similarity, b.max_similarity, 1e-12);
+  }
+}
+
+TEST(Persistence, EmptyIndexRoundTrips) {
+  const FeatureIndex empty;
+  const std::string path = temp_path("bees_index_empty.bin");
+  save_index_snapshot(empty, path);
+  const FeatureIndex loaded = load_index_snapshot(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.image_count(), 0u);
+}
+
+TEST(Persistence, LoadWithDifferentLshParamsStillWorks) {
+  const FeatureIndex original = make_index(3);
+  const std::string path = temp_path("bees_index_params.bin");
+  save_index_snapshot(original, path);
+  FeatureIndexParams params;
+  params.lsh.tables = 10;
+  params.lsh.bits_per_key = 12;
+  const FeatureIndex loaded = load_index_snapshot(path, params);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.image_count(), 3u);
+  // The derived LSH state was rebuilt under the new configuration; exact
+  // queries must still find the right image.
+  const QueryResult r = loaded.query_exact(original.features_of(0));
+  EXPECT_EQ(r.best_id, 0u);
+  EXPECT_DOUBLE_EQ(r.max_similarity, 1.0);
+}
+
+TEST(Persistence, MissingFileThrows) {
+  EXPECT_THROW(load_index_snapshot("/nonexistent/snapshot.bin"),
+               std::runtime_error);
+}
+
+TEST(Persistence, CorruptSnapshotThrows) {
+  const std::string path = temp_path("bees_index_corrupt.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a snapshot";
+  }
+  EXPECT_THROW(load_index_snapshot(path), util::DecodeError);
+  std::remove(path.c_str());
+}
+
+TEST(Persistence, TruncatedSnapshotThrows) {
+  const FeatureIndex original = make_index(3);
+  const std::string path = temp_path("bees_index_trunc.bin");
+  save_index_snapshot(original, path);
+  // Truncate the file in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_index_snapshot(path), util::DecodeError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bees::idx

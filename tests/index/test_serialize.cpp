@@ -1,0 +1,92 @@
+#include "index/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "features/orb.hpp"
+#include "features/sift.hpp"
+#include "imaging/synth.hpp"
+#include "util/byte_io.hpp"
+
+namespace bees::idx {
+namespace {
+
+TEST(SerializeBinary, RoundTripPreservesDescriptors) {
+  const feat::BinaryFeatures f = feat::extract_orb(
+      img::render_scene(img::SceneSpec{5, 18, 4}, 200, 150));
+  ASSERT_GT(f.size(), 0u);
+  const auto bytes = serialize_binary(f);
+  const feat::BinaryFeatures back = deserialize_binary(bytes);
+  ASSERT_EQ(back.size(), f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_EQ(back.descriptors[i], f.descriptors[i]);
+  }
+}
+
+TEST(SerializeBinary, WireSizeIsCountPlus32PerDescriptor) {
+  const feat::BinaryFeatures f = feat::extract_orb(
+      img::render_scene(img::SceneSpec{7, 18, 4}, 200, 150));
+  const auto bytes = serialize_binary(f);
+  // varint count (<= 2 bytes for a few hundred) + 32 bytes each.
+  EXPECT_GE(bytes.size(), f.size() * 32 + 1);
+  EXPECT_LE(bytes.size(), f.size() * 32 + 3);
+}
+
+TEST(SerializeBinary, EmptySetRoundTrips) {
+  const feat::BinaryFeatures empty;
+  const auto bytes = serialize_binary(empty);
+  EXPECT_EQ(deserialize_binary(bytes).size(), 0u);
+}
+
+TEST(SerializeBinary, TruncatedInputThrows) {
+  const feat::BinaryFeatures f = feat::extract_orb(
+      img::render_scene(img::SceneSpec{9, 18, 4}, 200, 150));
+  auto bytes = serialize_binary(f);
+  bytes.resize(bytes.size() - 5);
+  EXPECT_THROW(deserialize_binary(bytes), util::DecodeError);
+}
+
+TEST(SerializeFloat, RoundTripPreservesValues) {
+  const feat::FloatFeatures f = feat::extract_sift(
+      img::render_scene(img::SceneSpec{11, 18, 4}, 200, 150));
+  ASSERT_GT(f.size(), 0u);
+  const auto bytes = serialize_float(f);
+  const feat::FloatFeatures back = deserialize_float(bytes);
+  EXPECT_EQ(back.dim, f.dim);
+  EXPECT_EQ(back.values, f.values);
+}
+
+TEST(SerializeFloat, EmptySetRoundTrips) {
+  feat::FloatFeatures empty;
+  empty.dim = 128;
+  const auto bytes = serialize_float(empty);
+  const feat::FloatFeatures back = deserialize_float(bytes);
+  EXPECT_EQ(back.size(), 0u);
+}
+
+TEST(SerializeFloat, TruncatedInputThrows) {
+  const feat::FloatFeatures f = feat::extract_sift(
+      img::render_scene(img::SceneSpec{13, 18, 4}, 200, 150));
+  auto bytes = serialize_float(f);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize_float(bytes), util::DecodeError);
+}
+
+TEST(Serialize, BinaryIsFarSmallerThanFloat) {
+  // The Table I mechanism at wire level: ORB descriptors are 32 B while
+  // SIFT descriptors are 512 B.
+  const img::Image scene = img::render_scene(img::SceneSpec{15, 18, 4}, 240, 180);
+  const auto orb_bytes = serialize_binary(feat::extract_orb(scene)).size();
+  const auto sift = feat::extract_sift(scene);
+  const auto sift_bytes = serialize_float(sift).size();
+  ASSERT_GT(sift.size(), 0u);
+  // Compare per-descriptor cost to be robust to keypoint-count differences.
+  const double orb_per =
+      static_cast<double>(orb_bytes) /
+      static_cast<double>(feat::extract_orb(scene).size());
+  const double sift_per =
+      static_cast<double>(sift_bytes) / static_cast<double>(sift.size());
+  EXPECT_LT(orb_per * 8, sift_per);
+}
+
+}  // namespace
+}  // namespace bees::idx

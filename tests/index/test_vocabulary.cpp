@@ -1,0 +1,159 @@
+#include "index/vocabulary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "features/orb.hpp"
+#include "imaging/synth.hpp"
+#include "util/rng.hpp"
+
+namespace bees::idx {
+namespace {
+
+feat::Descriptor256 random_descriptor(util::Rng& rng) {
+  feat::Descriptor256 d;
+  for (auto& lane : d.bits) lane = rng.next_u64();
+  return d;
+}
+
+feat::Descriptor256 flip_bits(feat::Descriptor256 d, int count,
+                              util::Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    const int bit = static_cast<int>(rng.index(256));
+    d.bits[static_cast<std::size_t>(bit >> 6)] ^= std::uint64_t{1}
+                                                  << (bit & 63);
+  }
+  return d;
+}
+
+std::vector<feat::Descriptor256> clustered_sample(int clusters, int per,
+                                                  util::Rng& rng) {
+  std::vector<feat::Descriptor256> out;
+  for (int c = 0; c < clusters; ++c) {
+    const feat::Descriptor256 center = random_descriptor(rng);
+    for (int i = 0; i < per; ++i) out.push_back(flip_bits(center, 12, rng));
+  }
+  return out;
+}
+
+TEST(VocabularyTree, RejectsBadInput) {
+  EXPECT_THROW(VocabularyTree::train({}, {}), std::invalid_argument);
+  util::Rng rng(1);
+  const auto sample = clustered_sample(2, 5, rng);
+  VocabularyParams p;
+  p.branching = 1;
+  EXPECT_THROW(VocabularyTree::train(sample, p), std::invalid_argument);
+  p = {};
+  p.depth = 0;
+  EXPECT_THROW(VocabularyTree::train(sample, p), std::invalid_argument);
+}
+
+TEST(VocabularyTree, LeafCountBounded) {
+  util::Rng rng(2);
+  const auto sample = clustered_sample(16, 20, rng);
+  VocabularyParams p;
+  p.branching = 4;
+  p.depth = 2;
+  const VocabularyTree tree = VocabularyTree::train(sample, p);
+  EXPECT_GT(tree.leaf_count(), 1u);
+  EXPECT_LE(tree.leaf_count(), 16u);  // at most branching^depth leaves
+}
+
+TEST(VocabularyTree, QuantizationIsDeterministic) {
+  util::Rng rng(3);
+  const auto sample = clustered_sample(8, 15, rng);
+  const VocabularyTree tree = VocabularyTree::train(sample, {});
+  for (int i = 0; i < 20; ++i) {
+    const feat::Descriptor256 d = random_descriptor(rng);
+    EXPECT_EQ(tree.quantize(d), tree.quantize(d));
+  }
+}
+
+TEST(VocabularyTree, NearbyDescriptorsShareWords) {
+  // Descriptors from one tight cluster should mostly land in one leaf;
+  // random descriptors should spread over many leaves.
+  util::Rng rng(4);
+  const auto sample = clustered_sample(12, 30, rng);
+  VocabularyParams p;
+  p.branching = 6;
+  p.depth = 2;
+  const VocabularyTree tree = VocabularyTree::train(sample, p);
+
+  const feat::Descriptor256 center = random_descriptor(rng);
+  std::set<std::uint32_t> cluster_words, random_words;
+  for (int i = 0; i < 30; ++i) {
+    cluster_words.insert(tree.quantize(flip_bits(center, 6, rng)));
+    random_words.insert(tree.quantize(random_descriptor(rng)));
+  }
+  EXPECT_LT(cluster_words.size(), random_words.size());
+  EXPECT_LE(cluster_words.size(), 4u);
+}
+
+TEST(VocabularyIndex, FindsSimilarImages) {
+  // Build on real ORB descriptors: index one view per scene, query the
+  // second view; the right image must come back.
+  util::Rng rng(5);
+  img::ViewPerturbation pert;
+  std::vector<feat::BinaryFeatures> stored, queries;
+  std::vector<feat::Descriptor256> training;
+  for (int s = 0; s < 5; ++s) {
+    const img::SceneSpec spec{static_cast<std::uint64_t>(7700 + s), 18, 4};
+    stored.push_back(feat::extract_orb(
+        img::render_view(spec, 240, 180, pert, rng)));
+    queries.push_back(feat::extract_orb(
+        img::render_view(spec, 240, 180, pert, rng)));
+    training.insert(training.end(), stored.back().descriptors.begin(),
+                    stored.back().descriptors.end());
+  }
+  VocabularyParams p;
+  p.branching = 8;
+  p.depth = 2;
+  VocabularyIndex index(VocabularyTree::train(training, p));
+  std::vector<ImageId> ids;
+  for (const auto& f : stored) ids.push_back(index.insert(f));
+  int correct = 0;
+  for (std::size_t s = 0; s < queries.size(); ++s) {
+    const QueryResult r = index.query(queries[s]);
+    correct += (r.best_id == ids[s]) ? 1 : 0;
+    EXPECT_GT(r.max_similarity, 0.0);
+  }
+  EXPECT_GE(correct, 4);  // allow one hard view to miss
+}
+
+TEST(VocabularyIndex, EmptyCases) {
+  util::Rng rng(6);
+  const auto sample = clustered_sample(4, 10, rng);
+  VocabularyIndex index(VocabularyTree::train(sample, {}));
+  feat::BinaryFeatures q;
+  EXPECT_TRUE(index.query(q).hits.empty());
+  q.descriptors.push_back(random_descriptor(rng));
+  EXPECT_TRUE(index.query(q).hits.empty());  // nothing stored yet
+  EXPECT_EQ(index.image_count(), 0u);
+}
+
+TEST(VocabularyIndex, TopKAndRankingContract) {
+  util::Rng rng(7);
+  img::ViewPerturbation pert;
+  std::vector<feat::Descriptor256> training;
+  std::vector<feat::BinaryFeatures> all;
+  for (int s = 0; s < 8; ++s) {
+    const img::SceneSpec spec{static_cast<std::uint64_t>(8800 + s), 18, 4};
+    all.push_back(feat::extract_orb(
+        img::render_view(spec, 200, 150, pert, rng)));
+    training.insert(training.end(), all.back().descriptors.begin(),
+                    all.back().descriptors.end());
+  }
+  VocabularyIndex index(VocabularyTree::train(training, {}));
+  for (const auto& f : all) index.insert(f);
+  const QueryResult r = index.query(all[0], 3);
+  EXPECT_LE(r.hits.size(), 3u);
+  for (std::size_t i = 1; i < r.hits.size(); ++i) {
+    EXPECT_GE(r.hits[i - 1].similarity, r.hits[i].similarity);
+  }
+  // Self-query: the image itself is in the index with similarity 1.
+  EXPECT_DOUBLE_EQ(r.max_similarity, 1.0);
+}
+
+}  // namespace
+}  // namespace bees::idx

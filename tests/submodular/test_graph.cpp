@@ -1,0 +1,104 @@
+#include "submodular/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "features/orb.hpp"
+#include "imaging/synth.hpp"
+#include "util/rng.hpp"
+
+namespace bees::sub {
+namespace {
+
+TEST(SimilarityGraph, SelfWeightIsOne) {
+  SimilarityGraph g(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(g.weight(i, i), 1.0);
+}
+
+TEST(SimilarityGraph, SetWeightIsSymmetric) {
+  SimilarityGraph g(3);
+  g.set_weight(0, 2, 0.7);
+  EXPECT_DOUBLE_EQ(g.weight(0, 2), 0.7);
+  EXPECT_DOUBLE_EQ(g.weight(2, 0), 0.7);
+}
+
+TEST(SimilarityGraph, SelfWeightCannotBeOverwritten) {
+  SimilarityGraph g(2);
+  g.set_weight(1, 1, 0.0);
+  EXPECT_DOUBLE_EQ(g.weight(1, 1), 1.0);
+}
+
+TEST(PartitionComponents, AllIsolatedAtHighThreshold) {
+  SimilarityGraph g(5);
+  g.set_weight(0, 1, 0.3);
+  g.set_weight(2, 3, 0.2);
+  const auto labels = partition_components(g, 0.9);
+  EXPECT_EQ(component_count(labels), 5);
+}
+
+TEST(PartitionComponents, EdgesMergeComponents) {
+  SimilarityGraph g(5);
+  g.set_weight(0, 1, 0.3);
+  g.set_weight(1, 2, 0.25);
+  g.set_weight(3, 4, 0.5);
+  const auto labels = partition_components(g, 0.2);
+  EXPECT_EQ(component_count(labels), 2);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(PartitionComponents, ThresholdIsInclusive) {
+  SimilarityGraph g(2);
+  g.set_weight(0, 1, 0.5);
+  // Edges with weight >= tw survive: at exactly 0.5 the pair merges.
+  EXPECT_EQ(component_count(partition_components(g, 0.5)), 1);
+  EXPECT_EQ(component_count(partition_components(g, 0.500001)), 2);
+}
+
+TEST(PartitionComponents, MonotoneInThreshold) {
+  // Raising tw can only split components, never merge them — the mechanism
+  // that makes the SSMM budget grow with Tw (paper §III-B2).
+  util::Rng rng(3);
+  SimilarityGraph g(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = i + 1; j < 12; ++j) {
+      if (rng.bernoulli(0.3)) g.set_weight(i, j, rng.next_double());
+    }
+  }
+  int prev = 0;
+  for (double tw = 0.0; tw <= 1.01; tw += 0.1) {
+    const int count = component_count(partition_components(g, tw));
+    EXPECT_GE(count, prev);
+    prev = count;
+  }
+  EXPECT_EQ(prev, 12);
+}
+
+TEST(BuildSimilarityGraph, PairwiseJaccardWithGroundTruthGroups) {
+  util::Rng rng(5);
+  img::ViewPerturbation pert;
+  std::vector<feat::BinaryFeatures> batch;
+  // Two scenes, two views each: weights inside a scene must dominate
+  // weights across scenes.
+  for (const std::uint64_t seed : {501, 501, 502, 502}) {
+    const img::SceneSpec spec{seed, 18, 4};
+    batch.push_back(
+        feat::extract_orb(img::render_view(spec, 200, 150, pert, rng)));
+  }
+  std::uint64_t ops = 0;
+  const SimilarityGraph g = build_similarity_graph(batch, {}, &ops);
+  EXPECT_GT(ops, 0u);
+  EXPECT_GT(g.weight(0, 1), g.weight(0, 2));
+  EXPECT_GT(g.weight(0, 1), g.weight(0, 3));
+  EXPECT_GT(g.weight(2, 3), g.weight(1, 2));
+}
+
+TEST(BuildSimilarityGraph, EmptyBatch) {
+  const SimilarityGraph g = build_similarity_graph({});
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(component_count(partition_components(g, 0.5)), 0);
+}
+
+}  // namespace
+}  // namespace bees::sub

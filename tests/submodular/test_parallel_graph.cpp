@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "submodular/graph.hpp"
+#include "submodular/ssmm.hpp"
+#include "workload/image_store.hpp"
+
+namespace bees::sub {
+namespace {
+
+TEST(ParallelGraph, IdenticalToSerial) {
+  wl::ImageStore store;
+  const wl::Imageset set = wl::make_disaster_like(14, 4, 200, 150, 131);
+  std::vector<feat::BinaryFeatures> batch;
+  for (const auto& spec : set.images) batch.push_back(store.orb(spec, 0.0));
+
+  std::uint64_t serial_ops = 0, parallel_ops = 0;
+  const SimilarityGraph serial =
+      build_similarity_graph(batch, {}, &serial_ops);
+  const SimilarityGraph parallel =
+      build_similarity_graph_parallel(batch, {}, &parallel_ops, 3);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    for (std::size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_DOUBLE_EQ(parallel.weight(i, j), serial.weight(i, j));
+    }
+  }
+  // The energy model must charge the same work regardless of threading.
+  EXPECT_EQ(parallel_ops, serial_ops);
+}
+
+TEST(ParallelGraph, HandlesDegenerateSizes) {
+  EXPECT_EQ(build_similarity_graph_parallel({}).size(), 0u);
+  wl::ImageStore store;
+  const wl::Imageset set = wl::make_disaster_like(1, 0, 160, 120, 133);
+  std::vector<feat::BinaryFeatures> one{store.orb(set.images[0], 0.0)};
+  const SimilarityGraph g = build_similarity_graph_parallel(one);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.weight(0, 0), 1.0);
+}
+
+TEST(ParallelGraph, SsmmSelectionUnchanged) {
+  wl::ImageStore store;
+  const wl::Imageset set = wl::make_disaster_like(12, 5, 200, 150, 137);
+  std::vector<feat::BinaryFeatures> batch;
+  for (const auto& spec : set.images) batch.push_back(store.orb(spec, 0.0));
+  const SsmmResult serial =
+      select_unique_images(build_similarity_graph(batch), 0.019, {});
+  const SsmmResult parallel =
+      select_unique_images(build_similarity_graph_parallel(batch), 0.019, {});
+  EXPECT_EQ(parallel.selected, serial.selected);
+  EXPECT_EQ(parallel.budget, serial.budget);
+}
+
+}  // namespace
+}  // namespace bees::sub

@@ -1,0 +1,72 @@
+#include "util/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bees::util {
+namespace {
+
+TEST(BitStream, SingleBitsRoundTrip) {
+  BitWriter w;
+  const std::vector<bool> bits{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  for (const bool b : bits) w.put_bit(b);
+  const auto buf = w.finish();
+  BitReader r(buf);
+  for (const bool b : bits) EXPECT_EQ(r.get_bit(), b);
+}
+
+TEST(BitStream, FixedWidthFieldsRoundTrip) {
+  BitWriter w;
+  w.put_bits(0x2b, 6);
+  w.put_bits(0x12345, 20);
+  const auto buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.get_bits(6), 0x2bu);
+  EXPECT_EQ(r.get_bits(20), 0x12345u);
+}
+
+class ExpGolombRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExpGolombRoundTrip, Unsigned) {
+  BitWriter w;
+  w.put_ue(GetParam());
+  const auto buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.get_ue(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ExpGolombRoundTrip,
+                         ::testing::Values(0ULL, 1ULL, 2ULL, 7ULL, 8ULL,
+                                           63ULL, 64ULL, 1000ULL, 65535ULL));
+
+TEST(ExpGolomb, SignedRoundTrip) {
+  BitWriter w;
+  const std::vector<std::int64_t> values{0, 1, -1, 2, -2, 100, -100, 4095};
+  for (const auto v : values) w.put_se(v);
+  const auto buf = w.finish();
+  BitReader r(buf);
+  for (const auto v : values) EXPECT_EQ(r.get_se(), v);
+}
+
+TEST(ExpGolomb, SmallValuesAreShort) {
+  BitWriter w;
+  w.put_ue(0);
+  EXPECT_EQ(w.bit_count(), 1u);  // "1"
+  BitWriter w2;
+  w2.put_ue(1);
+  EXPECT_EQ(w2.bit_count(), 3u);  // "010"
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  BitWriter w;
+  w.put_bit(true);
+  const auto buf = w.finish();
+  BitReader r(buf);
+  for (int i = 0; i < 8; ++i) r.get_bit();  // padding included
+  EXPECT_THROW(r.get_bit(), DecodeError);
+}
+
+
+}  // namespace
+}  // namespace bees::util

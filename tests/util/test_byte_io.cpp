@@ -1,0 +1,135 @@
+#include "util/byte_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace bees::util {
+namespace {
+
+TEST(ByteIo, ScalarRoundTrip) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_f32(3.5f);
+  w.put_f64(-2.25);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.get_f32(), 3.5f);
+  EXPECT_EQ(r.get_f64(), -2.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteIo, LittleEndianLayout) {
+  ByteWriter w;
+  w.put_u32(0x04030201);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x02);
+  EXPECT_EQ(b[2], 0x03);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, RoundTrips) {
+  ByteWriter w;
+  w.put_varint(GetParam());
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_varint(), GetParam());
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                      0xffffffffULL, 0xffffffffffffffffULL));
+
+TEST(ByteIo, VarintIsCompactForSmallValues) {
+  ByteWriter w;
+  w.put_varint(100);
+  EXPECT_EQ(w.size(), 1u);
+  w.put_varint(300);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(ByteIo, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("");
+  w.put_string("hello bees");
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), "hello bees");
+}
+
+TEST(ByteIo, BytesRoundTrip) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  ByteWriter w;
+  w.put_bytes(payload);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_bytes(5), payload);
+}
+
+TEST(ByteIo, TruncatedReadsThrow) {
+  ByteWriter w;
+  w.put_u16(7);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW(r.get_u32(), DecodeError);
+}
+
+TEST(ByteIo, TruncatedVarintThrows) {
+  // A continuation bit with no following byte.
+  const std::vector<std::uint8_t> bad{0x80};
+  ByteReader r(bad);
+  EXPECT_THROW(r.get_varint(), DecodeError);
+}
+
+TEST(ByteIo, OverlongVarintThrows) {
+  // 11 continuation bytes exceed the 64-bit range.
+  const std::vector<std::uint8_t> bad(11, 0x80);
+  ByteReader r(bad);
+  EXPECT_THROW(r.get_varint(), DecodeError);
+}
+
+TEST(ByteIo, RandomizedMixedRoundTrip) {
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    ByteWriter w;
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 20; ++i) {
+      const std::uint64_t v = rng.next_u64() >> (rng.index(64));
+      values.push_back(v);
+      w.put_varint(v);
+    }
+    const auto buf = w.take();
+    ByteReader r(buf);
+    for (const auto v : values) EXPECT_EQ(r.get_varint(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(ByteIo, RemainingTracksPosition) {
+  ByteWriter w;
+  w.put_u32(1);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.remaining(), 4u);
+  r.get_u16();
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace bees::util

@@ -1,0 +1,55 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bees::util {
+namespace {
+
+/// Captures stderr around a callback.
+template <typename Fn>
+std::string capture_stderr(Fn&& fn) {
+  ::testing::internal::CaptureStderr();
+  fn();
+  return ::testing::internal::GetCapturedStderr();
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LogTest, EmitsAtOrAboveThreshold) {
+  set_log_level(LogLevel::kInfo);
+  const std::string out = capture_stderr([] {
+    log_info() << "hello " << 42;
+    log_error() << "boom";
+  });
+  EXPECT_NE(out.find("[INFO] hello 42"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] boom"), std::string::npos);
+}
+
+TEST_F(LogTest, SuppressesBelowThreshold) {
+  set_log_level(LogLevel::kWarn);
+  const std::string out = capture_stderr([] {
+    log_debug() << "invisible";
+    log_info() << "also invisible";
+    log_warn() << "visible";
+  });
+  EXPECT_EQ(out.find("invisible"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] visible"), std::string::npos);
+}
+
+TEST_F(LogTest, DebugVisibleWhenEnabled) {
+  set_log_level(LogLevel::kDebug);
+  const std::string out =
+      capture_stderr([] { log_debug() << "trace " << 1.5; });
+  EXPECT_NE(out.find("[DEBUG] trace 1.5"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace bees::util

@@ -1,0 +1,190 @@
+// bees_sim — command-line BEES simulator.  Runs any scheme over a
+// configurable workload/channel/battery and prints the itemized report, so
+// a downstream user can explore the design space without writing code.
+//
+// Usage:
+//   bees_sim [--scheme NAME] [--images N] [--similar N] [--redundancy R]
+//            [--bitrate KBPS] [--battery PCT] [--width W] [--height H]
+//            [--seed S] [--csv]
+//
+//   --scheme      Direct | SmartEye | MRC | BEES | BEES-EA   (default BEES)
+//   --images      batch size                                  (default 40)
+//   --similar     in-batch similar images in the batch        (default 4)
+//   --redundancy  cross-batch redundancy ratio 0..1 seeded on
+//                 the server                                  (default 0.25)
+//   --bitrate     fixed channel bitrate in Kbps; 0 = the
+//                 fluctuating 0-512 Kbps disaster channel     (default 256)
+//   --battery     starting battery percentage 1..100          (default 100)
+//   --csv         print one machine-readable CSV line instead of the table
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/baselines.hpp"
+#include "core/bees.hpp"
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+using namespace bees;
+
+namespace {
+
+struct Options {
+  std::string scheme = "BEES";
+  int images = 40;
+  int similar = 4;
+  double redundancy = 0.25;
+  double bitrate_kbps = 256.0;
+  double battery_pct = 100.0;
+  int width = 320;
+  int height = 240;
+  std::uint64_t seed = 42;
+  bool csv = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--scheme Direct|SmartEye|MRC|BEES|BEES-EA] [--images N]\n"
+               "       [--similar N] [--redundancy R] [--bitrate KBPS]\n"
+               "       [--battery PCT] [--width W] [--height H] [--seed S]\n"
+               "       [--csv]\n";
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      out = std::stod(argv[++i]);
+      return true;
+    };
+    double v = 0;
+    if (arg == "--scheme" && i + 1 < argc) {
+      opt.scheme = argv[++i];
+    } else if (arg == "--images" && next(v)) {
+      opt.images = static_cast<int>(v);
+    } else if (arg == "--similar" && next(v)) {
+      opt.similar = static_cast<int>(v);
+    } else if (arg == "--redundancy" && next(v)) {
+      opt.redundancy = v;
+    } else if (arg == "--bitrate" && next(v)) {
+      opt.bitrate_kbps = v;
+    } else if (arg == "--battery" && next(v)) {
+      opt.battery_pct = v;
+    } else if (arg == "--width" && next(v)) {
+      opt.width = static_cast<int>(v);
+    } else if (arg == "--height" && next(v)) {
+      opt.height = static_cast<int>(v);
+    } else if (arg == "--seed" && next(v)) {
+      opt.seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else {
+      return false;
+    }
+  }
+  return opt.images > 0 && opt.similar >= 0 && opt.similar <= opt.images &&
+         opt.redundancy >= 0 && opt.redundancy <= 1 && opt.battery_pct > 0 &&
+         opt.battery_pct <= 100 && opt.width >= 64 && opt.height >= 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage(argv[0]);
+
+  const wl::Imageset batch = wl::make_disaster_like(
+      opt.images, opt.similar, opt.width, opt.height, opt.seed);
+  wl::ImageStore store;
+
+  // Calibrate payload bytes toward ~700 KB phone photos, as in the paper.
+  double mean_original = 0;
+  const std::size_t sample = std::min<std::size_t>(8, batch.images.size());
+  for (std::size_t i = 0; i < sample; ++i) {
+    mean_original += static_cast<double>(store.original(batch.images[i]).bytes);
+  }
+  mean_original /= static_cast<double>(sample);
+  core::SchemeConfig config;
+  config.image_byte_scale = 700.0 * 1024 / mean_original;
+
+  std::unique_ptr<core::UploadScheme> scheme;
+  std::shared_ptr<feat::PcaModel> pca;
+  if (opt.scheme == "Direct") {
+    scheme = std::make_unique<core::DirectUploadScheme>(store, config);
+  } else if (opt.scheme == "SmartEye") {
+    pca = std::make_shared<feat::PcaModel>(
+        core::train_pca_model(store, batch, 4));
+    scheme = std::make_unique<core::SmartEyeScheme>(store, config, pca);
+  } else if (opt.scheme == "MRC") {
+    scheme = std::make_unique<core::MrcScheme>(store, config);
+  } else if (opt.scheme == "BEES") {
+    scheme = std::make_unique<core::BeesScheme>(store, config, true);
+  } else if (opt.scheme == "BEES-EA") {
+    scheme = std::make_unique<core::BeesScheme>(store, config, false);
+  } else {
+    return usage(argv[0]);
+  }
+
+  cloud::Server server;
+  if (opt.redundancy > 0) {
+    // SmartEye needs the float index seeded too.
+    if (!pca && opt.scheme == "SmartEye") {
+      pca = std::make_shared<feat::PcaModel>(
+          core::train_pca_model(store, batch, 4));
+    }
+    core::seed_cross_batch_redundancy(batch.images, opt.redundancy, store,
+                                      server, pca.get(), opt.seed ^ 0x5eed,
+                                      config.image_byte_scale);
+  }
+  net::Channel channel(opt.bitrate_kbps > 0
+                           ? net::ChannelParams::fixed(opt.bitrate_kbps * 1000)
+                           : net::ChannelParams{});
+  energy::Battery battery;
+  battery.drain(battery.capacity_j() * (1.0 - opt.battery_pct / 100.0));
+
+  const core::BatchReport r =
+      scheme->upload_batch(batch.images, server, channel, battery);
+
+  if (opt.csv) {
+    std::cout << "scheme,images,uploaded,cross_elim,inbatch_elim,"
+                 "image_bytes,feature_bytes,rx_bytes,energy_j,busy_s,"
+                 "mean_delay_s,aborted\n"
+              << scheme->name() << ',' << r.images_offered << ','
+              << r.images_uploaded << ',' << r.eliminated_cross_batch << ','
+              << r.eliminated_in_batch << ',' << r.image_bytes << ','
+              << r.feature_bytes << ',' << r.rx_bytes << ','
+              << r.energy.active_total() << ',' << r.busy_seconds() << ','
+              << r.mean_delay_seconds() << ',' << (r.aborted ? 1 : 0)
+              << '\n';
+    return 0;
+  }
+
+  util::Table table({"metric", "value"});
+  table.add_row({"scheme", scheme->name()});
+  table.add_row({"images offered", std::to_string(r.images_offered)});
+  table.add_row({"images uploaded", std::to_string(r.images_uploaded)});
+  table.add_row({"cross-batch eliminated",
+                 std::to_string(r.eliminated_cross_batch)});
+  table.add_row({"in-batch eliminated",
+                 std::to_string(r.eliminated_in_batch)});
+  table.add_row({"image payload", util::Table::num(r.image_bytes / 1024, 1) +
+                                      " KB"});
+  table.add_row({"feature payload",
+                 util::Table::num(r.feature_bytes / 1024, 1) + " KB"});
+  table.add_row({"feedback payload",
+                 util::Table::num(r.rx_bytes / 1024, 1) + " KB"});
+  table.add_row({"active energy",
+                 util::Table::num(r.energy.active_total(), 1) + " J"});
+  table.add_row({"  extraction",
+                 util::Table::num(r.energy.extraction_j, 1) + " J"});
+  table.add_row({"  image TX", util::Table::num(r.energy.image_tx_j, 1) + " J"});
+  table.add_row({"busy time", util::Table::num(r.busy_seconds(), 1) + " s"});
+  table.add_row({"mean delay / image",
+                 util::Table::num(r.mean_delay_seconds(), 2) + " s"});
+  table.add_row({"battery left", util::Table::pct(battery.fraction())});
+  table.add_row({"aborted (battery died)", r.aborted ? "yes" : "no"});
+  table.print(std::cout);
+  return 0;
+}
