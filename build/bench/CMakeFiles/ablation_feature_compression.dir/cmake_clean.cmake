@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feature_compression.dir/ablation_feature_compression.cpp.o"
+  "CMakeFiles/ablation_feature_compression.dir/ablation_feature_compression.cpp.o.d"
+  "ablation_feature_compression"
+  "ablation_feature_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feature_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_global_features.dir/ablation_global_features.cpp.o"
+  "CMakeFiles/ablation_global_features.dir/ablation_global_features.cpp.o.d"
+  "ablation_global_features"
+  "ablation_global_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_global_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

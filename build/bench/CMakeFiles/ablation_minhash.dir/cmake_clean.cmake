@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_minhash.dir/ablation_minhash.cpp.o"
+  "CMakeFiles/ablation_minhash.dir/ablation_minhash.cpp.o.d"
+  "ablation_minhash"
+  "ablation_minhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_minhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

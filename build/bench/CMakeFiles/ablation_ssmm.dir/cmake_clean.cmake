@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ssmm.dir/ablation_ssmm.cpp.o"
+  "CMakeFiles/ablation_ssmm.dir/ablation_ssmm.cpp.o.d"
+  "ablation_ssmm"
+  "ablation_ssmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ssmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vocabulary.dir/ablation_vocabulary.cpp.o"
+  "CMakeFiles/ablation_vocabulary.dir/ablation_vocabulary.cpp.o.d"
+  "ablation_vocabulary"
+  "ablation_vocabulary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vocabulary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_coverage.dir/fig12_coverage.cpp.o"
+  "CMakeFiles/fig12_coverage.dir/fig12_coverage.cpp.o.d"
+  "fig12_coverage"
+  "fig12_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

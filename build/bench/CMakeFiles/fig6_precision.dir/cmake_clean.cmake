@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_precision.dir/fig6_precision.cpp.o"
+  "CMakeFiles/fig6_precision.dir/fig6_precision.cpp.o.d"
+  "fig6_precision"
+  "fig6_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

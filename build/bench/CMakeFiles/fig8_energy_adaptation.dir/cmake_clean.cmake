@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_energy_adaptation.dir/fig8_energy_adaptation.cpp.o"
+  "CMakeFiles/fig8_energy_adaptation.dir/fig8_energy_adaptation.cpp.o.d"
+  "fig8_energy_adaptation"
+  "fig8_energy_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_energy_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

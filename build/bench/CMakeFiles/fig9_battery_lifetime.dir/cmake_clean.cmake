@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_battery_lifetime.dir/fig9_battery_lifetime.cpp.o"
+  "CMakeFiles/fig9_battery_lifetime.dir/fig9_battery_lifetime.cpp.o.d"
+  "fig9_battery_lifetime"
+  "fig9_battery_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_battery_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

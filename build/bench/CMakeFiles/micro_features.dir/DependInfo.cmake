@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_features.cpp" "bench/CMakeFiles/micro_features.dir/micro_features.cpp.o" "gcc" "bench/CMakeFiles/micro_features.dir/micro_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bees_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/bees_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bees_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/submodular/CMakeFiles/bees_submodular.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bees_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/bees_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/bees_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/bees_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_battery.dir/adaptive_battery.cpp.o"
+  "CMakeFiles/adaptive_battery.dir/adaptive_battery.cpp.o.d"
+  "adaptive_battery"
+  "adaptive_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_pipeline_demo.dir/image_pipeline_demo.cpp.o"
+  "CMakeFiles/image_pipeline_demo.dir/image_pipeline_demo.cpp.o.d"
+  "image_pipeline_demo"
+  "image_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

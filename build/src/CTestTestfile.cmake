@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("imaging")
+subdirs("features")
+subdirs("index")
+subdirs("submodular")
+subdirs("energy")
+subdirs("net")
+subdirs("cloud")
+subdirs("workload")
+subdirs("core")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/rpc.cpp" "src/cloud/CMakeFiles/bees_cloud.dir/rpc.cpp.o" "gcc" "src/cloud/CMakeFiles/bees_cloud.dir/rpc.cpp.o.d"
+  "/root/repo/src/cloud/server.cpp" "src/cloud/CMakeFiles/bees_cloud.dir/server.cpp.o" "gcc" "src/cloud/CMakeFiles/bees_cloud.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/bees_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/bees_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/bees_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

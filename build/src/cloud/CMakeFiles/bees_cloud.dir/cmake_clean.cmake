@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_cloud.dir/rpc.cpp.o"
+  "CMakeFiles/bees_cloud.dir/rpc.cpp.o.d"
+  "CMakeFiles/bees_cloud.dir/server.cpp.o"
+  "CMakeFiles/bees_cloud.dir/server.cpp.o.d"
+  "libbees_cloud.a"
+  "libbees_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

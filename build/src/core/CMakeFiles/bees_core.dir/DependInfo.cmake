@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/bees_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/bees_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/bees.cpp" "src/core/CMakeFiles/bees_core.dir/bees.cpp.o" "gcc" "src/core/CMakeFiles/bees_core.dir/bees.cpp.o.d"
+  "/root/repo/src/core/photonet.cpp" "src/core/CMakeFiles/bees_core.dir/photonet.cpp.o" "gcc" "src/core/CMakeFiles/bees_core.dir/photonet.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/core/CMakeFiles/bees_core.dir/scheme.cpp.o" "gcc" "src/core/CMakeFiles/bees_core.dir/scheme.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/bees_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/bees_core.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/bees_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bees_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/submodular/CMakeFiles/bees_submodular.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bees_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/bees_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/bees_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/bees_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_core.dir/baselines.cpp.o"
+  "CMakeFiles/bees_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/bees_core.dir/bees.cpp.o"
+  "CMakeFiles/bees_core.dir/bees.cpp.o.d"
+  "CMakeFiles/bees_core.dir/photonet.cpp.o"
+  "CMakeFiles/bees_core.dir/photonet.cpp.o.d"
+  "CMakeFiles/bees_core.dir/scheme.cpp.o"
+  "CMakeFiles/bees_core.dir/scheme.cpp.o.d"
+  "CMakeFiles/bees_core.dir/simulation.cpp.o"
+  "CMakeFiles/bees_core.dir/simulation.cpp.o.d"
+  "libbees_core.a"
+  "libbees_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

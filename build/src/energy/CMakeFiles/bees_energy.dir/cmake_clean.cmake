@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_energy.dir/battery.cpp.o"
+  "CMakeFiles/bees_energy.dir/battery.cpp.o.d"
+  "libbees_energy.a"
+  "libbees_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

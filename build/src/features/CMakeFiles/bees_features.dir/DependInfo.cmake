@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/fast.cpp" "src/features/CMakeFiles/bees_features.dir/fast.cpp.o" "gcc" "src/features/CMakeFiles/bees_features.dir/fast.cpp.o.d"
+  "/root/repo/src/features/global.cpp" "src/features/CMakeFiles/bees_features.dir/global.cpp.o" "gcc" "src/features/CMakeFiles/bees_features.dir/global.cpp.o.d"
+  "/root/repo/src/features/matching.cpp" "src/features/CMakeFiles/bees_features.dir/matching.cpp.o" "gcc" "src/features/CMakeFiles/bees_features.dir/matching.cpp.o.d"
+  "/root/repo/src/features/orb.cpp" "src/features/CMakeFiles/bees_features.dir/orb.cpp.o" "gcc" "src/features/CMakeFiles/bees_features.dir/orb.cpp.o.d"
+  "/root/repo/src/features/pca.cpp" "src/features/CMakeFiles/bees_features.dir/pca.cpp.o" "gcc" "src/features/CMakeFiles/bees_features.dir/pca.cpp.o.d"
+  "/root/repo/src/features/sift.cpp" "src/features/CMakeFiles/bees_features.dir/sift.cpp.o" "gcc" "src/features/CMakeFiles/bees_features.dir/sift.cpp.o.d"
+  "/root/repo/src/features/similarity.cpp" "src/features/CMakeFiles/bees_features.dir/similarity.cpp.o" "gcc" "src/features/CMakeFiles/bees_features.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imaging/CMakeFiles/bees_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_features.dir/fast.cpp.o"
+  "CMakeFiles/bees_features.dir/fast.cpp.o.d"
+  "CMakeFiles/bees_features.dir/global.cpp.o"
+  "CMakeFiles/bees_features.dir/global.cpp.o.d"
+  "CMakeFiles/bees_features.dir/matching.cpp.o"
+  "CMakeFiles/bees_features.dir/matching.cpp.o.d"
+  "CMakeFiles/bees_features.dir/orb.cpp.o"
+  "CMakeFiles/bees_features.dir/orb.cpp.o.d"
+  "CMakeFiles/bees_features.dir/pca.cpp.o"
+  "CMakeFiles/bees_features.dir/pca.cpp.o.d"
+  "CMakeFiles/bees_features.dir/sift.cpp.o"
+  "CMakeFiles/bees_features.dir/sift.cpp.o.d"
+  "CMakeFiles/bees_features.dir/similarity.cpp.o"
+  "CMakeFiles/bees_features.dir/similarity.cpp.o.d"
+  "libbees_features.a"
+  "libbees_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

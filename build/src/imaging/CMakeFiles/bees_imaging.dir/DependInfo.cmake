@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imaging/codec.cpp" "src/imaging/CMakeFiles/bees_imaging.dir/codec.cpp.o" "gcc" "src/imaging/CMakeFiles/bees_imaging.dir/codec.cpp.o.d"
+  "/root/repo/src/imaging/codec_lossless.cpp" "src/imaging/CMakeFiles/bees_imaging.dir/codec_lossless.cpp.o" "gcc" "src/imaging/CMakeFiles/bees_imaging.dir/codec_lossless.cpp.o.d"
+  "/root/repo/src/imaging/image.cpp" "src/imaging/CMakeFiles/bees_imaging.dir/image.cpp.o" "gcc" "src/imaging/CMakeFiles/bees_imaging.dir/image.cpp.o.d"
+  "/root/repo/src/imaging/ppm_io.cpp" "src/imaging/CMakeFiles/bees_imaging.dir/ppm_io.cpp.o" "gcc" "src/imaging/CMakeFiles/bees_imaging.dir/ppm_io.cpp.o.d"
+  "/root/repo/src/imaging/quality.cpp" "src/imaging/CMakeFiles/bees_imaging.dir/quality.cpp.o" "gcc" "src/imaging/CMakeFiles/bees_imaging.dir/quality.cpp.o.d"
+  "/root/repo/src/imaging/synth.cpp" "src/imaging/CMakeFiles/bees_imaging.dir/synth.cpp.o" "gcc" "src/imaging/CMakeFiles/bees_imaging.dir/synth.cpp.o.d"
+  "/root/repo/src/imaging/transform.cpp" "src/imaging/CMakeFiles/bees_imaging.dir/transform.cpp.o" "gcc" "src/imaging/CMakeFiles/bees_imaging.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

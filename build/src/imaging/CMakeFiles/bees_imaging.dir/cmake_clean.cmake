@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_imaging.dir/codec.cpp.o"
+  "CMakeFiles/bees_imaging.dir/codec.cpp.o.d"
+  "CMakeFiles/bees_imaging.dir/codec_lossless.cpp.o"
+  "CMakeFiles/bees_imaging.dir/codec_lossless.cpp.o.d"
+  "CMakeFiles/bees_imaging.dir/image.cpp.o"
+  "CMakeFiles/bees_imaging.dir/image.cpp.o.d"
+  "CMakeFiles/bees_imaging.dir/ppm_io.cpp.o"
+  "CMakeFiles/bees_imaging.dir/ppm_io.cpp.o.d"
+  "CMakeFiles/bees_imaging.dir/quality.cpp.o"
+  "CMakeFiles/bees_imaging.dir/quality.cpp.o.d"
+  "CMakeFiles/bees_imaging.dir/synth.cpp.o"
+  "CMakeFiles/bees_imaging.dir/synth.cpp.o.d"
+  "CMakeFiles/bees_imaging.dir/transform.cpp.o"
+  "CMakeFiles/bees_imaging.dir/transform.cpp.o.d"
+  "libbees_imaging.a"
+  "libbees_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

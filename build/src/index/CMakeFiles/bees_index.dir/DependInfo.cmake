@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/feature_index.cpp" "src/index/CMakeFiles/bees_index.dir/feature_index.cpp.o" "gcc" "src/index/CMakeFiles/bees_index.dir/feature_index.cpp.o.d"
+  "/root/repo/src/index/lsh.cpp" "src/index/CMakeFiles/bees_index.dir/lsh.cpp.o" "gcc" "src/index/CMakeFiles/bees_index.dir/lsh.cpp.o.d"
+  "/root/repo/src/index/minhash.cpp" "src/index/CMakeFiles/bees_index.dir/minhash.cpp.o" "gcc" "src/index/CMakeFiles/bees_index.dir/minhash.cpp.o.d"
+  "/root/repo/src/index/persistence.cpp" "src/index/CMakeFiles/bees_index.dir/persistence.cpp.o" "gcc" "src/index/CMakeFiles/bees_index.dir/persistence.cpp.o.d"
+  "/root/repo/src/index/serialize.cpp" "src/index/CMakeFiles/bees_index.dir/serialize.cpp.o" "gcc" "src/index/CMakeFiles/bees_index.dir/serialize.cpp.o.d"
+  "/root/repo/src/index/vocabulary.cpp" "src/index/CMakeFiles/bees_index.dir/vocabulary.cpp.o" "gcc" "src/index/CMakeFiles/bees_index.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/bees_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bees_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/bees_imaging.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_index.dir/feature_index.cpp.o"
+  "CMakeFiles/bees_index.dir/feature_index.cpp.o.d"
+  "CMakeFiles/bees_index.dir/lsh.cpp.o"
+  "CMakeFiles/bees_index.dir/lsh.cpp.o.d"
+  "CMakeFiles/bees_index.dir/minhash.cpp.o"
+  "CMakeFiles/bees_index.dir/minhash.cpp.o.d"
+  "CMakeFiles/bees_index.dir/persistence.cpp.o"
+  "CMakeFiles/bees_index.dir/persistence.cpp.o.d"
+  "CMakeFiles/bees_index.dir/serialize.cpp.o"
+  "CMakeFiles/bees_index.dir/serialize.cpp.o.d"
+  "CMakeFiles/bees_index.dir/vocabulary.cpp.o"
+  "CMakeFiles/bees_index.dir/vocabulary.cpp.o.d"
+  "libbees_index.a"
+  "libbees_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

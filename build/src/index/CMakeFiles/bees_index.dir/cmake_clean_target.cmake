@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbees_index.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/bees_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/bees_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/protocol.cpp" "src/net/CMakeFiles/bees_net.dir/protocol.cpp.o" "gcc" "src/net/CMakeFiles/bees_net.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bees_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/bees_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/bees_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/bees_imaging.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_net.dir/channel.cpp.o"
+  "CMakeFiles/bees_net.dir/channel.cpp.o.d"
+  "CMakeFiles/bees_net.dir/protocol.cpp.o"
+  "CMakeFiles/bees_net.dir/protocol.cpp.o.d"
+  "libbees_net.a"
+  "libbees_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_submodular.dir/graph.cpp.o"
+  "CMakeFiles/bees_submodular.dir/graph.cpp.o.d"
+  "CMakeFiles/bees_submodular.dir/ssmm.cpp.o"
+  "CMakeFiles/bees_submodular.dir/ssmm.cpp.o.d"
+  "libbees_submodular.a"
+  "libbees_submodular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_submodular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

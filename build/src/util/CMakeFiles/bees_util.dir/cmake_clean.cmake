@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_util.dir/bitstream.cpp.o"
+  "CMakeFiles/bees_util.dir/bitstream.cpp.o.d"
+  "CMakeFiles/bees_util.dir/byte_io.cpp.o"
+  "CMakeFiles/bees_util.dir/byte_io.cpp.o.d"
+  "CMakeFiles/bees_util.dir/compress.cpp.o"
+  "CMakeFiles/bees_util.dir/compress.cpp.o.d"
+  "CMakeFiles/bees_util.dir/log.cpp.o"
+  "CMakeFiles/bees_util.dir/log.cpp.o.d"
+  "CMakeFiles/bees_util.dir/rng.cpp.o"
+  "CMakeFiles/bees_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bees_util.dir/stats.cpp.o"
+  "CMakeFiles/bees_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bees_util.dir/table.cpp.o"
+  "CMakeFiles/bees_util.dir/table.cpp.o.d"
+  "CMakeFiles/bees_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/bees_util.dir/thread_pool.cpp.o.d"
+  "libbees_util.a"
+  "libbees_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

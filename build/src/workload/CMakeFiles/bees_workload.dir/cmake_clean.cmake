@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_workload.dir/image_store.cpp.o"
+  "CMakeFiles/bees_workload.dir/image_store.cpp.o.d"
+  "CMakeFiles/bees_workload.dir/imageset.cpp.o"
+  "CMakeFiles/bees_workload.dir/imageset.cpp.o.d"
+  "libbees_workload.a"
+  "libbees_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

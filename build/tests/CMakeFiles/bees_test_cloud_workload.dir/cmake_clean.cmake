@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_test_cloud_workload.dir/cloud_workload/test_burst.cpp.o"
+  "CMakeFiles/bees_test_cloud_workload.dir/cloud_workload/test_burst.cpp.o.d"
+  "CMakeFiles/bees_test_cloud_workload.dir/cloud_workload/test_image_store.cpp.o"
+  "CMakeFiles/bees_test_cloud_workload.dir/cloud_workload/test_image_store.cpp.o.d"
+  "CMakeFiles/bees_test_cloud_workload.dir/cloud_workload/test_imageset.cpp.o"
+  "CMakeFiles/bees_test_cloud_workload.dir/cloud_workload/test_imageset.cpp.o.d"
+  "CMakeFiles/bees_test_cloud_workload.dir/cloud_workload/test_rpc.cpp.o"
+  "CMakeFiles/bees_test_cloud_workload.dir/cloud_workload/test_rpc.cpp.o.d"
+  "CMakeFiles/bees_test_cloud_workload.dir/cloud_workload/test_server.cpp.o"
+  "CMakeFiles/bees_test_cloud_workload.dir/cloud_workload/test_server.cpp.o.d"
+  "bees_test_cloud_workload"
+  "bees_test_cloud_workload.pdb"
+  "bees_test_cloud_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_test_cloud_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_test_core.dir/core/test_accounting.cpp.o"
+  "CMakeFiles/bees_test_core.dir/core/test_accounting.cpp.o.d"
+  "CMakeFiles/bees_test_core.dir/core/test_bees_pipeline.cpp.o"
+  "CMakeFiles/bees_test_core.dir/core/test_bees_pipeline.cpp.o.d"
+  "CMakeFiles/bees_test_core.dir/core/test_photonet.cpp.o"
+  "CMakeFiles/bees_test_core.dir/core/test_photonet.cpp.o.d"
+  "CMakeFiles/bees_test_core.dir/core/test_schemes.cpp.o"
+  "CMakeFiles/bees_test_core.dir/core/test_schemes.cpp.o.d"
+  "CMakeFiles/bees_test_core.dir/core/test_simulation.cpp.o"
+  "CMakeFiles/bees_test_core.dir/core/test_simulation.cpp.o.d"
+  "bees_test_core"
+  "bees_test_core.pdb"
+  "bees_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

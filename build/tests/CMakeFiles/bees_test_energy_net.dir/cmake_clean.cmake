@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_test_energy_net.dir/energy_net/test_adaptive.cpp.o"
+  "CMakeFiles/bees_test_energy_net.dir/energy_net/test_adaptive.cpp.o.d"
+  "CMakeFiles/bees_test_energy_net.dir/energy_net/test_battery.cpp.o"
+  "CMakeFiles/bees_test_energy_net.dir/energy_net/test_battery.cpp.o.d"
+  "CMakeFiles/bees_test_energy_net.dir/energy_net/test_channel.cpp.o"
+  "CMakeFiles/bees_test_energy_net.dir/energy_net/test_channel.cpp.o.d"
+  "CMakeFiles/bees_test_energy_net.dir/energy_net/test_cost_model.cpp.o"
+  "CMakeFiles/bees_test_energy_net.dir/energy_net/test_cost_model.cpp.o.d"
+  "bees_test_energy_net"
+  "bees_test_energy_net.pdb"
+  "bees_test_energy_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_test_energy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

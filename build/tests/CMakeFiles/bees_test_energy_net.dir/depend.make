@@ -1,0 +1,2 @@
+# Empty dependencies file for bees_test_energy_net.
+# This may be replaced when dependencies are built.

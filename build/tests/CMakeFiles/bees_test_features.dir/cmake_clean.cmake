@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_test_features.dir/features/test_fast.cpp.o"
+  "CMakeFiles/bees_test_features.dir/features/test_fast.cpp.o.d"
+  "CMakeFiles/bees_test_features.dir/features/test_global.cpp.o"
+  "CMakeFiles/bees_test_features.dir/features/test_global.cpp.o.d"
+  "CMakeFiles/bees_test_features.dir/features/test_matching.cpp.o"
+  "CMakeFiles/bees_test_features.dir/features/test_matching.cpp.o.d"
+  "CMakeFiles/bees_test_features.dir/features/test_orb.cpp.o"
+  "CMakeFiles/bees_test_features.dir/features/test_orb.cpp.o.d"
+  "CMakeFiles/bees_test_features.dir/features/test_pca.cpp.o"
+  "CMakeFiles/bees_test_features.dir/features/test_pca.cpp.o.d"
+  "CMakeFiles/bees_test_features.dir/features/test_sift.cpp.o"
+  "CMakeFiles/bees_test_features.dir/features/test_sift.cpp.o.d"
+  "CMakeFiles/bees_test_features.dir/features/test_similarity.cpp.o"
+  "CMakeFiles/bees_test_features.dir/features/test_similarity.cpp.o.d"
+  "bees_test_features"
+  "bees_test_features.pdb"
+  "bees_test_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_test_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

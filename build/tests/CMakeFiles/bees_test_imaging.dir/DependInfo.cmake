@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/imaging/test_codec.cpp" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_codec.cpp.o" "gcc" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_codec.cpp.o.d"
+  "/root/repo/tests/imaging/test_codec_lossless.cpp" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_codec_lossless.cpp.o" "gcc" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_codec_lossless.cpp.o.d"
+  "/root/repo/tests/imaging/test_image.cpp" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_image.cpp.o" "gcc" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_image.cpp.o.d"
+  "/root/repo/tests/imaging/test_ppm_io.cpp" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_ppm_io.cpp.o" "gcc" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_ppm_io.cpp.o.d"
+  "/root/repo/tests/imaging/test_quality.cpp" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_quality.cpp.o" "gcc" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_quality.cpp.o.d"
+  "/root/repo/tests/imaging/test_synth.cpp" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_synth.cpp.o" "gcc" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_synth.cpp.o.d"
+  "/root/repo/tests/imaging/test_transform.cpp" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_transform.cpp.o" "gcc" "tests/CMakeFiles/bees_test_imaging.dir/imaging/test_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bees_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/bees_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bees_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bees_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/submodular/CMakeFiles/bees_submodular.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bees_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/bees_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/bees_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/imaging/CMakeFiles/bees_imaging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bees_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_codec.cpp.o"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_codec.cpp.o.d"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_codec_lossless.cpp.o"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_codec_lossless.cpp.o.d"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_image.cpp.o"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_image.cpp.o.d"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_ppm_io.cpp.o"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_ppm_io.cpp.o.d"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_quality.cpp.o"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_quality.cpp.o.d"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_synth.cpp.o"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_synth.cpp.o.d"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_transform.cpp.o"
+  "CMakeFiles/bees_test_imaging.dir/imaging/test_transform.cpp.o.d"
+  "bees_test_imaging"
+  "bees_test_imaging.pdb"
+  "bees_test_imaging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_test_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

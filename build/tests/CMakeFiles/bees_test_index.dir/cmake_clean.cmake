@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_test_index.dir/index/test_feature_index.cpp.o"
+  "CMakeFiles/bees_test_index.dir/index/test_feature_index.cpp.o.d"
+  "CMakeFiles/bees_test_index.dir/index/test_lsh.cpp.o"
+  "CMakeFiles/bees_test_index.dir/index/test_lsh.cpp.o.d"
+  "CMakeFiles/bees_test_index.dir/index/test_minhash.cpp.o"
+  "CMakeFiles/bees_test_index.dir/index/test_minhash.cpp.o.d"
+  "CMakeFiles/bees_test_index.dir/index/test_persistence.cpp.o"
+  "CMakeFiles/bees_test_index.dir/index/test_persistence.cpp.o.d"
+  "CMakeFiles/bees_test_index.dir/index/test_serialize.cpp.o"
+  "CMakeFiles/bees_test_index.dir/index/test_serialize.cpp.o.d"
+  "CMakeFiles/bees_test_index.dir/index/test_vocabulary.cpp.o"
+  "CMakeFiles/bees_test_index.dir/index/test_vocabulary.cpp.o.d"
+  "bees_test_index"
+  "bees_test_index.pdb"
+  "bees_test_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_test_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_test_submodular.dir/submodular/test_graph.cpp.o"
+  "CMakeFiles/bees_test_submodular.dir/submodular/test_graph.cpp.o.d"
+  "CMakeFiles/bees_test_submodular.dir/submodular/test_parallel_graph.cpp.o"
+  "CMakeFiles/bees_test_submodular.dir/submodular/test_parallel_graph.cpp.o.d"
+  "CMakeFiles/bees_test_submodular.dir/submodular/test_ssmm.cpp.o"
+  "CMakeFiles/bees_test_submodular.dir/submodular/test_ssmm.cpp.o.d"
+  "bees_test_submodular"
+  "bees_test_submodular.pdb"
+  "bees_test_submodular[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_test_submodular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

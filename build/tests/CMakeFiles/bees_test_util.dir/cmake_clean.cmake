@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_test_util.dir/util/test_bitstream.cpp.o"
+  "CMakeFiles/bees_test_util.dir/util/test_bitstream.cpp.o.d"
+  "CMakeFiles/bees_test_util.dir/util/test_byte_io.cpp.o"
+  "CMakeFiles/bees_test_util.dir/util/test_byte_io.cpp.o.d"
+  "CMakeFiles/bees_test_util.dir/util/test_compress.cpp.o"
+  "CMakeFiles/bees_test_util.dir/util/test_compress.cpp.o.d"
+  "CMakeFiles/bees_test_util.dir/util/test_log.cpp.o"
+  "CMakeFiles/bees_test_util.dir/util/test_log.cpp.o.d"
+  "CMakeFiles/bees_test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/bees_test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/bees_test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/bees_test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/bees_test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/bees_test_util.dir/util/test_table.cpp.o.d"
+  "CMakeFiles/bees_test_util.dir/util/test_thread_pool.cpp.o"
+  "CMakeFiles/bees_test_util.dir/util/test_thread_pool.cpp.o.d"
+  "bees_test_util"
+  "bees_test_util.pdb"
+  "bees_test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bees_test_util[1]_include.cmake")
+include("/root/repo/build/tests/bees_test_imaging[1]_include.cmake")
+include("/root/repo/build/tests/bees_test_features[1]_include.cmake")
+include("/root/repo/build/tests/bees_test_index[1]_include.cmake")
+include("/root/repo/build/tests/bees_test_submodular[1]_include.cmake")
+include("/root/repo/build/tests/bees_test_energy_net[1]_include.cmake")
+include("/root/repo/build/tests/bees_test_cloud_workload[1]_include.cmake")
+include("/root/repo/build/tests/bees_test_core[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bees_sim.dir/bees_sim.cpp.o"
+  "CMakeFiles/bees_sim.dir/bees_sim.cpp.o.d"
+  "bees_sim"
+  "bees_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bees_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
