@@ -35,18 +35,22 @@ inline GridSetup make_grid_setup(int batch_size, int in_batch_similar,
 /// BEES-EA} over the batch, with `redundancy_ratio` of the batch seeded on
 /// a fresh server, at a fixed `bitrate_bps`, starting from battery level
 /// `ebat`.  The same seeding salt is used for every scheme at a given
-/// ratio so all schemes face identical server contents.
+/// ratio so all schemes face identical server contents.  `loss` injects a
+/// per-message loss probability; at 0 the cell is the classic lossless
+/// protocol, bit for bit.
 inline core::BatchReport run_cell(GridSetup& setup,
                                   const std::string& scheme_name,
                                   double redundancy_ratio, double bitrate_bps,
-                                  double ebat = 1.0) {
+                                  double ebat = 1.0, double loss = 0.0) {
   cloud::Server server;
   core::seed_cross_batch_redundancy(
       setup.batch.images, redundancy_ratio, *setup.store, server,
       setup.pca.get(),
       1000 + static_cast<std::uint64_t>(redundancy_ratio * 100),
       setup.byte_scale);
-  net::Channel channel(net::ChannelParams::fixed(bitrate_bps));
+  net::ChannelParams cp = net::ChannelParams::fixed(bitrate_bps);
+  cp.loss_probability = loss;
+  net::Channel channel(cp);
   energy::Battery battery;
   battery.drain(battery.capacity_j() * (1.0 - ebat));
 

@@ -6,22 +6,37 @@ BatchReport DirectUploadScheme::upload_batch(
     const std::vector<wl::ImageSpec>& batch, cloud::Server& server,
     net::Channel& channel, energy::Battery& battery) {
   BatchReport report;
-  report.images_offered = static_cast<int>(batch.size());
-  for (const auto& spec : batch) {
+  const std::uint64_t key = batch_key(batch);
+  if (!progress_.active || progress_.key != key) {
+    progress_ = {};
+    progress_.active = true;
+    progress_.key = key;
+    report.images_offered = static_cast<int>(batch.size());
+  }
+  net::Transport transport = make_transport(server, channel);
+
+  while (progress_.next < batch.size()) {
+    const wl::ImageSpec& spec = batch[progress_.next];
     if (battery.depleted()) {
       report.aborted = true;
-      break;
+      return report;
     }
     // The photo already exists as a camera JPEG; no client CPU is charged.
     const wl::EncodedImage enc = store().original(spec);
     const double bytes = image_wire_bytes(enc.bytes);
-    const double secs = transfer_up(bytes, channel, battery);
-    report.image_tx_seconds += secs;
-    report.image_bytes += bytes;
-    report.energy.image_tx_j += secs * config().cost.tx_power_w;
-    server.store_plain(bytes, spec.geo);
+    net::PlainUploadRequest upload;
+    upload.image_bytes = bytes;
+    upload.geo = spec.geo;
+    const auto env = exchange(transport, net::encode(upload), bytes,
+                              TxKind::kImage, battery, report);
+    if (!env) {
+      report.aborted = true;
+      return report;
+    }
     ++report.images_uploaded;
+    progress_.next += 1;
   }
+  progress_ = {};
   return report;
 }
 
@@ -29,56 +44,74 @@ BatchReport SmartEyeScheme::upload_batch(
     const std::vector<wl::ImageSpec>& batch, cloud::Server& server,
     net::Channel& channel, energy::Battery& battery) {
   BatchReport report;
-  report.images_offered = static_cast<int>(batch.size());
+  const std::uint64_t key = batch_key(batch);
+  if (!progress_.active || progress_.key != key) {
+    progress_ = {};
+    progress_.active = true;
+    progress_.key = key;
+    report.images_offered = static_cast<int>(batch.size());
+  }
+  net::Transport transport = make_transport(server, channel);
 
   // Phase 1 — extract and upload the whole batch's features, query the
   // server index as of batch start.  Because nothing is inserted until
   // phase 2, in-batch similar images cannot match each other: exactly the
   // blind spot the paper ascribes to the existing schemes (§I challenge 1).
-  std::vector<std::size_t> unique;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  while (progress_.queried < batch.size()) {
+    const std::size_t i = progress_.queried;
     if (battery.depleted()) {
       report.aborted = true;
       return report;
     }
     // PCA-SIFT extraction (SIFT + projection; stats carry the total work).
     const feat::FloatFeatures& features = store().pca_sift(batch[i], *pca_);
-    report.compute_seconds += charge_compute(features.stats.ops, battery);
-    report.energy.extraction_j +=
-        config().cost.compute_energy(features.stats.ops);
+    if (i >= progress_.extracted) {
+      report.compute_seconds += charge_compute(features.stats.ops, battery);
+      report.energy.extraction_j +=
+          config().cost.compute_energy(features.stats.ops);
+      progress_.extracted = i + 1;
+    }
 
     const double fbytes =
         static_cast<double>(idx::serialize_float(features).size());
-    const double fsecs = transfer_up(fbytes, channel, battery);
-    report.feature_tx_seconds += fsecs;
-    report.feature_bytes += fbytes;
-    report.energy.feature_tx_j += fsecs * config().cost.tx_power_w;
-
-    const idx::QueryResult result =
-        server.query_float(features, fbytes, config().top_k);
-    if (result.max_similarity > kSmartEyeSimilarityThreshold) {
+    const auto env =
+        exchange(transport, net::encode_float_query(features, config().top_k,
+                                                    fbytes),
+                 fbytes, TxKind::kFeature, battery, report);
+    if (!env) {
+      report.aborted = true;
+      return report;
+    }
+    const net::QueryResponse verdict = net::decode_query_response(env->payload);
+    if (verdict.max_similarity > kSmartEyeSimilarityThreshold) {
       ++report.eliminated_cross_batch;
     } else {
-      unique.push_back(i);
+      progress_.unique.push_back(i);
     }
+    progress_.queried = i + 1;
   }
 
   // Phase 2 — upload the unique images as shot.
-  for (const std::size_t i : unique) {
+  while (progress_.next_upload < progress_.unique.size()) {
+    const std::size_t i = progress_.unique[progress_.next_upload];
     if (battery.depleted()) {
       report.aborted = true;
       return report;
     }
     const wl::EncodedImage enc = store().original(batch[i]);
     const double bytes = image_wire_bytes(enc.bytes);
-    const double secs = transfer_up(bytes, channel, battery);
-    report.image_tx_seconds += secs;
-    report.image_bytes += bytes;
-    report.energy.image_tx_j += secs * config().cost.tx_power_w;
-    server.store_float(store().pca_sift(batch[i], *pca_), bytes,
-                       batch[i].geo);
+    const auto request = net::encode_float_upload(
+        store().pca_sift(batch[i], *pca_), bytes, batch[i].geo);
+    const auto env =
+        exchange(transport, request, bytes, TxKind::kImage, battery, report);
+    if (!env) {
+      report.aborted = true;
+      return report;
+    }
     ++report.images_uploaded;
+    progress_.next_upload += 1;
   }
+  progress_ = {};
   return report;
 }
 
@@ -87,68 +120,88 @@ BatchReport MrcScheme::upload_batch(const std::vector<wl::ImageSpec>& batch,
                                     net::Channel& channel,
                                     energy::Battery& battery) {
   BatchReport report;
-  report.images_offered = static_cast<int>(batch.size());
+  const std::uint64_t key = batch_key(batch);
+  if (!progress_.active || progress_.key != key) {
+    progress_ = {};
+    progress_.active = true;
+    progress_.key = key;
+    report.images_offered = static_cast<int>(batch.size());
+  }
+  net::Transport transport = make_transport(server, channel);
 
   // Phase 1 — features and queries against the index as of batch start
   // (cross-batch detection only; see the SmartEye comment).
-  std::vector<std::size_t> unique;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  while (progress_.queried < batch.size()) {
+    const std::size_t i = progress_.queried;
     if (battery.depleted()) {
       report.aborted = true;
       return report;
     }
     // Full-resolution ORB extraction (MRC does not compress bitmaps).
     const feat::BinaryFeatures& features = store().orb(batch[i], 0.0);
-    report.compute_seconds += charge_compute(features.stats.ops, battery);
-    report.energy.extraction_j +=
-        config().cost.compute_energy(features.stats.ops);
+    if (i >= progress_.extracted) {
+      report.compute_seconds += charge_compute(features.stats.ops, battery);
+      report.energy.extraction_j +=
+          config().cost.compute_energy(features.stats.ops);
+      progress_.extracted = i + 1;
+    }
 
     const double fbytes =
         static_cast<double>(idx::serialize_binary(features).size());
-    const double fsecs = transfer_up(fbytes, channel, battery);
-    report.feature_tx_seconds += fsecs;
-    report.feature_bytes += fbytes;
-    report.energy.feature_tx_j += fsecs * config().cost.tx_power_w;
-
-    const idx::QueryResult result =
-        server.query_binary(features, fbytes, config().top_k);
+    const auto env =
+        exchange(transport, net::encode_binary_query(features, config().top_k,
+                                                     fbytes),
+                 fbytes, TxKind::kFeature, battery, report);
+    if (!env) {
+      report.aborted = true;
+      return report;
+    }
+    const net::QueryResponse verdict = net::decode_query_response(env->payload);
     // MRC's protocol returns a thumbnail of the candidate match for
     // client-side verification — the extra downlink the paper points to in
     // Fig. 10 ("MRC consumes a little more bandwidth ... due to requiring
     // thumbnail feedback").  The payload is the stored image's measured
     // thumbnail size (kThumbnailBytes when the server has no record).
-    if (!result.hits.empty() && result.max_similarity > 0.0) {
-      double thumb = server.thumbnail_bytes_of(result.best_id);
+    if (verdict.best_id != idx::kInvalidImageId &&
+        verdict.max_similarity > 0.0) {
+      double thumb = verdict.thumbnail_bytes;
       if (thumb <= 0.0) thumb = kThumbnailBytes;
       const double rsecs = transfer_down(thumb, channel, battery);
       report.rx_seconds += rsecs;
       report.rx_bytes += thumb;
       report.energy.rx_j += rsecs * config().cost.rx_power_w;
     }
-    if (result.max_similarity > kFixedSimilarityThreshold) {
+    if (verdict.max_similarity > kFixedSimilarityThreshold) {
       ++report.eliminated_cross_batch;
     } else {
-      unique.push_back(i);
+      progress_.unique.push_back(i);
     }
+    progress_.queried = i + 1;
   }
 
   // Phase 2 — upload the unique images as shot.
-  for (const std::size_t i : unique) {
+  while (progress_.next_upload < progress_.unique.size()) {
+    const std::size_t i = progress_.unique[progress_.next_upload];
     if (battery.depleted()) {
       report.aborted = true;
       return report;
     }
     const wl::EncodedImage enc = store().original(batch[i]);
     const double bytes = image_wire_bytes(enc.bytes);
-    const double secs = transfer_up(bytes, channel, battery);
-    report.image_tx_seconds += secs;
-    report.image_bytes += bytes;
-    report.energy.image_tx_j += secs * config().cost.tx_power_w;
     const wl::EncodedImage thumb = store().encoded(batch[i], 0.75, 0.5);
-    server.store_binary(store().orb(batch[i], 0.0), bytes, batch[i].geo,
-                        image_wire_bytes(thumb.bytes));
+    const auto request =
+        net::encode_image_upload(store().orb(batch[i], 0.0), bytes,
+                                 batch[i].geo, image_wire_bytes(thumb.bytes));
+    const auto env =
+        exchange(transport, request, bytes, TxKind::kImage, battery, report);
+    if (!env) {
+      report.aborted = true;
+      return report;
+    }
     ++report.images_uploaded;
+    progress_.next_upload += 1;
   }
+  progress_ = {};
   return report;
 }
 

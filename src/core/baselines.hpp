@@ -21,9 +21,19 @@ class DirectUploadScheme final : public UploadScheme {
   DirectUploadScheme(wl::ImageStore& store, SchemeConfig config)
       : UploadScheme("DirectUpload", store, std::move(config)) {}
 
+  /// Resumes an aborted batch from the first not-yet-stored image when
+  /// called again with the same batch (see BeesScheme::upload_batch).
   BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
                            cloud::Server& server, net::Channel& channel,
                            energy::Battery& battery) override;
+
+ private:
+  struct Progress {
+    bool active = false;
+    std::uint64_t key = 0;
+    std::size_t next = 0;  ///< First image not yet stored server-side.
+  };
+  Progress progress_;
 };
 
 class SmartEyeScheme final : public UploadScheme {
@@ -34,12 +44,24 @@ class SmartEyeScheme final : public UploadScheme {
       : UploadScheme("SmartEye", store, std::move(config)),
         pca_(std::move(pca)) {}
 
+  /// Resumes an aborted batch mid-phase when called again with the same
+  /// batch (see BeesScheme::upload_batch).
   BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
                            cloud::Server& server, net::Channel& channel,
                            energy::Battery& battery) override;
 
  private:
+  struct Progress {
+    bool active = false;
+    std::uint64_t key = 0;
+    std::size_t extracted = 0;  ///< Images whose feature CPU was charged.
+    std::size_t queried = 0;    ///< Images with a delivered query round.
+    std::vector<std::size_t> unique;  ///< Verdict: upload in phase 2.
+    std::size_t next_upload = 0;      ///< Index into `unique`.
+  };
+
   std::shared_ptr<const feat::PcaModel> pca_;
+  Progress progress_;
 };
 
 class MrcScheme final : public UploadScheme {
@@ -47,9 +69,22 @@ class MrcScheme final : public UploadScheme {
   MrcScheme(wl::ImageStore& store, SchemeConfig config)
       : UploadScheme("MRC", store, std::move(config)) {}
 
+  /// Resumes an aborted batch mid-phase when called again with the same
+  /// batch (see BeesScheme::upload_batch).
   BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
                            cloud::Server& server, net::Channel& channel,
                            energy::Battery& battery) override;
+
+ private:
+  struct Progress {
+    bool active = false;
+    std::uint64_t key = 0;
+    std::size_t extracted = 0;
+    std::size_t queried = 0;
+    std::vector<std::size_t> unique;
+    std::size_t next_upload = 0;
+  };
+  Progress progress_;
 };
 
 /// Trains the PCA-SIFT projection on the SIFT descriptors of up to

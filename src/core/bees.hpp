@@ -37,6 +37,11 @@ class BeesScheme final : public UploadScheme {
       : UploadScheme(adaptive ? "BEES" : "BEES-EA", store, std::move(config)),
         adaptive_(adaptive) {}
 
+  /// Uploads one batch.  If the previous call on the same batch aborted
+  /// (battery death or retry-budget exhaustion), this resumes from the last
+  /// completed step instead of redoing delivered work: knob settings stay
+  /// pinned, extracted features / delivered feature rounds / stored images
+  /// are not repeated, and images_offered is counted only once.
   BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
                            cloud::Server& server, net::Channel& channel,
                            energy::Battery& battery) override;
@@ -44,10 +49,26 @@ class BeesScheme final : public UploadScheme {
   bool adaptive() const noexcept { return adaptive_; }
   /// Stage-level details of the most recent upload_batch call.
   const BeesBatchTrace& last_trace() const noexcept { return trace_; }
+  /// True while an aborted batch is waiting to be resumed.
+  bool resumable() const noexcept { return progress_.active; }
 
  private:
+  /// Resume bookkeeping for an in-flight (aborted) batch.
+  struct Progress {
+    bool active = false;
+    std::uint64_t key = 0;               ///< batch_key of the batch.
+    energy::adapt::Knobs knobs;          ///< Pinned at batch start.
+    std::size_t features_extracted = 0;  ///< AFE work already charged.
+    bool features_sent = false;          ///< Batch query round delivered.
+    std::vector<net::QueryResponse> verdicts;  ///< Saved CBRD verdicts.
+    bool ssmm_done = false;
+    std::vector<std::size_t> selected;   ///< AIU plan (batch indices).
+    std::size_t next_upload = 0;         ///< First not-yet-stored entry.
+  };
+
   bool adaptive_;
   BeesBatchTrace trace_;
+  Progress progress_;
 };
 
 }  // namespace bees::core

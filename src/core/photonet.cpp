@@ -1,60 +1,81 @@
 #include "core/photonet.hpp"
 
-#include "features/global.hpp"
-
 namespace bees::core {
 
 BatchReport PhotoNetScheme::upload_batch(
     const std::vector<wl::ImageSpec>& batch, cloud::Server& server,
     net::Channel& channel, energy::Battery& battery) {
   BatchReport report;
-  report.images_offered = static_cast<int>(batch.size());
+  const std::uint64_t key = batch_key(batch);
+  if (!progress_.active || progress_.key != key) {
+    progress_ = {};
+    progress_.active = true;
+    progress_.key = key;
+    report.images_offered = static_cast<int>(batch.size());
+  }
+  net::Transport transport = make_transport(server, channel);
 
   // Phase 1 — global features for the whole batch, queried against the
   // server state as of batch start (like the other baselines, PhotoNet
   // cannot see in-batch redundancy from the index alone).
-  std::vector<std::size_t> unique;
-  std::vector<feat::ColorHistogram> histograms(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  while (progress_.queried < batch.size()) {
+    const std::size_t i = progress_.queried;
     if (battery.depleted()) {
       report.aborted = true;
       return report;
     }
-    std::uint64_t ops = 0;
-    histograms[i] = feat::color_histogram(store().pixels(batch[i]), &ops);
-    report.compute_seconds += charge_compute(ops, battery);
-    report.energy.extraction_j += config().cost.compute_energy(ops);
+    if (i >= progress_.histograms.size()) {
+      std::uint64_t ops = 0;
+      progress_.histograms.push_back(
+          feat::color_histogram(store().pixels(batch[i]), &ops));
+      report.compute_seconds += charge_compute(ops, battery);
+      report.energy.extraction_j += config().cost.compute_energy(ops);
+    }
 
     // The query payload: the histogram (kBins floats) + the geotag.
     const double fbytes = feat::ColorHistogram::kBins * 4.0 + 17.0;
-    const double fsecs = transfer_up(fbytes, channel, battery);
-    report.feature_tx_seconds += fsecs;
-    report.feature_bytes += fbytes;
-    report.energy.feature_tx_j += fsecs * config().cost.tx_power_w;
-
-    if (server.query_global(histograms[i], batch[i].geo, fbytes) >
-        kPhotoNetThreshold) {
+    net::GlobalQueryRequest query;
+    query.histogram = progress_.histograms[i];
+    query.geo = batch[i].geo;
+    query.feature_bytes = fbytes;
+    const auto env = exchange(transport, net::encode(query), fbytes,
+                              TxKind::kFeature, battery, report);
+    if (!env) {
+      report.aborted = true;
+      return report;
+    }
+    const net::QueryResponse verdict = net::decode_query_response(env->payload);
+    if (verdict.max_similarity > kPhotoNetThreshold) {
       ++report.eliminated_cross_batch;
     } else {
-      unique.push_back(i);
+      progress_.unique.push_back(i);
     }
+    progress_.queried = i + 1;
   }
 
   // Phase 2 — upload the unique images as shot.
-  for (const std::size_t i : unique) {
+  while (progress_.next_upload < progress_.unique.size()) {
+    const std::size_t i = progress_.unique[progress_.next_upload];
     if (battery.depleted()) {
       report.aborted = true;
       return report;
     }
     const wl::EncodedImage enc = store().original(batch[i]);
     const double bytes = image_wire_bytes(enc.bytes);
-    const double secs = transfer_up(bytes, channel, battery);
-    report.image_tx_seconds += secs;
-    report.image_bytes += bytes;
-    report.energy.image_tx_j += secs * config().cost.tx_power_w;
-    server.store_global(histograms[i], bytes, batch[i].geo);
+    net::GlobalUploadRequest upload;
+    upload.histogram = progress_.histograms[i];
+    upload.image_bytes = bytes;
+    upload.geo = batch[i].geo;
+    const auto env = exchange(transport, net::encode(upload), bytes,
+                              TxKind::kImage, battery, report);
+    if (!env) {
+      report.aborted = true;
+      return report;
+    }
     ++report.images_uploaded;
+    progress_.next_upload += 1;
   }
+  progress_ = {};
   return report;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "core/scheme.hpp"
+#include "features/global.hpp"
 #include "workload/imageset.hpp"
 
 namespace bees::core {
@@ -26,9 +27,23 @@ class PhotoNetScheme final : public UploadScheme {
   PhotoNetScheme(wl::ImageStore& store, SchemeConfig config)
       : UploadScheme("PhotoNet", store, std::move(config)) {}
 
+  /// Resumes an aborted batch mid-phase when called again with the same
+  /// batch (see BeesScheme::upload_batch).
   BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
                            cloud::Server& server, net::Channel& channel,
                            energy::Battery& battery) override;
+
+ private:
+  struct Progress {
+    bool active = false;
+    std::uint64_t key = 0;
+    std::size_t queried = 0;
+    std::vector<std::size_t> unique;
+    std::size_t next_upload = 0;
+    /// Histograms computed so far (phase 2 re-uses them for the store).
+    std::vector<feat::ColorHistogram> histograms;
+  };
+  Progress progress_;
 };
 
 }  // namespace bees::core

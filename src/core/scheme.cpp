@@ -1,5 +1,7 @@
 #include "core/scheme.hpp"
 
+#include "cloud/rpc.hpp"
+
 namespace bees::core {
 
 BatchReport& BatchReport::operator+=(const BatchReport& other) noexcept {
@@ -11,10 +13,15 @@ BatchReport& BatchReport::operator+=(const BatchReport& other) noexcept {
   feature_bytes += other.feature_bytes;
   image_bytes += other.image_bytes;
   rx_bytes += other.rx_bytes;
+  retransmit_seconds += other.retransmit_seconds;
+  backoff_seconds += other.backoff_seconds;
+  retransmitted_bytes += other.retransmitted_bytes;
   images_offered += other.images_offered;
   images_uploaded += other.images_uploaded;
   eliminated_cross_batch += other.eliminated_cross_batch;
   eliminated_in_batch += other.eliminated_in_batch;
+  retries += other.retries;
+  gave_up += other.gave_up;
   aborted = aborted || other.aborted;
   return *this;
 }
@@ -38,6 +45,61 @@ double UploadScheme::charge_compute(std::uint64_t ops,
   const double seconds = config_.cost.compute_seconds(ops);
   battery.drain(config_.cost.compute_energy(ops));
   return seconds;
+}
+
+net::Transport UploadScheme::make_transport(cloud::Server& server,
+                                            net::Channel& channel) const {
+  return net::Transport(
+      [&server](const std::vector<std::uint8_t>& request) {
+        return cloud::dispatch(server, request);
+      },
+      channel, config_.retry);
+}
+
+std::optional<net::Envelope> UploadScheme::exchange(
+    net::Transport& transport, const std::vector<std::uint8_t>& request,
+    double wire_bytes, TxKind kind, energy::Battery& battery,
+    BatchReport& report) const {
+  const net::ExchangeResult res = transport.exchange(request, wire_bytes);
+  if (wire_bytes < 0.0) wire_bytes = static_cast<double>(request.size());
+
+  battery.drain((res.tx_seconds + res.wasted_seconds) * config_.cost.tx_power_w);
+  report.retries += res.retries;
+  report.retransmit_seconds += res.wasted_seconds;
+  report.backoff_seconds += res.backoff_seconds;
+  report.retransmitted_bytes += res.retransmitted_bytes;
+  report.energy.retransmit_tx_j += res.wasted_seconds * config_.cost.tx_power_w;
+
+  if (!res.ok) {
+    report.gave_up += 1;
+    return std::nullopt;
+  }
+
+  const double tx_j = res.tx_seconds * config_.cost.tx_power_w;
+  if (kind == TxKind::kFeature) {
+    report.feature_tx_seconds += res.tx_seconds;
+    report.feature_bytes += wire_bytes;
+    report.energy.feature_tx_j += tx_j;
+  } else {
+    report.image_tx_seconds += res.tx_seconds;
+    report.image_bytes += wire_bytes;
+    report.energy.image_tx_j += tx_j;
+  }
+  return net::open_envelope(res.reply);
+}
+
+std::uint64_t batch_key(const std::vector<wl::ImageSpec>& batch) {
+  // FNV-1a over the per-image cache keys: stable across runs, and distinct
+  // batches collide only with negligible probability.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const wl::ImageSpec& spec : batch) {
+    std::uint64_t k = spec.cache_key();
+    for (int i = 0; i < 8; ++i) {
+      h ^= (k >> (i * 8)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
 }
 
 }  // namespace bees::core

@@ -6,7 +6,9 @@
 // paper's figures.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,8 @@
 #include "energy/cost_model.hpp"
 #include "features/matching.hpp"
 #include "net/channel.hpp"
+#include "net/protocol.hpp"
+#include "net/transport.hpp"
 #include "submodular/ssmm.hpp"
 #include "workload/image_store.hpp"
 
@@ -46,6 +50,10 @@ struct SchemeConfig {
   /// Matching parameters for client-side in-batch similarity (BEES IBRD).
   feat::BinaryMatchParams match;
   sub::SsmmParams ssmm;
+  /// Retry/backoff policy for every client<->server exchange.  The default
+  /// (no per-attempt timeout) leaves loss-free runs identical to the
+  /// pre-transport byte/energy accounting.
+  net::RetryPolicy retry;
 };
 
 /// Everything one batch cost, itemized.
@@ -58,17 +66,30 @@ struct BatchReport {
   double feature_bytes = 0.0;
   double image_bytes = 0.0;
   double rx_bytes = 0.0;
+  /// Airtime burnt on lost / timed-out attempts (transport layer).
+  double retransmit_seconds = 0.0;
+  /// Idle waits between retry attempts (exponential backoff).
+  double backoff_seconds = 0.0;
+  /// Bytes radiated on failed attempts; NOT part of feature/image bytes,
+  /// which count delivered payload only.
+  double retransmitted_bytes = 0.0;
   int images_offered = 0;
   int images_uploaded = 0;
   int eliminated_cross_batch = 0;
   int eliminated_in_batch = 0;
-  /// True if the battery died before the batch finished.
+  /// Transport retries performed across the batch's exchanges.
+  int retries = 0;
+  /// Exchanges abandoned after exhausting the retry budget.
+  int gave_up = 0;
+  /// True if the batch did not finish (battery death, or a query round
+  /// abandoned after exhausting retries).  Aborted batches can be resumed
+  /// by calling upload_batch again with the same batch.
   bool aborted = false;
 
   /// Total client busy time — the quantity behind the Fig. 11 delay.
   double busy_seconds() const noexcept {
     return compute_seconds + feature_tx_seconds + image_tx_seconds +
-           rx_seconds;
+           rx_seconds + retransmit_seconds + backoff_seconds;
   }
   /// Mean per-image delay over the batch (paper Fig. 11 metric).
   double mean_delay_seconds() const noexcept {
@@ -98,12 +119,32 @@ class UploadScheme {
                                    energy::Battery& battery) = 0;
 
  protected:
+  /// Which accounting bucket a delivered uplink payload belongs to.
+  enum class TxKind { kFeature, kImage };
+
   wl::ImageStore& store() noexcept { return *store_; }
 
   /// Scales a codec payload size to the paper-scale image byte domain.
   double image_wire_bytes(std::size_t encoded_bytes) const noexcept {
     return static_cast<double>(encoded_bytes) * config_.image_byte_scale;
   }
+
+  /// Runs one reliable request/reply exchange against the server through
+  /// cloud::dispatch over `transport`, charging all airtime to the battery:
+  /// the delivering attempt lands in the `kind` bucket (seconds, bytes and
+  /// joules), failed attempts land in the retransmit bucket, and backoff
+  /// waits accrue as idle time (energy-free here; lifetime runs charge the
+  /// baseline draw on wall-clock).  Returns the opened reply envelope, or
+  /// nullopt if the retry budget was exhausted (report.gave_up++).
+  std::optional<net::Envelope> exchange(
+      net::Transport& transport, const std::vector<std::uint8_t>& request,
+      double wire_bytes, TxKind kind, energy::Battery& battery,
+      BatchReport& report) const;
+
+  /// Builds the transport all of this scheme's exchanges ride: dispatches
+  /// into `server` over `channel` with the configured retry policy.
+  net::Transport make_transport(cloud::Server& server,
+                                net::Channel& channel) const;
 
   /// Transfers `bytes` uplink, charging TX energy for the actual airtime.
   /// Returns the airtime.
@@ -120,5 +161,10 @@ class UploadScheme {
   wl::ImageStore* store_;
   SchemeConfig config_;
 };
+
+/// Stable identity of a batch's content (hash of every image's cache key),
+/// used by the schemes' resume bookkeeping to tell "same batch again after
+/// an abort" from "a new batch".
+std::uint64_t batch_key(const std::vector<wl::ImageSpec>& batch);
 
 }  // namespace bees::core

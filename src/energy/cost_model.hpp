@@ -58,12 +58,14 @@ struct EnergyBreakdown {
   double other_compute_j = 0.0;   ///< Compression, IBRD graph, codec CPU.
   double feature_tx_j = 0.0;      ///< Uploading feature sets.
   double image_tx_j = 0.0;        ///< Uploading image payloads.
+  double retransmit_tx_j = 0.0;   ///< Airtime wasted on lost / timed-out
+                                  ///< attempts (transport retries).
   double rx_j = 0.0;              ///< Query responses / thumbnail feedback.
   double idle_j = 0.0;            ///< Baseline over elapsed time.
 
   double total() const noexcept {
-    return extraction_j + other_compute_j + feature_tx_j + image_tx_j + rx_j +
-           idle_j;
+    return extraction_j + other_compute_j + feature_tx_j + image_tx_j +
+           retransmit_tx_j + rx_j + idle_j;
   }
   /// Total excluding the baseline draw — the "scheme overhead" of Fig. 7.
   double active_total() const noexcept { return total() - idle_j; }
@@ -73,6 +75,7 @@ struct EnergyBreakdown {
     other_compute_j += other.other_compute_j;
     feature_tx_j += other.feature_tx_j;
     image_tx_j += other.image_tx_j;
+    retransmit_tx_j += other.retransmit_tx_j;
     rx_j += other.rx_j;
     idle_j += other.idle_j;
     return *this;

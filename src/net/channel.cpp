@@ -5,8 +5,19 @@
 
 namespace bees::net {
 
+namespace {
+// Salts deriving the loss/outage streams from the channel seed; kept apart
+// from the rate walk so enabling either process never perturbs the walk.
+constexpr std::uint64_t kLossSalt = 0x10551055dead1055ULL;
+constexpr std::uint64_t kOutageSalt = 0x07a9e000007a9e00ULL;
+}  // namespace
+
 Channel::Channel(const ChannelParams& params)
-    : params_(params), rng_(params.seed), bps_(params.initial_bps) {
+    : params_(params),
+      rng_(params.seed),
+      loss_rng_(params.seed ^ kLossSalt),
+      outage_rng_(params.seed ^ kOutageSalt),
+      bps_(params.initial_bps) {
   if (params.max_bps <= 0.0 || params.min_bps < 0.0 ||
       params.min_bps > params.max_bps) {
     throw std::invalid_argument("Channel: bad bitrate bounds");
@@ -14,7 +25,23 @@ Channel::Channel(const ChannelParams& params)
   if (params.update_interval_s <= 0.0) {
     throw std::invalid_argument("Channel: bad update interval");
   }
+  if (params.loss_probability < 0.0 || params.loss_probability > 1.0) {
+    throw std::invalid_argument("Channel: bad loss probability");
+  }
+  if (params.outage_probability < 0.0 || params.outage_probability > 1.0) {
+    throw std::invalid_argument("Channel: bad outage probability");
+  }
+  if (params.outage_probability > 0.0 && params.outage_duration_s <= 0.0) {
+    throw std::invalid_argument("Channel: bad outage duration");
+  }
   bps_ = std::clamp(bps_, params.min_bps, params.max_bps);
+  if (params.step_bps <= 0.0 && bps_ <= 0.0) {
+    // A constant rate of 0 bps can never complete a transfer; without this
+    // guard Channel::transfer spins forever resampling a walk that cannot
+    // move.
+    throw std::invalid_argument(
+        "Channel: rate is constant at 0 bps; transfers would never finish");
+  }
   next_update_s_ = params.update_interval_s;
 }
 
@@ -32,36 +59,69 @@ void Channel::resample() noexcept {
   bps_ = next;
 }
 
-double Channel::transfer(double bytes) {
-  if (bytes <= 0.0) return 0.0;
+void Channel::on_boundary(double boundary_s) noexcept {
+  next_update_s_ += params_.update_interval_s;
+  if (params_.outage_probability > 0.0 && boundary_s >= outage_until_s_ &&
+      outage_rng_.bernoulli(params_.outage_probability)) {
+    outage_until_s_ = boundary_s + params_.outage_duration_s;
+  }
+  resample();
+}
+
+SendOutcome Channel::transmit(double bytes, double deadline_s) {
+  SendOutcome out;
+  if (bytes <= 0.0) return out;
   double bits = bytes * 8.0;
+  const double total_bits = bits;
   const double start = now_s_;
-  // Guard against a channel stuck at 0 bps forever (min == max == 0 is
-  // rejected by the constructor, so the walk will eventually move).
   while (bits > 0.0) {
-    const double until_update = next_update_s_ - now_s_;
-    if (bps_ > 0.0) {
-      const double can_send = bps_ * until_update;
+    if (now_s_ >= deadline_s) {
+      out.timed_out = true;
+      break;
+    }
+    double rate = bps_;
+    double interval_end = std::min(next_update_s_, deadline_s);
+    if (now_s_ < outage_until_s_) {
+      rate = 0.0;
+      interval_end = std::min(interval_end, outage_until_s_);
+    }
+    if (rate > 0.0) {
+      const double can_send = rate * (interval_end - now_s_);
       if (can_send >= bits) {
-        now_s_ += bits / bps_;
+        now_s_ += bits / rate;
         bits = 0.0;
         break;
       }
       bits -= can_send;
     }
-    now_s_ = next_update_s_;
-    next_update_s_ += params_.update_interval_s;
-    resample();
+    now_s_ = interval_end;
+    if (now_s_ >= next_update_s_) on_boundary(now_s_);
   }
-  return now_s_ - start;
+  out.seconds = now_s_ - start;
+  out.sent_bytes = (total_bits - bits) / 8.0;
+  return out;
+}
+
+double Channel::transfer(double bytes) {
+  return transmit(bytes, kNoTimeout).seconds;
+}
+
+SendOutcome Channel::send(double bytes, double timeout_s) {
+  const double deadline =
+      timeout_s == kNoTimeout ? kNoTimeout : now_s_ + timeout_s;
+  SendOutcome out = transmit(bytes, deadline);
+  if (out.timed_out) return out;
+  // Nothing radiated cannot be lost; otherwise the loss process decides.
+  out.delivered = bytes <= 0.0 || params_.loss_probability <= 0.0 ||
+                  !loss_rng_.bernoulli(params_.loss_probability);
+  return out;
 }
 
 void Channel::advance(double seconds) {
   if (seconds <= 0.0) return;
   now_s_ += seconds;
   while (now_s_ >= next_update_s_) {
-    next_update_s_ += params_.update_interval_s;
-    resample();
+    on_boundary(next_update_s_);
   }
 }
 

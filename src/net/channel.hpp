@@ -3,9 +3,17 @@
 // we model that as a bounded random walk resampled once per second, and
 // integrate transfer time across the fluctuation.  A fixed-rate mode
 // reproduces the Fig. 11 delay sweep at 128 / 256 / 512 Kbps medians.
+//
+// On top of the rate process the channel models damage: a per-message loss
+// probability (the message burns its airtime but is never delivered) and
+// seeded outage windows during which the effective rate is pinned to 0.
+// Both processes draw from RNG streams independent of the rate walk, so a
+// run with loss and outages disabled is bit-identical to a run of the plain
+// fluctuating channel under the same seed.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "util/rng.hpp"
 
@@ -22,6 +30,14 @@ struct ChannelParams {
   double update_interval_s = 1.0;
   std::uint64_t seed = 0xcafef00dULL;
 
+  /// Probability that a framed message (Channel::send) is lost in flight:
+  /// the sender spends the full airtime, the receiver sees nothing.
+  double loss_probability = 0.0;
+  /// Probability, checked at each resample boundary, that the link drops
+  /// into a full outage (0 bps) lasting outage_duration_s.
+  double outage_probability = 0.0;
+  double outage_duration_s = 4.0;
+
   /// Convenience: a constant-rate channel.
   static ChannelParams fixed(double bps) {
     ChannelParams p;
@@ -31,32 +47,60 @@ struct ChannelParams {
   }
 };
 
+/// Outcome of one framed message send.
+struct SendOutcome {
+  double seconds = 0.0;     ///< Airtime consumed by this attempt.
+  double sent_bytes = 0.0;  ///< Bytes that made it onto the air.
+  bool delivered = false;   ///< Fully sent and survived the loss draw.
+  bool timed_out = false;   ///< Deadline expired before all bytes were sent.
+};
+
 /// A channel with its own clock.  All transfers advance the clock by the
 /// airtime they consume; idle time can be advanced explicitly by the
 /// simulation driver.
 class Channel {
  public:
+  /// Sentinel deadline for send(): wait as long as the transfer takes.
+  static constexpr double kNoTimeout =
+      std::numeric_limits<double>::infinity();
+
   explicit Channel(const ChannelParams& params = {});
 
   /// Transfers `bytes` and returns the airtime consumed (seconds).  The
   /// random walk resamples the instantaneous bitrate every
-  /// update_interval_s; intervals at 0 bps simply stall.
+  /// update_interval_s; intervals at 0 bps wait for the next resample.
   double transfer(double bytes);
+
+  /// Sends one framed message of `bytes`, giving up after `timeout_s` of
+  /// airtime.  A completed message is then subjected to the loss draw.
+  /// Loss and timeout both leave the consumed airtime on the clock — the
+  /// radio burned the energy either way.
+  SendOutcome send(double bytes, double timeout_s = kNoTimeout);
 
   /// Advances the clock without transferring (phone idle / computing).
   void advance(double seconds);
 
   double now() const noexcept { return now_s_; }
   double current_bps() const noexcept { return bps_; }
+  /// True while an outage window is pinning the effective rate to 0.
+  bool in_outage() const noexcept { return now_s_ < outage_until_s_; }
 
  private:
   void resample() noexcept;
+  /// Crosses the resample boundary at `boundary_s`: schedules the next one,
+  /// draws the outage process, and resamples the rate walk.
+  void on_boundary(double boundary_s) noexcept;
+  /// Integrates `bytes` over the rate process until done or `deadline_s`.
+  SendOutcome transmit(double bytes, double deadline_s);
 
   ChannelParams params_;
   util::Rng rng_;
+  util::Rng loss_rng_;
+  util::Rng outage_rng_;
   double bps_;
   double now_s_ = 0.0;
   double next_update_s_ = 0.0;
+  double outage_until_s_ = 0.0;
 };
 
 }  // namespace bees::net

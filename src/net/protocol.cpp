@@ -30,15 +30,54 @@ idx::GeoTag get_geo(util::ByteReader& r) {
   return geo;
 }
 
+void put_binary_features(util::ByteWriter& w,
+                         const feat::BinaryFeatures& features) {
+  const auto bytes = idx::serialize_binary(features);
+  w.put_varint(bytes.size());
+  w.put_bytes(bytes);
+}
+
+feat::BinaryFeatures get_binary_features(util::ByteReader& r) {
+  const auto len = static_cast<std::size_t>(r.get_varint());
+  return idx::deserialize_binary(r.get_bytes(len));
+}
+
+void put_float_features(util::ByteWriter& w,
+                        const feat::FloatFeatures& features) {
+  const auto bytes = idx::serialize_float(features);
+  w.put_varint(bytes.size());
+  w.put_bytes(bytes);
+}
+
+feat::FloatFeatures get_float_features(util::ByteReader& r) {
+  const auto len = static_cast<std::size_t>(r.get_varint());
+  return idx::deserialize_float(r.get_bytes(len));
+}
+
+void put_histogram(util::ByteWriter& w, const feat::ColorHistogram& h) {
+  for (const float v : h.bins) w.put_f32(v);
+}
+
+feat::ColorHistogram get_histogram(util::ByteReader& r) {
+  feat::ColorHistogram h;
+  for (float& v : h.bins) v = r.get_f32();
+  return h;
+}
+
 }  // namespace
 
-std::vector<std::uint8_t> encode(const BinaryQueryRequest& m) {
+std::vector<std::uint8_t> encode_binary_query(
+    const feat::BinaryFeatures& features, std::int32_t top_k,
+    double feature_bytes) {
   util::ByteWriter w;
-  const auto features = idx::serialize_binary(m.features);
-  w.put_varint(features.size());
-  w.put_bytes(features);
-  w.put_u32(static_cast<std::uint32_t>(m.top_k));
+  put_binary_features(w, features);
+  w.put_u32(static_cast<std::uint32_t>(top_k));
+  w.put_f64(feature_bytes);
   return seal(MessageType::kBinaryQuery, w.take());
+}
+
+std::vector<std::uint8_t> encode(const BinaryQueryRequest& m) {
+  return encode_binary_query(m.features, m.top_k, m.feature_bytes);
 }
 
 std::vector<std::uint8_t> encode(const QueryResponse& m) {
@@ -49,21 +88,110 @@ std::vector<std::uint8_t> encode(const QueryResponse& m) {
   return seal(MessageType::kQueryResponse, w.take());
 }
 
-std::vector<std::uint8_t> encode(const ImageUploadRequest& m) {
+std::vector<std::uint8_t> encode_image_upload(
+    const feat::BinaryFeatures& features, double image_bytes,
+    const idx::GeoTag& geo, double thumbnail_bytes) {
   util::ByteWriter w;
-  const auto features = idx::serialize_binary(m.features);
-  w.put_varint(features.size());
-  w.put_bytes(features);
-  w.put_f64(m.image_bytes);
-  put_geo(w, m.geo);
-  w.put_f64(m.thumbnail_bytes);
+  put_binary_features(w, features);
+  w.put_f64(image_bytes);
+  put_geo(w, geo);
+  w.put_f64(thumbnail_bytes);
   return seal(MessageType::kImageUpload, w.take());
+}
+
+std::vector<std::uint8_t> encode(const ImageUploadRequest& m) {
+  return encode_image_upload(m.features, m.image_bytes, m.geo,
+                             m.thumbnail_bytes);
 }
 
 std::vector<std::uint8_t> encode(const UploadAck& m) {
   util::ByteWriter w;
   w.put_u32(m.id);
   return seal(MessageType::kUploadAck, w.take());
+}
+
+std::vector<std::uint8_t> encode_batch_query(
+    const std::vector<const feat::BinaryFeatures*>& features,
+    const std::vector<double>& feature_bytes, std::int32_t top_k) {
+  util::ByteWriter w;
+  w.put_varint(features.size());
+  for (const feat::BinaryFeatures* f : features) {
+    put_binary_features(w, *f);
+  }
+  w.put_varint(feature_bytes.size());
+  for (const double b : feature_bytes) w.put_f64(b);
+  w.put_u32(static_cast<std::uint32_t>(top_k));
+  return seal(MessageType::kBatchQuery, w.take());
+}
+
+std::vector<std::uint8_t> encode(const BatchQueryRequest& m) {
+  std::vector<const feat::BinaryFeatures*> refs;
+  refs.reserve(m.features.size());
+  for (const auto& f : m.features) refs.push_back(&f);
+  return encode_batch_query(refs, m.feature_bytes, m.top_k);
+}
+
+std::vector<std::uint8_t> encode(const BatchQueryResponse& m) {
+  util::ByteWriter w;
+  w.put_varint(m.verdicts.size());
+  for (const QueryResponse& v : m.verdicts) {
+    w.put_f64(v.max_similarity);
+    w.put_u32(v.best_id);
+    w.put_f64(v.thumbnail_bytes);
+  }
+  return seal(MessageType::kBatchQueryResponse, w.take());
+}
+
+std::vector<std::uint8_t> encode_float_query(
+    const feat::FloatFeatures& features, std::int32_t top_k,
+    double feature_bytes) {
+  util::ByteWriter w;
+  put_float_features(w, features);
+  w.put_u32(static_cast<std::uint32_t>(top_k));
+  w.put_f64(feature_bytes);
+  return seal(MessageType::kFloatQuery, w.take());
+}
+
+std::vector<std::uint8_t> encode(const FloatQueryRequest& m) {
+  return encode_float_query(m.features, m.top_k, m.feature_bytes);
+}
+
+std::vector<std::uint8_t> encode_float_upload(
+    const feat::FloatFeatures& features, double image_bytes,
+    const idx::GeoTag& geo) {
+  util::ByteWriter w;
+  put_float_features(w, features);
+  w.put_f64(image_bytes);
+  put_geo(w, geo);
+  return seal(MessageType::kFloatUpload, w.take());
+}
+
+std::vector<std::uint8_t> encode(const FloatUploadRequest& m) {
+  return encode_float_upload(m.features, m.image_bytes, m.geo);
+}
+
+std::vector<std::uint8_t> encode(const GlobalQueryRequest& m) {
+  util::ByteWriter w;
+  put_histogram(w, m.histogram);
+  put_geo(w, m.geo);
+  w.put_f64(m.feature_bytes);
+  w.put_f64(m.geo_radius_deg);
+  return seal(MessageType::kGlobalQuery, w.take());
+}
+
+std::vector<std::uint8_t> encode(const GlobalUploadRequest& m) {
+  util::ByteWriter w;
+  put_histogram(w, m.histogram);
+  w.put_f64(m.image_bytes);
+  put_geo(w, m.geo);
+  return seal(MessageType::kGlobalUpload, w.take());
+}
+
+std::vector<std::uint8_t> encode(const PlainUploadRequest& m) {
+  util::ByteWriter w;
+  w.put_f64(m.image_bytes);
+  put_geo(w, m.geo);
+  return seal(MessageType::kPlainUpload, w.take());
 }
 
 std::vector<std::uint8_t> encode_error(const std::string& what) {
@@ -76,7 +204,10 @@ Envelope open_envelope(const std::vector<std::uint8_t>& bytes) {
   util::ByteReader r(bytes);
   Envelope env;
   const auto type = r.get_u8();
-  if (type < 1 || type > 5) throw util::DecodeError("protocol: bad type");
+  if (type < static_cast<std::uint8_t>(MessageType::kBinaryQuery) ||
+      type > static_cast<std::uint8_t>(MessageType::kPlainUpload)) {
+    throw util::DecodeError("protocol: bad type");
+  }
   env.type = static_cast<MessageType>(type);
   const auto len = static_cast<std::size_t>(r.get_varint());
   env.payload = r.get_bytes(len);
@@ -88,9 +219,9 @@ BinaryQueryRequest decode_binary_query(
     const std::vector<std::uint8_t>& payload) {
   util::ByteReader r(payload);
   BinaryQueryRequest m;
-  const auto len = static_cast<std::size_t>(r.get_varint());
-  m.features = idx::deserialize_binary(r.get_bytes(len));
+  m.features = get_binary_features(r);
   m.top_k = static_cast<std::int32_t>(r.get_u32());
+  m.feature_bytes = r.get_f64();
   return m;
 }
 
@@ -107,8 +238,7 @@ ImageUploadRequest decode_image_upload(
     const std::vector<std::uint8_t>& payload) {
   util::ByteReader r(payload);
   ImageUploadRequest m;
-  const auto len = static_cast<std::size_t>(r.get_varint());
-  m.features = idx::deserialize_binary(r.get_bytes(len));
+  m.features = get_binary_features(r);
   m.image_bytes = r.get_f64();
   m.geo = get_geo(r);
   m.thumbnail_bytes = r.get_f64();
@@ -119,6 +249,89 @@ UploadAck decode_upload_ack(const std::vector<std::uint8_t>& payload) {
   util::ByteReader r(payload);
   UploadAck m;
   m.id = r.get_u32();
+  return m;
+}
+
+BatchQueryRequest decode_batch_query(const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  BatchQueryRequest m;
+  const auto n = static_cast<std::size_t>(r.get_varint());
+  m.features.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.features.push_back(get_binary_features(r));
+  }
+  const auto nb = static_cast<std::size_t>(r.get_varint());
+  if (nb != n) {
+    throw util::DecodeError("batch query: feature_bytes count mismatch");
+  }
+  m.feature_bytes.reserve(nb);
+  for (std::size_t i = 0; i < nb; ++i) m.feature_bytes.push_back(r.get_f64());
+  m.top_k = static_cast<std::int32_t>(r.get_u32());
+  return m;
+}
+
+BatchQueryResponse decode_batch_query_response(
+    const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  BatchQueryResponse m;
+  const auto n = static_cast<std::size_t>(r.get_varint());
+  m.verdicts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    QueryResponse v;
+    v.max_similarity = r.get_f64();
+    v.best_id = r.get_u32();
+    v.thumbnail_bytes = r.get_f64();
+    m.verdicts.push_back(v);
+  }
+  return m;
+}
+
+FloatQueryRequest decode_float_query(const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  FloatQueryRequest m;
+  m.features = get_float_features(r);
+  m.top_k = static_cast<std::int32_t>(r.get_u32());
+  m.feature_bytes = r.get_f64();
+  return m;
+}
+
+FloatUploadRequest decode_float_upload(
+    const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  FloatUploadRequest m;
+  m.features = get_float_features(r);
+  m.image_bytes = r.get_f64();
+  m.geo = get_geo(r);
+  return m;
+}
+
+GlobalQueryRequest decode_global_query(
+    const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  GlobalQueryRequest m;
+  m.histogram = get_histogram(r);
+  m.geo = get_geo(r);
+  m.feature_bytes = r.get_f64();
+  m.geo_radius_deg = r.get_f64();
+  return m;
+}
+
+GlobalUploadRequest decode_global_upload(
+    const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  GlobalUploadRequest m;
+  m.histogram = get_histogram(r);
+  m.image_bytes = r.get_f64();
+  m.geo = get_geo(r);
+  return m;
+}
+
+PlainUploadRequest decode_plain_upload(
+    const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  PlainUploadRequest m;
+  m.image_bytes = r.get_f64();
+  m.geo = get_geo(r);
   return m;
 }
 

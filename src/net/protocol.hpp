@@ -1,9 +1,15 @@
 // The client<->server wire protocol: typed messages in a self-describing
-// envelope (type byte + varint length + payload).  The simulation drives
-// Server through direct calls for speed, but every exchange it models is
-// expressible — and tested — as encoded messages through cloud::dispatch,
-// so the byte counts the energy/bandwidth model charges correspond to a
-// real serializable protocol.
+// envelope (type byte + varint length + payload).  Every exchange the
+// simulation models is expressible — and tested — as encoded messages
+// through cloud::dispatch, so the byte counts the energy/bandwidth model
+// charges correspond to a real serializable protocol.  The schemes drive
+// the server through these messages over net::Transport, which adds the
+// retry/backoff reliability layer.
+//
+// Payload-size fields (feature_bytes / image_bytes / thumbnail_bytes) carry
+// the *modelled* wire size of a payload: the simulator accounts bytes in
+// the paper's ~700 KB-image domain without hauling pixels through the
+// envelope, so messages state the size their payload stands for.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "features/global.hpp"
 #include "features/keypoint.hpp"
 #include "index/feature_index.hpp"
 #include "index/geo.hpp"
@@ -18,16 +25,26 @@
 namespace bees::net {
 
 enum class MessageType : std::uint8_t {
-  kBinaryQuery = 1,   ///< CBRD query with ORB features.
-  kImageUpload = 2,   ///< Unique-image upload (features + payload size).
-  kQueryResponse = 3, ///< Server's similarity verdict.
-  kUploadAck = 4,     ///< Server's acknowledgement of a stored image.
+  kBinaryQuery = 1,    ///< CBRD query with ORB features.
+  kImageUpload = 2,    ///< Unique-image upload (features + payload size).
+  kQueryResponse = 3,  ///< Server's similarity verdict.
+  kUploadAck = 4,      ///< Server's acknowledgement of a stored image.
   kError = 5,
+  kBatchQuery = 6,     ///< Bulk CBRD: all batch feature sets in one message.
+  kBatchQueryResponse = 7,  ///< Per-image verdicts for a kBatchQuery.
+  kFloatQuery = 8,     ///< CBRD query with SIFT / PCA-SIFT features.
+  kFloatUpload = 9,    ///< Upload indexed by float features (SmartEye).
+  kGlobalQuery = 10,   ///< Color-histogram query (PhotoNet).
+  kGlobalUpload = 11,  ///< Upload indexed by global features (PhotoNet).
+  kPlainUpload = 12,   ///< Featureless upload (Direct Upload).
 };
 
 struct BinaryQueryRequest {
   feat::BinaryFeatures features;
   std::int32_t top_k = 4;
+  /// Modelled wire size of the feature payload, for server-side bandwidth
+  /// accounting; negative means "use the encoded message size".
+  double feature_bytes = -1.0;
 };
 
 struct QueryResponse {
@@ -49,6 +66,49 @@ struct UploadAck {
   idx::ImageId id = idx::kInvalidImageId;
 };
 
+/// One bulk CBRD round: the whole batch's feature sets in a single message
+/// (how BEES ships features: one upload serving every per-image query).
+struct BatchQueryRequest {
+  std::vector<feat::BinaryFeatures> features;
+  /// Per-image modelled feature payload sizes (parallel to `features`).
+  std::vector<double> feature_bytes;
+  std::int32_t top_k = 4;
+};
+
+struct BatchQueryResponse {
+  std::vector<QueryResponse> verdicts;  ///< One per queried image, in order.
+};
+
+struct FloatQueryRequest {
+  feat::FloatFeatures features;
+  std::int32_t top_k = 4;
+  double feature_bytes = -1.0;  ///< As in BinaryQueryRequest.
+};
+
+struct FloatUploadRequest {
+  feat::FloatFeatures features;
+  double image_bytes = 0.0;
+  idx::GeoTag geo;
+};
+
+struct GlobalQueryRequest {
+  feat::ColorHistogram histogram;
+  idx::GeoTag geo;
+  double feature_bytes = 0.0;
+  double geo_radius_deg = 0.005;
+};
+
+struct GlobalUploadRequest {
+  feat::ColorHistogram histogram;
+  double image_bytes = 0.0;
+  idx::GeoTag geo;
+};
+
+struct PlainUploadRequest {
+  double image_bytes = 0.0;
+  idx::GeoTag geo;
+};
+
 /// Envelope: returns type + payload bytes, or nullopt for malformed input.
 struct Envelope {
   MessageType type;
@@ -59,8 +119,34 @@ std::vector<std::uint8_t> encode(const BinaryQueryRequest& m);
 std::vector<std::uint8_t> encode(const QueryResponse& m);
 std::vector<std::uint8_t> encode(const ImageUploadRequest& m);
 std::vector<std::uint8_t> encode(const UploadAck& m);
+std::vector<std::uint8_t> encode(const BatchQueryRequest& m);
+std::vector<std::uint8_t> encode(const BatchQueryResponse& m);
+std::vector<std::uint8_t> encode(const FloatQueryRequest& m);
+std::vector<std::uint8_t> encode(const FloatUploadRequest& m);
+std::vector<std::uint8_t> encode(const GlobalQueryRequest& m);
+std::vector<std::uint8_t> encode(const GlobalUploadRequest& m);
+std::vector<std::uint8_t> encode(const PlainUploadRequest& m);
 /// An error report (message text carried for diagnostics).
 std::vector<std::uint8_t> encode_error(const std::string& what);
+
+/// Zero-copy encoders for the hot client paths: identical bytes to the
+/// struct overloads, but borrow the feature sets instead of copying whole
+/// descriptor vectors into a request struct first.
+std::vector<std::uint8_t> encode_binary_query(
+    const feat::BinaryFeatures& features, std::int32_t top_k,
+    double feature_bytes = -1.0);
+std::vector<std::uint8_t> encode_image_upload(
+    const feat::BinaryFeatures& features, double image_bytes,
+    const idx::GeoTag& geo, double thumbnail_bytes);
+std::vector<std::uint8_t> encode_batch_query(
+    const std::vector<const feat::BinaryFeatures*>& features,
+    const std::vector<double>& feature_bytes, std::int32_t top_k);
+std::vector<std::uint8_t> encode_float_query(
+    const feat::FloatFeatures& features, std::int32_t top_k,
+    double feature_bytes = -1.0);
+std::vector<std::uint8_t> encode_float_upload(
+    const feat::FloatFeatures& features, double image_bytes,
+    const idx::GeoTag& geo);
 
 /// Splits an envelope; throws util::DecodeError on malformed input.
 Envelope open_envelope(const std::vector<std::uint8_t>& bytes);
@@ -69,6 +155,18 @@ BinaryQueryRequest decode_binary_query(const std::vector<std::uint8_t>& payload)
 QueryResponse decode_query_response(const std::vector<std::uint8_t>& payload);
 ImageUploadRequest decode_image_upload(const std::vector<std::uint8_t>& payload);
 UploadAck decode_upload_ack(const std::vector<std::uint8_t>& payload);
+BatchQueryRequest decode_batch_query(const std::vector<std::uint8_t>& payload);
+BatchQueryResponse decode_batch_query_response(
+    const std::vector<std::uint8_t>& payload);
+FloatQueryRequest decode_float_query(const std::vector<std::uint8_t>& payload);
+FloatUploadRequest decode_float_upload(
+    const std::vector<std::uint8_t>& payload);
+GlobalQueryRequest decode_global_query(
+    const std::vector<std::uint8_t>& payload);
+GlobalUploadRequest decode_global_upload(
+    const std::vector<std::uint8_t>& payload);
+PlainUploadRequest decode_plain_upload(
+    const std::vector<std::uint8_t>& payload);
 std::string decode_error(const std::vector<std::uint8_t>& payload);
 
 }  // namespace bees::net

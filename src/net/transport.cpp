@@ -1,0 +1,62 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace bees::net {
+
+Transport::Transport(Handler handler, Channel& channel, RetryPolicy policy)
+    : handler_(std::move(handler)),
+      channel_(&channel),
+      policy_(policy),
+      jitter_rng_(policy.seed) {
+  if (!handler_) {
+    throw std::invalid_argument("Transport: null handler");
+  }
+  if (policy_.max_attempts < 1) {
+    throw std::invalid_argument("Transport: retry budget must be >= 1");
+  }
+  if (policy_.timeout_s <= 0.0) {
+    throw std::invalid_argument("Transport: bad timeout");
+  }
+  if (policy_.backoff_base_s < 0.0 || policy_.backoff_max_s < 0.0 ||
+      policy_.jitter < 0.0 || policy_.jitter > 1.0) {
+    throw std::invalid_argument("Transport: bad backoff parameters");
+  }
+}
+
+ExchangeResult Transport::exchange(const std::vector<std::uint8_t>& request,
+                                   double wire_bytes) {
+  ExchangeResult result;
+  const double bytes =
+      wire_bytes >= 0.0 ? wire_bytes : static_cast<double>(request.size());
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    const SendOutcome outcome = channel_->send(bytes, policy_.timeout_s);
+    result.attempts = attempt;
+    if (outcome.delivered) {
+      result.tx_seconds += outcome.seconds;
+      result.reply = handler_(request);
+      result.ok = true;
+      break;
+    }
+    result.wasted_seconds += outcome.seconds;
+    result.retransmitted_bytes += outcome.sent_bytes;
+    if (attempt < policy_.max_attempts) {
+      double wait = std::min(policy_.backoff_base_s * std::ldexp(1.0, attempt - 1),
+                             policy_.backoff_max_s);
+      if (policy_.jitter > 0.0 && wait > 0.0) {
+        wait *= 1.0 + policy_.jitter * (2.0 * jitter_rng_.next_double() - 1.0);
+      }
+      if (wait > 0.0) {
+        channel_->advance(wait);
+        result.backoff_seconds += wait;
+      }
+    }
+  }
+  result.retries = result.attempts - 1;
+  return result;
+}
+
+}  // namespace bees::net

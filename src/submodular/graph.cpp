@@ -32,6 +32,19 @@ SimilarityGraph build_similarity_graph(
   return g;
 }
 
+SimilarityGraph build_similarity_graph(
+    const std::vector<const feat::BinaryFeatures*>& batch,
+    const feat::BinaryMatchParams& match, std::uint64_t* ops) {
+  SimilarityGraph g(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (std::size_t j = i + 1; j < batch.size(); ++j) {
+      g.set_weight(i, j,
+                   feat::jaccard_similarity(*batch[i], *batch[j], match, ops));
+    }
+  }
+  return g;
+}
+
 SimilarityGraph build_similarity_graph_parallel(
     const std::vector<feat::BinaryFeatures>& batch,
     const feat::BinaryMatchParams& match, std::uint64_t* ops,

@@ -40,6 +40,14 @@ SimilarityGraph build_similarity_graph(
     const feat::BinaryMatchParams& match = {},
     std::uint64_t* ops = nullptr);
 
+/// Borrowing overload: identical graph (bit for bit) from pointers to
+/// feature sets owned elsewhere, so callers selecting a subset of a batch
+/// (BEES IBRD over CBRD survivors) need not deep-copy descriptor vectors.
+SimilarityGraph build_similarity_graph(
+    const std::vector<const feat::BinaryFeatures*>& batch,
+    const feat::BinaryMatchParams& match = {},
+    std::uint64_t* ops = nullptr);
+
 /// Same result as build_similarity_graph, computed across `threads` worker
 /// threads (0 = hardware concurrency).  The pairwise work partition is
 /// static, so the graph is bit-identical to the serial one; `ops` reports

@@ -124,7 +124,14 @@ std::vector<std::size_t> lazy_greedy(const SimilarityGraph& graph,
     double gain;
     std::size_t v;
     std::size_t stamp;  // |S| at which gain was computed
-    bool operator<(const HeapItem& other) const { return gain < other.gain; }
+    bool operator<(const HeapItem& other) const {
+      // Tie-break on the lower vertex index (max-heap: "less" = higher
+      // index) so equal-gain candidates pop in the same order plain_greedy
+      // scans them; without this the two variants could pick different —
+      // equally good — summaries on tie-heavy graphs.
+      if (gain != other.gain) return gain < other.gain;
+      return v > other.v;
+    }
   };
   std::priority_queue<HeapItem> heap;
   for (std::size_t v = 0; v < graph.size(); ++v) {

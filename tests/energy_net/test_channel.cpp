@@ -127,5 +127,144 @@ TEST(Channel, FixedFactoryProducesConstantRate) {
   }
 }
 
+// Regression: a constant 0 bps rate (step_bps == 0 with the initial rate
+// clamped to 0) used to make transfer() spin forever waiting for a walk
+// that could not move.  The constructor must reject the configuration.
+TEST(Channel, ConstantZeroRateIsRejected) {
+  EXPECT_THROW(Channel{ChannelParams::fixed(0.0)}, std::invalid_argument);
+  // initial_bps below min_bps clamps to min_bps = 0 with a frozen walk:
+  // the same dead channel through a different parameter route.
+  ChannelParams p;
+  p.min_bps = 0.0;
+  p.max_bps = 64000.0;
+  p.initial_bps = -5.0;
+  p.step_bps = 0.0;
+  EXPECT_THROW(Channel{p}, std::invalid_argument);
+  // A walk that starts at 0 but can move is fine.
+  p.step_bps = 16000.0;
+  p.initial_bps = 0.0;
+  EXPECT_NO_THROW(Channel{p});
+}
+
+TEST(Channel, RejectsBadLossAndOutageParams) {
+  ChannelParams p;
+  p.loss_probability = -0.1;
+  EXPECT_THROW(Channel{p}, std::invalid_argument);
+  p = {};
+  p.loss_probability = 1.5;
+  EXPECT_THROW(Channel{p}, std::invalid_argument);
+  p = {};
+  p.outage_probability = 2.0;
+  EXPECT_THROW(Channel{p}, std::invalid_argument);
+  p = {};
+  p.outage_probability = 0.1;
+  p.outage_duration_s = 0.0;
+  EXPECT_THROW(Channel{p}, std::invalid_argument);
+}
+
+TEST(Channel, LossNeverPerturbsAirtimeOrRateWalk) {
+  // The loss draw rides a separate RNG stream: the same transfers take the
+  // same airtime with loss on or off.
+  ChannelParams clean;
+  clean.seed = 11;
+  ChannelParams lossy = clean;
+  lossy.loss_probability = 0.5;
+  Channel a(clean), b(lossy);
+  for (int i = 0; i < 200; ++i) {
+    const SendOutcome oa = a.send(5000.0);
+    const SendOutcome ob = b.send(5000.0);
+    EXPECT_DOUBLE_EQ(oa.seconds, ob.seconds);
+    EXPECT_TRUE(oa.delivered);
+    EXPECT_FALSE(oa.timed_out);
+  }
+  EXPECT_DOUBLE_EQ(a.now(), b.now());
+  EXPECT_DOUBLE_EQ(a.current_bps(), b.current_bps());
+}
+
+TEST(Channel, LossRateMatchesProbability) {
+  ChannelParams p = ChannelParams::fixed(256000.0);
+  p.loss_probability = 0.3;
+  p.seed = 21;
+  Channel ch(p);
+  int lost = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (!ch.send(100.0).delivered) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.3, 0.03);
+}
+
+TEST(Channel, LossIsDeterministicPerSeed) {
+  ChannelParams p;
+  p.loss_probability = 0.25;
+  p.outage_probability = 0.05;
+  p.seed = 33;
+  Channel a(p), b(p);
+  for (int i = 0; i < 300; ++i) {
+    const SendOutcome oa = a.send(3000.0);
+    const SendOutcome ob = b.send(3000.0);
+    EXPECT_EQ(oa.delivered, ob.delivered);
+    EXPECT_DOUBLE_EQ(oa.seconds, ob.seconds);
+  }
+}
+
+TEST(Channel, SendTimesOutAndChargesPartialAirtime) {
+  Channel ch(ChannelParams::fixed(8000.0));  // 1000 bytes/s
+  // 5000 bytes need 5 s; a 2 s deadline must cut the attempt short.
+  const SendOutcome out = ch.send(5000.0, 2.0);
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_NEAR(out.seconds, 2.0, 1e-9);
+  EXPECT_NEAR(out.sent_bytes, 2000.0, 1e-6);
+  EXPECT_NEAR(ch.now(), 2.0, 1e-9);
+}
+
+TEST(Channel, OutagePinsRateToZeroForItsWindow) {
+  ChannelParams p = ChannelParams::fixed(8000.0);  // 1000 bytes/s
+  p.outage_probability = 1.0;  // every boundary starts (or extends) a window
+  p.outage_duration_s = 3.0;
+  p.seed = 4;
+  Channel ch(p);
+  // The first second is pre-outage (boundaries start at t=1): 1000 bytes
+  // flow, then the link goes dark.  With every boundary redrawing the
+  // outage the message can only finish in the gap... which never comes, so
+  // a timeout must fire.
+  const SendOutcome out = ch.send(2000.0, 10.0);
+  EXPECT_TRUE(out.timed_out);
+  EXPECT_NEAR(out.sent_bytes, 1000.0, 1e-6);
+  EXPECT_TRUE(ch.in_outage());
+}
+
+TEST(Channel, OutagesDelayButDontPreventCompletion) {
+  ChannelParams p = ChannelParams::fixed(8000.0);  // 1000 bytes/s
+  p.outage_probability = 0.3;
+  p.outage_duration_s = 2.0;
+  p.seed = 12;
+  Channel with_outages(p);
+  Channel without(ChannelParams::fixed(8000.0));
+  const double t_with = with_outages.transfer(50000.0);
+  const double t_without = without.transfer(50000.0);
+  EXPECT_TRUE(std::isfinite(t_with));
+  EXPECT_NEAR(t_without, 50.0, 1e-9);
+  // ~15 boundaries in 50 s at p = 0.3 all but guarantee dark time.
+  EXPECT_GT(t_with, t_without);
+}
+
+TEST(Channel, DisabledOutageDrawsNothing) {
+  // outage_probability 0 must leave the rate walk identical to a channel
+  // that never heard of outages (no stray RNG draws).
+  ChannelParams p;
+  p.seed = 91;
+  ChannelParams q = p;
+  q.outage_probability = 0.0;  // explicit but identical
+  Channel a(p), b(q);
+  for (int i = 0; i < 100; ++i) {
+    a.advance(1.0);
+    b.advance(1.0);
+    EXPECT_DOUBLE_EQ(a.current_bps(), b.current_bps());
+  }
+  EXPECT_FALSE(a.in_outage());
+}
+
 }  // namespace
 }  // namespace bees::net

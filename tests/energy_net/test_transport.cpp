@@ -1,0 +1,191 @@
+// Transport reliability-layer tests: retry/backoff bookkeeping over a lossy
+// channel, with a plain echo handler standing in for the server.
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bees::net {
+namespace {
+
+Transport::Handler echo(int* calls = nullptr) {
+  return [calls](const std::vector<std::uint8_t>& request) {
+    if (calls) ++*calls;
+    return request;
+  };
+}
+
+std::vector<std::uint8_t> some_request() { return {1, 2, 3, 4}; }
+
+TEST(Transport, CleanChannelDeliversFirstTry) {
+  Channel ch(ChannelParams::fixed(8000.0));  // 1000 bytes/s
+  int calls = 0;
+  Transport t(echo(&calls), ch);
+  const ExchangeResult r = t.exchange(some_request(), 1000.0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(r.retries, 0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(r.reply, some_request());
+  EXPECT_NEAR(r.tx_seconds, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.wasted_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.backoff_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.retransmitted_bytes, 0.0);
+}
+
+TEST(Transport, WireBytesOverrideDrivesAirtime) {
+  Channel ch(ChannelParams::fixed(8000.0));
+  Transport t(echo(), ch);
+  // The 4-byte request stands for a 4000-byte payload: 4 s of airtime.
+  const ExchangeResult r = t.exchange(some_request(), 4000.0);
+  EXPECT_NEAR(r.tx_seconds, 4.0, 1e-9);
+  // Negative wire_bytes falls back to the encoded size.
+  const ExchangeResult s = t.exchange(some_request());
+  EXPECT_NEAR(s.tx_seconds, 4.0 / 1000.0, 1e-9);
+}
+
+TEST(Transport, RetriesUntilDeliveredOnLossyChannel) {
+  ChannelParams p = ChannelParams::fixed(8000.0);
+  p.loss_probability = 0.5;
+  p.seed = 7;
+  Channel ch(p);
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 64;  // enough that give-up is implausible
+  Transport t(echo(&calls), ch, policy);
+  int delivered = 0;
+  int retried = 0;
+  for (int i = 0; i < 50; ++i) {
+    const ExchangeResult r = t.exchange(some_request(), 500.0);
+    EXPECT_TRUE(r.ok);
+    delivered += r.ok;
+    if (r.retries > 0) {
+      ++retried;
+      EXPECT_GT(r.wasted_seconds, 0.0);
+      EXPECT_GT(r.retransmitted_bytes, 0.0);
+      EXPECT_GT(r.backoff_seconds, 0.0);
+    }
+  }
+  EXPECT_EQ(delivered, 50);
+  EXPECT_EQ(calls, 50);     // the handler never ran for a lost attempt
+  EXPECT_GT(retried, 10);   // at 50% loss roughly half need a retry
+}
+
+TEST(Transport, GivesUpAfterRetryBudget) {
+  ChannelParams p = ChannelParams::fixed(8000.0);
+  p.loss_probability = 1.0;
+  Channel ch(p);
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.jitter = 0.0;
+  Transport t(echo(&calls), ch, policy);
+  const ExchangeResult r = t.exchange(some_request(), 1000.0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_EQ(r.retries, 2);
+  EXPECT_EQ(calls, 0);  // a lost message never reaches the server
+  EXPECT_TRUE(r.reply.empty());
+  EXPECT_NEAR(r.wasted_seconds, 3.0, 1e-9);
+  EXPECT_NEAR(r.retransmitted_bytes, 3000.0, 1e-6);
+}
+
+TEST(Transport, BackoffIsExponentialAndCapped) {
+  ChannelParams p = ChannelParams::fixed(8000.0);
+  p.loss_probability = 1.0;
+  Channel ch(p);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.backoff_base_s = 0.5;
+  policy.backoff_max_s = 2.0;
+  policy.jitter = 0.0;
+  Transport t(echo(), ch, policy);
+  const ExchangeResult r = t.exchange(some_request(), 1000.0);
+  // Waits after attempts 1-4: 0.5, 1.0, 2.0 (capped), 2.0 (capped).
+  EXPECT_NEAR(r.backoff_seconds, 5.5, 1e-9);
+  // The channel clock carries airtime + backoff.
+  EXPECT_NEAR(ch.now(), 5.0 * 1.0 + 5.5, 1e-9);
+}
+
+TEST(Transport, JitterStaysWithinBand) {
+  ChannelParams p = ChannelParams::fixed(8000.0);
+  p.loss_probability = 1.0;
+  Channel ch(p);
+  RetryPolicy policy;
+  policy.max_attempts = 2;  // a single backoff wait per exchange
+  policy.backoff_base_s = 1.0;
+  policy.backoff_max_s = 1.0;
+  policy.jitter = 0.25;
+  Transport t(echo(), ch, policy);
+  for (int i = 0; i < 100; ++i) {
+    const ExchangeResult r = t.exchange(some_request(), 10.0);
+    EXPECT_GE(r.backoff_seconds, 0.75);
+    EXPECT_LE(r.backoff_seconds, 1.25);
+  }
+}
+
+TEST(Transport, DeterministicPerSeeds) {
+  ChannelParams p = ChannelParams::fixed(8000.0);
+  p.loss_probability = 0.4;
+  p.seed = 3;
+  Channel ca(p), cb(p);
+  Transport ta(echo(), ca), tb(echo(), cb);
+  for (int i = 0; i < 100; ++i) {
+    const ExchangeResult ra = ta.exchange(some_request(), 200.0);
+    const ExchangeResult rb = tb.exchange(some_request(), 200.0);
+    EXPECT_EQ(ra.attempts, rb.attempts);
+    EXPECT_DOUBLE_EQ(ra.tx_seconds, rb.tx_seconds);
+    EXPECT_DOUBLE_EQ(ra.wasted_seconds, rb.wasted_seconds);
+    EXPECT_DOUBLE_EQ(ra.backoff_seconds, rb.backoff_seconds);
+  }
+  EXPECT_DOUBLE_EQ(ca.now(), cb.now());
+}
+
+TEST(Transport, TimeoutTriggersRetryOnStalledLink) {
+  // An outage-pinned link times attempts out; once the link returns the
+  // exchange succeeds.
+  ChannelParams p = ChannelParams::fixed(8000.0);
+  p.outage_probability = 1.0;
+  p.outage_duration_s = 1.5;
+  p.seed = 2;
+  Channel ch(p);
+  RetryPolicy policy;
+  policy.timeout_s = 2.0;
+  policy.max_attempts = 4;
+  policy.jitter = 0.0;
+  Transport t(echo(), ch, policy);
+  const ExchangeResult r = t.exchange(some_request(), 500.0);
+  // 500 bytes need 0.5 s of clear air; the first second is clear (the
+  // first boundary is at t=1), so the first attempt already lands.
+  EXPECT_TRUE(r.ok);
+
+  // Park the clock inside a permanent outage train: every boundary redraws
+  // a window, so attempts keep timing out until the budget runs dry.
+  ch.advance(1.0);
+  ASSERT_TRUE(ch.in_outage());
+  const ExchangeResult stuck = t.exchange(some_request(), 5000.0);
+  EXPECT_FALSE(stuck.ok);
+  EXPECT_EQ(stuck.attempts, 4);
+  EXPECT_GT(stuck.wasted_seconds, 0.0);
+}
+
+TEST(Transport, RejectsBadPolicy) {
+  Channel ch(ChannelParams::fixed(8000.0));
+  RetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_THROW(Transport(echo(), ch, p), std::invalid_argument);
+  p = {};
+  p.timeout_s = 0.0;
+  EXPECT_THROW(Transport(echo(), ch, p), std::invalid_argument);
+  p = {};
+  p.jitter = 2.0;
+  EXPECT_THROW(Transport(echo(), ch, p), std::invalid_argument);
+  p = {};
+  p.backoff_base_s = -1.0;
+  EXPECT_THROW(Transport(echo(), ch, p), std::invalid_argument);
+  EXPECT_THROW(Transport(nullptr, ch, RetryPolicy{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bees::net

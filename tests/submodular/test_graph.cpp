@@ -95,9 +95,37 @@ TEST(BuildSimilarityGraph, PairwiseJaccardWithGroundTruthGroups) {
 }
 
 TEST(BuildSimilarityGraph, EmptyBatch) {
-  const SimilarityGraph g = build_similarity_graph({});
+  const SimilarityGraph g =
+      build_similarity_graph(std::vector<feat::BinaryFeatures>{});
   EXPECT_EQ(g.size(), 0u);
   EXPECT_EQ(component_count(partition_components(g, 0.5)), 0);
+}
+
+TEST(BuildSimilarityGraph, PointerOverloadIsBitIdentical) {
+  // The borrowing overload exists so BEES can run IBRD over CBRD survivors
+  // without deep-copying descriptor vectors; its output must match the
+  // owning overload bit for bit, ops count included.
+  util::Rng rng(5);
+  img::ViewPerturbation pert;
+  std::vector<feat::BinaryFeatures> batch;
+  for (const std::uint64_t seed : {601, 601, 602, 603}) {
+    const img::SceneSpec spec{seed, 18, 4};
+    batch.push_back(
+        feat::extract_orb(img::render_view(spec, 200, 150, pert, rng)));
+  }
+  std::vector<const feat::BinaryFeatures*> refs;
+  for (const auto& f : batch) refs.push_back(&f);
+
+  std::uint64_t ops_owned = 0, ops_borrowed = 0;
+  const SimilarityGraph a = build_similarity_graph(batch, {}, &ops_owned);
+  const SimilarityGraph b = build_similarity_graph(refs, {}, &ops_borrowed);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(ops_owned, ops_borrowed);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a.weight(i, j), b.weight(i, j)) << i << "," << j;
+    }
+  }
 }
 
 }  // namespace

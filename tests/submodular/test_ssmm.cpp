@@ -149,6 +149,54 @@ TEST_P(SsmmRandomGraphs, LazyGreedyEqualsPlainGreedy) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SsmmRandomGraphs,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// Regression: lazy greedy used to tie-break equal gains by heap insertion
+// order while plain greedy keeps the lowest index, so the two variants
+// could return different (equally good) summaries.  On tie-heavy graphs —
+// weights drawn from {0, 0.5} so many candidates share exact gains — the
+// selections must now be identical element for element, order included.
+TEST(Greedy, LazyMatchesPlainSelectionUnderTies) {
+  SsmmParams lazy, plain;
+  lazy.lazy = true;
+  plain.lazy = false;
+  for (const std::uint64_t seed : {1u, 5u, 9u, 23u}) {
+    for (const std::size_t n : {6u, 10u, 14u}) {
+      util::Rng rng(seed * 100 + n);
+      SimilarityGraph g(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          if (rng.bernoulli(0.5)) g.set_weight(i, j, 0.5);
+        }
+      }
+      const auto comps = partition_components(g, 0.25);
+      for (const int budget : {1, 3, static_cast<int>(n)}) {
+        const auto a = greedy_maximize(g, comps, budget, lazy);
+        const auto b = greedy_maximize(g, comps, budget, plain);
+        EXPECT_EQ(a, b) << "seed " << seed << " n " << n << " budget "
+                        << budget;
+      }
+    }
+  }
+}
+
+TEST(Greedy, LazyMatchesPlainOnFullyTiedGraph) {
+  // Every pair at the same weight: gains are maximally degenerate.
+  for (const std::size_t n : {4u, 8u, 12u}) {
+    SimilarityGraph g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) g.set_weight(i, j, 0.3);
+    }
+    const auto comps = partition_components(g, 0.2);
+    SsmmParams lazy, plain;
+    lazy.lazy = true;
+    plain.lazy = false;
+    for (const int budget : {1, 2, static_cast<int>(n / 2)}) {
+      EXPECT_EQ(greedy_maximize(g, comps, budget, lazy),
+                greedy_maximize(g, comps, budget, plain))
+          << "n " << n << " budget " << budget;
+    }
+  }
+}
+
 TEST(Greedy, RespectsBudget) {
   const SimilarityGraph g = random_graph(10, 0.6, 31);
   const auto comps = partition_components(g, 0.5);

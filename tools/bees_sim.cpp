@@ -5,7 +5,8 @@
 // Usage:
 //   bees_sim [--scheme NAME] [--images N] [--similar N] [--redundancy R]
 //            [--bitrate KBPS] [--battery PCT] [--width W] [--height H]
-//            [--seed S] [--csv]
+//            [--seed S] [--loss P] [--outage P] [--outage-dur S]
+//            [--retries N] [--timeout S] [--backoff S] [--csv]
 //
 //   --scheme      Direct | SmartEye | MRC | BEES | BEES-EA   (default BEES)
 //   --images      batch size                                  (default 40)
@@ -15,6 +16,13 @@
 //   --bitrate     fixed channel bitrate in Kbps; 0 = the
 //                 fluctuating 0-512 Kbps disaster channel     (default 256)
 //   --battery     starting battery percentage 1..100          (default 100)
+//   --loss        per-message loss probability 0..1           (default 0)
+//   --outage      outage probability per channel resample     (default 0)
+//   --outage-dur  outage window length in seconds             (default 4)
+//   --retries     send attempts per message (1 = no retry)    (default 8)
+//   --timeout     per-attempt airtime deadline in seconds;
+//                 0 = wait out any stall                      (default 0)
+//   --backoff     base backoff before the first retry (s)     (default 0.5)
 //   --csv         print one machine-readable CSV line instead of the table
 #include <cstring>
 #include <iostream>
@@ -39,6 +47,12 @@ struct Options {
   int width = 320;
   int height = 240;
   std::uint64_t seed = 42;
+  double loss = 0.0;
+  double outage = 0.0;
+  double outage_dur = 4.0;
+  int retries = 8;
+  double timeout_s = 0.0;
+  double backoff_s = 0.5;
   bool csv = false;
 };
 
@@ -47,7 +61,8 @@ int usage(const char* argv0) {
             << " [--scheme Direct|SmartEye|MRC|BEES|BEES-EA] [--images N]\n"
                "       [--similar N] [--redundancy R] [--bitrate KBPS]\n"
                "       [--battery PCT] [--width W] [--height H] [--seed S]\n"
-               "       [--csv]\n";
+               "       [--loss P] [--outage P] [--outage-dur S] [--retries N]\n"
+               "       [--timeout S] [--backoff S] [--csv]\n";
   return 2;
 }
 
@@ -78,6 +93,18 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.height = static_cast<int>(v);
     } else if (arg == "--seed" && next(v)) {
       opt.seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--loss" && next(v)) {
+      opt.loss = v;
+    } else if (arg == "--outage" && next(v)) {
+      opt.outage = v;
+    } else if (arg == "--outage-dur" && next(v)) {
+      opt.outage_dur = v;
+    } else if (arg == "--retries" && next(v)) {
+      opt.retries = static_cast<int>(v);
+    } else if (arg == "--timeout" && next(v)) {
+      opt.timeout_s = v;
+    } else if (arg == "--backoff" && next(v)) {
+      opt.backoff_s = v;
     } else if (arg == "--csv") {
       opt.csv = true;
     } else {
@@ -86,7 +113,10 @@ bool parse(int argc, char** argv, Options& opt) {
   }
   return opt.images > 0 && opt.similar >= 0 && opt.similar <= opt.images &&
          opt.redundancy >= 0 && opt.redundancy <= 1 && opt.battery_pct > 0 &&
-         opt.battery_pct <= 100 && opt.width >= 64 && opt.height >= 64;
+         opt.battery_pct <= 100 && opt.width >= 64 && opt.height >= 64 &&
+         opt.loss >= 0 && opt.loss <= 1 && opt.outage >= 0 && opt.outage <= 1 &&
+         opt.outage_dur > 0 && opt.retries >= 1 && opt.timeout_s >= 0 &&
+         opt.backoff_s > 0;
 }
 
 }  // namespace
@@ -108,6 +138,9 @@ int main(int argc, char** argv) {
   mean_original /= static_cast<double>(sample);
   core::SchemeConfig config;
   config.image_byte_scale = 700.0 * 1024 / mean_original;
+  config.retry.max_attempts = opt.retries;
+  config.retry.backoff_base_s = opt.backoff_s;
+  if (opt.timeout_s > 0) config.retry.timeout_s = opt.timeout_s;
 
   std::unique_ptr<core::UploadScheme> scheme;
   std::shared_ptr<feat::PcaModel> pca;
@@ -138,9 +171,13 @@ int main(int argc, char** argv) {
                                       server, pca.get(), opt.seed ^ 0x5eed,
                                       config.image_byte_scale);
   }
-  net::Channel channel(opt.bitrate_kbps > 0
-                           ? net::ChannelParams::fixed(opt.bitrate_kbps * 1000)
-                           : net::ChannelParams{});
+  net::ChannelParams chan_params =
+      opt.bitrate_kbps > 0 ? net::ChannelParams::fixed(opt.bitrate_kbps * 1000)
+                           : net::ChannelParams{};
+  chan_params.loss_probability = opt.loss;
+  chan_params.outage_probability = opt.outage;
+  chan_params.outage_duration_s = opt.outage_dur;
+  net::Channel channel(chan_params);
   energy::Battery battery;
   battery.drain(battery.capacity_j() * (1.0 - opt.battery_pct / 100.0));
 
@@ -150,14 +187,15 @@ int main(int argc, char** argv) {
   if (opt.csv) {
     std::cout << "scheme,images,uploaded,cross_elim,inbatch_elim,"
                  "image_bytes,feature_bytes,rx_bytes,energy_j,busy_s,"
-                 "mean_delay_s,aborted\n"
+                 "mean_delay_s,aborted,retries,retransmitted_bytes,gave_up\n"
               << scheme->name() << ',' << r.images_offered << ','
               << r.images_uploaded << ',' << r.eliminated_cross_batch << ','
               << r.eliminated_in_batch << ',' << r.image_bytes << ','
               << r.feature_bytes << ',' << r.rx_bytes << ','
               << r.energy.active_total() << ',' << r.busy_seconds() << ','
-              << r.mean_delay_seconds() << ',' << (r.aborted ? 1 : 0)
-              << '\n';
+              << r.mean_delay_seconds() << ',' << (r.aborted ? 1 : 0) << ','
+              << r.retries << ',' << r.retransmitted_bytes << ','
+              << r.gave_up << '\n';
     return 0;
   }
 
@@ -183,8 +221,16 @@ int main(int argc, char** argv) {
   table.add_row({"busy time", util::Table::num(r.busy_seconds(), 1) + " s"});
   table.add_row({"mean delay / image",
                  util::Table::num(r.mean_delay_seconds(), 2) + " s"});
+  table.add_row({"retries", std::to_string(r.retries)});
+  table.add_row({"retransmitted payload",
+                 util::Table::num(r.retransmitted_bytes / 1024, 1) + " KB"});
+  table.add_row({"  retransmit airtime",
+                 util::Table::num(r.retransmit_seconds, 1) + " s"});
+  table.add_row({"  backoff time",
+                 util::Table::num(r.backoff_seconds, 1) + " s"});
+  table.add_row({"exchanges given up", std::to_string(r.gave_up)});
   table.add_row({"battery left", util::Table::pct(battery.fraction())});
-  table.add_row({"aborted (battery died)", r.aborted ? "yes" : "no"});
+  table.add_row({"aborted", r.aborted ? "yes" : "no"});
   table.print(std::cout);
   return 0;
 }
