@@ -108,7 +108,7 @@ int main_impl() {
                 std::to_string(r.eliminated_cross_batch +
                                r.eliminated_in_batch),
                 std::to_string(r.images_uploaded),
-                bench::mb(r.image_bytes + r.feature_bytes + r.rx_bytes),
+                bench::mb(r.delivered_bytes()),
                 bench::kj(r.energy.active_total())});
   };
   const core::SchemeConfig cfg = bench::make_config(setup.byte_scale);

@@ -8,13 +8,17 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/baselines.hpp"
 #include "core/bees.hpp"
 #include "core/simulation.hpp"
+#include "obs/json.hpp"
 #include "util/table.hpp"
 
 namespace bees::bench {
@@ -52,6 +56,58 @@ inline core::SchemeConfig make_config(double byte_scale) {
   cfg.image_byte_scale = byte_scale;
   return cfg;
 }
+
+/// Optional machine-readable bench output.  When the BEES_BENCH_JSON
+/// environment variable names a directory, a BenchJson collects every
+/// BatchReport row added to it and writes them as
+/// `<dir>/BENCH_<name>.json` on destruction — one object per row keyed by
+/// the cell label, with the report's stable named_values() as fields.
+/// Without the variable it is inert and the bench's stdout stays
+/// byte-identical.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    const char* dir = std::getenv("BEES_BENCH_JSON");
+    if (dir != nullptr && *dir != '\0') dir_ = dir;
+  }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() {
+    if (active()) write();
+  }
+
+  bool active() const { return !dir_.empty(); }
+
+  /// Records one cell's full report under the label `row`.
+  void add(const std::string& row, const core::BatchReport& report) {
+    if (!active()) return;
+    rows_.emplace_back(row, report.named_values());
+  }
+
+  /// Writes the collected rows now (also done by the destructor).
+  void write() const {
+    if (!active()) return;
+    std::ofstream out(dir_ + "/BENCH_" + name_ + ".json");
+    out << "{\n  \"bench\": " << obs::json_string(name_)
+        << ",\n  \"rows\": {";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n")
+          << "    " << obs::json_string(rows_[r].first) << ": {";
+      const std::vector<core::NamedValue>& values = rows_[r].second;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << obs::json_string(values[i].name)
+            << ": " << obs::json_number(values[i].value);
+      }
+      out << "}";
+    }
+    out << "\n  }\n}\n";
+  }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  std::vector<std::pair<std::string, std::vector<core::NamedValue>>> rows_;
+};
 
 /// Kilobyte / megabyte / kilojoule formatting helpers.
 inline std::string kb(double bytes) {

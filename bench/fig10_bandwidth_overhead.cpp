@@ -13,10 +13,6 @@ namespace {
 
 using namespace bees;
 
-double total_bytes(const core::BatchReport& r) {
-  return r.image_bytes + r.feature_bytes + r.rx_bytes;
-}
-
 int main_impl() {
   const int batch = bench::sized(40, 100);
   const int similars = batch / 10;
@@ -26,6 +22,7 @@ int main_impl() {
             << " in-batch similar), payloads scaled to ~700 KB\n";
 
   bench::GridSetup setup = bench::make_grid_setup(batch, similars, 320, 240, 1001);
+  bench::BenchJson json("fig10");
 
   util::Table table({"redundancy", "Direct", "SmartEye", "MRC", "BEES",
                      "BEES_vs_SmartEye"});
@@ -33,7 +30,9 @@ int main_impl() {
     double b[4];
     int i = 0;
     for (const std::string name : {"Direct", "SmartEye", "MRC", "BEES"}) {
-      b[i++] = total_bytes(bench::run_cell(setup, name, ratio, 256000.0));
+      const core::BatchReport r = bench::run_cell(setup, name, ratio, 256000.0);
+      json.add("r" + util::Table::num(ratio, 2) + "/" + name, r);
+      b[i++] = r.delivered_bytes();
     }
     table.add_row({util::Table::pct(ratio, 0), bench::mb(b[0]),
                    bench::mb(b[1]), bench::mb(b[2]), bench::mb(b[3]),

@@ -24,6 +24,7 @@ int main_impl() {
             << "payloads scaled to ~700 KB\n";
 
   bench::GridSetup setup = bench::make_grid_setup(batch, similars, 320, 240, 1101);
+  bench::BenchJson json("fig11");
 
   util::Table table({"bitrate", "Direct", "SmartEye", "MRC", "BEES",
                      "BEES_vs_Direct", "BEES_vs_MRC"});
@@ -31,8 +32,10 @@ int main_impl() {
     double d[4];
     int i = 0;
     for (const std::string name : {"Direct", "SmartEye", "MRC", "BEES"}) {
-      d[i++] = bench::run_cell(setup, name, 0.5, kbps * 1000.0)
-                   .mean_delay_seconds();
+      const core::BatchReport r =
+          bench::run_cell(setup, name, 0.5, kbps * 1000.0);
+      json.add(util::Table::num(kbps, 0) + "Kbps/" + name, r);
+      d[i++] = r.mean_delay_seconds();
     }
     table.add_row({util::Table::num(kbps, 0) + " Kbps",
                    util::Table::num(d[0], 1) + " s",
@@ -63,6 +66,7 @@ int main_impl() {
     for (const std::string name : {"Direct", "MRC", "BEES"}) {
       const core::BatchReport r =
           bench::run_cell(setup, name, 0.5, 256.0 * 1000.0, 1.0, loss);
+      json.add("loss" + util::Table::num(loss, 2) + "/" + name, r);
       d[i++] = r.mean_delay_seconds();
       aborts += r.aborted ? 1 : 0;
       if (name == "BEES") {

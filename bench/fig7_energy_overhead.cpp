@@ -24,6 +24,7 @@ int main_impl() {
             << " in-batch similar), 256 Kbps, payloads scaled to ~700 KB\n";
 
   bench::GridSetup setup = bench::make_grid_setup(batch, similars, 320, 240, 701);
+  bench::BenchJson json("fig7");
 
   util::Table table({"redundancy", "Direct", "SmartEye", "MRC", "BEES",
                      "BEES_vs_MRC", "BEES_vs_Direct"});
@@ -31,8 +32,9 @@ int main_impl() {
     double e[4];
     int i = 0;
     for (const std::string name : {"Direct", "SmartEye", "MRC", "BEES"}) {
-      e[i++] = bench::run_cell(setup, name, ratio, 256000.0)
-                   .energy.active_total();
+      const core::BatchReport r = bench::run_cell(setup, name, ratio, 256000.0);
+      json.add("r" + util::Table::num(ratio, 2) + "/" + name, r);
+      e[i++] = r.energy.active_total();
     }
     table.add_row({util::Table::pct(ratio, 0), bench::kj(e[0]),
                    bench::kj(e[1]), bench::kj(e[2]), bench::kj(e[3]),

@@ -70,7 +70,12 @@ inline core::BatchReport run_cell(GridSetup& setup,
   } else {
     throw std::invalid_argument("unknown scheme: " + scheme_name);
   }
-  return scheme->upload_batch(setup.batch.images, server, channel, battery);
+  core::BatchReport report =
+      scheme->upload_batch(setup.batch.images, server, channel, battery);
+  // No-op unless observability is enabled (e.g. a bench run under a
+  // metrics harness): aggregates every cell into `bench.cell.*` counters.
+  report.export_metrics("bench.cell");
+  return report;
 }
 
 }  // namespace bees::bench

@@ -1,11 +1,28 @@
 #include "cloud/rpc.hpp"
 
 #include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/byte_io.hpp"
 
 namespace bees::cloud {
 
 namespace {
+
+/// Metric-name suffix of a dispatched message type.
+const char* type_name(net::MessageType type) {
+  switch (type) {
+    case net::MessageType::kBinaryQuery: return "binary_query";
+    case net::MessageType::kBatchQuery: return "batch_query";
+    case net::MessageType::kFloatQuery: return "float_query";
+    case net::MessageType::kGlobalQuery: return "global_query";
+    case net::MessageType::kImageUpload: return "image_upload";
+    case net::MessageType::kFloatUpload: return "float_upload";
+    case net::MessageType::kGlobalUpload: return "global_upload";
+    case net::MessageType::kPlainUpload: return "plain_upload";
+    default: return "other";
+  }
+}
 
 net::QueryResponse verdict_of(Server& server, const idx::QueryResult& result) {
   net::QueryResponse reply;
@@ -23,6 +40,13 @@ std::vector<std::uint8_t> dispatch(Server& server,
                                    const std::vector<std::uint8_t>& request) {
   try {
     const net::Envelope env = net::open_envelope(request);
+    obs::ScopedSpan span("dispatch", "cloud", obs::kLaneServer);
+    if (obs::enabled()) {
+      obs::count("cloud.dispatch.requests");
+      obs::count("cloud.dispatch.request_bytes",
+                 static_cast<double>(request.size()));
+      obs::count((std::string("cloud.dispatch.") + type_name(env.type)).c_str());
+    }
     switch (env.type) {
       case net::MessageType::kBinaryQuery: {
         const net::BinaryQueryRequest q =
@@ -68,27 +92,27 @@ std::vector<std::uint8_t> dispatch(Server& server,
         const net::ImageUploadRequest u =
             net::decode_image_upload(env.payload);
         net::UploadAck ack;
-        ack.id = server.store_binary(u.features, u.image_bytes, u.geo,
-                                     u.thumbnail_bytes);
+        ack.id = server.store_binary(
+            u.features, {u.image_bytes, u.geo, u.thumbnail_bytes});
         return net::encode(ack);
       }
       case net::MessageType::kFloatUpload: {
         const net::FloatUploadRequest u =
             net::decode_float_upload(env.payload);
         net::UploadAck ack;
-        ack.id = server.store_float(u.features, u.image_bytes, u.geo);
+        ack.id = server.store_float(u.features, {u.image_bytes, u.geo});
         return net::encode(ack);
       }
       case net::MessageType::kGlobalUpload: {
         const net::GlobalUploadRequest u =
             net::decode_global_upload(env.payload);
-        server.store_global(u.histogram, u.image_bytes, u.geo);
+        server.store_global(u.histogram, {u.image_bytes, u.geo});
         return net::encode(net::UploadAck{});
       }
       case net::MessageType::kPlainUpload: {
         const net::PlainUploadRequest u =
             net::decode_plain_upload(env.payload);
-        server.store_plain(u.image_bytes, u.geo);
+        server.store_plain({u.image_bytes, u.geo});
         return net::encode(net::UploadAck{});
       }
       default:

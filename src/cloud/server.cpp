@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+
 namespace bees::cloud {
 
 Server::Server(const idx::FeatureIndexParams& binary_params,
@@ -16,27 +19,44 @@ void Server::note_location(const idx::GeoTag& geo) {
 
 idx::QueryResult Server::query_binary(const feat::BinaryFeatures& features,
                                       double feature_bytes, int top_k) {
+  obs::ScopedTimer timer("cloud.query.binary.seconds");
   ++stats_.binary_queries;
   stats_.feature_bytes_received += feature_bytes;
-  return binary_.query(features, top_k);
+  const idx::QueryResult result = binary_.query(features, top_k);
+  obs::count("cloud.query.binary");
+  obs::count("cloud.query.ops", static_cast<double>(result.ops));
+  obs::observe("cloud.query.binary.candidates",
+               static_cast<double>(result.candidates_checked));
+  return result;
 }
 
 idx::QueryResult Server::query_float(const feat::FloatFeatures& features,
                                      double feature_bytes, int top_k) {
+  obs::ScopedTimer timer("cloud.query.float.seconds");
   ++stats_.float_queries;
   stats_.feature_bytes_received += feature_bytes;
-  return float_.query(features, top_k);
+  const idx::QueryResult result = float_.query(features, top_k);
+  obs::count("cloud.query.float");
+  obs::count("cloud.query.ops", static_cast<double>(result.ops));
+  obs::observe("cloud.query.float.candidates",
+               static_cast<double>(result.candidates_checked));
+  return result;
+}
+
+void Server::record_store(const StoreInfo& info) {
+  ++stats_.images_stored;
+  stats_.image_bytes_received += info.image_bytes;
+  note_location(info.geo);
+  obs::count("cloud.store.images");
+  obs::count("cloud.store.image_bytes", info.image_bytes);
 }
 
 idx::ImageId Server::store_binary(feat::BinaryFeatures features,
-                                  double image_bytes, const idx::GeoTag& geo,
-                                  double thumbnail_bytes) {
-  ++stats_.images_stored;
-  stats_.image_bytes_received += image_bytes;
-  note_location(geo);
-  const idx::ImageId id = binary_.insert(std::move(features), geo);
+                                  const StoreInfo& info) {
+  record_store(info);
+  const idx::ImageId id = binary_.insert(std::move(features), info.geo);
   binary_thumb_bytes_.resize(id + 1, 0.0);
-  binary_thumb_bytes_[id] = thumbnail_bytes;
+  binary_thumb_bytes_[id] = info.thumbnail_bytes;
   return id;
 }
 
@@ -45,22 +65,18 @@ double Server::thumbnail_bytes_of(idx::ImageId id) const {
 }
 
 idx::ImageId Server::store_float(feat::FloatFeatures features,
-                                 double image_bytes, const idx::GeoTag& geo) {
-  ++stats_.images_stored;
-  stats_.image_bytes_received += image_bytes;
-  note_location(geo);
-  return float_.insert(std::move(features), geo);
+                                 const StoreInfo& info) {
+  record_store(info);
+  return float_.insert(std::move(features), info.geo);
 }
 
-void Server::store_plain(double image_bytes, const idx::GeoTag& geo) {
-  ++stats_.images_stored;
-  stats_.image_bytes_received += image_bytes;
-  note_location(geo);
-}
+void Server::store_plain(const StoreInfo& info) { record_store(info); }
 
 double Server::query_global(const feat::ColorHistogram& histogram,
                             const idx::GeoTag& geo, double feature_bytes,
                             double geo_radius_deg) {
+  obs::ScopedTimer timer("cloud.query.global.seconds");
+  obs::count("cloud.query.global");
   stats_.feature_bytes_received += feature_bytes;
   double best = 0.0;
   for (const auto& [stored, stored_geo] : global_entries_) {
@@ -78,11 +94,9 @@ double Server::query_global(const feat::ColorHistogram& histogram,
 }
 
 void Server::store_global(const feat::ColorHistogram& histogram,
-                          double image_bytes, const idx::GeoTag& geo) {
-  ++stats_.images_stored;
-  stats_.image_bytes_received += image_bytes;
-  note_location(geo);
-  global_entries_.emplace_back(histogram, geo);
+                          const StoreInfo& info) {
+  record_store(info);
+  global_entries_.emplace_back(histogram, info.geo);
 }
 
 void Server::seed_binary(feat::BinaryFeatures features, const idx::GeoTag& geo,

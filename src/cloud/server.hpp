@@ -23,6 +23,17 @@ struct ServerStats {
   std::size_t unique_locations = 0;
 };
 
+/// What an uploaded image carries besides its features: the modelled
+/// payload size, the capture geotag, and (binary-indexed path) the size of
+/// the thumbnail the server would send as MRC-style feedback when the
+/// image is a query's best match.  Shared by every store_* entry point so
+/// new attributes extend one struct instead of four signatures.
+struct StoreInfo {
+  double image_bytes = 0.0;
+  idx::GeoTag geo;
+  double thumbnail_bytes = 0.0;
+};
+
 class Server {
  public:
   explicit Server(const idx::FeatureIndexParams& binary_params = {},
@@ -31,26 +42,25 @@ class Server {
   /// CBRD query against the binary (ORB) index.  Counts the received
   /// feature payload of `feature_bytes` wire bytes.
   idx::QueryResult query_binary(const feat::BinaryFeatures& features,
-                                double feature_bytes, int top_k = 4);
+                                double feature_bytes,
+                                int top_k = idx::kDefaultTopK);
 
   /// CBRD query against the float (SIFT / PCA-SIFT) index.
   idx::QueryResult query_float(const feat::FloatFeatures& features,
-                               double feature_bytes, int top_k = 4);
+                               double feature_bytes,
+                               int top_k = idx::kDefaultTopK);
 
   /// Stores an uploaded image: its features join the binary index so later
   /// batches can detect cross-batch redundancy against it.
-  /// `thumbnail_bytes` is the size of the thumbnail the server would send
-  /// as MRC-style feedback when this image is a query's best match.
-  idx::ImageId store_binary(feat::BinaryFeatures features, double image_bytes,
-                            const idx::GeoTag& geo = {},
-                            double thumbnail_bytes = 0.0);
+  idx::ImageId store_binary(feat::BinaryFeatures features,
+                            const StoreInfo& info = {});
 
   /// Stores an uploaded image indexed by float features (SmartEye path).
-  idx::ImageId store_float(feat::FloatFeatures features, double image_bytes,
-                           const idx::GeoTag& geo = {});
+  idx::ImageId store_float(feat::FloatFeatures features,
+                           const StoreInfo& info = {});
 
   /// Stores an image that arrived without features (Direct Upload path).
-  void store_plain(double image_bytes, const idx::GeoTag& geo = {});
+  void store_plain(const StoreInfo& info = {});
 
   /// PhotoNet-style global query: the maximum color-histogram intersection
   /// against stored global entries whose geotag lies within `geo_radius_deg`
@@ -60,8 +70,8 @@ class Server {
                       double geo_radius_deg = 0.005);
 
   /// Stores an image deduplicated by global features (PhotoNet path).
-  void store_global(const feat::ColorHistogram& histogram, double image_bytes,
-                    const idx::GeoTag& geo = {});
+  void store_global(const feat::ColorHistogram& histogram,
+                    const StoreInfo& info = {});
 
   /// Pre-seeds the binary index with features of an image the server
   /// already holds (experiment setup: controlling cross-batch redundancy).
@@ -81,6 +91,8 @@ class Server {
 
  private:
   void note_location(const idx::GeoTag& geo);
+  /// Shared store_* bookkeeping: stats, coverage, store counters.
+  void record_store(const StoreInfo& info);
 
   idx::FeatureIndex binary_;
   idx::FloatFeatureIndex float_;

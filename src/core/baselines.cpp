@@ -14,6 +14,7 @@ BatchReport DirectUploadScheme::upload_batch(
     report.images_offered = static_cast<int>(batch.size());
   }
   net::Transport transport = make_transport(server, channel);
+  StageProbe stage("upload", report, channel.now());
 
   while (progress_.next < batch.size()) {
     const wl::ImageSpec& spec = batch[progress_.next];
@@ -52,11 +53,13 @@ BatchReport SmartEyeScheme::upload_batch(
     report.images_offered = static_cast<int>(batch.size());
   }
   net::Transport transport = make_transport(server, channel);
+  const double anchor_s = channel.now();
 
   // Phase 1 — extract and upload the whole batch's features, query the
   // server index as of batch start.  Because nothing is inserted until
   // phase 2, in-batch similar images cannot match each other: exactly the
   // blind spot the paper ascribes to the existing schemes (§I challenge 1).
+  StageProbe query_stage("query", report, anchor_s);
   while (progress_.queried < batch.size()) {
     const std::size_t i = progress_.queried;
     if (battery.depleted()) {
@@ -90,8 +93,10 @@ BatchReport SmartEyeScheme::upload_batch(
     }
     progress_.queried = i + 1;
   }
+  query_stage.end();
 
   // Phase 2 — upload the unique images as shot.
+  StageProbe upload_stage("upload", report, anchor_s);
   while (progress_.next_upload < progress_.unique.size()) {
     const std::size_t i = progress_.unique[progress_.next_upload];
     if (battery.depleted()) {
@@ -128,9 +133,11 @@ BatchReport MrcScheme::upload_batch(const std::vector<wl::ImageSpec>& batch,
     report.images_offered = static_cast<int>(batch.size());
   }
   net::Transport transport = make_transport(server, channel);
+  const double anchor_s = channel.now();
 
   // Phase 1 — features and queries against the index as of batch start
   // (cross-batch detection only; see the SmartEye comment).
+  StageProbe query_stage("query", report, anchor_s);
   while (progress_.queried < batch.size()) {
     const std::size_t i = progress_.queried;
     if (battery.depleted()) {
@@ -178,8 +185,10 @@ BatchReport MrcScheme::upload_batch(const std::vector<wl::ImageSpec>& batch,
     }
     progress_.queried = i + 1;
   }
+  query_stage.end();
 
   // Phase 2 — upload the unique images as shot.
+  StageProbe upload_stage("upload", report, anchor_s);
   while (progress_.next_upload < progress_.unique.size()) {
     const std::size_t i = progress_.unique[progress_.next_upload];
     if (battery.depleted()) {

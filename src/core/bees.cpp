@@ -35,24 +35,28 @@ BatchReport BeesScheme::upload_batch(const std::vector<wl::ImageSpec>& batch,
   }
 
   net::Transport transport = make_transport(server, channel);
+  const double anchor_s = channel.now();
 
   // --- AFE: approximate feature extraction on compressed bitmaps. ---
   std::vector<const feat::BinaryFeatures*> features(batch.size(), nullptr);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (i < progress_.features_extracted) {
-      features[i] = &store().orb(batch[i], knobs.bitmap_compression);
-      continue;
+  {
+    StageProbe stage("afe", report, anchor_s);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (i < progress_.features_extracted) {
+        features[i] = &store().orb(batch[i], knobs.bitmap_compression);
+        continue;
+      }
+      if (battery.depleted()) {
+        report.aborted = true;
+        return report;
+      }
+      const feat::BinaryFeatures& f =
+          store().orb(batch[i], knobs.bitmap_compression);
+      features[i] = &f;
+      report.compute_seconds += charge_compute(f.stats.ops, battery);
+      report.energy.extraction_j += config().cost.compute_energy(f.stats.ops);
+      progress_.features_extracted = i + 1;
     }
-    if (battery.depleted()) {
-      report.aborted = true;
-      return report;
-    }
-    const feat::BinaryFeatures& f =
-        store().orb(batch[i], knobs.bitmap_compression);
-    features[i] = &f;
-    report.compute_seconds += charge_compute(f.stats.ops, battery);
-    report.energy.extraction_j += config().cost.compute_energy(f.stats.ops);
-    progress_.features_extracted = i + 1;
   }
 
   std::vector<double> per_image_fbytes(batch.size(), 0.0);
@@ -67,6 +71,7 @@ BatchReport BeesScheme::upload_batch(const std::vector<wl::ImageSpec>& batch,
   // sets ship in one bulk query message; the server answers with one
   // verdict per image. ---
   if (!progress_.features_sent) {
+    StageProbe stage("cbrd", report, anchor_s);
     const auto request =
         net::encode_batch_query(features, per_image_fbytes, config().top_k);
     const auto env = exchange(transport, request, fbytes, TxKind::kFeature,
@@ -82,6 +87,7 @@ BatchReport BeesScheme::upload_batch(const std::vector<wl::ImageSpec>& batch,
 
   // --- ARD part 2: in-batch redundancy detection (SSMM, client side). ---
   if (!progress_.ssmm_done) {
+    StageProbe stage("ibrd", report, anchor_s);
     if (battery.depleted()) {
       report.aborted = true;
       return report;
@@ -126,6 +132,7 @@ BatchReport BeesScheme::upload_batch(const std::vector<wl::ImageSpec>& batch,
   }
 
   // --- AIU: approximate image uploading of the selected summary. ---
+  StageProbe stage("aiu", report, anchor_s);
   while (progress_.next_upload < progress_.selected.size()) {
     const std::size_t i = progress_.selected[progress_.next_upload];
     if (battery.depleted()) {

@@ -14,10 +14,12 @@ BatchReport PhotoNetScheme::upload_batch(
     report.images_offered = static_cast<int>(batch.size());
   }
   net::Transport transport = make_transport(server, channel);
+  const double anchor_s = channel.now();
 
   // Phase 1 — global features for the whole batch, queried against the
   // server state as of batch start (like the other baselines, PhotoNet
   // cannot see in-batch redundancy from the index alone).
+  StageProbe query_stage("query", report, anchor_s);
   while (progress_.queried < batch.size()) {
     const std::size_t i = progress_.queried;
     if (battery.depleted()) {
@@ -52,8 +54,10 @@ BatchReport PhotoNetScheme::upload_batch(
     }
     progress_.queried = i + 1;
   }
+  query_stage.end();
 
   // Phase 2 — upload the unique images as shot.
+  StageProbe upload_stage("upload", report, anchor_s);
   while (progress_.next_upload < progress_.unique.size()) {
     const std::size_t i = progress_.unique[progress_.next_upload];
     if (battery.depleted()) {

@@ -1,6 +1,12 @@
 #include "core/scheme.hpp"
 
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
 #include "cloud/rpc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bees::core {
 
@@ -24,6 +30,83 @@ BatchReport& BatchReport::operator+=(const BatchReport& other) noexcept {
   gave_up += other.gave_up;
   aborted = aborted || other.aborted;
   return *this;
+}
+
+std::vector<NamedValue> BatchReport::named_values() const {
+  const auto integral = [](const char* name, double v) {
+    return NamedValue{name, v, true};
+  };
+  const auto real = [](const char* name, double v) {
+    return NamedValue{name, v, false};
+  };
+  return {
+      integral("images_offered", images_offered),
+      integral("images_uploaded", images_uploaded),
+      integral("eliminated_cross_batch", eliminated_cross_batch),
+      integral("eliminated_in_batch", eliminated_in_batch),
+      real("feature_bytes", feature_bytes),
+      real("image_bytes", image_bytes),
+      real("rx_bytes", rx_bytes),
+      real("retransmitted_bytes", retransmitted_bytes),
+      real("delivered_bytes", delivered_bytes()),
+      real("compute_seconds", compute_seconds),
+      real("feature_tx_seconds", feature_tx_seconds),
+      real("image_tx_seconds", image_tx_seconds),
+      real("rx_seconds", rx_seconds),
+      real("retransmit_seconds", retransmit_seconds),
+      real("backoff_seconds", backoff_seconds),
+      real("busy_seconds", busy_seconds()),
+      real("mean_delay_seconds", mean_delay_seconds()),
+      integral("retries", retries),
+      integral("gave_up", gave_up),
+      integral("aborted", aborted ? 1.0 : 0.0),
+      real("energy_extraction_j", energy.extraction_j),
+      real("energy_other_compute_j", energy.other_compute_j),
+      real("energy_feature_tx_j", energy.feature_tx_j),
+      real("energy_image_tx_j", energy.image_tx_j),
+      real("energy_retransmit_tx_j", energy.retransmit_tx_j),
+      real("energy_rx_j", energy.rx_j),
+      real("energy_idle_j", energy.idle_j),
+      real("energy_active_j", energy.active_total()),
+      real("energy_total_j", energy.total()),
+  };
+}
+
+double BatchReport::value_of(const char* name) const {
+  for (const NamedValue& v : named_values()) {
+    if (std::string_view(v.name) == name) return v.value;
+  }
+  throw std::out_of_range(std::string("BatchReport: no value named ") + name);
+}
+
+void BatchReport::export_metrics(const std::string& prefix) const {
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  for (const NamedValue& v : named_values()) {
+    registry.add(prefix + "." + v.name, v.value);
+  }
+}
+
+StageProbe::StageProbe(const char* name, const BatchReport& report,
+                       double anchor_s)
+    : name_(name),
+      report_(&report),
+      anchor_s_(anchor_s),
+      start_busy_s_(0.0),
+      active_(obs::enabled()) {
+  if (active_) start_busy_s_ = report.busy_seconds();
+}
+
+StageProbe::~StageProbe() { end(); }
+
+void StageProbe::end() {
+  if (!active_) return;
+  active_ = false;
+  const double duration_s = report_->busy_seconds() - start_busy_s_;
+  obs::MetricsRegistry::global().observe(
+      std::string("core.stage.") + name_ + ".seconds", duration_s);
+  obs::Tracer::global().add({name_, "scheme", anchor_s_ + start_busy_s_,
+                             duration_s, obs::kLaneScheme});
 }
 
 double UploadScheme::transfer_up(double bytes, net::Channel& channel,
@@ -80,10 +163,14 @@ std::optional<net::Envelope> UploadScheme::exchange(
     report.feature_tx_seconds += res.tx_seconds;
     report.feature_bytes += wire_bytes;
     report.energy.feature_tx_j += tx_j;
+    obs::count("core.tx.feature_bytes", wire_bytes);
+    obs::count("core.tx.feature_j", tx_j);
   } else {
     report.image_tx_seconds += res.tx_seconds;
     report.image_bytes += wire_bytes;
     report.energy.image_tx_j += tx_j;
+    obs::count("core.tx.image_bytes", wire_bytes);
+    obs::count("core.tx.image_j", tx_j);
   }
   return net::open_envelope(res.reply);
 }

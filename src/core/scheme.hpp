@@ -46,7 +46,7 @@ struct SchemeConfig {
   /// (~700 KB average originals); applied to image payloads only.
   double image_byte_scale = 1.0;
   /// Ranked hits requested from the server per query.
-  int top_k = 4;
+  int top_k = idx::kDefaultTopK;
   /// Matching parameters for client-side in-batch similarity (BEES IBRD).
   feat::BinaryMatchParams match;
   sub::SsmmParams ssmm;
@@ -54,6 +54,15 @@ struct SchemeConfig {
   /// (no per-attempt timeout) leaves loss-free runs identical to the
   /// pre-transport byte/energy accounting.
   net::RetryPolicy retry;
+};
+
+/// One named scalar of a BatchReport: the export row every consumer
+/// (CSV, metrics registry, bench JSON) reads instead of hand-listing
+/// fields.  `integral` marks counts that print without a decimal point.
+struct NamedValue {
+  const char* name;
+  double value;
+  bool integral;
 };
 
 /// Everything one batch cost, itemized.
@@ -95,8 +104,55 @@ struct BatchReport {
   double mean_delay_seconds() const noexcept {
     return images_offered > 0 ? busy_seconds() / images_offered : 0.0;
   }
+  /// Payload bytes that actually arrived, uplink and downlink — the
+  /// Fig. 10 bandwidth-overhead quantity (retransmitted bytes excluded).
+  double delivered_bytes() const noexcept {
+    return feature_bytes + image_bytes + rx_bytes;
+  }
 
   BatchReport& operator+=(const BatchReport& other) noexcept;
+  /// Merges another batch's accounting into this one (alias of +=, for
+  /// call sites that read better as a statement).
+  BatchReport& merge(const BatchReport& other) noexcept {
+    return *this += other;
+  }
+
+  /// Every field plus the derived totals as stable (name, value) rows.
+  /// The ordering is fixed and names are append-only: exports built on it
+  /// (CSV columns, metric names, BENCH_*.json baselines) stay comparable
+  /// across revisions.
+  std::vector<NamedValue> named_values() const;
+  /// Looks up one named value; throws std::out_of_range on unknown names.
+  double value_of(const char* name) const;
+  /// Adds every named value to the global metrics registry as counters
+  /// named `<prefix>.<name>`.  No-op while observability is disabled.
+  void export_metrics(const std::string& prefix) const;
+};
+
+/// RAII probe around one client pipeline stage (AFE / CBRD / IBRD / AIU,
+/// or a baseline's query / upload phase).  On destruction it charges the
+/// stage's busy-seconds delta into the `core.stage.<name>.seconds`
+/// histogram and emits a trace span on the scheme lane, anchored at the
+/// channel clock as of batch start so multi-batch timelines stay
+/// monotonic.  Fully inert while observability is disabled.
+class StageProbe {
+ public:
+  StageProbe(const char* name, const BatchReport& report, double anchor_s);
+  ~StageProbe();
+
+  StageProbe(const StageProbe&) = delete;
+  StageProbe& operator=(const StageProbe&) = delete;
+
+  /// Ends the stage now instead of at scope exit (idempotent); lets
+  /// sequential phases of one function each record their own span.
+  void end();
+
+ private:
+  const char* name_;
+  const BatchReport* report_;
+  double anchor_s_;
+  double start_busy_s_;
+  bool active_;
 };
 
 /// Abstract image-sharing scheme.

@@ -21,6 +21,12 @@ using ImageId = std::uint32_t;
 inline constexpr ImageId kInvalidImageId =
     std::numeric_limits<ImageId>::max();
 
+/// Ranked hits a similarity query returns by default.  Single source of
+/// truth for every layer's default: index queries, the vocabulary index,
+/// cloud::Server entry points, the wire protocol's query messages, and
+/// core::SchemeConfig all route through this constant.
+inline constexpr int kDefaultTopK = 4;
+
 /// One ranked hit of a similarity query.
 struct QueryHit {
   ImageId id = kInvalidImageId;
@@ -58,12 +64,12 @@ class FeatureIndex {
 
   /// Queries with LSH candidate generation + exact rescoring.
   QueryResult query(const feat::BinaryFeatures& query_features,
-                    int top_k = 4) const;
+                    int top_k = kDefaultTopK) const;
 
   /// Exhaustive query over every stored image (no LSH); the accuracy
   /// reference for the LSH ablation bench.
   QueryResult query_exact(const feat::BinaryFeatures& query_features,
-                          int top_k = 4) const;
+                          int top_k = kDefaultTopK) const;
 
   std::size_t image_count() const noexcept { return images_.size(); }
   std::size_t descriptor_count() const noexcept { return lsh_.descriptor_count(); }
@@ -106,7 +112,7 @@ class FloatFeatureIndex {
 
   ImageId insert(feat::FloatFeatures features, const GeoTag& geo = {});
   QueryResult query(const feat::FloatFeatures& query_features,
-                    int top_k = 4) const;
+                    int top_k = kDefaultTopK) const;
 
   std::size_t image_count() const noexcept { return images_.size(); }
   std::size_t wire_bytes() const noexcept { return wire_bytes_; }

@@ -72,7 +72,7 @@ class VocabularyIndex {
 
   ImageId insert(feat::BinaryFeatures features, const GeoTag& geo = {});
   QueryResult query(const feat::BinaryFeatures& query_features,
-                    int top_k = 4) const;
+                    int top_k = kDefaultTopK) const;
 
   std::size_t image_count() const noexcept { return images_.size(); }
   const VocabularyTree& tree() const noexcept { return tree_; }

@@ -41,7 +41,7 @@ enum class MessageType : std::uint8_t {
 
 struct BinaryQueryRequest {
   feat::BinaryFeatures features;
-  std::int32_t top_k = 4;
+  std::int32_t top_k = idx::kDefaultTopK;
   /// Modelled wire size of the feature payload, for server-side bandwidth
   /// accounting; negative means "use the encoded message size".
   double feature_bytes = -1.0;
@@ -72,7 +72,7 @@ struct BatchQueryRequest {
   std::vector<feat::BinaryFeatures> features;
   /// Per-image modelled feature payload sizes (parallel to `features`).
   std::vector<double> feature_bytes;
-  std::int32_t top_k = 4;
+  std::int32_t top_k = idx::kDefaultTopK;
 };
 
 struct BatchQueryResponse {
@@ -81,7 +81,7 @@ struct BatchQueryResponse {
 
 struct FloatQueryRequest {
   feat::FloatFeatures features;
-  std::int32_t top_k = 4;
+  std::int32_t top_k = idx::kDefaultTopK;
   double feature_bytes = -1.0;  ///< As in BinaryQueryRequest.
 };
 

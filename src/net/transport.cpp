@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bees::net {
 
 Transport::Transport(Handler handler, Channel& channel, RetryPolicy policy)
@@ -32,15 +35,24 @@ ExchangeResult Transport::exchange(const std::vector<std::uint8_t>& request,
   ExchangeResult result;
   const double bytes =
       wire_bytes >= 0.0 ? wire_bytes : static_cast<double>(request.size());
+  obs::count("net.transport.exchanges");
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    const double attempt_start_s = obs::enabled() ? channel_->now() : 0.0;
     const SendOutcome outcome = channel_->send(bytes, policy_.timeout_s);
     result.attempts = attempt;
+    obs::count("net.transport.attempts");
+    obs::observe("net.transport.attempt.seconds", outcome.seconds);
+    obs::span_event(outcome.delivered ? "rpc" : "rpc.drop", "net",
+                    attempt_start_s, outcome.seconds, obs::kLaneTransport);
     if (outcome.delivered) {
       result.tx_seconds += outcome.seconds;
       result.reply = handler_(request);
       result.ok = true;
       break;
     }
+    obs::count(outcome.timed_out ? "net.transport.timeouts"
+                                 : "net.transport.losses");
+    obs::count("net.transport.retransmitted_bytes", outcome.sent_bytes);
     result.wasted_seconds += outcome.seconds;
     result.retransmitted_bytes += outcome.sent_bytes;
     if (attempt < policy_.max_attempts) {
@@ -52,10 +64,13 @@ ExchangeResult Transport::exchange(const std::vector<std::uint8_t>& request,
       if (wait > 0.0) {
         channel_->advance(wait);
         result.backoff_seconds += wait;
+        obs::count("net.transport.backoff_seconds", wait);
       }
     }
   }
   result.retries = result.attempts - 1;
+  if (result.retries > 0) obs::count("net.transport.retries", result.retries);
+  if (!result.ok) obs::count("net.transport.gave_up");
   return result;
 }
 

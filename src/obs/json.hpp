@@ -1,0 +1,46 @@
+// Minimal JSON emission helpers shared by the metrics and trace exporters.
+// Numbers are printed with %.17g so every double round-trips exactly; the
+// exporters sort map keys, making each dump byte-deterministic for a given
+// recorded state.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace bees::obs {
+
+/// Shortest-lossless-ish double literal (%.17g round-trips IEEE doubles).
+inline std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Quotes and escapes a string literal (quotes, backslashes, control
+/// bytes; metric/span names are plain ASCII in practice).
+inline std::string json_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace bees::obs

@@ -1,0 +1,142 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace bees::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::vector<double> MetricsRegistry::default_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(13);
+  for (int decade = -6; decade <= 6; ++decade) {
+    double b = 1.0;
+    for (int i = 0; i < (decade < 0 ? -decade : decade); ++i) {
+      b *= 10.0;
+    }
+    bounds.push_back(decade < 0 ? 1.0 / b : b);
+  }
+  return bounds;
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  std::scoped_lock lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  std::scoped_lock lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::scoped_lock lock(mutex_);
+  Histogram& h = histograms_[name];
+  if (h.bounds.empty()) {
+    h.bounds = default_bounds();
+    h.counts.assign(h.bounds.size() + 1, 0);
+  }
+  const auto it = std::lower_bound(h.bounds.begin(), h.bounds.end(), value);
+  ++h.counts[static_cast<std::size_t>(it - h.bounds.begin())];
+  if (h.count == 0) {
+    h.min = h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  h.sum += value;
+  ++h.count;
+}
+
+void MetricsRegistry::declare_histogram(const std::string& name,
+                                        std::vector<double> bounds) {
+  std::scoped_lock lock(mutex_);
+  Histogram& h = histograms_[name];
+  if (h.count > 0) return;  // keep the buckets its samples already landed in
+  h.bounds = std::move(bounds);
+  h.counts.assign(h.bounds.size() + 1, 0);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h.bounds;
+    hs.counts = h.counts;
+    hs.count = h.count;
+    hs.sum = h.sum;
+    hs.min = h.min;
+    hs.max = h.max;
+    snap.histograms.emplace(name, std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json_string(name) + ": " + json_number(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json_string(name) + ": " + json_number(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    " + json_string(name) + ": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + json_number(h.sum) +
+           ", \"min\": " + json_number(h.min) +
+           ", \"max\": " + json_number(h.max) +
+           ", \"mean\": " + json_number(h.mean()) + ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ", ";
+      out += "{\"le\": ";
+      out += i < h.bounds.size() ? json_number(h.bounds[i]) : "\"inf\"";
+      out += ", \"count\": " + std::to_string(h.counts[i]) + "}";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace bees::obs

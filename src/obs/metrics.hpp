@@ -1,0 +1,119 @@
+// Process-wide observability: a registry of named counters, gauges, and
+// fixed-bucket histograms that every layer (core schemes, net transport,
+// cloud server, benches, tools) charges into.  Disabled by default — the
+// enabled() gate is a single relaxed atomic load, so an instrumented hot
+// path costs one branch when observability is off and simulation outputs
+// stay byte-identical.  All mutation is mutex-guarded: ThreadPool workers
+// may record concurrently, and because counters/histogram buckets only
+// accumulate order-independent additions, the resulting snapshot is
+// deterministic regardless of scheduling.
+//
+// Naming convention (see DESIGN.md §7): dot-separated `layer.noun[.unit]`,
+// e.g. `net.transport.retries`, `core.stage.afe.seconds`.  Histogram names
+// end in their unit (`.seconds`, `.candidates`); counters carrying a unit
+// other than "events" end in `_bytes` / `_seconds` / `_j`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bees::obs {
+
+/// Frozen view of one histogram: `counts[i]` holds samples with
+/// `value <= bounds[i]` (first matching bucket); the final entry of
+/// `counts` is the overflow bucket above every bound.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries.
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double mean() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Frozen view of the whole registry, sorted by name (std::map) so any
+/// export of it is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to the named counter (created at 0 on first use).
+  void add(const std::string& name, double delta = 1.0);
+  /// Sets the named gauge to `value` (last write wins).
+  void set(const std::string& name, double value);
+  /// Records `value` into the named histogram; an undeclared histogram is
+  /// created with default_bounds().
+  void observe(const std::string& name, double value);
+  /// Pre-declares a histogram with custom bucket upper bounds (ascending).
+  /// No-op if the histogram already holds samples.
+  void declare_histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Log-spaced decade bounds 1e-6 .. 1e6: wide enough for seconds,
+  /// bytes, and op counts alike.
+  static std::vector<double> default_bounds();
+
+  MetricsSnapshot snapshot() const;
+  /// Deterministic JSON dump: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum,min,max,mean,buckets:[{le,count}...]}}}.
+  std::string to_json() const;
+  void reset();
+
+  /// The process-wide registry every convenience wrapper charges.
+  static MetricsRegistry& global();
+
+ private:
+  struct Histogram {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Global observability switch.  Off by default; the wrappers below (and
+/// every in-tree instrumentation point) are no-ops while it is off.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Convenience wrappers charging the global registry; single-branch no-ops
+/// while observability is disabled.
+inline void count(const char* name, double delta = 1.0) {
+  if (detail::g_enabled.load(std::memory_order_relaxed)) {
+    MetricsRegistry::global().add(name, delta);
+  }
+}
+inline void gauge(const char* name, double value) {
+  if (detail::g_enabled.load(std::memory_order_relaxed)) {
+    MetricsRegistry::global().set(name, value);
+  }
+}
+inline void observe(const char* name, double value) {
+  if (detail::g_enabled.load(std::memory_order_relaxed)) {
+    MetricsRegistry::global().observe(name, value);
+  }
+}
+
+}  // namespace bees::obs

@@ -1,0 +1,161 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace bees::obs {
+
+void Tracer::add(TraceEvent event) {
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(mutex_);
+  events_.clear();
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> events = this->events();
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += i ? ",\n  " : "\n  ";
+    out += "{\"name\": " + json_string(e.name) +
+           ", \"cat\": " + json_string(e.category) +
+           ", \"ph\": \"X\", \"ts\": " + json_number(e.start_s * 1e6) +
+           ", \"dur\": " + json_number(e.duration_s * 1e6) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(e.lane) + "}";
+  }
+  out += events.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+namespace {
+
+/// Cursor over the exporter's own JSON dialect.
+struct Scanner {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("trace JSON: " + what + " at offset " +
+                             std::to_string(pos));
+  }
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\n' ||
+                              s[pos] == '\r' || s[pos] == '\t')) {
+      ++pos;
+    }
+  }
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!try_consume(c)) fail(std::string("expected '") + c + "'");
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < s.size() && s[pos] != '"') {
+      char c = s[pos++];
+      if (c == '\\') {
+        if (pos >= s.size()) fail("dangling escape");
+        const char esc = s[pos++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos + 4 > s.size()) fail("short \\u escape");
+            c = static_cast<char>(
+                std::strtol(s.substr(pos, 4).c_str(), nullptr, 16));
+            pos += 4;
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+  double parse_number() {
+    skip_ws();
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str() + pos, &end);
+    if (end == s.c_str() + pos) fail("expected number");
+    pos = static_cast<std::size_t>(end - s.c_str());
+    return v;
+  }
+};
+
+}  // namespace
+
+std::vector<TraceEvent> parse_chrome_json(const std::string& json) {
+  Scanner sc{json};
+  sc.expect('{');
+  if (sc.parse_string() != "traceEvents") sc.fail("expected traceEvents key");
+  sc.expect(':');
+  sc.expect('[');
+  std::vector<TraceEvent> events;
+  if (!sc.try_consume(']')) {
+    do {
+      sc.expect('{');
+      TraceEvent e;
+      do {
+        const std::string key = sc.parse_string();
+        sc.expect(':');
+        if (key == "name") {
+          e.name = sc.parse_string();
+        } else if (key == "cat") {
+          e.category = sc.parse_string();
+        } else if (key == "ph") {
+          if (sc.parse_string() != "X") sc.fail("only complete events");
+        } else if (key == "ts") {
+          e.start_s = sc.parse_number() / 1e6;
+        } else if (key == "dur") {
+          e.duration_s = sc.parse_number() / 1e6;
+        } else if (key == "pid") {
+          sc.parse_number();
+        } else if (key == "tid") {
+          e.lane = static_cast<std::uint32_t>(sc.parse_number());
+        } else {
+          sc.fail("unknown key '" + key + "'");
+        }
+      } while (sc.try_consume(','));
+      sc.expect('}');
+      events.push_back(std::move(e));
+    } while (sc.try_consume(','));
+    sc.expect(']');
+  }
+  sc.expect('}');
+  return events;
+}
+
+}  // namespace bees::obs

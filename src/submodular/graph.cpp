@@ -51,16 +51,21 @@ SimilarityGraph build_similarity_graph_parallel(
     std::size_t threads) {
   SimilarityGraph g(batch.size());
   if (batch.size() < 2) return g;
-  // One task per row i computes weights (i, j > i); rows write disjoint
-  // cells, so no synchronization is needed on the graph itself.
+  // One task per row chunk computes weights (i, j > i); rows write
+  // disjoint cells, so no synchronization is needed on the graph itself.
+  // grain=2 keeps tiny batches from fanning out one-row tasks whose
+  // scheduling overhead rivals the matching work.
   std::vector<std::uint64_t> row_ops(batch.size(), 0);
   util::ThreadPool pool(threads);
-  pool.parallel_for(batch.size(), [&](std::size_t i) {
-    for (std::size_t j = i + 1; j < batch.size(); ++j) {
-      g.set_weight(i, j, feat::jaccard_similarity(batch[i], batch[j], match,
-                                                  &row_ops[i]));
-    }
-  });
+  pool.parallel_for(
+      batch.size(),
+      [&](std::size_t i) {
+        for (std::size_t j = i + 1; j < batch.size(); ++j) {
+          g.set_weight(i, j, feat::jaccard_similarity(batch[i], batch[j],
+                                                      match, &row_ops[i]));
+        }
+      },
+      /*grain=*/2);
   if (ops) {
     for (const auto r : row_ops) *ops += r;
   }

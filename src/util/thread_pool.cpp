@@ -66,20 +66,4 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  const std::size_t chunks = std::min(n, thread_count());
-  const std::size_t per_chunk = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * per_chunk;
-    const std::size_t end = std::min(begin + per_chunk, n);
-    if (begin >= end) break;
-    submit([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    });
-  }
-  wait_idle();
-}
-
 }  // namespace bees::util

@@ -93,7 +93,7 @@ TEST_F(PhotoNetTest, GeoGateBlocksFarMatches) {
   near.geo = {2.32, 48.86, true};
   const feat::ColorHistogram h =
       feat::color_histogram(store_->pixels(near));
-  server.store_global(h, 1000.0, near.geo);
+  server.store_global(h, {1000.0, near.geo});
   EXPECT_GT(server.query_global(h, near.geo), kPhotoNetThreshold);
   const idx::GeoTag far{2.50, 48.86, true};
   EXPECT_DOUBLE_EQ(server.query_global(h, far), 0.0);

@@ -1,0 +1,162 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace bees::obs {
+namespace {
+
+/// Saves and restores the process-wide observability state so tests can
+/// flip the switch and dirty the global registry freely.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+};
+
+TEST_F(MetricsTest, CountersAccumulateAndGaugesOverwrite) {
+  MetricsRegistry reg;
+  reg.add("a.count");
+  reg.add("a.count", 2.0);
+  reg.set("a.gauge", 7.0);
+  reg.set("a.gauge", 3.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.counters.at("a.count"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("a.gauge"), 3.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsCountSumMinMax) {
+  MetricsRegistry reg;
+  reg.declare_histogram("h", {1.0, 10.0, 100.0});
+  reg.observe("h", 0.5);    // bucket 0 (<= 1)
+  reg.observe("h", 10.0);   // bucket 1 (<= 10, inclusive upper bound)
+  reg.observe("h", 99.0);   // bucket 2
+  reg.observe("h", 1000.0); // overflow bucket
+  const HistogramSnapshot h = reg.snapshot().histograms.at("h");
+  ASSERT_EQ(h.bounds.size(), 3u);
+  ASSERT_EQ(h.counts.size(), 4u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 1109.5);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 1109.5 / 4.0);
+}
+
+TEST_F(MetricsTest, UndeclaredHistogramGetsDefaultBounds) {
+  MetricsRegistry reg;
+  reg.observe("h.seconds", 0.5);
+  const HistogramSnapshot h = reg.snapshot().histograms.at("h.seconds");
+  EXPECT_EQ(h.bounds, MetricsRegistry::default_bounds());
+  EXPECT_EQ(h.count, 1u);
+}
+
+TEST_F(MetricsTest, DeclareIsNoOpOnceSamplesExist) {
+  MetricsRegistry reg;
+  reg.declare_histogram("h", {1.0, 2.0});
+  reg.observe("h", 1.5);
+  reg.declare_histogram("h", {100.0});  // must not clobber the samples
+  const HistogramSnapshot h = reg.snapshot().histograms.at("h");
+  ASSERT_EQ(h.bounds.size(), 2u);
+  EXPECT_EQ(h.count, 1u);
+}
+
+TEST_F(MetricsTest, ResetClearsEverything) {
+  MetricsRegistry reg;
+  reg.add("c");
+  reg.set("g", 1.0);
+  reg.observe("h", 1.0);
+  reg.reset();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(MetricsTest, WrappersAreInertWhileDisabled) {
+  ASSERT_FALSE(enabled());
+  count("gated.count");
+  gauge("gated.gauge", 1.0);
+  observe("gated.h", 1.0);
+  const MetricsSnapshot off = MetricsRegistry::global().snapshot();
+  EXPECT_TRUE(off.counters.empty());
+  EXPECT_TRUE(off.gauges.empty());
+  EXPECT_TRUE(off.histograms.empty());
+
+  set_enabled(true);
+  count("gated.count");
+  gauge("gated.gauge", 1.0);
+  observe("gated.h", 1.0);
+  const MetricsSnapshot on = MetricsRegistry::global().snapshot();
+  EXPECT_DOUBLE_EQ(on.counters.at("gated.count"), 1.0);
+  EXPECT_DOUBLE_EQ(on.gauges.at("gated.gauge"), 1.0);
+  EXPECT_EQ(on.histograms.at("gated.h").count, 1u);
+}
+
+// The registry's core determinism contract: concurrent recording from
+// ThreadPool workers yields the same snapshot as any other scheduling,
+// because counter deltas and histogram samples here are integral (exact in
+// floating point, order-independent under addition).
+TEST_F(MetricsTest, SnapshotIsDeterministicAcrossThreadPoolWorkers) {
+  constexpr std::size_t kItems = 2000;
+  MetricsSnapshot first;
+  for (int round = 0; round < 3; ++round) {
+    MetricsRegistry reg;
+    util::ThreadPool pool(4);
+    pool.parallel_for(kItems, [&](std::size_t i) {
+      reg.add("work.items");
+      reg.add("work.bytes", static_cast<double>(i % 97));
+      reg.observe("work.size", static_cast<double>(i % 13));
+    });
+    const MetricsSnapshot snap = reg.snapshot();
+    if (round == 0) {
+      first = snap;
+      EXPECT_DOUBLE_EQ(first.counters.at("work.items"),
+                       static_cast<double>(kItems));
+      continue;
+    }
+    EXPECT_EQ(snap.counters, first.counters);
+    const HistogramSnapshot& h = snap.histograms.at("work.size");
+    const HistogramSnapshot& f = first.histograms.at("work.size");
+    EXPECT_EQ(h.counts, f.counts);
+    EXPECT_EQ(h.count, f.count);
+    EXPECT_DOUBLE_EQ(h.sum, f.sum);
+    EXPECT_DOUBLE_EQ(h.min, f.min);
+    EXPECT_DOUBLE_EQ(h.max, f.max);
+  }
+}
+
+TEST_F(MetricsTest, ToJsonIsDeterministicAndSorted) {
+  MetricsRegistry reg;
+  reg.add("z.count", 2.0);
+  reg.add("a.count", 1.0);
+  reg.set("m.gauge", 4.5);
+  reg.declare_histogram("h", {1.0});
+  reg.observe("h", 0.5);
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json, reg.to_json());  // stable across calls
+  // Sorted: "a.count" precedes "z.count".
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"z.count\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"m.gauge\": 4.5"), std::string::npos);
+  // The overflow bucket is emitted with an "inf" bound.
+  EXPECT_NE(json.find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bees::obs

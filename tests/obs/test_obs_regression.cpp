@@ -1,0 +1,171 @@
+// Observability overhead contract: running a scheme with metrics and
+// tracing DISABLED must produce the exact same BatchReport (bit for bit)
+// as an ENABLED run — instrumentation may read the simulation but never
+// perturb it.  The enabled run must in turn populate stage histograms,
+// transport counters, and pipeline trace spans.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/bees.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bees::core {
+namespace {
+
+class ObsRegressionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_obs(); }
+  void TearDown() override { reset_obs(); }
+
+  static void reset_obs() {
+    obs::set_enabled(false);
+    obs::MetricsRegistry::global().reset();
+    obs::Tracer::global().clear();
+  }
+
+  /// Runs one BEES batch from identical fresh state.  A per-run store
+  /// keeps cache warm-up effects symmetric between runs.
+  static BatchReport run_bees(bool lossy) {
+    const wl::Imageset set = wl::make_disaster_like(12, 3, 200, 150, 77);
+    wl::ImageStore store;
+    SchemeConfig cfg;
+    cfg.image_byte_scale = 4.0;
+    net::ChannelParams cp = net::ChannelParams::fixed(256000.0);
+    if (lossy) cp.loss_probability = 0.3;
+    net::Channel channel(cp);
+    cloud::Server server;
+    energy::Battery battery;
+    BeesScheme scheme(store, cfg, true);
+    return scheme.upload_batch(set.images, server, channel, battery);
+  }
+};
+
+TEST_F(ObsRegressionTest, DisabledAndEnabledRunsProduceIdenticalReports) {
+  for (const bool lossy : {false, true}) {
+    obs::set_enabled(false);
+    const BatchReport off = run_bees(lossy);
+
+    obs::set_enabled(true);
+    const BatchReport on = run_bees(lossy);
+    obs::set_enabled(false);
+
+    const std::vector<NamedValue> off_rows = off.named_values();
+    const std::vector<NamedValue> on_rows = on.named_values();
+    ASSERT_EQ(off_rows.size(), on_rows.size());
+    for (std::size_t i = 0; i < off_rows.size(); ++i) {
+      EXPECT_STREQ(off_rows[i].name, on_rows[i].name);
+      // Exact equality, not a tolerance: instrumentation must not change
+      // a single bit of the simulated accounting.
+      EXPECT_EQ(off_rows[i].value, on_rows[i].value)
+          << off_rows[i].name << " diverged (lossy=" << lossy << ")";
+    }
+  }
+}
+
+TEST_F(ObsRegressionTest, DisabledRunRecordsNothing) {
+  ASSERT_FALSE(obs::enabled());
+  run_bees(true);
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_EQ(obs::Tracer::global().size(), 0u);
+}
+
+TEST_F(ObsRegressionTest, EnabledRunCoversEveryLayer) {
+  obs::set_enabled(true);
+  const BatchReport r = run_bees(true);
+  obs::set_enabled(false);
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+
+  // Client pipeline stages land in per-stage histograms, one sample each.
+  for (const char* stage : {"core.stage.afe.seconds", "core.stage.cbrd.seconds",
+                            "core.stage.ibrd.seconds",
+                            "core.stage.aiu.seconds"}) {
+    ASSERT_TRUE(snap.histograms.count(stage)) << stage;
+    EXPECT_EQ(snap.histograms.at(stage).count, 1u) << stage;
+  }
+
+  // Delivered payloads match the report's accounting exactly.
+  EXPECT_EQ(snap.counters.at("core.tx.feature_bytes"), r.feature_bytes);
+  EXPECT_EQ(snap.counters.at("core.tx.image_bytes"), r.image_bytes);
+
+  // Transport counters: attempts = exchanges + retries, and the retry
+  // counter mirrors the report (absent means zero).
+  const double exchanges = snap.counters.at("net.transport.exchanges");
+  const double attempts = snap.counters.at("net.transport.attempts");
+  const double retries = snap.counters.count("net.transport.retries")
+                             ? snap.counters.at("net.transport.retries")
+                             : 0.0;
+  EXPECT_GT(exchanges, 0.0);
+  EXPECT_EQ(attempts, exchanges + retries);
+  EXPECT_EQ(retries, static_cast<double>(r.retries));
+
+  // Server side: every exchange was dispatched and timed.
+  EXPECT_EQ(snap.counters.at("cloud.dispatch.requests"), exchanges);
+  EXPECT_TRUE(snap.histograms.count("cloud.query.binary.seconds"));
+
+  // The trace holds scheme-lane stage spans and transport-lane RPC spans.
+  const std::vector<obs::TraceEvent> events = obs::Tracer::global().events();
+  ASSERT_FALSE(events.empty());
+  int scheme_spans = 0, transport_spans = 0, server_spans = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.lane == obs::kLaneScheme) ++scheme_spans;
+    if (e.lane == obs::kLaneTransport) ++transport_spans;
+    if (e.lane == obs::kLaneServer) ++server_spans;
+  }
+  EXPECT_EQ(scheme_spans, 4);  // afe, cbrd, ibrd, aiu
+  EXPECT_EQ(transport_spans, static_cast<int>(attempts));
+  EXPECT_EQ(server_spans, static_cast<int>(exchanges));
+
+  // The whole registry exports as one valid deterministic JSON document.
+  const std::string json = obs::MetricsRegistry::global().to_json();
+  EXPECT_EQ(json, obs::MetricsRegistry::global().to_json());
+  EXPECT_NE(json.find("net.transport.attempt.seconds"), std::string::npos);
+}
+
+TEST_F(ObsRegressionTest, ExportMetricsPrefixesEveryReportRow) {
+  obs::set_enabled(true);
+  const BatchReport r = run_bees(false);
+  obs::MetricsRegistry::global().reset();  // keep only the export below
+  r.export_metrics("sim.batch");
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const std::vector<NamedValue> rows = r.named_values();
+  ASSERT_EQ(snap.counters.size(), rows.size());
+  for (const NamedValue& row : rows) {
+    const std::string name = std::string("sim.batch.") + row.name;
+    ASSERT_TRUE(snap.counters.count(name)) << name;
+    EXPECT_EQ(snap.counters.at(name), row.value) << name;
+  }
+}
+
+TEST_F(ObsRegressionTest, ValueOfMatchesNamedValuesAndThrowsOnUnknown) {
+  const BatchReport r = run_bees(false);
+  for (const NamedValue& row : r.named_values()) {
+    EXPECT_EQ(r.value_of(row.name), row.value) << row.name;
+  }
+  EXPECT_THROW(r.value_of("no_such_metric"), std::out_of_range);
+}
+
+TEST_F(ObsRegressionTest, MergeEqualsOperatorPlusEquals) {
+  const BatchReport a = run_bees(false);
+  const BatchReport b = run_bees(true);
+  BatchReport via_merge = a;
+  via_merge.merge(b);
+  BatchReport via_plus = a;
+  via_plus += b;
+  const std::vector<NamedValue> m = via_merge.named_values();
+  const std::vector<NamedValue> p = via_plus.named_values();
+  ASSERT_EQ(m.size(), p.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m[i].value, p[i].value) << m[i].name;
+  }
+  EXPECT_EQ(via_merge.images_offered, a.images_offered + b.images_offered);
+}
+
+}  // namespace
+}  // namespace bees::core

@@ -1,0 +1,93 @@
+#include "obs/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "obs/metrics.hpp"
+
+namespace bees::obs {
+namespace {
+
+class TimerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_enabled(false); }
+  void TearDown() override {
+    set_enabled(false);
+    MetricsRegistry::global().reset();
+  }
+};
+
+TEST_F(TimerTest, ChargesElapsedTimeIntoNamedHistogram) {
+  set_enabled(true);
+  MetricsRegistry reg;
+  double now = 100.0;
+  {
+    ScopedTimer timer("stage.seconds", [&now] { return now; }, reg);
+    now += 2.5;
+    EXPECT_DOUBLE_EQ(timer.elapsed_seconds(), 2.5);
+    now += 1.5;
+  }
+  const HistogramSnapshot h = reg.snapshot().histograms.at("stage.seconds");
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_DOUBLE_EQ(h.sum, 4.0);
+}
+
+TEST_F(TimerTest, AttributesEachTimerToItsOwnHistogram) {
+  set_enabled(true);
+  MetricsRegistry reg;
+  double now = 0.0;
+  auto clock = [&now] { return now; };
+  {
+    ScopedTimer outer("outer.seconds", clock, reg);
+    now += 1.0;
+    {
+      ScopedTimer inner("inner.seconds", clock, reg);
+      now += 5.0;
+    }
+    now += 1.0;
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.histograms.at("inner.seconds").sum, 5.0);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("outer.seconds").sum, 7.0);
+}
+
+TEST_F(TimerTest, DisabledTimerNeverInvokesTheClock) {
+  ASSERT_FALSE(enabled());
+  MetricsRegistry reg;
+  int clock_calls = 0;
+  {
+    ScopedTimer timer("t.seconds",
+                      [&clock_calls] {
+                        ++clock_calls;
+                        return 0.0;
+                      },
+                      reg);
+    EXPECT_DOUBLE_EQ(timer.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(clock_calls, 0);
+  EXPECT_TRUE(reg.snapshot().histograms.empty());
+}
+
+TEST_F(TimerTest, EnabledStateIsLatchedAtConstruction) {
+  // Disabling mid-flight must not strand a timer that already read its
+  // clock: the ctor's decision holds for the whole scope.
+  set_enabled(true);
+  MetricsRegistry reg;
+  double now = 0.0;
+  {
+    ScopedTimer timer("t.seconds", [&now] { return now; }, reg);
+    now = 3.0;
+    set_enabled(false);
+  }
+  EXPECT_EQ(reg.snapshot().histograms.at("t.seconds").count, 1u);
+}
+
+TEST_F(TimerTest, WallClockIsMonotonic) {
+  const double a = wall_seconds();
+  const double b = wall_seconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace bees::obs

@@ -1,0 +1,108 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bees::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    Tracer::global().clear();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(TraceTest, RoundTripsThroughChromeJson) {
+  Tracer tracer;
+  // Dyadic timestamps survive the seconds <-> microseconds conversion
+  // exactly, so equality below is exact.  Names exercise the escapes.
+  const std::vector<TraceEvent> events = {
+      {"afe", "scheme", 0.5, 0.25, kLaneScheme},
+      {"rpc \"retry\"", "net", 1.5, 0.125, kLaneTransport},
+      {"dispatch\\slash", "cloud", 2.0, 0.0625, kLaneServer},
+  };
+  for (const TraceEvent& e : events) tracer.add(e);
+  ASSERT_EQ(tracer.size(), events.size());
+
+  const std::string json = tracer.to_chrome_json();
+  const std::vector<TraceEvent> parsed = parse_chrome_json(json);
+  EXPECT_EQ(parsed, events);
+}
+
+TEST_F(TraceTest, EmptyTracerRoundTrips) {
+  Tracer tracer;
+  EXPECT_TRUE(parse_chrome_json(tracer.to_chrome_json()).empty());
+}
+
+TEST_F(TraceTest, ChromeJsonUsesMicrosecondsAndLanes) {
+  Tracer tracer;
+  tracer.add({"span", "cat", 1.5, 0.5, kLaneTransport});
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 500000"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 2"), std::string::npos);
+}
+
+TEST_F(TraceTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_chrome_json("not json"), std::runtime_error);
+  EXPECT_THROW(parse_chrome_json("{\"traceEvents\": [{]}"),
+               std::runtime_error);
+  EXPECT_THROW(parse_chrome_json(""), std::runtime_error);
+}
+
+TEST_F(TraceTest, SpanEventIsGatedOnEnabled) {
+  span_event("off", "cat", 0.0, 1.0, kLaneScheme);
+  EXPECT_EQ(Tracer::global().size(), 0u);
+
+  set_enabled(true);
+  span_event("on", "cat", 0.0, 1.0, kLaneScheme);
+  ASSERT_EQ(Tracer::global().size(), 1u);
+  EXPECT_EQ(Tracer::global().events()[0].name, "on");
+}
+
+TEST_F(TraceTest, ScopedSpanRecordsClockDelta) {
+  set_enabled(true);
+  double now = 10.0;
+  {
+    ScopedSpan span("work", "test", [&now] { return now; }, kLaneScheme);
+    now += 2.0;
+  }
+  const std::vector<TraceEvent> events = Tracer::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], (TraceEvent{"work", "test", 10.0, 2.0, kLaneScheme}));
+}
+
+TEST_F(TraceTest, DisabledScopedSpanNeverReadsTheClock) {
+  int clock_calls = 0;
+  {
+    ScopedSpan span("off", "test",
+                    [&clock_calls] {
+                      ++clock_calls;
+                      return 0.0;
+                    },
+                    kLaneScheme);
+  }
+  EXPECT_EQ(clock_calls, 0);
+  EXPECT_EQ(Tracer::global().size(), 0u);
+}
+
+TEST_F(TraceTest, ClearEmptiesTheTracer) {
+  Tracer tracer;
+  tracer.add({"a", "b", 0.0, 1.0, 1});
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+}  // namespace
+}  // namespace bees::obs

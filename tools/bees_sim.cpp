@@ -7,6 +7,7 @@
 //            [--bitrate KBPS] [--battery PCT] [--width W] [--height H]
 //            [--seed S] [--loss P] [--outage P] [--outage-dur S]
 //            [--retries N] [--timeout S] [--backoff S] [--csv]
+//            [--metrics-json PATH] [--trace PATH]
 //
 //   --scheme      Direct | SmartEye | MRC | BEES | BEES-EA   (default BEES)
 //   --images      batch size                                  (default 40)
@@ -24,13 +25,22 @@
 //                 0 = wait out any stall                      (default 0)
 //   --backoff     base backoff before the first retry (s)     (default 0.5)
 //   --csv         print one machine-readable CSV line instead of the table
+//   --metrics-json  enable observability and write the metrics registry
+//                   (counters / gauges / stage histograms) as JSON to PATH
+//   --trace         enable observability and write a chrome://tracing
+//                   event file of the run's pipeline spans to PATH
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/baselines.hpp"
 #include "core/bees.hpp"
 #include "core/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 using namespace bees;
@@ -54,6 +64,31 @@ struct Options {
   double timeout_s = 0.0;
   double backoff_s = 0.5;
   bool csv = false;
+  std::string metrics_json_path;
+  std::string trace_path;
+};
+
+/// CSV columns: header label -> BatchReport named_values() row.
+struct CsvColumn {
+  const char* header;
+  const char* value;
+};
+
+constexpr CsvColumn kCsvColumns[] = {
+    {"images", "images_offered"},
+    {"uploaded", "images_uploaded"},
+    {"cross_elim", "eliminated_cross_batch"},
+    {"inbatch_elim", "eliminated_in_batch"},
+    {"image_bytes", "image_bytes"},
+    {"feature_bytes", "feature_bytes"},
+    {"rx_bytes", "rx_bytes"},
+    {"energy_j", "energy_active_j"},
+    {"busy_s", "busy_seconds"},
+    {"mean_delay_s", "mean_delay_seconds"},
+    {"aborted", "aborted"},
+    {"retries", "retries"},
+    {"retransmitted_bytes", "retransmitted_bytes"},
+    {"gave_up", "gave_up"},
 };
 
 int usage(const char* argv0) {
@@ -62,7 +97,8 @@ int usage(const char* argv0) {
                "       [--similar N] [--redundancy R] [--bitrate KBPS]\n"
                "       [--battery PCT] [--width W] [--height H] [--seed S]\n"
                "       [--loss P] [--outage P] [--outage-dur S] [--retries N]\n"
-               "       [--timeout S] [--backoff S] [--csv]\n";
+               "       [--timeout S] [--backoff S] [--csv]\n"
+               "       [--metrics-json PATH] [--trace PATH]\n";
   return 2;
 }
 
@@ -107,6 +143,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.backoff_s = v;
     } else if (arg == "--csv") {
       opt.csv = true;
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      opt.metrics_json_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      opt.trace_path = argv[++i];
     } else {
       return false;
     }
@@ -124,6 +164,11 @@ bool parse(int argc, char** argv, Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, opt)) return usage(argv[0]);
+
+  // Observability is off (and free) unless an export was requested.
+  const bool observe =
+      !opt.metrics_json_path.empty() || !opt.trace_path.empty();
+  if (observe) obs::set_enabled(true);
 
   const wl::Imageset batch = wl::make_disaster_like(
       opt.images, opt.similar, opt.width, opt.height, opt.seed);
@@ -184,18 +229,39 @@ int main(int argc, char** argv) {
   const core::BatchReport r =
       scheme->upload_batch(batch.images, server, channel, battery);
 
+  if (observe) {
+    r.export_metrics("sim.batch");
+    if (!opt.metrics_json_path.empty()) {
+      std::ofstream out(opt.metrics_json_path);
+      out << obs::MetricsRegistry::global().to_json() << '\n';
+    }
+    if (!opt.trace_path.empty()) {
+      std::ofstream out(opt.trace_path);
+      out << obs::Tracer::global().to_chrome_json() << '\n';
+    }
+  }
+
   if (opt.csv) {
-    std::cout << "scheme,images,uploaded,cross_elim,inbatch_elim,"
-                 "image_bytes,feature_bytes,rx_bytes,energy_j,busy_s,"
-                 "mean_delay_s,aborted,retries,retransmitted_bytes,gave_up\n"
-              << scheme->name() << ',' << r.images_offered << ','
-              << r.images_uploaded << ',' << r.eliminated_cross_batch << ','
-              << r.eliminated_in_batch << ',' << r.image_bytes << ','
-              << r.feature_bytes << ',' << r.rx_bytes << ','
-              << r.energy.active_total() << ',' << r.busy_seconds() << ','
-              << r.mean_delay_seconds() << ',' << (r.aborted ? 1 : 0) << ','
-              << r.retries << ',' << r.retransmitted_bytes << ','
-              << r.gave_up << '\n';
+    const std::vector<core::NamedValue> values = r.named_values();
+    auto row_of = [&](const char* name) -> const core::NamedValue& {
+      for (const core::NamedValue& v : values) {
+        if (std::strcmp(v.name, name) == 0) return v;
+      }
+      throw std::out_of_range(std::string("no CSV source row: ") + name);
+    };
+    std::cout << "scheme";
+    for (const CsvColumn& col : kCsvColumns) std::cout << ',' << col.header;
+    std::cout << '\n' << scheme->name();
+    for (const CsvColumn& col : kCsvColumns) {
+      const core::NamedValue& v = row_of(col.value);
+      std::cout << ',';
+      if (v.integral) {
+        std::cout << static_cast<long long>(v.value);
+      } else {
+        std::cout << v.value;
+      }
+    }
+    std::cout << '\n';
     return 0;
   }
 
