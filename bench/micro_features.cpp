@@ -4,6 +4,10 @@
 // (the figure benches use the analytic cost model instead).
 #include <benchmark/benchmark.h>
 
+#include <tuple>
+#include <utility>
+
+#include "features/match_kernel.hpp"
 #include "features/orb.hpp"
 #include "features/sift.hpp"
 #include "features/similarity.hpp"
@@ -57,6 +61,91 @@ void BM_BitmapCompressedOrb(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitmapCompressedOrb)->Arg(0)->Arg(20)->Arg(40);
+
+feat::Descriptor256 random_descriptor(util::Rng& rng) {
+  feat::Descriptor256 d;
+  for (auto& lane : d.bits) lane = rng.next_u64();
+  return d;
+}
+
+/// Two descriptor sets shaped like matching views of one scene: `overlap`
+/// of b's descriptors are bit-flipped copies of a's (as ORB produces for a
+/// re-observed patch), the rest are unrelated.  This is the workload
+/// CBRD/IBRD rescoring feeds the matcher.
+std::pair<std::vector<feat::Descriptor256>, std::vector<feat::Descriptor256>>
+matching_sets(std::size_t n, double overlap, util::Rng& rng) {
+  std::vector<feat::Descriptor256> a, b;
+  for (std::size_t i = 0; i < n; ++i) a.push_back(random_descriptor(rng));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.uniform(0.0, 1.0) < overlap) {
+      feat::Descriptor256 d = a[rng.index(a.size())];
+      const int flips = static_cast<int>(rng.index(40));
+      for (int f = 0; f < flips; ++f) {
+        const int bit = static_cast<int>(rng.index(256));
+        d.bits[static_cast<std::size_t>(bit >> 6)] ^= std::uint64_t{1}
+                                                      << (bit & 63);
+      }
+      b.push_back(d);
+    } else {
+      b.push_back(random_descriptor(rng));
+    }
+  }
+  return {std::move(a), std::move(b)};
+}
+
+/// The naive reference matcher (two full Hamming passes, no packing).
+void BM_MatchBinaryNaive(benchmark::State& state) {
+  util::Rng rng(41);
+  const auto [a, b] =
+      matching_sets(static_cast<std::size_t>(state.range(0)), 0.4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::match_binary_naive(a, b));
+  }
+}
+BENCHMARK(BM_MatchBinaryNaive)->Arg(100)->Arg(250)->Arg(500);
+
+/// The packed single-pass early-exit kernel on the same sets.
+void BM_MatchBinaryKernel(benchmark::State& state) {
+  util::Rng rng(41);
+  const auto [a, b] =
+      matching_sets(static_cast<std::size_t>(state.range(0)), 0.4, rng);
+  feat::MatchWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        feat::match_binary_kernel(a, b, {}, nullptr, workspace));
+  }
+}
+BENCHMARK(BM_MatchBinaryKernel)->Arg(100)->Arg(250)->Arg(500);
+
+/// End-to-end jaccard_similarity (paper Eq. 2) through the naive matcher —
+/// the pre-kernel hot path, kept as the speedup baseline.
+void BM_JaccardNaive(benchmark::State& state) {
+  util::Rng rng(43);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  feat::BinaryFeatures fa, fb;
+  std::tie(fa.descriptors, fb.descriptors) = matching_sets(n, 0.4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::jaccard_from_matches(
+        fa.size(), fb.size(),
+        feat::match_binary_naive(fa.descriptors, fb.descriptors).size()));
+  }
+}
+BENCHMARK(BM_JaccardNaive)->Arg(100)->Arg(250)->Arg(500);
+
+/// End-to-end jaccard_similarity through the kernel + workspace — what
+/// FeatureIndex::rescore and the IBRD graph build now run per pair.
+void BM_JaccardKernel(benchmark::State& state) {
+  util::Rng rng(43);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  feat::BinaryFeatures fa, fb;
+  std::tie(fa.descriptors, fb.descriptors) = matching_sets(n, 0.4, rng);
+  feat::MatchWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        feat::jaccard_similarity(fa, fb, {}, nullptr, workspace));
+  }
+}
+BENCHMARK(BM_JaccardKernel)->Arg(100)->Arg(250)->Arg(500);
 
 void BM_JaccardSimilarity(benchmark::State& state) {
   util::Rng rng(5);

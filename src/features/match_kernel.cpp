@@ -1,0 +1,209 @@
+#include "features/match_kernel.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "obs/metrics.hpp"
+
+namespace bees::feat {
+
+namespace {
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+}  // namespace
+
+void PackedDescriptors::assign(const std::vector<Descriptor256>& descriptors) {
+  size_ = descriptors.size();
+  lanes_.resize(4 * size_);
+  for (std::size_t l = 0; l < 4; ++l) {
+    std::uint64_t* out = lanes_.data() + l * size_;
+    for (std::size_t j = 0; j < size_; ++j) out[j] = descriptors[j].bits[l];
+  }
+}
+
+namespace {
+
+/// Per-byte popcounts of `x` (each byte holds 0..8): the first three SWAR
+/// reduction steps of the classic popcount, without the final horizontal
+/// sum.  Byte counts from up to 31 words can be added before the horizontal
+/// sum, so multi-lane distances share one reduction.
+inline std::uint64_t byte_counts(std::uint64_t x) noexcept {
+  x -= (x >> 1) & 0x5555555555555555ull;
+  x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
+  return (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0full;
+}
+
+/// Horizontal sum of the eight byte counts.
+inline int reduce_bytes(std::uint64_t counts) noexcept {
+  return static_cast<int>((counts * 0x0101010101010101ull) >> 56);
+}
+
+}  // namespace
+
+struct MatchKernelImpl {
+  /// The scan loop, templated on the cross-check flag so the single-pass
+  /// column bookkeeping compiles out of the forward-only path entirely.
+  /// Requires a and b non-empty.  Returns the number of lanes pruned.
+  template <bool Cross>
+  static std::uint64_t scan(const std::vector<Descriptor256>& a,
+                            const BinaryMatchParams& params,
+                            MatchWorkspace& ws) {
+    constexpr int kIntMax = std::numeric_limits<int>::max();
+    const std::size_t na = a.size();
+    const std::size_t nb = ws.packed_b_.size();
+    const std::uint64_t* b0 = ws.packed_b_.lane(0);
+    const std::uint64_t* b1 = ws.packed_b_.lane(1);
+    const std::uint64_t* b2 = ws.packed_b_.lane(2);
+    const std::uint64_t* b3 = ws.packed_b_.lane(3);
+    int* col_best = ws.col_best_.data();
+    int* col_second = ws.col_second_.data();
+    std::size_t* col_best_i = ws.col_best_i_.data();
+
+    std::uint64_t lanes_pruned = 0;
+    for (std::size_t i = 0; i < na; ++i) {
+      const std::uint64_t q0 = a[i].bits[0];
+      const std::uint64_t q1 = a[i].bits[1];
+      const std::uint64_t q2 = a[i].bits[2];
+      const std::uint64_t q3 = a[i].bits[3];
+      int best = kIntMax;
+      int second = kIntMax;
+      std::size_t best_j = kNone;
+      for (std::size_t j = 0; j < nb; ++j) {
+        // Early exit: the full distance can only grow from a partial sum,
+        // so once the partial reaches the row's second-best (and, for
+        // cross-checking, this column's second-best) neither side can be
+        // updated and the remaining lanes are skipped.  Exact pruning:
+        // every comparison the naive matcher acts on is still computed in
+        // full, so winners and ties never change.
+        const int d0 = reduce_bytes(byte_counts(q0 ^ b0[j]));
+        if (d0 >= second && (!Cross || d0 >= col_second[j])) {
+          lanes_pruned += 3;
+          continue;
+        }
+        const int d012 =
+            d0 + reduce_bytes(byte_counts(q1 ^ b1[j]) +
+                              byte_counts(q2 ^ b2[j]));
+        if (d012 >= second && (!Cross || d012 >= col_second[j])) {
+          lanes_pruned += 1;
+          continue;
+        }
+        const int d = d012 + reduce_bytes(byte_counts(q3 ^ b3[j]));
+        if (d < best) {
+          second = best;
+          best = d;
+          best_j = j;
+        } else if (d < second) {
+          second = d;
+        }
+        if (Cross) {
+          if (d < col_best[j]) {
+            col_second[j] = col_best[j];
+            col_best[j] = d;
+            col_best_i[j] = i;
+          } else if (d < col_second[j]) {
+            col_second[j] = d;
+          }
+        }
+      }
+      if (best <= params.max_distance &&
+          (second == kIntMax ||
+           best < params.ratio * static_cast<double>(second))) {
+        ws.fwd_[i] = best_j;
+        ws.fwd_dist_[i] = best;
+      }
+    }
+    return lanes_pruned;
+  }
+
+  /// Fills workspace.fwd_/fwd_dist_ with the gated forward matches of every
+  /// a-descriptor and (when `cross_check`) workspace.col_* with the reverse
+  /// best/second/winner per b-descriptor; charges the modeled comparison
+  /// count and the lane counters.  Requires a and b non-empty.
+  static void run(const std::vector<Descriptor256>& a,
+                  const std::vector<Descriptor256>& b,
+                  const BinaryMatchParams& params, std::uint64_t* ops,
+                  MatchWorkspace& ws) {
+    constexpr int kIntMax = std::numeric_limits<int>::max();
+    const std::size_t na = a.size();
+    const std::size_t nb = b.size();
+    const bool cross = params.cross_check;
+
+    ws.packed_b_.assign(b);
+    ws.fwd_.assign(na, kNone);
+    ws.fwd_dist_.assign(na, 0);
+    if (cross) {
+      ws.col_best_.assign(nb, kIntMax);
+      ws.col_second_.assign(nb, kIntMax);
+      ws.col_best_i_.assign(nb, kNone);
+    }
+
+    const std::uint64_t lanes_pruned =
+        cross ? scan<true>(a, params, ws) : scan<false>(a, params, ws);
+
+    // Modeled comparisons, exactly as the naive matcher counts them: one
+    // per (a, b) descriptor pair per direction.  The energy model consumes
+    // this; lane savings from pruning are reported separately below.
+    const auto pairs = static_cast<std::uint64_t>(na) * nb;
+    if (ops) *ops += cross ? 2 * pairs : pairs;
+    obs::count("feat.match.lanes_examined",
+               static_cast<double>(4 * pairs - lanes_pruned));
+    obs::count("feat.match.lanes_pruned", static_cast<double>(lanes_pruned));
+  }
+
+  /// Applies the distance/ratio gates to column j's reverse stats and
+  /// returns the winning a-index, or kNone.
+  static std::size_t reverse_winner(const MatchWorkspace& ws, std::size_t j,
+                                    const BinaryMatchParams& params) {
+    constexpr int kIntMax = std::numeric_limits<int>::max();
+    const int best = ws.col_best_[j];
+    const int second = ws.col_second_[j];
+    if (best <= params.max_distance &&
+        (second == kIntMax ||
+         best < params.ratio * static_cast<double>(second))) {
+      return ws.col_best_i_[j];
+    }
+    return kNone;
+  }
+
+  template <typename Emit>
+  static void matches(const std::vector<Descriptor256>& a,
+                      const std::vector<Descriptor256>& b,
+                      const BinaryMatchParams& params, std::uint64_t* ops,
+                      MatchWorkspace& ws, Emit&& emit) {
+    if (a.empty() || b.empty()) return;
+    run(a, b, params, ops, ws);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const std::size_t j = ws.fwd_[i];
+      if (j == kNone) continue;
+      if (params.cross_check && reverse_winner(ws, j, params) != i) continue;
+      emit(i, j, ws.fwd_dist_[i]);
+    }
+  }
+};
+
+std::vector<Match> match_binary_kernel(const std::vector<Descriptor256>& a,
+                                       const std::vector<Descriptor256>& b,
+                                       const BinaryMatchParams& params,
+                                       std::uint64_t* ops,
+                                       MatchWorkspace& workspace) {
+  std::vector<Match> out;
+  MatchKernelImpl::matches(a, b, params, ops, workspace,
+                           [&out](std::size_t i, std::size_t j, int dist) {
+                             out.push_back({i, j, static_cast<double>(dist)});
+                           });
+  return out;
+}
+
+std::size_t match_binary_count(const std::vector<Descriptor256>& a,
+                               const std::vector<Descriptor256>& b,
+                               const BinaryMatchParams& params,
+                               std::uint64_t* ops,
+                               MatchWorkspace& workspace) {
+  std::size_t count = 0;
+  MatchKernelImpl::matches(a, b, params, ops, workspace,
+                           [&count](std::size_t, std::size_t, int) {
+                             ++count;
+                           });
+  return count;
+}
+
+}  // namespace bees::feat

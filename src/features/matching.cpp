@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "features/match_kernel.hpp"
+
 namespace bees::feat {
 
 namespace {
@@ -48,6 +50,14 @@ std::vector<Match> match_binary(const std::vector<Descriptor256>& a,
                                 const std::vector<Descriptor256>& b,
                                 const BinaryMatchParams& params,
                                 std::uint64_t* ops) {
+  thread_local MatchWorkspace workspace;
+  return match_binary_kernel(a, b, params, ops, workspace);
+}
+
+std::vector<Match> match_binary_naive(const std::vector<Descriptor256>& a,
+                                      const std::vector<Descriptor256>& b,
+                                      const BinaryMatchParams& params,
+                                      std::uint64_t* ops) {
   constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::vector<Match> matches;
   if (a.empty() || b.empty()) return matches;

@@ -36,13 +36,23 @@ struct Match {
   double distance = 0.0;
 };
 
-/// Brute-force Hamming matching with ratio test and optional cross-check;
-/// each descriptor of `a` matches at most one of `b`.  `ops` (if non-null)
-/// accumulates the number of descriptor comparisons performed.
+/// Hamming matching with ratio test and optional cross-check; each
+/// descriptor of `a` matches at most one of `b`.  `ops` (if non-null)
+/// accumulates the number of modeled descriptor comparisons.  Runs on the
+/// packed early-exit kernel (match_kernel.hpp) via a thread-local
+/// workspace; results are bit-exact with match_binary_naive.
 std::vector<Match> match_binary(const std::vector<Descriptor256>& a,
                                 const std::vector<Descriptor256>& b,
                                 const BinaryMatchParams& params = {},
                                 std::uint64_t* ops = nullptr);
+
+/// The brute-force O(|a|*|b|) reference matcher: four XOR+popcount lanes
+/// per pair, two full passes when cross-checking.  Kept as the ground
+/// truth the kernel is property-tested (and benchmarked) against.
+std::vector<Match> match_binary_naive(const std::vector<Descriptor256>& a,
+                                      const std::vector<Descriptor256>& b,
+                                      const BinaryMatchParams& params = {},
+                                      std::uint64_t* ops = nullptr);
 
 /// Brute-force L2 matching with ratio test and optional cross-check for
 /// float descriptor sets.

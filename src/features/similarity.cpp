@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "features/match_kernel.hpp"
+
 namespace bees::feat {
 
 double jaccard_from_matches(std::size_t size_a, std::size_t size_b,
@@ -18,6 +20,14 @@ double jaccard_similarity(const BinaryFeatures& a, const BinaryFeatures& b,
                           std::uint64_t* ops) {
   const auto matches = match_binary(a.descriptors, b.descriptors, params, ops);
   return jaccard_from_matches(a.size(), b.size(), matches.size());
+}
+
+double jaccard_similarity(const BinaryFeatures& a, const BinaryFeatures& b,
+                          const BinaryMatchParams& params, std::uint64_t* ops,
+                          MatchWorkspace& workspace) {
+  const std::size_t matched =
+      match_binary_count(a.descriptors, b.descriptors, params, ops, workspace);
+  return jaccard_from_matches(a.size(), b.size(), matched);
 }
 
 double jaccard_similarity(const FloatFeatures& a, const FloatFeatures& b,

@@ -8,11 +8,20 @@
 
 namespace bees::feat {
 
+class MatchWorkspace;
+
 /// Jaccard similarity of two ORB feature sets in [0, 1].  Two empty sets
 /// have similarity 0 (no evidence of content overlap).
 double jaccard_similarity(const BinaryFeatures& a, const BinaryFeatures& b,
                           const BinaryMatchParams& params = {},
                           std::uint64_t* ops = nullptr);
+
+/// Workspace overload for hot loops (index rescore, the IBRD similarity
+/// graph): scores many pairs through one reusable MatchWorkspace, so no
+/// per-pair allocation happens.  Same value as the overload above.
+double jaccard_similarity(const BinaryFeatures& a, const BinaryFeatures& b,
+                          const BinaryMatchParams& params, std::uint64_t* ops,
+                          MatchWorkspace& workspace);
 
 /// Jaccard similarity of two float feature sets (SIFT / PCA-SIFT).
 double jaccard_similarity(const FloatFeatures& a, const FloatFeatures& b,

@@ -1,14 +1,69 @@
 #include "index/feature_index.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_map>
 
+#include "features/match_kernel.hpp"
 #include "features/similarity.hpp"
+#include "obs/timer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bees::idx {
 
+namespace detail {
+
+void finalize_top_k(QueryResult& result, int top_k) {
+  std::sort(result.hits.begin(), result.hits.end(),
+            [](const QueryHit& a, const QueryHit& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.id < b.id;
+            });
+  if (result.hits.size() > static_cast<std::size_t>(top_k)) {
+    result.hits.resize(static_cast<std::size_t>(top_k));
+  }
+  if (!result.hits.empty()) {
+    result.max_similarity = result.hits.front().similarity;
+    result.best_id = result.hits.front().id;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Resolves a rescore_threads setting: 0 means hardware concurrency.
+std::size_t resolve_threads(int configured) {
+  if (configured > 0) return static_cast<std::size_t>(configured);
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+/// Runs score(begin, end) over [0, n): through the pool when one is given,
+/// inline otherwise.  The chunk partition is the pool's static split, so
+/// per-slot outputs are identical either way.
+template <typename ScoreChunk>
+void for_each_chunk(std::size_t n, util::ThreadPool* pool,
+                    ScoreChunk&& score) {
+  if (pool != nullptr && n > 1) {
+    pool->parallel_for_chunks(n, score);
+  } else if (n > 0) {
+    score(0, n);
+  }
+}
+
+}  // namespace
+
 FeatureIndex::FeatureIndex(const FeatureIndexParams& params)
     : params_(params), lsh_(params.lsh) {}
+
+util::ThreadPool* FeatureIndex::rescore_pool() const {
+  const std::size_t threads = resolve_threads(params_.rescore_threads);
+  if (threads <= 1) return nullptr;
+  if (!pool_) pool_ = std::make_shared<util::ThreadPool>(threads);
+  return pool_.get();
+}
 
 ImageId FeatureIndex::insert(feat::BinaryFeatures features,
                              const GeoTag& geo) {
@@ -22,24 +77,30 @@ ImageId FeatureIndex::insert(feat::BinaryFeatures features,
 QueryResult FeatureIndex::rescore(const feat::BinaryFeatures& query_features,
                                   const std::vector<ImageId>& candidates,
                                   int top_k) const {
+  obs::ScopedTimer timer("cloud.query.rescore.seconds");
   QueryResult result;
-  for (const ImageId id : candidates) {
-    const double sim = feat::jaccard_similarity(
-        query_features, images_[id].features, params_.match, &result.ops);
-    result.hits.push_back({id, sim});
-  }
   result.candidates_checked = candidates.size();
-  std::sort(result.hits.begin(), result.hits.end(),
-            [](const QueryHit& a, const QueryHit& b) {
-              return a.similarity > b.similarity;
-            });
-  if (result.hits.size() > static_cast<std::size_t>(top_k)) {
-    result.hits.resize(static_cast<std::size_t>(top_k));
+  const std::size_t n = candidates.size();
+  // Per-candidate slots keep the parallel path deterministic: every chunk
+  // writes disjoint slots, and the merge below walks them in candidate
+  // order, so hits and `ops` match the serial path for any thread count.
+  std::vector<double> sims(n, 0.0);
+  std::vector<std::uint64_t> slot_ops(n, 0);
+  for_each_chunk(n, rescore_pool(),
+                 [&](std::size_t begin, std::size_t end) {
+                   feat::MatchWorkspace workspace;
+                   for (std::size_t i = begin; i < end; ++i) {
+                     sims[i] = feat::jaccard_similarity(
+                         query_features, images_[candidates[i]].features,
+                         params_.match, &slot_ops[i], workspace);
+                   }
+                 });
+  result.hits.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.ops += slot_ops[i];
+    result.hits.push_back({candidates[i], sims[i]});
   }
-  if (!result.hits.empty()) {
-    result.max_similarity = result.hits.front().similarity;
-    result.best_id = result.hits.front().id;
-  }
+  detail::finalize_top_k(result, top_k);
   return result;
 }
 
@@ -75,6 +136,13 @@ QueryResult FeatureIndex::query_exact(
 }
 
 FloatFeatureIndex::FloatFeatureIndex(const Params& params) : params_(params) {}
+
+util::ThreadPool* FloatFeatureIndex::rescore_pool() const {
+  const std::size_t threads = resolve_threads(params_.rescore_threads);
+  if (threads <= 1) return nullptr;
+  if (!pool_) pool_ = std::make_shared<util::ThreadPool>(threads);
+  return pool_.get();
+}
 
 std::vector<float> FloatFeatureIndex::centroid_of(
     const feat::FloatFeatures& f) {
@@ -117,24 +185,25 @@ QueryResult FloatFeatureIndex::query(const feat::FloatFeatures& query_features,
   std::sort(ranked.begin(), ranked.end());
   const auto budget = std::min<std::size_t>(
       ranked.size(), static_cast<std::size_t>(params_.max_candidates));
-  for (std::size_t i = 0; i < budget; ++i) {
-    const ImageId id = ranked[i].second;
-    const double sim = feat::jaccard_similarity(
-        query_features, images_[id].features, params_.match, &result.ops);
-    result.hits.push_back({id, sim});
-  }
+
+  obs::ScopedTimer timer("cloud.query.rescore.seconds");
   result.candidates_checked = budget;
-  std::sort(result.hits.begin(), result.hits.end(),
-            [](const QueryHit& a, const QueryHit& b) {
-              return a.similarity > b.similarity;
-            });
-  if (result.hits.size() > static_cast<std::size_t>(top_k)) {
-    result.hits.resize(static_cast<std::size_t>(top_k));
+  std::vector<double> sims(budget, 0.0);
+  std::vector<std::uint64_t> slot_ops(budget, 0);
+  for_each_chunk(budget, rescore_pool(),
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     sims[i] = feat::jaccard_similarity(
+                         query_features, images_[ranked[i].second].features,
+                         params_.match, &slot_ops[i]);
+                   }
+                 });
+  result.hits.reserve(budget);
+  for (std::size_t i = 0; i < budget; ++i) {
+    result.ops += slot_ops[i];
+    result.hits.push_back({ranked[i].second, sims[i]});
   }
-  if (!result.hits.empty()) {
-    result.max_similarity = result.hits.front().similarity;
-    result.best_id = result.hits.front().id;
-  }
+  detail::finalize_top_k(result, top_k);
   return result;
 }
 

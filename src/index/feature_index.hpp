@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -14,6 +15,10 @@
 #include "features/matching.hpp"
 #include "index/geo.hpp"
 #include "index/lsh.hpp"
+
+namespace bees::util {
+class ThreadPool;
+}  // namespace bees::util
 
 namespace bees::idx {
 
@@ -52,7 +57,20 @@ struct FeatureIndexParams {
   /// Exact-rescore budget: the top candidates by LSH votes.
   int max_candidates = 16;
   feat::BinaryMatchParams match;
+  /// Worker threads for the exact-rescore stage: 0 = hardware concurrency,
+  /// 1 = serial (no pool).  Results are identical for every setting — the
+  /// candidate partition is static and per-candidate results are merged in
+  /// candidate order.
+  int rescore_threads = 0;
 };
+
+namespace detail {
+/// Shared top-k epilogue of every similarity query: sorts hits by
+/// similarity (descending), breaking ties by ascending ImageId so rankings
+/// are stable across memory layouts and thread counts; truncates to
+/// `top_k` and fills max_similarity / best_id from the leader.
+void finalize_top_k(QueryResult& result, int top_k);
+}  // namespace detail
 
 /// Index over binary (ORB) feature sets.
 class FeatureIndex {
@@ -90,11 +108,15 @@ class FeatureIndex {
   QueryResult rescore(const feat::BinaryFeatures& query_features,
                       const std::vector<ImageId>& candidates,
                       int top_k) const;
+  util::ThreadPool* rescore_pool() const;
 
   FeatureIndexParams params_;
   DescriptorLsh lsh_;
   std::vector<Entry> images_;
   std::size_t wire_bytes_ = 0;
+  /// Lazily-created rescore pool (shared_ptr keeps the index copyable;
+  /// copies share the pool, which holds no query state).
+  mutable std::shared_ptr<util::ThreadPool> pool_;
 };
 
 /// Index over float (SIFT / PCA-SIFT) feature sets, used by the SmartEye
@@ -105,6 +127,9 @@ class FloatFeatureIndex {
   struct Params {
     int max_candidates = 16;
     feat::FloatMatchParams match;
+    /// Worker threads for the exact-rescore stage: 0 = hardware
+    /// concurrency, 1 = serial.  Results are thread-count independent.
+    int rescore_threads = 0;
   };
 
   FloatFeatureIndex() : FloatFeatureIndex(Params{}) {}
@@ -125,10 +150,12 @@ class FloatFeatureIndex {
   };
 
   static std::vector<float> centroid_of(const feat::FloatFeatures& f);
+  util::ThreadPool* rescore_pool() const;
 
   Params params_;
   std::vector<Entry> images_;
   std::size_t wire_bytes_ = 0;
+  mutable std::shared_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace bees::idx

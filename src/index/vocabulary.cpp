@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "features/match_kernel.hpp"
 #include "features/similarity.hpp"
+#include "index/feature_index.hpp"
 #include "util/rng.hpp"
 
 namespace bees::idx {
@@ -220,24 +222,16 @@ QueryResult VocabularyIndex::query(const feat::BinaryFeatures& query_features,
   const auto budget = std::min<std::size_t>(
       ranked.size(), static_cast<std::size_t>(params_.max_candidates));
 
+  feat::MatchWorkspace workspace;
   for (std::size_t i = 0; i < budget; ++i) {
     const ImageId id = ranked[i].second;
-    const double sim = feat::jaccard_similarity(
-        query_features, images_[id].features, params_.match, &result.ops);
+    const double sim =
+        feat::jaccard_similarity(query_features, images_[id].features,
+                                 params_.match, &result.ops, workspace);
     result.hits.push_back({id, sim});
   }
   result.candidates_checked = budget;
-  std::sort(result.hits.begin(), result.hits.end(),
-            [](const QueryHit& a, const QueryHit& b) {
-              return a.similarity > b.similarity;
-            });
-  if (result.hits.size() > static_cast<std::size_t>(top_k)) {
-    result.hits.resize(static_cast<std::size_t>(top_k));
-  }
-  if (!result.hits.empty()) {
-    result.max_similarity = result.hits.front().similarity;
-    result.best_id = result.hits.front().id;
-  }
+  detail::finalize_top_k(result, top_k);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "features/match_kernel.hpp"
 #include "features/similarity.hpp"
 #include "util/thread_pool.hpp"
 
@@ -23,10 +24,11 @@ SimilarityGraph build_similarity_graph(
     const std::vector<feat::BinaryFeatures>& batch,
     const feat::BinaryMatchParams& match, std::uint64_t* ops) {
   SimilarityGraph g(batch.size());
+  feat::MatchWorkspace workspace;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     for (std::size_t j = i + 1; j < batch.size(); ++j) {
-      g.set_weight(i, j,
-                   feat::jaccard_similarity(batch[i], batch[j], match, ops));
+      g.set_weight(i, j, feat::jaccard_similarity(batch[i], batch[j], match,
+                                                  ops, workspace));
     }
   }
   return g;
@@ -36,10 +38,11 @@ SimilarityGraph build_similarity_graph(
     const std::vector<const feat::BinaryFeatures*>& batch,
     const feat::BinaryMatchParams& match, std::uint64_t* ops) {
   SimilarityGraph g(batch.size());
+  feat::MatchWorkspace workspace;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     for (std::size_t j = i + 1; j < batch.size(); ++j) {
-      g.set_weight(i, j,
-                   feat::jaccard_similarity(*batch[i], *batch[j], match, ops));
+      g.set_weight(i, j, feat::jaccard_similarity(*batch[i], *batch[j], match,
+                                                  ops, workspace));
     }
   }
   return g;
@@ -57,12 +60,16 @@ SimilarityGraph build_similarity_graph_parallel(
   // scheduling overhead rivals the matching work.
   std::vector<std::uint64_t> row_ops(batch.size(), 0);
   util::ThreadPool pool(threads);
-  pool.parallel_for(
+  pool.parallel_for_chunks(
       batch.size(),
-      [&](std::size_t i) {
-        for (std::size_t j = i + 1; j < batch.size(); ++j) {
-          g.set_weight(i, j, feat::jaccard_similarity(batch[i], batch[j],
-                                                      match, &row_ops[i]));
+      [&](std::size_t begin, std::size_t end) {
+        feat::MatchWorkspace workspace;
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = i + 1; j < batch.size(); ++j) {
+            g.set_weight(i, j,
+                         feat::jaccard_similarity(batch[i], batch[j], match,
+                                                  &row_ops[i], workspace));
+          }
         }
       },
       /*grain=*/2);

@@ -35,26 +35,38 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
-  /// Runs fn(i) for i in [0, n) across the pool, blocking until done.
-  /// Work is split into contiguous chunks, one per worker; `grain` sets a
-  /// minimum chunk length for cheap iterations (0 = no minimum).  The
-  /// partition depends only on n, thread_count() and grain — never on
-  /// runtime timing — so results match the serial path exactly.  The
-  /// callable is invoked directly (no std::function indirection), letting
-  /// the compiler inline per-index bodies.
+  /// Runs fn(begin, end) for each contiguous chunk of [0, n) across the
+  /// pool, blocking until done.  One chunk goes to each worker; `grain`
+  /// sets a minimum chunk length for cheap iterations (0 = no minimum).
+  /// The partition depends only on n, thread_count() and grain — never on
+  /// runtime timing — so results match the serial path exactly.  Chunk
+  /// granularity lets callers hoist per-worker state (e.g. a
+  /// feat::MatchWorkspace) out of the per-index loop.
   template <typename Fn>
-  void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 0) {
+  void parallel_for_chunks(std::size_t n, Fn&& fn, std::size_t grain = 0) {
     if (n == 0) return;
     const std::size_t chunks = std::min(n, thread_count());
     std::size_t per_chunk = (n + chunks - 1) / chunks;
     if (grain > 1) per_chunk = std::max(per_chunk, grain);
     for (std::size_t begin = 0; begin < n; begin += per_chunk) {
       const std::size_t end = std::min(begin + per_chunk, n);
-      submit([begin, end, &fn] {
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      });
+      submit([begin, end, &fn] { fn(begin, end); });
     }
     wait_idle();
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool, blocking until done.
+  /// Same deterministic partition as parallel_for_chunks.  The callable is
+  /// invoked directly (no std::function indirection), letting the compiler
+  /// inline per-index bodies.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 0) {
+    parallel_for_chunks(
+        n,
+        [&fn](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        },
+        grain);
   }
 
  private:

@@ -1,0 +1,174 @@
+// Property tests of the packed early-exit matching kernel against the
+// naive reference matcher: identical match vectors, distances, and modeled
+// `ops` over randomized descriptor sets, including the degenerate shapes
+// (empty, singleton, duplicates) and both cross-check settings.  Labeled
+// `sanitize` so the ASan/UBSan preset covers the kernel's buffer reuse.
+#include "features/match_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "features/similarity.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace bees::feat {
+namespace {
+
+Descriptor256 random_descriptor(util::Rng& rng) {
+  Descriptor256 d;
+  for (auto& lane : d.bits) lane = rng.next_u64();
+  return d;
+}
+
+Descriptor256 flip_bits(Descriptor256 d, int count, util::Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    const int bit = static_cast<int>(rng.index(256));
+    d.bits[static_cast<std::size_t>(bit >> 6)] ^= std::uint64_t{1}
+                                                  << (bit & 63);
+  }
+  return d;
+}
+
+/// A descriptor set with correlated structure: fresh random descriptors,
+/// near-duplicates of earlier members of `seeded_from` (so best/second
+/// distances spread out and both gates and pruning trigger), and exact
+/// duplicates (tie-break coverage).
+std::vector<Descriptor256> random_set(std::size_t n, util::Rng& rng,
+                                      const std::vector<Descriptor256>&
+                                          seeded_from = {}) {
+  std::vector<Descriptor256> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.3 && !seeded_from.empty()) {
+      // Near-duplicate of a descriptor from the other set.
+      const auto& base = seeded_from[rng.index(seeded_from.size())];
+      out.push_back(flip_bits(base, static_cast<int>(rng.index(60)), rng));
+    } else if (roll < 0.45 && !out.empty()) {
+      // Exact duplicate within this set: exercises first-index ties.
+      out.push_back(out[rng.index(out.size())]);
+    } else if (roll < 0.6 && !out.empty()) {
+      // Near-duplicate within this set: tightens second-best bounds.
+      out.push_back(
+          flip_bits(out[rng.index(out.size())],
+                    static_cast<int>(rng.index(30)), rng));
+    } else {
+      out.push_back(random_descriptor(rng));
+    }
+  }
+  return out;
+}
+
+void expect_identical(const std::vector<Descriptor256>& a,
+                      const std::vector<Descriptor256>& b,
+                      const BinaryMatchParams& params, MatchWorkspace& ws) {
+  std::uint64_t naive_ops = 0;
+  std::uint64_t kernel_ops = 0;
+  const auto expected = match_binary_naive(a, b, params, &naive_ops);
+  const auto actual = match_binary_kernel(a, b, params, &kernel_ops, ws);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t m = 0; m < expected.size(); ++m) {
+    EXPECT_EQ(actual[m].index_a, expected[m].index_a);
+    EXPECT_EQ(actual[m].index_b, expected[m].index_b);
+    EXPECT_EQ(actual[m].distance, expected[m].distance);
+  }
+  EXPECT_EQ(kernel_ops, naive_ops);
+  // The count-only path agrees too (it backs the workspace overload of
+  // jaccard_similarity).
+  std::uint64_t count_ops = 0;
+  EXPECT_EQ(match_binary_count(a, b, params, &count_ops, ws),
+            expected.size());
+  EXPECT_EQ(count_ops, naive_ops);
+}
+
+TEST(MatchKernelProperty, MatchesNaiveOnRandomizedSets) {
+  util::Rng rng(20250807);
+  // One workspace reused across every shape below: catches stale-buffer
+  // bugs when sizes shrink and grow between calls.
+  MatchWorkspace ws;
+  const std::size_t sizes[] = {0, 1, 2, 3, 7, 16, 33, 64};
+  for (int round = 0; round < 4; ++round) {
+    for (const std::size_t na : sizes) {
+      for (const std::size_t nb : sizes) {
+        const auto a = random_set(na, rng);
+        const auto b = random_set(nb, rng, a);
+        BinaryMatchParams params;
+        params.cross_check = (round % 2 == 0);
+        // Sweep the gates so both accept and reject paths run.
+        params.max_distance = (round < 2) ? 48 : 256;
+        params.ratio = (round < 2) ? 0.8 : 1.0;
+        expect_identical(a, b, params, ws);
+      }
+    }
+  }
+}
+
+TEST(MatchKernelProperty, MatchesNaiveOnDuplicateHeavySets) {
+  util::Rng rng(77);
+  MatchWorkspace ws;
+  // All-identical descriptors: every distance ties at 0; the kernel must
+  // reproduce the naive first-index winners exactly.
+  const Descriptor256 base = random_descriptor(rng);
+  std::vector<Descriptor256> dup_a(9, base);
+  std::vector<Descriptor256> dup_b(5, base);
+  for (const bool cross : {true, false}) {
+    BinaryMatchParams params;
+    params.cross_check = cross;
+    params.ratio = 1.0;
+    expect_identical(dup_a, dup_b, params, ws);
+  }
+}
+
+TEST(MatchKernelProperty, WorkspaceJaccardMatchesPlainOverload) {
+  util::Rng rng(99);
+  MatchWorkspace ws;
+  for (int trial = 0; trial < 8; ++trial) {
+    BinaryFeatures a, b;
+    a.descriptors = random_set(rng.index(40), rng);
+    b.descriptors = random_set(rng.index(40), rng, a.descriptors);
+    std::uint64_t ops_plain = 0;
+    std::uint64_t ops_ws = 0;
+    const double plain = jaccard_similarity(a, b, {}, &ops_plain);
+    const double with_ws = jaccard_similarity(a, b, {}, &ops_ws, ws);
+    EXPECT_DOUBLE_EQ(with_ws, plain);
+    EXPECT_EQ(ops_ws, ops_plain);
+  }
+}
+
+TEST(MatchKernelObs, LaneCountersChargeTheRegistry) {
+  util::Rng rng(123);
+  std::vector<Descriptor256> a = random_set(12, rng);
+  std::vector<Descriptor256> b = random_set(18, rng, a);
+  MatchWorkspace ws;
+
+  obs::MetricsRegistry::global().reset();
+  obs::set_enabled(true);
+  match_binary_kernel(a, b, {/*cross_check defaults on*/}, nullptr, ws);
+  obs::set_enabled(false);
+
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  obs::MetricsRegistry::global().reset();
+  ASSERT_TRUE(snap.counters.count("feat.match.lanes_examined"));
+  ASSERT_TRUE(snap.counters.count("feat.match.lanes_pruned"));
+  const double examined = snap.counters.at("feat.match.lanes_examined");
+  const double pruned = snap.counters.at("feat.match.lanes_pruned");
+  // Every (a, b) pair is visited once in the single dual-direction pass;
+  // each visit accounts for exactly 4 lanes, examined or pruned.
+  EXPECT_EQ(examined + pruned, 4.0 * 12 * 18);
+  EXPECT_GE(examined, 1.0 * 12 * 18);  // lane 0 is always examined
+}
+
+TEST(MatchKernelObs, DisabledObsLeavesRegistryUntouched) {
+  util::Rng rng(124);
+  std::vector<Descriptor256> a = random_set(6, rng);
+  std::vector<Descriptor256> b = random_set(6, rng);
+  MatchWorkspace ws;
+  obs::MetricsRegistry::global().reset();
+  match_binary_kernel(a, b, {}, nullptr, ws);
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.count("feat.match.lanes_examined"), 0u);
+  EXPECT_EQ(snap.counters.count("feat.match.lanes_pruned"), 0u);
+}
+
+}  // namespace
+}  // namespace bees::feat
