@@ -1,0 +1,182 @@
+// Serving-cluster throughput: encoded CBRD queries against serve::Cluster
+// at (shards, server threads) = (1,1), (2,2), (4,4), driven by concurrent
+// client threads.  Reports queries/second and the speedup over the 1/1
+// serial configuration.
+//
+// The scaling bar (4/4 must reach >= 2x the 1/1 rate) is only *enforced*
+// on machines with at least 4 hardware threads — on fewer cores the fan-out
+// cannot physically scale and the number is reported as informational.
+// When BEES_BENCH_JSON names a directory the measured rows are written to
+// <dir>/BENCH_serving.json alongside the core count that produced them.
+//
+// Usage: serving_throughput [--smoke]   (--smoke cuts the request count so
+// the perfsmoke ctest label can verify the bench end-to-end in ~a second)
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "features/orb.hpp"
+#include "imaging/synth.hpp"
+#include "net/protocol.hpp"
+#include "serve/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bees;
+
+feat::BinaryFeatures make_binary(std::uint64_t seed) {
+  util::Rng rng(seed);
+  img::ViewPerturbation pert;
+  return feat::extract_orb(
+      img::render_view(img::SceneSpec{seed, 18, 4}, 200, 150, pert, rng));
+}
+
+struct Config {
+  int shards;
+  int threads;
+};
+
+struct Row {
+  Config config;
+  int requests = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double speedup = 1.0;
+};
+
+Row run_config(const Config& config,
+               const std::vector<feat::BinaryFeatures>& seeds,
+               const std::vector<std::vector<std::uint8_t>>& requests,
+               int client_threads) {
+  serve::ClusterOptions options;
+  options.shards = config.shards;
+  options.threads = config.threads;
+  serve::Cluster cluster(options);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    cluster.seed_binary(seeds[i],
+                        {2.29 + 0.01 * static_cast<double>(i % 3), 48.85,
+                         true},
+                        11'000.0);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(client_threads));
+  for (int c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      // Static interleave: client c serves requests c, c+T, c+2T, ...
+      for (std::size_t i = static_cast<std::size_t>(c); i < requests.size();
+           i += static_cast<std::size_t>(client_threads)) {
+        cluster.handle(requests[i]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  Row row;
+  row.config = config;
+  row.requests = static_cast<int>(requests.size());
+  row.seconds = seconds;
+  row.qps = seconds > 0.0 ? static_cast<double>(requests.size()) / seconds
+                          : 0.0;
+  return row;
+}
+
+int main_impl(bool smoke) {
+  const int kSeeds = bench::sized(16, 48);
+  const int kRequests = smoke ? 32 : bench::sized(256, 1024);
+  const unsigned cores = std::thread::hardware_concurrency();
+  util::print_banner(std::cout, "Serving throughput: sharded cluster scaling");
+  std::cout << "hardware threads: " << cores << ", requests per config: "
+            << kRequests << "\n\n";
+
+  std::vector<feat::BinaryFeatures> seeds;
+  for (int i = 0; i < kSeeds; ++i) {
+    seeds.push_back(make_binary(4'000 + static_cast<std::uint64_t>(i)));
+  }
+  std::vector<std::vector<std::uint8_t>> requests;
+  for (int i = 0; i < kRequests; ++i) {
+    requests.push_back(net::encode_binary_query(
+        seeds[static_cast<std::size_t>(i % kSeeds)], idx::kDefaultTopK,
+        9'000.0));
+  }
+
+  const std::vector<Config> configs{{1, 1}, {2, 2}, {4, 4}};
+  std::vector<Row> rows;
+  for (const Config& config : configs) {
+    // Client-side concurrency matches the server's worker count (the 1/1
+    // baseline is the serial reference: one client, one worker).
+    rows.push_back(run_config(config, seeds, requests,
+                              std::max(1, config.threads)));
+    if (!rows.empty() && rows.front().qps > 0.0) {
+      rows.back().speedup = rows.back().qps / rows.front().qps;
+    }
+  }
+
+  util::Table table({"shards", "threads", "requests", "seconds", "qps",
+                     "speedup vs 1/1"});
+  for (const Row& row : rows) {
+    table.add_row({std::to_string(row.config.shards),
+                   std::to_string(row.config.threads),
+                   std::to_string(row.requests),
+                   util::Table::num(row.seconds, 3),
+                   util::Table::num(row.qps, 1),
+                   util::Table::num(row.speedup, 2) + "x"});
+  }
+  table.print(std::cout);
+
+  const char* json_dir = std::getenv("BEES_BENCH_JSON");
+  if (json_dir != nullptr && *json_dir != '\0') {
+    std::ofstream out(std::string(json_dir) + "/BENCH_serving.json");
+    out << "{\n  \"bench\": \"serving\",\n  \"hardware_threads\": "
+        << obs::json_number(cores) << ",\n  \"rows\": {";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const Row& row = rows[r];
+      const std::string label = std::to_string(row.config.shards) + "shards/" +
+                                std::to_string(row.config.threads) +
+                                "threads";
+      out << (r == 0 ? "\n" : ",\n") << "    " << obs::json_string(label)
+          << ": {\"shards\": " << row.config.shards
+          << ", \"threads\": " << row.config.threads
+          << ", \"requests\": " << row.requests
+          << ", \"seconds\": " << obs::json_number(row.seconds)
+          << ", \"qps\": " << obs::json_number(row.qps)
+          << ", \"speedup\": " << obs::json_number(row.speedup) << "}";
+    }
+    out << "\n  }\n}\n";
+  }
+
+  const double scaling = rows.back().speedup;
+  if (cores >= 4) {
+    std::cout << "\nScaling bar: 4 shards / 4 threads reached "
+              << util::Table::num(scaling, 2) << "x (required >= 2x)\n";
+    if (scaling < 2.0) {
+      std::cerr << "FAIL: 4/4 configuration did not reach 2x the 1/1 rate\n";
+      return 1;
+    }
+  } else {
+    std::cout << "\nScaling bar: informational only on " << cores
+              << " hardware thread(s) — 4/4 reached "
+              << util::Table::num(scaling, 2)
+              << "x (>= 2x is required on machines with 4+ cores)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  return main_impl(smoke);
+}

@@ -1,5 +1,6 @@
 #include "cloud/server.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/metrics.hpp"
@@ -72,12 +73,9 @@ idx::ImageId Server::store_float(feat::FloatFeatures features,
 
 void Server::store_plain(const StoreInfo& info) { record_store(info); }
 
-double Server::query_global(const feat::ColorHistogram& histogram,
-                            const idx::GeoTag& geo, double feature_bytes,
-                            double geo_radius_deg) {
-  obs::ScopedTimer timer("cloud.query.global.seconds");
-  obs::count("cloud.query.global");
-  stats_.feature_bytes_received += feature_bytes;
+double Server::peek_global(const feat::ColorHistogram& histogram,
+                           const idx::GeoTag& geo,
+                           double geo_radius_deg) const {
   double best = 0.0;
   for (const auto& [stored, stored_geo] : global_entries_) {
     if (geo.valid && stored_geo.valid) {
@@ -91,6 +89,15 @@ double Server::query_global(const feat::ColorHistogram& histogram,
     best = std::max(best, feat::histogram_intersection(histogram, stored));
   }
   return best;
+}
+
+double Server::query_global(const feat::ColorHistogram& histogram,
+                            const idx::GeoTag& geo, double feature_bytes,
+                            double geo_radius_deg) {
+  obs::ScopedTimer timer("cloud.query.global.seconds");
+  obs::count("cloud.query.global");
+  stats_.feature_bytes_received += feature_bytes;
+  return peek_global(histogram, geo, geo_radius_deg);
 }
 
 void Server::store_global(const feat::ColorHistogram& histogram,
@@ -113,6 +120,20 @@ void Server::seed_float(feat::FloatFeatures features, const idx::GeoTag& geo) {
 void Server::seed_global(const feat::ColorHistogram& histogram,
                          const idx::GeoTag& geo) {
   global_entries_.emplace_back(histogram, geo);
+}
+
+std::vector<std::uint64_t> Server::location_keys() const {
+  std::vector<std::uint64_t> keys(locations_.begin(), locations_.end());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void Server::restore_accounting(
+    const ServerStats& stats, const std::vector<std::uint64_t>& location_keys) {
+  stats_ = stats;
+  locations_.clear();
+  locations_.insert(location_keys.begin(), location_keys.end());
+  stats_.unique_locations = locations_.size();
 }
 
 }  // namespace bees::cloud

@@ -69,6 +69,14 @@ class Server {
                       const idx::GeoTag& geo, double feature_bytes = 0.0,
                       double geo_radius_deg = 0.005);
 
+  /// The pure similarity scan behind query_global: no stats, no metrics.
+  /// A sharded frontend calls this per shard and maxes the results, then
+  /// does its own (single) accounting — keeping the fan-out path's answer
+  /// and bookkeeping identical to one serial server's.
+  double peek_global(const feat::ColorHistogram& histogram,
+                     const idx::GeoTag& geo,
+                     double geo_radius_deg = 0.005) const;
+
   /// Stores an image deduplicated by global features (PhotoNet path).
   void store_global(const feat::ColorHistogram& histogram,
                     const StoreInfo& info = {});
@@ -88,6 +96,21 @@ class Server {
   /// 0 when unknown.
   double thumbnail_bytes_of(idx::ImageId id) const;
   const idx::FloatFeatureIndex& float_index() const noexcept { return float_; }
+
+  /// Snapshot/restore support for the serving layer's durable shards.
+  /// Indexed features travel through the idx persistence codecs; these
+  /// expose the remaining state a checkpoint must carry.
+  const std::vector<std::pair<feat::ColorHistogram, idx::GeoTag>>&
+  global_entries() const noexcept {
+    return global_entries_;
+  }
+  /// Quantized location keys behind stats().unique_locations, in
+  /// deterministic (sorted) order so snapshots are byte-stable.
+  std::vector<std::uint64_t> location_keys() const;
+  /// Reinstates byte/count accounting and the location set after the index
+  /// contents have been rebuilt via seed_* (seeding records no stats).
+  void restore_accounting(const ServerStats& stats,
+                          const std::vector<std::uint64_t>& location_keys);
 
  private:
   void note_location(const idx::GeoTag& geo);

@@ -132,6 +132,9 @@ double UploadScheme::charge_compute(std::uint64_t ops,
 
 net::Transport UploadScheme::make_transport(cloud::Server& server,
                                             net::Channel& channel) const {
+  if (server_handler_) {
+    return net::Transport(server_handler_, channel, config_.retry);
+  }
   return net::Transport(
       [&server](const std::vector<std::uint8_t>& request) {
         return cloud::dispatch(server, request);

@@ -168,6 +168,16 @@ class UploadScheme {
   const std::string& name() const noexcept { return name_; }
   const SchemeConfig& config() const noexcept { return config_; }
 
+  /// Redirects every exchange this scheme makes to `handler` instead of
+  /// binding cloud::dispatch on the upload_batch server argument — how the
+  /// sim points schemes at a serve::Cluster (or any other server stand-in)
+  /// without changing the upload_batch signature.  Pass nullptr to restore
+  /// the default.  The handler must satisfy dispatch's contract: encoded
+  /// reply or encoded error, never a throw.
+  void set_server_handler(net::Transport::Handler handler) {
+    server_handler_ = std::move(handler);
+  }
+
   /// Uploads one batch.  The scheme must stop early (report.aborted) once
   /// the battery is depleted.
   virtual BatchReport upload_batch(const std::vector<wl::ImageSpec>& batch,
@@ -216,6 +226,7 @@ class UploadScheme {
   std::string name_;
   wl::ImageStore* store_;
   SchemeConfig config_;
+  net::Transport::Handler server_handler_;  // overrides dispatch when set
 };
 
 /// Stable identity of a batch's content (hash of every image's cache key),

@@ -4,10 +4,13 @@
 // cross-batch redundancy seeding used by Figs. 7, 10, and 11.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "core/scheme.hpp"
+#include "features/global.hpp"
 #include "features/pca.hpp"
+#include "util/rng.hpp"
 #include "workload/imageset.hpp"
 
 namespace bees::core {
@@ -20,10 +23,37 @@ namespace bees::core {
 /// indices that were made redundant.
 /// `image_byte_scale` scales the recorded thumbnail payloads into the same
 /// paper-byte domain as image uploads.
+///
+/// Templated over the server so the same seeding drives a single
+/// cloud::Server or a serve::Cluster: `ServerLike` needs seed_binary /
+/// seed_global / seed_float with cloud::Server's signatures.
+template <typename ServerLike>
 std::vector<std::size_t> seed_cross_batch_redundancy(
     const std::vector<wl::ImageSpec>& batch, double ratio,
-    wl::ImageStore& store, cloud::Server& server, const feat::PcaModel* pca,
-    std::uint64_t seed, double image_byte_scale = 1.0);
+    wl::ImageStore& store, ServerLike& server, const feat::PcaModel* pca,
+    std::uint64_t seed, double image_byte_scale = 1.0) {
+  util::Rng rng(seed);
+  std::vector<std::size_t> indices(batch.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.shuffle(indices);
+  const auto count = static_cast<std::size_t>(
+      std::clamp(ratio, 0.0, 1.0) * static_cast<double>(batch.size()) + 0.5);
+  indices.resize(std::min(count, batch.size()));
+
+  for (const std::size_t i : indices) {
+    const wl::ImageSpec dup = wl::make_near_duplicate(batch[i], seed ^ i);
+    const double thumb =
+        static_cast<double>(store.encoded(dup, 0.75, 0.5).bytes) *
+        image_byte_scale;
+    server.seed_binary(store.orb(dup, 0.0), dup.geo, thumb);
+    server.seed_global(feat::color_histogram(store.pixels(dup)), dup.geo);
+    if (pca != nullptr) {
+      server.seed_float(store.pca_sift(dup, *pca), dup.geo);
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
 
 /// One sample of the Fig. 9 battery curve.
 struct LifetimePoint {

@@ -104,24 +104,33 @@ QueryResult FeatureIndex::rescore(const feat::BinaryFeatures& query_features,
   return result;
 }
 
-QueryResult FeatureIndex::query(const feat::BinaryFeatures& query_features,
-                                int top_k) const {
+std::vector<std::pair<ImageId, std::uint32_t>> FeatureIndex::lsh_candidates(
+    const feat::BinaryFeatures& query_features) const {
   if (images_.empty() || query_features.empty()) return {};
   // LSH voting: every query descriptor votes for owners of colliding
   // stored descriptors.
   std::unordered_map<std::uint32_t, std::uint32_t> votes;
   for (const auto& d : query_features.descriptors) lsh_.vote(d, votes);
 
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranked(votes.begin(),
-                                                              votes.end());
+  std::vector<std::pair<ImageId, std::uint32_t>> ranked(votes.begin(),
+                                                        votes.end());
   std::sort(ranked.begin(), ranked.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
-  std::vector<ImageId> candidates;
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
   const auto budget = static_cast<std::size_t>(params_.max_candidates);
-  for (const auto& [id, count] : ranked) {
-    if (candidates.size() >= budget) break;
-    candidates.push_back(id);
-  }
+  if (ranked.size() > budget) ranked.resize(budget);
+  return ranked;
+}
+
+QueryResult FeatureIndex::query(const feat::BinaryFeatures& query_features,
+                                int top_k) const {
+  if (images_.empty() || query_features.empty()) return {};
+  const auto ranked = lsh_candidates(query_features);
+  std::vector<ImageId> candidates;
+  candidates.reserve(ranked.size());
+  for (const auto& [id, votes] : ranked) candidates.push_back(id);
   return rescore(query_features, candidates, top_k);
 }
 
@@ -168,12 +177,11 @@ ImageId FloatFeatureIndex::insert(feat::FloatFeatures features,
   return id;
 }
 
-QueryResult FloatFeatureIndex::query(const feat::FloatFeatures& query_features,
-                                     int top_k) const {
-  QueryResult result;
-  if (images_.empty() || query_features.empty()) return result;
+std::vector<std::pair<double, ImageId>> FloatFeatureIndex::centroid_candidates(
+    const feat::FloatFeatures& query_features) const {
+  if (images_.empty() || query_features.empty()) return {};
   const std::vector<float> qc = centroid_of(query_features);
-  // Prune by centroid distance, then rescore exactly.
+  // Prune by centroid distance; pair ordering breaks distance ties by id.
   std::vector<std::pair<double, ImageId>> ranked;
   ranked.reserve(images_.size());
   for (std::size_t i = 0; i < images_.size(); ++i) {
@@ -185,26 +193,44 @@ QueryResult FloatFeatureIndex::query(const feat::FloatFeatures& query_features,
   std::sort(ranked.begin(), ranked.end());
   const auto budget = std::min<std::size_t>(
       ranked.size(), static_cast<std::size_t>(params_.max_candidates));
+  ranked.resize(budget);
+  return ranked;
+}
 
+QueryResult FloatFeatureIndex::rescore(
+    const feat::FloatFeatures& query_features,
+    const std::vector<ImageId>& candidates, int top_k) const {
   obs::ScopedTimer timer("cloud.query.rescore.seconds");
-  result.candidates_checked = budget;
-  std::vector<double> sims(budget, 0.0);
-  std::vector<std::uint64_t> slot_ops(budget, 0);
-  for_each_chunk(budget, rescore_pool(),
+  QueryResult result;
+  const std::size_t n = candidates.size();
+  result.candidates_checked = n;
+  std::vector<double> sims(n, 0.0);
+  std::vector<std::uint64_t> slot_ops(n, 0);
+  for_each_chunk(n, rescore_pool(),
                  [&](std::size_t begin, std::size_t end) {
                    for (std::size_t i = begin; i < end; ++i) {
                      sims[i] = feat::jaccard_similarity(
-                         query_features, images_[ranked[i].second].features,
+                         query_features, images_[candidates[i]].features,
                          params_.match, &slot_ops[i]);
                    }
                  });
-  result.hits.reserve(budget);
-  for (std::size_t i = 0; i < budget; ++i) {
+  result.hits.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     result.ops += slot_ops[i];
-    result.hits.push_back({ranked[i].second, sims[i]});
+    result.hits.push_back({candidates[i], sims[i]});
   }
   detail::finalize_top_k(result, top_k);
   return result;
+}
+
+QueryResult FloatFeatureIndex::query(const feat::FloatFeatures& query_features,
+                                     int top_k) const {
+  if (images_.empty() || query_features.empty()) return {};
+  const auto ranked = centroid_candidates(query_features);
+  std::vector<ImageId> candidates;
+  candidates.reserve(ranked.size());
+  for (const auto& [dist, id] : ranked) candidates.push_back(id);
+  return rescore(query_features, candidates, top_k);
 }
 
 }  // namespace bees::idx

@@ -89,6 +89,22 @@ class FeatureIndex {
   QueryResult query_exact(const feat::BinaryFeatures& query_features,
                           int top_k = kDefaultTopK) const;
 
+  /// Phase 1 of a query: the top `max_candidates` stored images by LSH
+  /// collision votes, ranked (votes desc, id asc).  The deterministic
+  /// tie-break makes the candidate set independent of hash-map iteration
+  /// order, which lets a sharded deployment reproduce the single-index
+  /// candidate set exactly: the global top-N by (votes, id) is always
+  /// contained in the union of each shard's local top-N.
+  std::vector<std::pair<ImageId, std::uint32_t>> lsh_candidates(
+      const feat::BinaryFeatures& query_features) const;
+
+  /// Phase 2 of a query: exact Jaccard rescoring of an explicit candidate
+  /// list (public so a cluster frontend can rescore a globally merged
+  /// candidate set on the shard that owns the features).
+  QueryResult rescore(const feat::BinaryFeatures& query_features,
+                      const std::vector<ImageId>& candidates,
+                      int top_k = kDefaultTopK) const;
+
   std::size_t image_count() const noexcept { return images_.size(); }
   std::size_t descriptor_count() const noexcept { return lsh_.descriptor_count(); }
   /// Total serialized descriptor bytes stored (Table I space overhead).
@@ -105,9 +121,6 @@ class FeatureIndex {
     GeoTag geo;
   };
 
-  QueryResult rescore(const feat::BinaryFeatures& query_features,
-                      const std::vector<ImageId>& candidates,
-                      int top_k) const;
   util::ThreadPool* rescore_pool() const;
 
   FeatureIndexParams params_;
@@ -139,8 +152,26 @@ class FloatFeatureIndex {
   QueryResult query(const feat::FloatFeatures& query_features,
                     int top_k = kDefaultTopK) const;
 
+  /// Phase 1 of a query: the `max_candidates` nearest stored images by
+  /// centroid distance, ranked (distance asc, id asc).  Like
+  /// FeatureIndex::lsh_candidates, the deterministic ranking lets a sharded
+  /// deployment merge per-shard candidate lists into exactly the
+  /// single-index candidate set.
+  std::vector<std::pair<double, ImageId>> centroid_candidates(
+      const feat::FloatFeatures& query_features) const;
+
+  /// Phase 2: exact rescoring of an explicit candidate list.
+  QueryResult rescore(const feat::FloatFeatures& query_features,
+                      const std::vector<ImageId>& candidates,
+                      int top_k = kDefaultTopK) const;
+
   std::size_t image_count() const noexcept { return images_.size(); }
   std::size_t wire_bytes() const noexcept { return wire_bytes_; }
+
+  const feat::FloatFeatures& features_of(ImageId id) const {
+    return images_.at(id).features;
+  }
+  const GeoTag& geo_of(ImageId id) const { return images_.at(id).geo; }
 
  private:
   struct Entry {

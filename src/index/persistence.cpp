@@ -9,11 +9,51 @@
 namespace bees::idx {
 
 namespace {
-constexpr std::uint32_t kSnapshotMagic = 0x53454542;  // "BEES"
+constexpr std::uint32_t kSnapshotMagic = 0x53454542;       // "BEES"
+constexpr std::uint32_t kFloatSnapshotMagic = 0x46454542;  // "BEEF"
 constexpr std::uint32_t kSnapshotVersion = 1;
+
+void put_geo(util::ByteWriter& w, const GeoTag& geo) {
+  w.put_u8(geo.valid ? 1 : 0);
+  w.put_f64(geo.lon);
+  w.put_f64(geo.lat);
+}
+
+GeoTag get_geo(util::ByteReader& r) {
+  GeoTag geo;
+  geo.valid = r.get_u8() != 0;
+  geo.lon = r.get_f64();
+  geo.lat = r.get_f64();
+  return geo;
+}
+
+void write_file(const std::vector<std::uint8_t>& bytes,
+                const std::string& path, const char* who) {
+  const auto compressed = util::lz_compress(bytes);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error(std::string(who) + ": cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(compressed.data()),
+            static_cast<std::streamsize>(compressed.size()));
+  if (!out) {
+    throw std::runtime_error(std::string(who) + ": write failed for " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path, const char* who) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(std::string(who) + ": cannot open " + path);
+  }
+  std::vector<std::uint8_t> compressed(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return util::lz_decompress(compressed);
+}
+
 }  // namespace
 
-void save_index_snapshot(const FeatureIndex& index, const std::string& path) {
+std::vector<std::uint8_t> encode_index_snapshot(const FeatureIndex& index) {
   util::ByteWriter w;
   w.put_u32(kSnapshotMagic);
   w.put_u32(kSnapshotVersion);
@@ -23,40 +63,19 @@ void save_index_snapshot(const FeatureIndex& index, const std::string& path) {
     const auto features = serialize_binary(index.features_of(id));
     w.put_varint(features.size());
     w.put_bytes(features);
-    const GeoTag& geo = index.geo_of(id);
-    w.put_u8(geo.valid ? 1 : 0);
-    w.put_f64(geo.lon);
-    w.put_f64(geo.lat);
+    put_geo(w, index.geo_of(id));
   }
-  const auto compressed = util::lz_compress(w.bytes());
-
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw std::runtime_error("save_index_snapshot: cannot open " + path);
-  }
-  out.write(reinterpret_cast<const char*>(compressed.data()),
-            static_cast<std::streamsize>(compressed.size()));
-  if (!out) {
-    throw std::runtime_error("save_index_snapshot: write failed for " + path);
-  }
+  return w.take();
 }
 
-FeatureIndex load_index_snapshot(const std::string& path,
-                                 const FeatureIndexParams& params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("load_index_snapshot: cannot open " + path);
-  }
-  std::vector<std::uint8_t> compressed(
-      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  const auto bytes = util::lz_decompress(compressed);
-
+FeatureIndex decode_index_snapshot(const std::vector<std::uint8_t>& bytes,
+                                   const FeatureIndexParams& params) {
   util::ByteReader r(bytes);
   if (r.get_u32() != kSnapshotMagic) {
-    throw util::DecodeError("load_index_snapshot: bad magic");
+    throw util::DecodeError("decode_index_snapshot: bad magic");
   }
   if (r.get_u32() != kSnapshotVersion) {
-    throw util::DecodeError("load_index_snapshot: unsupported version");
+    throw util::DecodeError("decode_index_snapshot: unsupported version");
   }
   FeatureIndex index(params);
   const auto count = r.get_varint();
@@ -64,13 +83,69 @@ FeatureIndex load_index_snapshot(const std::string& path,
     const auto feature_len = static_cast<std::size_t>(r.get_varint());
     const auto feature_bytes = r.get_bytes(feature_len);
     feat::BinaryFeatures features = deserialize_binary(feature_bytes);
-    GeoTag geo;
-    geo.valid = r.get_u8() != 0;
-    geo.lon = r.get_f64();
-    geo.lat = r.get_f64();
+    const GeoTag geo = get_geo(r);
     index.insert(std::move(features), geo);
   }
   return index;
+}
+
+std::vector<std::uint8_t> encode_float_index_snapshot(
+    const FloatFeatureIndex& index) {
+  util::ByteWriter w;
+  w.put_u32(kFloatSnapshotMagic);
+  w.put_u32(kSnapshotVersion);
+  w.put_varint(index.image_count());
+  for (std::size_t i = 0; i < index.image_count(); ++i) {
+    const auto id = static_cast<ImageId>(i);
+    const auto features = serialize_float(index.features_of(id));
+    w.put_varint(features.size());
+    w.put_bytes(features);
+    put_geo(w, index.geo_of(id));
+  }
+  return w.take();
+}
+
+FloatFeatureIndex decode_float_index_snapshot(
+    const std::vector<std::uint8_t>& bytes,
+    const FloatFeatureIndex::Params& params) {
+  util::ByteReader r(bytes);
+  if (r.get_u32() != kFloatSnapshotMagic) {
+    throw util::DecodeError("decode_float_index_snapshot: bad magic");
+  }
+  if (r.get_u32() != kSnapshotVersion) {
+    throw util::DecodeError("decode_float_index_snapshot: unsupported version");
+  }
+  FloatFeatureIndex index(params);
+  const auto count = r.get_varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto feature_len = static_cast<std::size_t>(r.get_varint());
+    const auto feature_bytes = r.get_bytes(feature_len);
+    feat::FloatFeatures features = deserialize_float(feature_bytes);
+    const GeoTag geo = get_geo(r);
+    index.insert(std::move(features), geo);
+  }
+  return index;
+}
+
+void save_index_snapshot(const FeatureIndex& index, const std::string& path) {
+  write_file(encode_index_snapshot(index), path, "save_index_snapshot");
+}
+
+FeatureIndex load_index_snapshot(const std::string& path,
+                                 const FeatureIndexParams& params) {
+  return decode_index_snapshot(read_file(path, "load_index_snapshot"), params);
+}
+
+void save_float_index_snapshot(const FloatFeatureIndex& index,
+                               const std::string& path) {
+  write_file(encode_float_index_snapshot(index), path,
+             "save_float_index_snapshot");
+}
+
+FloatFeatureIndex load_float_index_snapshot(
+    const std::string& path, const FloatFeatureIndex::Params& params) {
+  return decode_float_index_snapshot(
+      read_file(path, "load_float_index_snapshot"), params);
 }
 
 }  // namespace bees::idx

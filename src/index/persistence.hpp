@@ -1,24 +1,54 @@
-// Durable storage for the server's feature index: the cloud side of BEES
-// must survive restarts without re-receiving every image, so the index's
-// entries (descriptor sets + geotags) serialize to a single LZ-compressed
-// snapshot file.  LSH tables are derived state and are rebuilt on load.
+// Durable storage for the server's feature indices: the cloud side of BEES
+// must survive restarts without re-receiving every image, so an index's
+// entries (descriptor sets + geotags) serialize to an LZ-compressed
+// snapshot.  LSH tables and centroids are derived state and are rebuilt on
+// load.  Both the binary (ORB) index and the float (SIFT / PCA-SIFT) index
+// used by the SmartEye path snapshot the same way.
+//
+// Two layers: encode_*/decode_* produce the uncompressed snapshot bytes
+// (embedded by the serving layer's per-shard checkpoints), while
+// save_*/load_* add LZ compression and file I/O for standalone snapshot
+// files (bees_sim --save-index / --load-index).
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "index/feature_index.hpp"
 
 namespace bees::idx {
 
-/// Writes a snapshot of every indexed image to `path`.
+/// Snapshot of every indexed image as raw bytes (magic + version + entries).
+std::vector<std::uint8_t> encode_index_snapshot(const FeatureIndex& index);
+
+/// Rebuilds an index from encode_index_snapshot bytes, inserting every
+/// image into a fresh index constructed with `params` (the LSH
+/// configuration can differ from the one that wrote the snapshot).  Throws
+/// util::DecodeError on corrupt bytes.
+FeatureIndex decode_index_snapshot(const std::vector<std::uint8_t>& bytes,
+                                   const FeatureIndexParams& params = {});
+
+/// Float-index counterparts (the SmartEye path's index).
+std::vector<std::uint8_t> encode_float_index_snapshot(
+    const FloatFeatureIndex& index);
+FloatFeatureIndex decode_float_index_snapshot(
+    const std::vector<std::uint8_t>& bytes,
+    const FloatFeatureIndex::Params& params = {});
+
+/// Writes an LZ-compressed snapshot of every indexed image to `path`.
 /// Throws std::runtime_error on I/O failure.
 void save_index_snapshot(const FeatureIndex& index, const std::string& path);
 
-/// Rebuilds an index from a snapshot, inserting every image into a fresh
-/// index constructed with `params` (the LSH configuration can differ from
-/// the one that wrote the snapshot).  Throws std::runtime_error on I/O
+/// Inverse of save_index_snapshot.  Throws std::runtime_error on I/O
 /// failure and util::DecodeError on a corrupt snapshot.
 FeatureIndex load_index_snapshot(const std::string& path,
                                  const FeatureIndexParams& params = {});
+
+/// Float-index file snapshot counterparts.
+void save_float_index_snapshot(const FloatFeatureIndex& index,
+                               const std::string& path);
+FloatFeatureIndex load_float_index_snapshot(
+    const std::string& path, const FloatFeatureIndex::Params& params = {});
 
 }  // namespace bees::idx

@@ -1,0 +1,505 @@
+#include "serve/cluster.hpp"
+
+#include <algorithm>
+#include <future>
+#include <stdexcept>
+
+#include "index/serialize.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "util/byte_io.hpp"
+
+namespace bees::serve {
+namespace {
+
+/// splitmix64 finalizer: the router's stable hash.  Geotag cells and global
+/// ids are both low-entropy sequences; the mix spreads them evenly over any
+/// shard count.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Cluster::Cluster(const ClusterOptions& options) : options_(options) {
+  const int n = std::max(1, options_.shards);
+  options_.shards = n;
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ShardOptions shard_options;
+    if (!options_.data_dir.empty()) {
+      shard_options.dir = options_.data_dir + "/shard-" + std::to_string(i);
+    }
+    shard_options.checkpoint_every = options_.checkpoint_every;
+    shard_options.wal_reset_on_checkpoint = options_.wal_reset_on_checkpoint;
+    shard_options.binary_params = options_.binary_params;
+    shard_options.float_params = options_.float_params;
+    shards_.push_back(std::make_unique<Shard>(i, shard_options));
+  }
+  next_binary_local_.assign(static_cast<std::size_t>(n), 0);
+  next_float_local_.assign(static_cast<std::size_t>(n), 0);
+
+  // Rebuild the global routing tables from what each shard recovered.  A
+  // gid no shard claims (lost to a torn WAL tail) stays a hole.
+  for (int s = 0; s < n; ++s) {
+    const ShardIdentity identity = shards_[static_cast<std::size_t>(s)]->identity();
+    for (std::size_t local = 0; local < identity.binary_globals.size();
+         ++local) {
+      const std::uint32_t gid = identity.binary_globals[local];
+      if (gid >= binary_locations_.size()) binary_locations_.resize(gid + 1);
+      binary_locations_[gid] = {s, static_cast<idx::ImageId>(local)};
+    }
+    next_binary_local_[static_cast<std::size_t>(s)] =
+        static_cast<idx::ImageId>(identity.binary_globals.size());
+    for (std::size_t local = 0; local < identity.float_globals.size();
+         ++local) {
+      const std::uint32_t gid = identity.float_globals[local];
+      if (gid >= float_locations_.size()) float_locations_.resize(gid + 1);
+      float_locations_[gid] = {s, static_cast<idx::ImageId>(local)};
+    }
+    next_float_local_[static_cast<std::size_t>(s)] =
+        static_cast<idx::ImageId>(identity.float_globals.size());
+  }
+  next_binary_gid_ = static_cast<std::uint32_t>(binary_locations_.size());
+  next_float_gid_ = static_cast<std::uint32_t>(float_locations_.size());
+
+  pool_ = std::make_unique<util::ThreadPool>(
+      static_cast<std::size_t>(std::max(1, options_.threads)));
+}
+
+std::size_t Cluster::route(const idx::GeoTag& geo, std::uint32_t gid) const {
+  // Same-place images land on the same shard (their redundancy candidates
+  // live where they do); untagged images spread by id.
+  const std::uint64_t key =
+      geo.valid ? idx::location_key(geo) : 0x8000000000000000ull + gid;
+  return static_cast<std::size_t>(mix64(key) % shards_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Request plane.
+
+std::vector<std::uint8_t> Cluster::handle(
+    const std::vector<std::uint8_t>& request) {
+  const std::size_t depth =
+      pending_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (depth > options_.queue_depth) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.shed");
+    return net::encode_error("server overloaded: request shed");
+  }
+  obs::gauge("serve.queue.depth", static_cast<double>(depth));
+  obs::count("serve.requests");
+  auto promise = std::make_shared<std::promise<std::vector<std::uint8_t>>>();
+  std::future<std::vector<std::uint8_t>> reply = promise->get_future();
+  pool_->submit([this, request, promise] {
+    std::vector<std::uint8_t> bytes;
+    try {
+      bytes = route_request(request);
+    } catch (const std::exception& e) {
+      // Worker tasks must never leak an exception (it would poison the
+      // pool's first-error slot); everything becomes an error reply.
+      bytes = net::encode_error(e.what());
+    } catch (...) {
+      bytes = net::encode_error("internal server error");
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    promise->set_value(std::move(bytes));
+  });
+  return reply.get();
+}
+
+net::Transport::Handler Cluster::handler() {
+  return [this](const std::vector<std::uint8_t>& request) {
+    return handle(request);
+  };
+}
+
+std::vector<std::uint8_t> Cluster::route_request(
+    const std::vector<std::uint8_t>& request) {
+  // Mirrors cloud::dispatch message-for-message (same decode paths, same
+  // accounting rules, same error strings) with cluster entry points.
+  try {
+    const net::Envelope env = net::open_envelope(request);
+    obs::ScopedSpan span("dispatch", "serve", obs::kLaneServer);
+    switch (env.type) {
+      case net::MessageType::kBinaryQuery: {
+        const net::BinaryQueryRequest q =
+            net::decode_binary_query(env.payload);
+        const double accounted_bytes =
+            q.feature_bytes >= 0.0 ? q.feature_bytes
+                                   : static_cast<double>(request.size());
+        const idx::QueryResult result =
+            query_binary(q.features, accounted_bytes, q.top_k);
+        net::QueryResponse reply;
+        reply.max_similarity = result.max_similarity;
+        reply.best_id = result.best_id;
+        if (result.best_id != idx::kInvalidImageId) {
+          reply.thumbnail_bytes = thumbnail_bytes_of(result.best_id);
+        }
+        return net::encode(reply);
+      }
+      case net::MessageType::kBatchQuery: {
+        const net::BatchQueryRequest q = net::decode_batch_query(env.payload);
+        net::BatchQueryResponse reply;
+        reply.verdicts.reserve(q.features.size());
+        for (std::size_t i = 0; i < q.features.size(); ++i) {
+          const idx::QueryResult result =
+              query_binary(q.features[i], q.feature_bytes[i], q.top_k);
+          net::QueryResponse verdict;
+          verdict.max_similarity = result.max_similarity;
+          verdict.best_id = result.best_id;
+          if (result.best_id != idx::kInvalidImageId) {
+            verdict.thumbnail_bytes = thumbnail_bytes_of(result.best_id);
+          }
+          reply.verdicts.push_back(verdict);
+        }
+        return net::encode(reply);
+      }
+      case net::MessageType::kFloatQuery: {
+        const net::FloatQueryRequest q = net::decode_float_query(env.payload);
+        const double accounted_bytes =
+            q.feature_bytes >= 0.0 ? q.feature_bytes
+                                   : static_cast<double>(request.size());
+        const idx::QueryResult result =
+            query_float(q.features, accounted_bytes, q.top_k);
+        net::QueryResponse reply;
+        reply.max_similarity = result.max_similarity;
+        reply.best_id = result.best_id;
+        return net::encode(reply);
+      }
+      case net::MessageType::kGlobalQuery: {
+        const net::GlobalQueryRequest q =
+            net::decode_global_query(env.payload);
+        net::QueryResponse reply;
+        reply.max_similarity =
+            query_global(q.histogram, q.geo, q.feature_bytes,
+                         q.geo_radius_deg);
+        return net::encode(reply);
+      }
+      case net::MessageType::kImageUpload: {
+        const net::ImageUploadRequest u =
+            net::decode_image_upload(env.payload);
+        net::UploadAck ack;
+        ack.id = store_binary(u.features,
+                              {u.image_bytes, u.geo, u.thumbnail_bytes});
+        return net::encode(ack);
+      }
+      case net::MessageType::kFloatUpload: {
+        const net::FloatUploadRequest u =
+            net::decode_float_upload(env.payload);
+        net::UploadAck ack;
+        ack.id = store_float(u.features, {u.image_bytes, u.geo});
+        return net::encode(ack);
+      }
+      case net::MessageType::kGlobalUpload: {
+        const net::GlobalUploadRequest u =
+            net::decode_global_upload(env.payload);
+        store_global(u.histogram, {u.image_bytes, u.geo});
+        return net::encode(net::UploadAck{});
+      }
+      case net::MessageType::kPlainUpload: {
+        const net::PlainUploadRequest u =
+            net::decode_plain_upload(env.payload);
+        store_plain({u.image_bytes, u.geo});
+        return net::encode(net::UploadAck{});
+      }
+      default:
+        return net::encode_error("unexpected message type");
+    }
+  } catch (const util::DecodeError& e) {
+    return net::encode_error(e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query plane: fan out, merge exactly.
+
+idx::QueryResult Cluster::query_binary(const feat::BinaryFeatures& features,
+                                       double feature_bytes, int top_k) {
+  obs::ScopedTimer timer("serve.query.binary.seconds");
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++binary_queries_;
+    query_feature_bytes_ += feature_bytes;
+  }
+  obs::ScopedSpan span("fanout.binary", "serve", obs::kLaneServer);
+
+  // Phase 1: merge per-shard candidate rankings.  Each shard's list is the
+  // global (votes desc, gid asc) order restricted to its images, so the
+  // merged-and-truncated list is exactly the single-index candidate set.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> merged;  // (gid, votes)
+  for (const auto& shard : shards_) {
+    const auto candidates = shard->binary_candidates(features);
+    merged.insert(merged.end(), candidates.begin(), candidates.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  const auto budget = static_cast<std::size_t>(
+      std::max(0, options_.binary_params.max_candidates));
+  if (merged.size() > budget) merged.resize(budget);
+
+  // Phase 2: exact rescore on the owning shards; per-shard top-k lists
+  // cover the global top-k because within a shard local order is gid order.
+  std::vector<std::vector<idx::ImageId>> locals(shards_.size());
+  {
+    std::lock_guard<std::mutex> lock(maps_mutex_);
+    for (const auto& [gid, votes] : merged) {
+      const Location& loc = binary_locations_[gid];
+      locals[static_cast<std::size_t>(loc.shard)].push_back(loc.local);
+    }
+  }
+  idx::QueryResult out;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (locals[s].empty()) continue;
+    const idx::QueryResult part =
+        shards_[s]->rescore_binary(features, locals[s], top_k);
+    out.hits.insert(out.hits.end(), part.hits.begin(), part.hits.end());
+    out.candidates_checked += part.candidates_checked;
+    out.ops += part.ops;
+  }
+  idx::detail::finalize_top_k(out, top_k);
+  obs::count("serve.query.binary");
+  obs::observe("serve.query.binary.candidates",
+               static_cast<double>(out.candidates_checked));
+  return out;
+}
+
+idx::QueryResult Cluster::query_float(const feat::FloatFeatures& features,
+                                      double feature_bytes, int top_k) {
+  obs::ScopedTimer timer("serve.query.float.seconds");
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++float_queries_;
+    query_feature_bytes_ += feature_bytes;
+  }
+  obs::ScopedSpan span("fanout.float", "serve", obs::kLaneServer);
+
+  std::vector<std::pair<double, std::uint32_t>> merged;  // (distance, gid)
+  for (const auto& shard : shards_) {
+    const auto candidates = shard->float_candidates(features);
+    merged.insert(merged.end(), candidates.begin(), candidates.end());
+  }
+  std::sort(merged.begin(), merged.end());  // (distance asc, gid asc)
+  const auto budget = static_cast<std::size_t>(
+      std::max(0, options_.float_params.max_candidates));
+  if (merged.size() > budget) merged.resize(budget);
+
+  std::vector<std::vector<idx::ImageId>> locals(shards_.size());
+  {
+    std::lock_guard<std::mutex> lock(maps_mutex_);
+    for (const auto& [distance, gid] : merged) {
+      const Location& loc = float_locations_[gid];
+      locals[static_cast<std::size_t>(loc.shard)].push_back(loc.local);
+    }
+  }
+  idx::QueryResult out;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (locals[s].empty()) continue;
+    const idx::QueryResult part =
+        shards_[s]->rescore_float(features, locals[s], top_k);
+    out.hits.insert(out.hits.end(), part.hits.begin(), part.hits.end());
+    out.candidates_checked += part.candidates_checked;
+    out.ops += part.ops;
+  }
+  idx::detail::finalize_top_k(out, top_k);
+  obs::count("serve.query.float");
+  obs::observe("serve.query.float.candidates",
+               static_cast<double>(out.candidates_checked));
+  return out;
+}
+
+double Cluster::query_global(const feat::ColorHistogram& histogram,
+                             const idx::GeoTag& geo, double feature_bytes,
+                             double geo_radius_deg) {
+  obs::ScopedTimer timer("serve.query.global.seconds");
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    query_feature_bytes_ += feature_bytes;
+  }
+  double best = 0.0;
+  for (const auto& shard : shards_) {
+    best = std::max(best, shard->peek_global(histogram, geo, geo_radius_deg));
+  }
+  obs::count("serve.query.global");
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation plane (single-writer).
+
+idx::ImageId Cluster::apply_mutation(WalOp op, const idx::GeoTag& geo,
+                                     WalRecord record,
+                                     std::vector<Location>* locations,
+                                     std::vector<idx::ImageId>* next_local,
+                                     std::uint32_t gid) {
+  record.op = op;
+  record.global_id = gid;
+  const std::size_t s = route(geo, gid);
+  idx::ImageId predicted = idx::kInvalidImageId;
+  if (locations) {
+    predicted = (*next_local)[s]++;
+    std::lock_guard<std::mutex> lock(maps_mutex_);
+    locations->push_back({static_cast<int>(s), predicted});
+  }
+  const idx::ImageId local = shards_[s]->apply(std::move(record));
+  if (locations && local != predicted) {
+    throw std::logic_error("cluster: shard local id drifted from prediction");
+  }
+  return local;
+}
+
+idx::ImageId Cluster::store_binary(const feat::BinaryFeatures& features,
+                                   const cloud::StoreInfo& info) {
+  obs::ScopedTimer timer("serve.store.seconds");
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  const std::uint32_t gid = next_binary_gid_++;
+  WalRecord record;
+  record.info = info;
+  record.payload = idx::serialize_binary(features);
+  apply_mutation(WalOp::kStoreBinary, info.geo, std::move(record),
+                 &binary_locations_, &next_binary_local_, gid);
+  obs::count("serve.store.images");
+  return gid;
+}
+
+idx::ImageId Cluster::store_float(const feat::FloatFeatures& features,
+                                  const cloud::StoreInfo& info) {
+  obs::ScopedTimer timer("serve.store.seconds");
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  const std::uint32_t gid = next_float_gid_++;
+  WalRecord record;
+  record.info = info;
+  record.payload = idx::serialize_float(features);
+  apply_mutation(WalOp::kStoreFloat, info.geo, std::move(record),
+                 &float_locations_, &next_float_local_, gid);
+  obs::count("serve.store.images");
+  return gid;
+}
+
+void Cluster::store_global(const feat::ColorHistogram& histogram,
+                           const cloud::StoreInfo& info) {
+  obs::ScopedTimer timer("serve.store.seconds");
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  WalRecord record;
+  record.info = info;
+  record.payload = encode_histogram(histogram);
+  apply_mutation(WalOp::kStoreGlobal, info.geo, std::move(record), nullptr,
+                 nullptr, next_unrouted_++);
+  obs::count("serve.store.images");
+}
+
+void Cluster::store_plain(const cloud::StoreInfo& info) {
+  obs::ScopedTimer timer("serve.store.seconds");
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  WalRecord record;
+  record.info = info;
+  apply_mutation(WalOp::kStorePlain, info.geo, std::move(record), nullptr,
+                 nullptr, next_unrouted_++);
+  obs::count("serve.store.images");
+}
+
+void Cluster::seed_binary(const feat::BinaryFeatures& features,
+                          const idx::GeoTag& geo, double thumbnail_bytes) {
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  const std::uint32_t gid = next_binary_gid_++;
+  WalRecord record;
+  record.info.geo = geo;
+  record.info.thumbnail_bytes = thumbnail_bytes;
+  record.payload = idx::serialize_binary(features);
+  apply_mutation(WalOp::kSeedBinary, geo, std::move(record),
+                 &binary_locations_, &next_binary_local_, gid);
+}
+
+void Cluster::seed_float(const feat::FloatFeatures& features,
+                         const idx::GeoTag& geo) {
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  const std::uint32_t gid = next_float_gid_++;
+  WalRecord record;
+  record.info.geo = geo;
+  record.payload = idx::serialize_float(features);
+  apply_mutation(WalOp::kSeedFloat, geo, std::move(record), &float_locations_,
+                 &next_float_local_, gid);
+}
+
+void Cluster::seed_global(const feat::ColorHistogram& histogram,
+                          const idx::GeoTag& geo) {
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  WalRecord record;
+  record.info.geo = geo;
+  record.payload = encode_histogram(histogram);
+  apply_mutation(WalOp::kSeedGlobal, geo, std::move(record), nullptr, nullptr,
+                 next_unrouted_++);
+}
+
+// ---------------------------------------------------------------------------
+// Lookup, stats, durability.
+
+double Cluster::thumbnail_bytes_of(idx::ImageId gid) const {
+  Location loc;
+  {
+    std::lock_guard<std::mutex> lock(maps_mutex_);
+    if (gid >= binary_locations_.size()) return 0.0;
+    loc = binary_locations_[gid];
+  }
+  if (loc.shard < 0) return 0.0;
+  return shards_[static_cast<std::size_t>(loc.shard)]->thumbnail_bytes_of_local(
+      loc.local);
+}
+
+cloud::ServerStats Cluster::stats() const {
+  cloud::ServerStats out;
+  std::unordered_set<std::uint64_t> keys;
+  for (const auto& shard : shards_) {
+    const cloud::ServerStats st = shard->stats();
+    out.images_stored += st.images_stored;
+    out.image_bytes_received += st.image_bytes_received;
+    out.feature_bytes_received += st.feature_bytes_received;
+    const std::vector<std::uint64_t> shard_keys = shard->location_keys();
+    keys.insert(shard_keys.begin(), shard_keys.end());
+  }
+  out.unique_locations = keys.size();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  out.binary_queries = binary_queries_;
+  out.float_queries = float_queries_;
+  out.feature_bytes_received += query_feature_bytes_;
+  return out;
+}
+
+void Cluster::checkpoint() {
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  for (const auto& shard : shards_) shard->checkpoint();
+}
+
+idx::FeatureIndex Cluster::merged_binary_index() const {
+  std::vector<Location> locations;
+  {
+    std::lock_guard<std::mutex> lock(maps_mutex_);
+    locations = binary_locations_;
+  }
+  idx::FeatureIndex out(options_.binary_params);
+  for (const Location& loc : locations) {
+    if (loc.shard < 0) continue;
+    auto [features, geo] =
+        shards_[static_cast<std::size_t>(loc.shard)]->binary_entry(loc.local);
+    out.insert(std::move(features), geo);
+  }
+  return out;
+}
+
+void Cluster::preload_binary(const idx::FeatureIndex& index) {
+  for (std::size_t i = 0; i < index.image_count(); ++i) {
+    const auto id = static_cast<idx::ImageId>(i);
+    seed_binary(index.features_of(id), index.geo_of(id));
+  }
+}
+
+}  // namespace bees::serve

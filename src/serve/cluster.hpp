@@ -1,0 +1,175 @@
+// The serving cluster frontend: N durable shards behind a worker pool and
+// an admission gate.  Requests arrive as encoded cloud::rpc envelopes; a
+// bounded number are in flight at once (excess load is shed with an encoded
+// error reply, never a throw), workers drain the queue, and similarity
+// queries fan out to every shard and merge exactly:
+//
+//   phase 1 gathers each shard's candidate ranking (deterministically
+//   tie-broken by global id), merges and truncates to the single-index
+//   candidate budget; phase 2 rescores each surviving candidate on the
+//   shard that owns its features; detail::finalize_top_k orders the merged
+//   hits.  Because every shard assigns local ids in global-id order, the
+//   result is byte-identical to one serial cloud::Server for any shard or
+//   thread count.
+//
+// Stores are routed by geotag cell (images of the same place dedupe against
+// the same shard's index without fan-out on the write path) or by global id
+// when untagged, and are serialized through the cluster mutation lock: the
+// write path is single-writer by design — BEES serves a read-dominated
+// query workload — which keeps global id assignment, WAL append order, and
+// the routing tables trivially consistent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cloud/server.hpp"
+#include "net/transport.hpp"
+#include "serve/shard.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bees::serve {
+
+struct ClusterOptions {
+  int shards = 1;
+  /// Worker threads draining the request queue (minimum 1).
+  int threads = 1;
+  /// Admission bound: requests in flight (queued + executing) before new
+  /// arrivals are shed with an encoded error reply.
+  std::size_t queue_depth = 256;
+  /// Durability root (one subdirectory per shard); empty = in-memory only.
+  /// When set, construction recovers from the latest snapshots + WAL tails.
+  std::string data_dir;
+  /// Per-shard mutations between automatic checkpoints; 0 = WAL only.
+  std::size_t checkpoint_every = 0;
+  /// Crash-window test hook, forwarded to each shard (see ShardOptions).
+  bool wal_reset_on_checkpoint = true;
+  idx::FeatureIndexParams binary_params;
+  idx::FloatFeatureIndex::Params float_params;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Serves one encoded rpc envelope through the admission gate and worker
+  /// pool; blocks until the reply is ready.  Thread-safe; never throws a
+  /// request error — malformed input, internal failures, and shed load all
+  /// come back as net::encode_error replies, mirroring cloud::dispatch.
+  std::vector<std::uint8_t> handle(const std::vector<std::uint8_t>& request);
+
+  /// The cluster as a net::Transport server handler.
+  net::Transport::Handler handler();
+
+  /// Direct-call plane, mirroring cloud::Server's entry points (same
+  /// accounting, same results) for seeding and in-process callers.  Store
+  /// and seed ids returned are *global* ids.
+  idx::QueryResult query_binary(const feat::BinaryFeatures& features,
+                                double feature_bytes,
+                                int top_k = idx::kDefaultTopK);
+  idx::QueryResult query_float(const feat::FloatFeatures& features,
+                               double feature_bytes,
+                               int top_k = idx::kDefaultTopK);
+  double query_global(const feat::ColorHistogram& histogram,
+                      const idx::GeoTag& geo, double feature_bytes = 0.0,
+                      double geo_radius_deg = 0.005);
+  idx::ImageId store_binary(const feat::BinaryFeatures& features,
+                            const cloud::StoreInfo& info = {});
+  idx::ImageId store_float(const feat::FloatFeatures& features,
+                           const cloud::StoreInfo& info = {});
+  void store_global(const feat::ColorHistogram& histogram,
+                    const cloud::StoreInfo& info = {});
+  void store_plain(const cloud::StoreInfo& info = {});
+  void seed_binary(const feat::BinaryFeatures& features,
+                   const idx::GeoTag& geo = {}, double thumbnail_bytes = 0.0);
+  void seed_float(const feat::FloatFeatures& features,
+                  const idx::GeoTag& geo = {});
+  void seed_global(const feat::ColorHistogram& histogram,
+                   const idx::GeoTag& geo = {});
+
+  /// Thumbnail feedback size of a binary-indexed global id; 0 when unknown.
+  double thumbnail_bytes_of(idx::ImageId gid) const;
+
+  /// Aggregated accounting, shaped exactly like one serial server's:
+  /// store-side numbers summed over shards, unique locations as the union
+  /// of shard location sets, query counters tracked at the frontend.
+  /// After recovery, store-derived stats are restored; query counters
+  /// restart from zero (queries are not journaled).
+  cloud::ServerStats stats() const;
+
+  /// Snapshots every shard now (and truncates their WALs).
+  void checkpoint();
+
+  /// Requests shed by the admission gate since construction.
+  std::size_t shed_count() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+  int shard_count() const noexcept { return static_cast<int>(shards_.size()); }
+
+  /// Every binary-indexed image merged into one standalone index in global
+  /// id order — what bees_sim --save-index persists from a cluster run.
+  idx::FeatureIndex merged_binary_index() const;
+  /// Seeds the cluster from a standalone index snapshot (--load-index).
+  void preload_binary(const idx::FeatureIndex& index);
+
+ private:
+  /// gid -> owning shard + local id; shard < 0 marks a hole (a global id
+  /// whose record was lost to a torn WAL tail — benign: nothing references
+  /// an unindexed id).
+  struct Location {
+    int shard = -1;
+    idx::ImageId local = idx::kInvalidImageId;
+  };
+
+  std::size_t route(const idx::GeoTag& geo, std::uint32_t gid) const;
+  std::vector<std::uint8_t> route_request(
+      const std::vector<std::uint8_t>& request);
+  /// Routes, WAL-logs and applies one mutation (caller holds
+  /// mutation_mutex_).  For indexed ops the routing-table entry is published
+  /// *before* the shard applies — the local id is predicted from the
+  /// per-shard counter, which the mutation lock keeps exact — so a
+  /// concurrent query can never surface a candidate gid the table lacks.
+  idx::ImageId apply_mutation(WalOp op, const idx::GeoTag& geo,
+                              WalRecord record,
+                              std::vector<Location>* locations,
+                              std::vector<idx::ImageId>* next_local,
+                              std::uint32_t gid);
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> shed_{0};
+
+  /// Serializes stores/seeds: gid assignment, WAL append order, and routing
+  /// table growth stay consistent without finer-grained ordering.
+  std::mutex mutation_mutex_;
+  std::uint32_t next_binary_gid_ = 0;
+  std::uint32_t next_float_gid_ = 0;
+  std::uint32_t next_unrouted_ = 0;  // routing counter for gid-less ops
+  /// Per-shard next local index id (mutation_mutex_ only).
+  std::vector<idx::ImageId> next_binary_local_;
+  std::vector<idx::ImageId> next_float_local_;
+
+  mutable std::mutex maps_mutex_;
+  std::vector<Location> binary_locations_;
+  std::vector<Location> float_locations_;
+
+  mutable std::mutex stats_mutex_;
+  std::size_t binary_queries_ = 0;
+  std::size_t float_queries_ = 0;
+  double query_feature_bytes_ = 0.0;
+};
+
+}  // namespace bees::serve

@@ -1,0 +1,347 @@
+#include "serve/shard.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "index/persistence.hpp"
+#include "index/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "util/byte_io.hpp"
+#include "util/compress.hpp"
+
+namespace bees::serve {
+namespace {
+
+// "BSRV" little-endian; distinct from the index snapshot magics so a shard
+// snapshot handed to load_index_snapshot (or vice versa) fails loudly.
+constexpr std::uint32_t kShardMagic = 0x56525342;
+constexpr std::uint32_t kShardVersion = 1;
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("shard snapshot: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("shard snapshot: write failed " + path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("shard snapshot: cannot open " + path);
+  return {(std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>()};
+}
+
+void put_geo(util::ByteWriter& w, const idx::GeoTag& geo) {
+  w.put_u8(geo.valid ? 1 : 0);
+  w.put_f64(geo.lon);
+  w.put_f64(geo.lat);
+}
+
+idx::GeoTag get_geo(util::ByteReader& r) {
+  idx::GeoTag geo;
+  geo.valid = r.get_u8() != 0;
+  geo.lon = r.get_f64();
+  geo.lat = r.get_f64();
+  return geo;
+}
+
+}  // namespace
+
+Shard::Shard(int id, const ShardOptions& options)
+    : id_(id),
+      options_(options),
+      server_(options.binary_params, options.float_params) {
+  if (options_.dir.empty()) return;
+  std::filesystem::create_directories(options_.dir);
+  recover();
+  wal_ = std::make_unique<WriteAheadLog>(wal_path());
+}
+
+std::string Shard::wal_path() const { return options_.dir + "/wal.log"; }
+
+std::string Shard::snapshot_path() const {
+  return options_.dir + "/snapshot.bin";
+}
+
+idx::ImageId Shard::apply(WalRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.seq = ++seq_;
+  if (wal_) wal_->append(record);  // Write-ahead: log before apply.
+  idx::ImageId local = idx::kInvalidImageId;
+  apply_locked(record, &local);
+  ++mutations_since_checkpoint_;
+  if (options_.checkpoint_every > 0 &&
+      mutations_since_checkpoint_ >= options_.checkpoint_every) {
+    checkpoint_locked();
+  }
+  return local;
+}
+
+void Shard::apply_locked(const WalRecord& record, idx::ImageId* local_out) {
+  idx::ImageId local = idx::kInvalidImageId;
+  switch (record.op) {
+    case WalOp::kStoreBinary:
+      local = server_.store_binary(idx::deserialize_binary(record.payload),
+                                   record.info);
+      binary_globals_.push_back(record.global_id);
+      break;
+    case WalOp::kSeedBinary:
+      local = static_cast<idx::ImageId>(binary_globals_.size());
+      server_.seed_binary(idx::deserialize_binary(record.payload),
+                          record.info.geo, record.info.thumbnail_bytes);
+      binary_globals_.push_back(record.global_id);
+      break;
+    case WalOp::kStoreFloat:
+      local = server_.store_float(idx::deserialize_float(record.payload),
+                                  record.info);
+      float_globals_.push_back(record.global_id);
+      break;
+    case WalOp::kSeedFloat:
+      local = static_cast<idx::ImageId>(float_globals_.size());
+      server_.seed_float(idx::deserialize_float(record.payload),
+                         record.info.geo);
+      float_globals_.push_back(record.global_id);
+      break;
+    case WalOp::kStoreGlobal:
+      server_.store_global(decode_histogram(record.payload), record.info);
+      break;
+    case WalOp::kSeedGlobal:
+      server_.seed_global(decode_histogram(record.payload), record.info.geo);
+      break;
+    case WalOp::kStorePlain:
+      server_.store_plain(record.info);
+      break;
+  }
+  if (local_out) *local_out = local;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> Shard::binary_candidates(
+    const feat::BinaryFeatures& features) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto locals = server_.binary_index().lsh_candidates(features);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  out.reserve(locals.size());
+  // local -> global is monotone (locals are appended in global-id order),
+  // so the (votes desc, local asc) ranking is also (votes desc, gid asc).
+  for (const auto& [local, votes] : locals) {
+    out.emplace_back(binary_globals_[local], votes);
+  }
+  return out;
+}
+
+idx::QueryResult Shard::rescore_binary(const feat::BinaryFeatures& features,
+                                       const std::vector<idx::ImageId>& locals,
+                                       int top_k) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  idx::QueryResult result =
+      server_.binary_index().rescore(features, locals, top_k);
+  for (auto& hit : result.hits) hit.id = binary_globals_[hit.id];
+  if (result.best_id != idx::kInvalidImageId) {
+    result.best_id = binary_globals_[result.best_id];
+  }
+  return result;
+}
+
+std::vector<std::pair<double, std::uint32_t>> Shard::float_candidates(
+    const feat::FloatFeatures& features) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto locals = server_.float_index().centroid_candidates(features);
+  std::vector<std::pair<double, std::uint32_t>> out;
+  out.reserve(locals.size());
+  for (const auto& [dist, local] : locals) {
+    out.emplace_back(dist, float_globals_[local]);
+  }
+  return out;
+}
+
+idx::QueryResult Shard::rescore_float(const feat::FloatFeatures& features,
+                                      const std::vector<idx::ImageId>& locals,
+                                      int top_k) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  idx::QueryResult result =
+      server_.float_index().rescore(features, locals, top_k);
+  for (auto& hit : result.hits) hit.id = float_globals_[hit.id];
+  if (result.best_id != idx::kInvalidImageId) {
+    result.best_id = float_globals_[result.best_id];
+  }
+  return result;
+}
+
+double Shard::peek_global(const feat::ColorHistogram& histogram,
+                          const idx::GeoTag& geo,
+                          double geo_radius_deg) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return server_.peek_global(histogram, geo, geo_radius_deg);
+}
+
+double Shard::thumbnail_bytes_of_local(idx::ImageId local) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return server_.thumbnail_bytes_of(local);
+}
+
+std::pair<feat::BinaryFeatures, idx::GeoTag> Shard::binary_entry(
+    idx::ImageId local) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {server_.binary_index().features_of(local),
+          server_.binary_index().geo_of(local)};
+}
+
+cloud::ServerStats Shard::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return server_.stats();
+}
+
+std::vector<std::uint64_t> Shard::location_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return server_.location_keys();
+}
+
+ShardIdentity Shard::identity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {binary_globals_, float_globals_};
+}
+
+std::uint64_t Shard::last_applied_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+void Shard::checkpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  checkpoint_locked();
+}
+
+void Shard::checkpoint_locked() {
+  if (options_.dir.empty()) return;
+  util::ByteWriter w;
+  w.put_u32(kShardMagic);
+  w.put_u32(kShardVersion);
+  w.put_u64(seq_);
+
+  const cloud::ServerStats& st = server_.stats();
+  w.put_u64(st.images_stored);
+  w.put_f64(st.image_bytes_received);
+  w.put_f64(st.feature_bytes_received);
+  w.put_u64(st.binary_queries);
+  w.put_u64(st.float_queries);
+  const std::vector<std::uint64_t> keys = server_.location_keys();
+  w.put_varint(keys.size());
+  for (std::uint64_t key : keys) w.put_u64(key);
+
+  w.put_varint(binary_globals_.size());
+  for (std::uint32_t gid : binary_globals_) w.put_varint(gid);
+  for (std::size_t i = 0; i < binary_globals_.size(); ++i) {
+    w.put_f64(server_.thumbnail_bytes_of(static_cast<idx::ImageId>(i)));
+  }
+  w.put_varint(float_globals_.size());
+  for (std::uint32_t gid : float_globals_) w.put_varint(gid);
+
+  const auto binary = idx::encode_index_snapshot(server_.binary_index());
+  w.put_varint(binary.size());
+  w.put_bytes(binary);
+  const auto floats = idx::encode_float_index_snapshot(server_.float_index());
+  w.put_varint(floats.size());
+  w.put_bytes(floats);
+
+  const auto& globals = server_.global_entries();
+  w.put_varint(globals.size());
+  for (const auto& [histogram, geo] : globals) {
+    for (float bin : histogram.bins) w.put_f32(bin);
+    put_geo(w, geo);
+  }
+
+  // Atomic publish: a crash mid-write leaves the old snapshot intact.
+  const std::string tmp = snapshot_path() + ".tmp";
+  write_file(tmp, util::lz_compress(w.bytes()));
+  std::filesystem::rename(tmp, snapshot_path());
+  if (wal_ && options_.wal_reset_on_checkpoint) wal_->reset();
+  mutations_since_checkpoint_ = 0;
+  obs::count("serve.checkpoint");
+}
+
+void Shard::recover() {
+  if (std::filesystem::exists(snapshot_path())) {
+    const auto bytes = util::lz_decompress(read_file(snapshot_path()));
+    util::ByteReader r(bytes);
+    if (r.get_u32() != kShardMagic) {
+      throw util::DecodeError("shard snapshot: bad magic");
+    }
+    if (r.get_u32() != kShardVersion) {
+      throw util::DecodeError("shard snapshot: unsupported version");
+    }
+    seq_ = r.get_u64();
+
+    cloud::ServerStats stats;
+    stats.images_stored = static_cast<std::size_t>(r.get_u64());
+    stats.image_bytes_received = r.get_f64();
+    stats.feature_bytes_received = r.get_f64();
+    stats.binary_queries = static_cast<std::size_t>(r.get_u64());
+    stats.float_queries = static_cast<std::size_t>(r.get_u64());
+    std::vector<std::uint64_t> keys(
+        static_cast<std::size_t>(r.get_varint()));
+    for (std::uint64_t& key : keys) key = r.get_u64();
+
+    binary_globals_.resize(static_cast<std::size_t>(r.get_varint()));
+    for (std::uint32_t& gid : binary_globals_) {
+      gid = static_cast<std::uint32_t>(r.get_varint());
+    }
+    std::vector<double> thumbs(binary_globals_.size());
+    for (double& t : thumbs) t = r.get_f64();
+    float_globals_.resize(static_cast<std::size_t>(r.get_varint()));
+    for (std::uint32_t& gid : float_globals_) {
+      gid = static_cast<std::uint32_t>(r.get_varint());
+    }
+
+    const auto binary_bytes =
+        r.get_bytes(static_cast<std::size_t>(r.get_varint()));
+    const idx::FeatureIndex binary =
+        idx::decode_index_snapshot(binary_bytes, options_.binary_params);
+    const auto float_bytes =
+        r.get_bytes(static_cast<std::size_t>(r.get_varint()));
+    const idx::FloatFeatureIndex floats =
+        idx::decode_float_index_snapshot(float_bytes, options_.float_params);
+    if (binary.image_count() != binary_globals_.size() ||
+        floats.image_count() != float_globals_.size()) {
+      throw util::DecodeError("shard snapshot: id map / index size mismatch");
+    }
+
+    // Rebuild through seed_* (seeding records no stats), then reinstate the
+    // accounting the snapshot carried.
+    for (std::size_t i = 0; i < binary_globals_.size(); ++i) {
+      const auto id = static_cast<idx::ImageId>(i);
+      server_.seed_binary(binary.features_of(id), binary.geo_of(id),
+                          thumbs[i]);
+    }
+    for (std::size_t i = 0; i < float_globals_.size(); ++i) {
+      const auto id = static_cast<idx::ImageId>(i);
+      server_.seed_float(floats.features_of(id), floats.geo_of(id));
+    }
+    const auto n_globals = static_cast<std::size_t>(r.get_varint());
+    for (std::size_t i = 0; i < n_globals; ++i) {
+      feat::ColorHistogram histogram;
+      for (float& bin : histogram.bins) bin = r.get_f32();
+      server_.seed_global(histogram, get_geo(r));
+    }
+    if (!r.done()) throw util::DecodeError("shard snapshot: trailing bytes");
+    server_.restore_accounting(stats, keys);
+  }
+
+  // Replay the WAL tail the snapshot does not cover; seq_ advances to the
+  // last applied record so new mutations continue the sequence.
+  const WalReplayResult replayed = replay_wal(
+      wal_path(), seq_, [this](const WalRecord& record) {
+        apply_locked(record, nullptr);
+        seq_ = record.seq;
+      });
+  if (replayed.dropped > 0) {
+    // Truncate the torn tail so future appends extend the valid prefix
+    // instead of hiding behind garbage.
+    std::filesystem::resize_file(wal_path(), replayed.valid_bytes);
+  }
+  obs::count("serve.recovery.replayed",
+             static_cast<double>(replayed.applied));
+}
+
+}  // namespace bees::serve

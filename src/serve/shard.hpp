@@ -1,0 +1,116 @@
+// One shard of the serving cluster: a cloud::Server behind its own mutex,
+// made durable by a write-ahead log plus periodic snapshot checkpoints.
+// The shard speaks in *global* image ids (assigned by the cluster frontend)
+// and keeps the local<->global mapping itself; within a shard, local
+// insertion order follows global id order, which is what lets per-shard
+// top-k lists merge into exactly the single-server ranking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cloud/server.hpp"
+#include "serve/wal.hpp"
+
+namespace bees::serve {
+
+struct ShardOptions {
+  /// Durability root for this shard (wal.log + snapshot.bin live here);
+  /// empty = in-memory only, no WAL, no checkpoints.
+  std::string dir;
+  /// Mutations between automatic snapshot checkpoints; 0 = never (WAL only,
+  /// or explicit checkpoint() calls).
+  std::size_t checkpoint_every = 0;
+  /// Crash-window test hook: when false, a checkpoint does NOT truncate the
+  /// WAL, simulating a crash between snapshot rename and log reset.  The
+  /// snapshot's sequence number must then keep replay from double-applying.
+  bool wal_reset_on_checkpoint = true;
+  idx::FeatureIndexParams binary_params;
+  idx::FloatFeatureIndex::Params float_params;
+};
+
+/// Snapshot of a shard's identity mapping, read by the cluster after
+/// recovery to rebuild its global routing tables.
+struct ShardIdentity {
+  std::vector<std::uint32_t> binary_globals;  ///< local id -> global id.
+  std::vector<std::uint32_t> float_globals;
+};
+
+class Shard {
+ public:
+  /// Opens the shard; when `options.dir` is set, recovers state from the
+  /// latest snapshot plus the WAL tail (a torn tail is truncated to the
+  /// last intact record, never replayed).
+  Shard(int id, const ShardOptions& options);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Logs (write-ahead) and applies one mutation.  The record's sequence
+  /// number is assigned here.  Returns the local index id for binary/float
+  /// ops, kInvalidImageId otherwise.
+  idx::ImageId apply(WalRecord record);
+
+  /// Query phase 1: this shard's LSH candidates as (global id, votes),
+  /// ranked (votes desc, global id asc).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> binary_candidates(
+      const feat::BinaryFeatures& features) const;
+  /// Query phase 2: exact rescore of `locals` (local ids, as mapped by the
+  /// cluster); returned hits carry global ids.
+  idx::QueryResult rescore_binary(const feat::BinaryFeatures& features,
+                                  const std::vector<idx::ImageId>& locals,
+                                  int top_k) const;
+
+  /// Float-index counterparts; candidates are (centroid distance, gid)
+  /// ranked (distance asc, global id asc).
+  std::vector<std::pair<double, std::uint32_t>> float_candidates(
+      const feat::FloatFeatures& features) const;
+  idx::QueryResult rescore_float(const feat::FloatFeatures& features,
+                                 const std::vector<idx::ImageId>& locals,
+                                 int top_k) const;
+
+  /// Best global-feature similarity on this shard (no accounting).
+  double peek_global(const feat::ColorHistogram& histogram,
+                     const idx::GeoTag& geo, double geo_radius_deg) const;
+
+  double thumbnail_bytes_of_local(idx::ImageId local) const;
+  /// One indexed image's features + geotag (copied out under the lock),
+  /// for merged-index export.
+  std::pair<feat::BinaryFeatures, idx::GeoTag> binary_entry(
+      idx::ImageId local) const;
+
+  cloud::ServerStats stats() const;
+  std::vector<std::uint64_t> location_keys() const;
+  ShardIdentity identity() const;
+  std::uint64_t last_applied_seq() const;
+
+  /// Writes a snapshot now (atomic tmp+rename) and — unless the crash-window
+  /// hook is off — truncates the WAL it makes redundant.  No-op without a
+  /// durability dir.
+  void checkpoint();
+
+  int id() const noexcept { return id_; }
+
+ private:
+  void apply_locked(const WalRecord& record, idx::ImageId* local_out);
+  void checkpoint_locked();
+  void recover();
+  std::string wal_path() const;
+  std::string snapshot_path() const;
+
+  const int id_;
+  ShardOptions options_;
+  mutable std::mutex mutex_;
+  cloud::Server server_;
+  std::vector<std::uint32_t> binary_globals_;  // local id -> global id
+  std::vector<std::uint32_t> float_globals_;
+  std::uint64_t seq_ = 0;
+  std::size_t mutations_since_checkpoint_ = 0;
+  std::unique_ptr<WriteAheadLog> wal_;
+};
+
+}  // namespace bees::serve

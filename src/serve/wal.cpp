@@ -1,0 +1,144 @@
+#include "serve/wal.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/byte_io.hpp"
+#include "util/crc32.hpp"
+
+namespace bees::serve {
+
+std::vector<std::uint8_t> encode_wal_record(const WalRecord& record) {
+  util::ByteWriter w;
+  w.put_u64(record.seq);
+  w.put_u8(static_cast<std::uint8_t>(record.op));
+  w.put_varint(record.global_id);
+  w.put_f64(record.info.image_bytes);
+  w.put_u8(record.info.geo.valid ? 1 : 0);
+  w.put_f64(record.info.geo.lon);
+  w.put_f64(record.info.geo.lat);
+  w.put_f64(record.info.thumbnail_bytes);
+  w.put_varint(record.payload.size());
+  w.put_bytes(record.payload);
+  return w.take();
+}
+
+WalRecord decode_wal_record(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  WalRecord record;
+  record.seq = r.get_u64();
+  const std::uint8_t op = r.get_u8();
+  if (op < static_cast<std::uint8_t>(WalOp::kStoreBinary) ||
+      op > static_cast<std::uint8_t>(WalOp::kSeedGlobal)) {
+    throw util::DecodeError("wal record: unknown op");
+  }
+  record.op = static_cast<WalOp>(op);
+  record.global_id = static_cast<std::uint32_t>(r.get_varint());
+  record.info.image_bytes = r.get_f64();
+  record.info.geo.valid = r.get_u8() != 0;
+  record.info.geo.lon = r.get_f64();
+  record.info.geo.lat = r.get_f64();
+  record.info.thumbnail_bytes = r.get_f64();
+  const auto payload_len = static_cast<std::size_t>(r.get_varint());
+  record.payload = r.get_bytes(payload_len);
+  if (!r.done()) throw util::DecodeError("wal record: trailing bytes");
+  return record;
+}
+
+std::vector<std::uint8_t> encode_histogram(const feat::ColorHistogram& h) {
+  util::ByteWriter w;
+  for (float bin : h.bins) w.put_f32(bin);
+  return w.take();
+}
+
+feat::ColorHistogram decode_histogram(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  feat::ColorHistogram h;
+  for (float& bin : h.bins) bin = r.get_f32();
+  if (!r.done()) throw util::DecodeError("histogram: trailing bytes");
+  return h;
+}
+
+WriteAheadLog::WriteAheadLog(std::string path) : path_(std::move(path)) {
+  open(/*truncate=*/false);
+}
+
+void WriteAheadLog::open(bool truncate) {
+  out_.close();
+  out_.clear();
+  out_.open(path_, truncate ? std::ios::binary | std::ios::trunc
+                            : std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("WriteAheadLog: cannot open " + path_);
+  }
+}
+
+void WriteAheadLog::append(const WalRecord& record) {
+  const std::vector<std::uint8_t> payload = encode_wal_record(record);
+  util::ByteWriter frame;
+  frame.put_u32(static_cast<std::uint32_t>(payload.size()));
+  frame.put_u32(util::crc32(payload));
+  frame.put_bytes(payload);
+  const auto& bytes = frame.bytes();
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("WriteAheadLog: append failed for " + path_);
+  }
+}
+
+void WriteAheadLog::reset() { open(/*truncate=*/true); }
+
+WalReplayResult replay_wal(
+    const std::string& path, std::uint64_t after_seq,
+    const std::function<void(const WalRecord&)>& apply) {
+  WalReplayResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;  // No log yet: nothing to replay.
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    // A frame shorter than its header, a length pointing past EOF, a CRC
+    // mismatch, or an undecodable payload all mean the tail is torn or
+    // corrupt: stop at the last intact record.
+    if (bytes.size() - pos < 8) break;
+    auto le32 = [&](std::size_t at) {
+      return static_cast<std::uint32_t>(bytes[at]) |
+             static_cast<std::uint32_t>(bytes[at + 1]) << 8 |
+             static_cast<std::uint32_t>(bytes[at + 2]) << 16 |
+             static_cast<std::uint32_t>(bytes[at + 3]) << 24;
+    };
+    const std::uint32_t len = le32(pos);
+    const std::uint32_t crc = le32(pos + 4);
+    if (len > bytes.size() - pos - 8) break;
+    std::vector<std::uint8_t> payload(bytes.begin() + pos + 8,
+                                      bytes.begin() + pos + 8 + len);
+    if (util::crc32(payload) != crc) break;
+    WalRecord record;
+    try {
+      record = decode_wal_record(payload);
+    } catch (const util::DecodeError&) {
+      break;
+    }
+    pos += 8 + len;
+    if (record.seq <= after_seq) {
+      ++result.skipped;
+      continue;
+    }
+    apply(record);
+    ++result.applied;
+  }
+  result.valid_bytes = pos;
+  if (pos < bytes.size()) {
+    result.dropped = 1;
+    result.dropped_bytes = bytes.size() - pos;
+    obs::count("serve.wal.dropped_records",
+               static_cast<double>(result.dropped));
+    obs::count("serve.wal.dropped_bytes",
+               static_cast<double>(result.dropped_bytes));
+  }
+  return result;
+}
+
+}  // namespace bees::serve

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "features/orb.hpp"
+#include "features/sift.hpp"
 #include "imaging/synth.hpp"
 #include "util/byte_io.hpp"
 #include "util/rng.hpp"
@@ -96,6 +97,71 @@ TEST(Persistence, LoadWithDifferentLshParamsStillWorks) {
   const QueryResult r = loaded.query_exact(original.features_of(0));
   EXPECT_EQ(r.best_id, 0u);
   EXPECT_DOUBLE_EQ(r.max_similarity, 1.0);
+}
+
+FloatFeatureIndex make_float_index(int images) {
+  FloatFeatureIndex index;
+  util::Rng rng(13);
+  img::ViewPerturbation pert;
+  for (int i = 0; i < images; ++i) {
+    const img::SceneSpec spec{static_cast<std::uint64_t>(7700 + i), 18, 4};
+    GeoTag geo{11.57 + 0.001 * i, 48.14, true};
+    index.insert(feat::extract_sift(
+                     img::render_view(spec, 200, 150, pert, rng)),
+                 geo);
+  }
+  return index;
+}
+
+TEST(Persistence, FloatRoundTripPreservesEverything) {
+  const FloatFeatureIndex original = make_float_index(4);
+  const std::string path = temp_path("bees_float_snapshot.bin");
+  save_float_index_snapshot(original, path);
+  const FloatFeatureIndex loaded = load_float_index_snapshot(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.image_count(), original.image_count());
+  for (std::size_t i = 0; i < original.image_count(); ++i) {
+    const auto id = static_cast<ImageId>(i);
+    ASSERT_EQ(loaded.features_of(id).size(), original.features_of(id).size());
+    ASSERT_EQ(loaded.features_of(id).dim, original.features_of(id).dim);
+    EXPECT_EQ(loaded.features_of(id).values, original.features_of(id).values);
+    EXPECT_EQ(loaded.geo_of(id), original.geo_of(id));
+  }
+}
+
+TEST(Persistence, FloatLoadedIndexAnswersQueriesIdentically) {
+  const FloatFeatureIndex original = make_float_index(5);
+  const std::string path = temp_path("bees_float_snapshot2.bin");
+  save_float_index_snapshot(original, path);
+  const FloatFeatureIndex loaded = load_float_index_snapshot(path);
+  std::remove(path.c_str());
+
+  for (std::size_t i = 0; i < original.image_count(); ++i) {
+    const auto id = static_cast<ImageId>(i);
+    const QueryResult a = original.query(original.features_of(id));
+    const QueryResult b = loaded.query(original.features_of(id));
+    EXPECT_EQ(a.best_id, b.best_id);
+    EXPECT_DOUBLE_EQ(a.max_similarity, b.max_similarity);
+  }
+}
+
+TEST(Persistence, FloatEmptyIndexRoundTrips) {
+  const FloatFeatureIndex empty;
+  const std::string path = temp_path("bees_float_empty.bin");
+  save_float_index_snapshot(empty, path);
+  const FloatFeatureIndex loaded = load_float_index_snapshot(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.image_count(), 0u);
+}
+
+TEST(Persistence, MixedMagicIsRejected) {
+  // A binary snapshot fed to the float loader (and vice versa) must fail
+  // loudly on the magic, not misparse.
+  const auto binary_bytes = encode_index_snapshot(make_index(2));
+  EXPECT_THROW(decode_float_index_snapshot(binary_bytes), util::DecodeError);
+  const auto float_bytes = encode_float_index_snapshot(make_float_index(2));
+  EXPECT_THROW(decode_index_snapshot(float_bytes), util::DecodeError);
 }
 
 TEST(Persistence, MissingFileThrows) {

@@ -1,0 +1,298 @@
+// The cluster's contract: any shard count produces byte-identical replies
+// and identical accounting to one serial cloud::Server fed the same
+// operations in the same order.
+#include "serve/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/rpc.hpp"
+#include "cloud/server.hpp"
+#include "features/global.hpp"
+#include "features/orb.hpp"
+#include "features/sift.hpp"
+#include "imaging/synth.hpp"
+#include "net/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace bees::serve {
+namespace {
+
+feat::BinaryFeatures make_binary(std::uint64_t seed) {
+  util::Rng rng(seed);
+  img::ViewPerturbation pert;
+  return feat::extract_orb(
+      img::render_view(img::SceneSpec{seed, 18, 4}, 200, 150, pert, rng));
+}
+
+feat::FloatFeatures make_float(std::uint64_t seed) {
+  util::Rng rng(seed);
+  img::ViewPerturbation pert;
+  return feat::extract_sift(
+      img::render_view(img::SceneSpec{seed, 18, 4}, 200, 150, pert, rng));
+}
+
+feat::ColorHistogram make_histogram(std::uint64_t seed) {
+  util::Rng rng(seed);
+  img::ViewPerturbation pert;
+  return feat::color_histogram(
+      img::render_view(img::SceneSpec{seed, 18, 4}, 120, 90, pert, rng));
+}
+
+idx::GeoTag geo_of(int i) {
+  // Three distinct places so routing exercises co-location, plus the
+  // occasional untagged image.
+  if (i % 5 == 4) return {};
+  return {2.29 + 0.01 * (i % 3), 48.85 + 0.002 * (i % 3), true};
+}
+
+/// The mixed workload every equivalence test drives: seeds, then an
+/// interleaving of uploads and queries covering all message types.
+std::vector<std::vector<std::uint8_t>> workload_requests() {
+  std::vector<std::vector<std::uint8_t>> requests;
+  for (int i = 0; i < 6; ++i) {
+    net::ImageUploadRequest up;
+    up.features = make_binary(500 + static_cast<std::uint64_t>(i));
+    up.image_bytes = 700'000.0 + 1'000.0 * i;
+    up.geo = geo_of(i);
+    up.thumbnail_bytes = 12'000.0 + 100.0 * i;
+    requests.push_back(net::encode(up));
+
+    net::BinaryQueryRequest q;
+    q.features = make_binary(500 + static_cast<std::uint64_t>(i));
+    q.feature_bytes = 9'000.0 + 10.0 * i;
+    requests.push_back(net::encode(q));
+
+    net::FloatUploadRequest fup;
+    fup.features = make_float(800 + static_cast<std::uint64_t>(i));
+    fup.image_bytes = 650'000.0;
+    fup.geo = geo_of(i + 1);
+    requests.push_back(net::encode(fup));
+
+    net::FloatQueryRequest fq;
+    fq.features = make_float(800 + static_cast<std::uint64_t>(i));
+    fq.feature_bytes = 20'000.0;
+    requests.push_back(net::encode(fq));
+
+    net::GlobalUploadRequest gup;
+    gup.histogram = make_histogram(900 + static_cast<std::uint64_t>(i));
+    gup.image_bytes = 710'000.0;
+    gup.geo = geo_of(i);
+    requests.push_back(net::encode(gup));
+
+    net::GlobalQueryRequest gq;
+    gq.histogram = make_histogram(900 + static_cast<std::uint64_t>(i));
+    gq.geo = geo_of(i);
+    gq.feature_bytes = 256.0;
+    requests.push_back(net::encode(gq));
+
+    net::PlainUploadRequest pup;
+    pup.image_bytes = 720'000.0;
+    pup.geo = geo_of(i + 2);
+    requests.push_back(net::encode(pup));
+  }
+  // One bulk CBRD round over fresh views of the uploaded scenes.
+  net::BatchQueryRequest batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.features.push_back(make_binary(500 + static_cast<std::uint64_t>(i)));
+    batch.feature_bytes.push_back(8'500.0);
+  }
+  requests.push_back(net::encode(batch));
+  return requests;
+}
+
+void seed_both(cloud::Server& server, Cluster& cluster) {
+  for (int i = 0; i < 5; ++i) {
+    const auto features = make_binary(100 + static_cast<std::uint64_t>(i));
+    server.seed_binary(features, geo_of(i), 11'000.0);
+    cluster.seed_binary(features, geo_of(i), 11'000.0);
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto features = make_float(200 + static_cast<std::uint64_t>(i));
+    server.seed_float(features, geo_of(i));
+    cluster.seed_float(features, geo_of(i));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto histogram = make_histogram(300 + static_cast<std::uint64_t>(i));
+    server.seed_global(histogram, geo_of(i));
+    cluster.seed_global(histogram, geo_of(i));
+  }
+}
+
+void expect_stats_equal(const cloud::ServerStats& a,
+                        const cloud::ServerStats& b) {
+  EXPECT_EQ(a.images_stored, b.images_stored);
+  EXPECT_DOUBLE_EQ(a.image_bytes_received, b.image_bytes_received);
+  EXPECT_DOUBLE_EQ(a.feature_bytes_received, b.feature_bytes_received);
+  EXPECT_EQ(a.binary_queries, b.binary_queries);
+  EXPECT_EQ(a.float_queries, b.float_queries);
+  EXPECT_EQ(a.unique_locations, b.unique_locations);
+}
+
+class ClusterEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterEquivalence, RepliesMatchSerialDispatchByteForByte) {
+  cloud::Server server;
+  ClusterOptions options;
+  options.shards = GetParam();
+  Cluster cluster(options);
+  seed_both(server, cluster);
+
+  int step = 0;
+  for (const auto& request : workload_requests()) {
+    const auto serial = cloud::dispatch(server, request);
+    const auto sharded = cluster.handle(request);
+    ASSERT_EQ(sharded, serial) << "shards=" << GetParam() << " step=" << step;
+    ++step;
+  }
+  expect_stats_equal(cluster.stats(), server.stats());
+}
+
+TEST_P(ClusterEquivalence, DirectPlaneMatchesSerial) {
+  cloud::Server server;
+  ClusterOptions options;
+  options.shards = GetParam();
+  Cluster cluster(options);
+  seed_both(server, cluster);
+
+  for (int i = 0; i < 5; ++i) {
+    const auto query = make_binary(100 + static_cast<std::uint64_t>(i));
+    const idx::QueryResult a = server.query_binary(query, 9'000.0);
+    const idx::QueryResult b = cluster.query_binary(query, 9'000.0);
+    EXPECT_EQ(b.best_id, a.best_id);
+    EXPECT_DOUBLE_EQ(b.max_similarity, a.max_similarity);
+    EXPECT_EQ(b.candidates_checked, a.candidates_checked);
+    EXPECT_EQ(b.ops, a.ops);
+    ASSERT_EQ(b.hits.size(), a.hits.size());
+    for (std::size_t h = 0; h < a.hits.size(); ++h) {
+      EXPECT_EQ(b.hits[h].id, a.hits[h].id);
+      EXPECT_DOUBLE_EQ(b.hits[h].similarity, a.hits[h].similarity);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto query = make_float(200 + static_cast<std::uint64_t>(i));
+    const idx::QueryResult a = server.query_float(query, 20'000.0);
+    const idx::QueryResult b = cluster.query_float(query, 20'000.0);
+    EXPECT_EQ(b.best_id, a.best_id);
+    EXPECT_DOUBLE_EQ(b.max_similarity, a.max_similarity);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto histogram = make_histogram(300 + static_cast<std::uint64_t>(i));
+    EXPECT_DOUBLE_EQ(cluster.query_global(histogram, geo_of(i)),
+                     server.query_global(histogram, geo_of(i)));
+  }
+  expect_stats_equal(cluster.stats(), server.stats());
+}
+
+TEST_P(ClusterEquivalence, StoreIdsMatchSerialIdSequence) {
+  cloud::Server server;
+  ClusterOptions options;
+  options.shards = GetParam();
+  Cluster cluster(options);
+  seed_both(server, cluster);
+
+  for (int i = 0; i < 6; ++i) {
+    const auto features = make_binary(600 + static_cast<std::uint64_t>(i));
+    cloud::StoreInfo info{700'000.0, geo_of(i), 12'000.0};
+    EXPECT_EQ(cluster.store_binary(features, info),
+              server.store_binary(features, info));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto features = make_float(700 + static_cast<std::uint64_t>(i));
+    cloud::StoreInfo info{650'000.0, geo_of(i), 0.0};
+    EXPECT_EQ(cluster.store_float(features, info),
+              server.store_float(features, info));
+  }
+}
+
+TEST_P(ClusterEquivalence, ThumbnailFeedbackMatchesSerial) {
+  cloud::Server server;
+  ClusterOptions options;
+  options.shards = GetParam();
+  Cluster cluster(options);
+  seed_both(server, cluster);
+
+  for (idx::ImageId id = 0; id < 5; ++id) {
+    EXPECT_DOUBLE_EQ(cluster.thumbnail_bytes_of(id),
+                     server.thumbnail_bytes_of(id));
+  }
+}
+
+TEST_P(ClusterEquivalence, ErrorRepliesMatchSerial) {
+  cloud::Server server;
+  ClusterOptions options;
+  options.shards = GetParam();
+  Cluster cluster(options);
+
+  // Malformed envelope.
+  const std::vector<std::uint8_t> garbage{0xFF, 0x01, 0x02};
+  EXPECT_EQ(cluster.handle(garbage), cloud::dispatch(server, garbage));
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(cluster.handle(empty), cloud::dispatch(server, empty));
+
+  // A response type is not a request.
+  const auto response = net::encode(net::QueryResponse{});
+  const auto serial = cloud::dispatch(server, response);
+  EXPECT_EQ(cluster.handle(response), serial);
+  const auto envelope = net::open_envelope(serial);
+  ASSERT_EQ(envelope.type, net::MessageType::kError);
+  EXPECT_EQ(net::decode_error(envelope.payload), "unexpected message type");
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ClusterEquivalence,
+                         ::testing::Values(1, 2, 3, 5));
+
+TEST(Cluster, MergedBinaryIndexPreservesGlobalIdOrder) {
+  ClusterOptions options;
+  options.shards = 3;
+  Cluster cluster(options);
+  cloud::Server server;
+  seed_both(server, cluster);
+
+  const idx::FeatureIndex merged = cluster.merged_binary_index();
+  ASSERT_EQ(merged.image_count(), 5u);
+  for (idx::ImageId id = 0; id < 5; ++id) {
+    const auto& expected = make_binary(100 + static_cast<std::uint64_t>(id));
+    ASSERT_EQ(merged.features_of(id).size(), expected.size());
+    for (std::size_t d = 0; d < expected.size(); ++d) {
+      EXPECT_EQ(merged.features_of(id).descriptors[d],
+                expected.descriptors[d]);
+    }
+    EXPECT_EQ(merged.geo_of(id), geo_of(static_cast<int>(id)));
+  }
+}
+
+TEST(Cluster, PreloadBinaryMatchesSeededServer) {
+  // preload from a merged snapshot == seeding the same entries directly.
+  ClusterOptions donor_options;
+  donor_options.shards = 2;
+  Cluster donor(donor_options);
+  for (int i = 0; i < 5; ++i) {
+    donor.seed_binary(make_binary(100 + static_cast<std::uint64_t>(i)),
+                      geo_of(i), 11'000.0);
+  }
+
+  ClusterOptions options;
+  options.shards = 4;
+  Cluster cluster(options);
+  cluster.preload_binary(donor.merged_binary_index());
+
+  cloud::Server server;
+  for (int i = 0; i < 5; ++i) {
+    server.seed_binary(make_binary(100 + static_cast<std::uint64_t>(i)),
+                       geo_of(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto query = make_binary(100 + static_cast<std::uint64_t>(i));
+    const idx::QueryResult a = server.query_binary(query, 9'000.0);
+    const idx::QueryResult b = cluster.query_binary(query, 9'000.0);
+    EXPECT_EQ(b.best_id, a.best_id);
+    EXPECT_DOUBLE_EQ(b.max_similarity, a.max_similarity);
+  }
+}
+
+}  // namespace
+}  // namespace bees::serve

@@ -1,0 +1,341 @@
+// Durability: a cluster rebuilt from its data directory must serve the
+// same answers as one that never went down — whether it recovers from the
+// WAL alone, a snapshot plus a WAL tail, or a WAL torn mid-record by a
+// crash.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/server.hpp"
+#include "features/global.hpp"
+#include "features/orb.hpp"
+#include "features/sift.hpp"
+#include "imaging/synth.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "serve/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace bees::serve {
+namespace {
+
+feat::BinaryFeatures make_binary(std::uint64_t seed) {
+  util::Rng rng(seed);
+  img::ViewPerturbation pert;
+  return feat::extract_orb(
+      img::render_view(img::SceneSpec{seed, 18, 4}, 200, 150, pert, rng));
+}
+
+feat::FloatFeatures make_float(std::uint64_t seed) {
+  util::Rng rng(seed);
+  img::ViewPerturbation pert;
+  return feat::extract_sift(
+      img::render_view(img::SceneSpec{seed, 18, 4}, 200, 150, pert, rng));
+}
+
+feat::ColorHistogram make_histogram(std::uint64_t seed) {
+  util::Rng rng(seed);
+  img::ViewPerturbation pert;
+  return feat::color_histogram(
+      img::render_view(img::SceneSpec{seed, 18, 4}, 120, 90, pert, rng));
+}
+
+idx::GeoTag geo_of(int i) {
+  return {2.29 + 0.01 * (i % 3), 48.85 + 0.002 * (i % 3), true};
+}
+
+/// Fresh scratch directory per test.
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("bees_recovery_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+/// The mutation script both the durable instance and the in-memory
+/// reference replay; `count` lets the crash test cut it short.
+void apply_ops(Cluster& cluster, int count) {
+  for (int i = 0; i < count; ++i) {
+    switch (i % 4) {
+      case 0:
+        cluster.store_binary(make_binary(50 + static_cast<std::uint64_t>(i)),
+                             {700'000.0 + i, geo_of(i), 12'000.0 + i});
+        break;
+      case 1:
+        cluster.store_float(make_float(80 + static_cast<std::uint64_t>(i)),
+                            {650'000.0 + i, geo_of(i), 0.0});
+        break;
+      case 2:
+        cluster.store_global(make_histogram(90 + static_cast<std::uint64_t>(i)),
+                             {710'000.0 + i, geo_of(i), 0.0});
+        break;
+      default:
+        cluster.store_plain({720'000.0 + i, geo_of(i + 1), 0.0});
+        break;
+    }
+  }
+}
+
+void seed(Cluster& cluster) {
+  for (int i = 0; i < 3; ++i) {
+    cluster.seed_binary(make_binary(10 + static_cast<std::uint64_t>(i)),
+                        geo_of(i), 11'000.0);
+  }
+  cluster.seed_float(make_float(20), geo_of(0));
+  cluster.seed_global(make_histogram(30), geo_of(1));
+}
+
+void expect_store_stats_equal(const cloud::ServerStats& a,
+                              const cloud::ServerStats& b) {
+  EXPECT_EQ(a.images_stored, b.images_stored);
+  EXPECT_DOUBLE_EQ(a.image_bytes_received, b.image_bytes_received);
+  EXPECT_DOUBLE_EQ(a.feature_bytes_received, b.feature_bytes_received);
+  EXPECT_EQ(a.unique_locations, b.unique_locations);
+}
+
+/// The recovered instance must answer every probe with the reference's
+/// exact bytes.
+void expect_serves_like(Cluster& recovered, Cluster& reference, int ops) {
+  for (int i = 0; i < ops; ++i) {
+    if (i % 4 == 0) {
+      const auto request = net::encode_binary_query(
+          make_binary(50 + static_cast<std::uint64_t>(i)), idx::kDefaultTopK,
+          9'000.0);
+      EXPECT_EQ(recovered.handle(request), reference.handle(request))
+          << "binary probe " << i;
+    } else if (i % 4 == 1) {
+      const auto request = net::encode_float_query(
+          make_float(80 + static_cast<std::uint64_t>(i)), idx::kDefaultTopK,
+          20'000.0);
+      EXPECT_EQ(recovered.handle(request), reference.handle(request))
+          << "float probe " << i;
+    }
+  }
+  net::GlobalQueryRequest gq;
+  gq.histogram = make_histogram(92);
+  gq.geo = geo_of(2);
+  gq.feature_bytes = 256.0;
+  const auto request = net::encode(gq);
+  EXPECT_EQ(recovered.handle(request), reference.handle(request));
+}
+
+TEST_F(RecoveryTest, WalOnlyRecoveryRestoresServingState) {
+  constexpr int kOps = 12;
+  ClusterOptions durable;
+  durable.shards = 2;
+  durable.data_dir = dir_;
+  {
+    Cluster cluster(durable);
+    seed(cluster);
+    apply_ops(cluster, kOps);
+  }  // no checkpoint: everything lives in the WALs
+
+  Cluster recovered(durable);
+  ClusterOptions in_memory;
+  in_memory.shards = 2;
+  Cluster reference(in_memory);
+  seed(reference);
+  apply_ops(reference, kOps);
+
+  expect_store_stats_equal(recovered.stats(), reference.stats());
+  expect_serves_like(recovered, reference, kOps);
+  // Recovery restores store-side accounting; query counters restart at
+  // zero by design (queries are not journaled) — after identical probes
+  // above, the counters line up again.
+  EXPECT_EQ(recovered.stats().binary_queries, reference.stats().binary_queries);
+}
+
+TEST_F(RecoveryTest, SnapshotPlusWalTailRecovers) {
+  constexpr int kBeforeCheckpoint = 8;
+  constexpr int kAfter = 5;
+  ClusterOptions durable;
+  durable.shards = 3;
+  durable.data_dir = dir_;
+  {
+    Cluster cluster(durable);
+    seed(cluster);
+    apply_ops(cluster, kBeforeCheckpoint);
+    cluster.checkpoint();  // snapshot + WAL truncation
+    for (int i = kBeforeCheckpoint; i < kBeforeCheckpoint + kAfter; ++i) {
+      cluster.store_binary(make_binary(50 + static_cast<std::uint64_t>(i)),
+                           {700'000.0 + i, geo_of(i), 12'000.0 + i});
+    }
+  }
+
+  Cluster recovered(durable);
+  ClusterOptions in_memory;
+  in_memory.shards = 3;
+  Cluster reference(in_memory);
+  seed(reference);
+  apply_ops(reference, kBeforeCheckpoint);
+  for (int i = kBeforeCheckpoint; i < kBeforeCheckpoint + kAfter; ++i) {
+    reference.store_binary(make_binary(50 + static_cast<std::uint64_t>(i)),
+                           {700'000.0 + i, geo_of(i), 12'000.0 + i});
+  }
+
+  expect_store_stats_equal(recovered.stats(), reference.stats());
+  expect_serves_like(recovered, reference, kBeforeCheckpoint);
+}
+
+TEST_F(RecoveryTest, CheckpointWithKeptWalDoesNotDoubleApply) {
+  // wal_reset_on_checkpoint=false leaves snapshot-covered records in the
+  // WAL — the crash window between "snapshot published" and "WAL
+  // truncated".  Replay must skip them by sequence number.
+  constexpr int kOps = 9;
+  ClusterOptions durable;
+  durable.shards = 2;
+  durable.data_dir = dir_;
+  durable.wal_reset_on_checkpoint = false;
+  {
+    Cluster cluster(durable);
+    seed(cluster);
+    apply_ops(cluster, kOps);
+    cluster.checkpoint();
+  }
+
+  Cluster recovered(durable);
+  ClusterOptions in_memory;
+  in_memory.shards = 2;
+  Cluster reference(in_memory);
+  seed(reference);
+  apply_ops(reference, kOps);
+
+  expect_store_stats_equal(recovered.stats(), reference.stats());
+  expect_serves_like(recovered, reference, kOps);
+}
+
+TEST_F(RecoveryTest, AutomaticCheckpointsRecover) {
+  constexpr int kOps = 10;
+  ClusterOptions durable;
+  durable.shards = 2;
+  durable.data_dir = dir_;
+  durable.checkpoint_every = 3;
+  {
+    Cluster cluster(durable);
+    seed(cluster);
+    apply_ops(cluster, kOps);
+  }
+
+  Cluster recovered(durable);
+  ClusterOptions in_memory;
+  in_memory.shards = 2;
+  Cluster reference(in_memory);
+  seed(reference);
+  apply_ops(reference, kOps);
+
+  expect_store_stats_equal(recovered.stats(), reference.stats());
+  expect_serves_like(recovered, reference, kOps);
+}
+
+TEST_F(RecoveryTest, CrashMidWalRecordRecoversTheIntactPrefix) {
+  // Single shard so the WAL order equals the op order: tearing the last
+  // frame's bytes must recover exactly the first kOps-1 operations.
+  constexpr int kOps = 6;
+  ClusterOptions durable;
+  durable.shards = 1;
+  durable.data_dir = dir_;
+  {
+    Cluster cluster(durable);
+    apply_ops(cluster, kOps);
+  }
+  const std::string wal = dir_ + "/shard-0/wal.log";
+  ASSERT_TRUE(std::filesystem::exists(wal));
+  const auto full_size = std::filesystem::file_size(wal);
+  std::filesystem::resize_file(wal, full_size - 5);  // simulated crash
+
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+  Cluster recovered(durable);
+  const auto counters = obs::MetricsRegistry::global().snapshot().counters;
+  obs::set_enabled(false);
+  ASSERT_TRUE(counters.count("serve.wal.dropped_records"));
+  EXPECT_DOUBLE_EQ(counters.at("serve.wal.dropped_records"), 1.0);
+
+  ClusterOptions in_memory;
+  in_memory.shards = 1;
+  Cluster reference(in_memory);
+  apply_ops(reference, kOps - 1);
+
+  expect_store_stats_equal(recovered.stats(), reference.stats());
+  expect_serves_like(recovered, reference, kOps - 1);
+
+  // Recovery truncated the torn tail, so the WAL accepts appends again:
+  // a post-crash store must survive the *next* restart too.
+  recovered.store_binary(make_binary(999), {701'000.0, geo_of(0), 13'000.0});
+}
+
+TEST_F(RecoveryTest, StoresAfterACrashSurviveTheNextRestart) {
+  constexpr int kOps = 5;
+  ClusterOptions durable;
+  durable.shards = 1;
+  durable.data_dir = dir_;
+  {
+    Cluster cluster(durable);
+    apply_ops(cluster, kOps);
+  }
+  const std::string wal = dir_ + "/shard-0/wal.log";
+  std::filesystem::resize_file(wal, std::filesystem::file_size(wal) - 3);
+
+  {
+    Cluster recovered(durable);
+    recovered.store_binary(make_binary(999), {701'000.0, geo_of(0), 13'000.0});
+  }
+
+  Cluster again(durable);
+  ClusterOptions in_memory;
+  in_memory.shards = 1;
+  Cluster reference(in_memory);
+  apply_ops(reference, kOps - 1);
+  reference.store_binary(make_binary(999), {701'000.0, geo_of(0), 13'000.0});
+
+  expect_store_stats_equal(again.stats(), reference.stats());
+  const auto request = net::encode_binary_query(make_binary(999),
+                                                idx::kDefaultTopK, 9'000.0);
+  EXPECT_EQ(again.handle(request), reference.handle(request));
+}
+
+TEST_F(RecoveryTest, FloatIndexSurvivesSnapshotRecovery) {
+  ClusterOptions durable;
+  durable.shards = 2;
+  durable.data_dir = dir_;
+  {
+    Cluster cluster(durable);
+    for (int i = 0; i < 4; ++i) {
+      cluster.store_float(make_float(80 + static_cast<std::uint64_t>(i)),
+                          {650'000.0 + i, geo_of(i), 0.0});
+    }
+    cluster.checkpoint();
+  }
+
+  Cluster recovered(durable);
+  ClusterOptions in_memory;
+  in_memory.shards = 2;
+  Cluster reference(in_memory);
+  for (int i = 0; i < 4; ++i) {
+    reference.store_float(make_float(80 + static_cast<std::uint64_t>(i)),
+                          {650'000.0 + i, geo_of(i), 0.0});
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    const auto request = net::encode_float_query(
+        make_float(80 + static_cast<std::uint64_t>(i)), idx::kDefaultTopK,
+        20'000.0);
+    EXPECT_EQ(recovered.handle(request), reference.handle(request));
+  }
+}
+
+}  // namespace
+}  // namespace bees::serve

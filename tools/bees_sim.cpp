@@ -29,6 +29,17 @@
 //                   (counters / gauges / stage histograms) as JSON to PATH
 //   --trace         enable observability and write a chrome://tracing
 //                   event file of the run's pipeline spans to PATH
+//
+// Serving-layer options (any of them routes the run through a
+// serve::Cluster instead of the in-process serial server; results are
+// byte-identical for every shard/thread count):
+//   --shards         cluster shard count                       (default 1)
+//   --server-threads cluster worker threads                    (default 1)
+//   --queue-depth    admission bound before requests are shed  (default 256)
+//   --data-dir       durability root: recover on start, write per-shard
+//                    WALs during the run, checkpoint on exit
+//   --save-index PATH  save the binary index as a snapshot on exit
+//   --load-index PATH  pre-seed the binary index from a snapshot
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -39,8 +50,10 @@
 #include "core/baselines.hpp"
 #include "core/bees.hpp"
 #include "core/simulation.hpp"
+#include "index/persistence.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/cluster.hpp"
 #include "util/table.hpp"
 
 using namespace bees;
@@ -66,6 +79,18 @@ struct Options {
   bool csv = false;
   std::string metrics_json_path;
   std::string trace_path;
+  // Serving layer: 0 / empty = legacy in-process serial server.
+  int shards = 0;
+  int server_threads = 0;
+  int queue_depth = 0;
+  std::string data_dir;
+  std::string save_index_path;
+  std::string load_index_path;
+
+  bool use_cluster() const {
+    return shards > 0 || server_threads > 0 || queue_depth > 0 ||
+           !data_dir.empty();
+  }
 };
 
 /// CSV columns: header label -> BatchReport named_values() row.
@@ -98,7 +123,10 @@ int usage(const char* argv0) {
                "       [--battery PCT] [--width W] [--height H] [--seed S]\n"
                "       [--loss P] [--outage P] [--outage-dur S] [--retries N]\n"
                "       [--timeout S] [--backoff S] [--csv]\n"
-               "       [--metrics-json PATH] [--trace PATH]\n";
+               "       [--metrics-json PATH] [--trace PATH]\n"
+               "       [--shards N] [--server-threads N] [--queue-depth N]\n"
+               "       [--data-dir PATH] [--save-index PATH]\n"
+               "       [--load-index PATH]\n";
   return 2;
 }
 
@@ -147,6 +175,18 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.metrics_json_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       opt.trace_path = argv[++i];
+    } else if (arg == "--shards" && next(v)) {
+      opt.shards = static_cast<int>(v);
+    } else if (arg == "--server-threads" && next(v)) {
+      opt.server_threads = static_cast<int>(v);
+    } else if (arg == "--queue-depth" && next(v)) {
+      opt.queue_depth = static_cast<int>(v);
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      opt.data_dir = argv[++i];
+    } else if (arg == "--save-index" && i + 1 < argc) {
+      opt.save_index_path = argv[++i];
+    } else if (arg == "--load-index" && i + 1 < argc) {
+      opt.load_index_path = argv[++i];
     } else {
       return false;
     }
@@ -156,7 +196,8 @@ bool parse(int argc, char** argv, Options& opt) {
          opt.battery_pct <= 100 && opt.width >= 64 && opt.height >= 64 &&
          opt.loss >= 0 && opt.loss <= 1 && opt.outage >= 0 && opt.outage <= 1 &&
          opt.outage_dur > 0 && opt.retries >= 1 && opt.timeout_s >= 0 &&
-         opt.backoff_s > 0;
+         opt.backoff_s > 0 && opt.shards >= 0 && opt.server_threads >= 0 &&
+         opt.queue_depth >= 0;
 }
 
 }  // namespace
@@ -206,15 +247,47 @@ int main(int argc, char** argv) {
   }
 
   cloud::Server server;
+  std::unique_ptr<serve::Cluster> cluster;
+  if (opt.use_cluster()) {
+    serve::ClusterOptions cluster_options;
+    cluster_options.shards = std::max(1, opt.shards);
+    cluster_options.threads = std::max(1, opt.server_threads);
+    if (opt.queue_depth > 0) {
+      cluster_options.queue_depth = static_cast<std::size_t>(opt.queue_depth);
+    }
+    cluster_options.data_dir = opt.data_dir;
+    cluster = std::make_unique<serve::Cluster>(cluster_options);
+    // Every exchange of the run now rides the cluster's admission gate and
+    // worker pool instead of a direct cloud::dispatch bind.
+    scheme->set_server_handler(cluster->handler());
+  }
+  if (!opt.load_index_path.empty()) {
+    const idx::FeatureIndex loaded =
+        idx::load_index_snapshot(opt.load_index_path);
+    if (cluster) {
+      cluster->preload_binary(loaded);
+    } else {
+      for (std::size_t i = 0; i < loaded.image_count(); ++i) {
+        const auto id = static_cast<idx::ImageId>(i);
+        server.seed_binary(loaded.features_of(id), loaded.geo_of(id));
+      }
+    }
+  }
   if (opt.redundancy > 0) {
     // SmartEye needs the float index seeded too.
     if (!pca && opt.scheme == "SmartEye") {
       pca = std::make_shared<feat::PcaModel>(
           core::train_pca_model(store, batch, 4));
     }
-    core::seed_cross_batch_redundancy(batch.images, opt.redundancy, store,
-                                      server, pca.get(), opt.seed ^ 0x5eed,
-                                      config.image_byte_scale);
+    if (cluster) {
+      core::seed_cross_batch_redundancy(batch.images, opt.redundancy, store,
+                                        *cluster, pca.get(), opt.seed ^ 0x5eed,
+                                        config.image_byte_scale);
+    } else {
+      core::seed_cross_batch_redundancy(batch.images, opt.redundancy, store,
+                                        server, pca.get(), opt.seed ^ 0x5eed,
+                                        config.image_byte_scale);
+    }
   }
   net::ChannelParams chan_params =
       opt.bitrate_kbps > 0 ? net::ChannelParams::fixed(opt.bitrate_kbps * 1000)
@@ -228,6 +301,15 @@ int main(int argc, char** argv) {
 
   const core::BatchReport r =
       scheme->upload_batch(batch.images, server, channel, battery);
+
+  if (!opt.save_index_path.empty()) {
+    idx::save_index_snapshot(
+        cluster ? cluster->merged_binary_index() : server.binary_index(),
+        opt.save_index_path);
+  }
+  // Leave durable state checkpointed so the next run recovers from
+  // snapshots instead of replaying the whole WAL.
+  if (cluster && !opt.data_dir.empty()) cluster->checkpoint();
 
   if (observe) {
     r.export_metrics("sim.batch");
