@@ -1,0 +1,36 @@
+#include "fleet/arrivals.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bees::fleet {
+
+double ArrivalProcess::rate_at(double t) const noexcept {
+  if (spike_start_s >= 0.0 && t >= spike_start_s &&
+      t < spike_start_s + spike_duration_s) {
+    return steady_rate_hz * spike_multiplier;
+  }
+  return steady_rate_hz;
+}
+
+double ArrivalProcess::peak_rate() const noexcept {
+  const double spike =
+      spike_start_s >= 0.0 && spike_duration_s > 0.0 ? spike_multiplier : 1.0;
+  return steady_rate_hz * std::max(1.0, spike);
+}
+
+double ArrivalProcess::next_after(double t, util::Rng& rng) const noexcept {
+  const double peak = peak_rate();
+  if (peak <= 0.0) return std::numeric_limits<double>::infinity();
+  // Lewis-Shedler thinning: candidate gaps at the envelope rate, each kept
+  // with probability rate(t)/peak.  Bounded iterations as a safety net for
+  // degenerate parameters (e.g. multiplier ~ 0 outside a spike that never
+  // comes): the process then effectively stops.
+  for (int draws = 0; draws < 100000; ++draws) {
+    t += rng.exponential(peak);
+    if (rng.next_double() * peak < rate_at(t)) return t;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace bees::fleet

@@ -1,0 +1,34 @@
+// Capture-arrival processes for simulated devices.  Open-loop devices
+// photograph on a piecewise-constant-rate Poisson process: a steady-state
+// rate plus an optional "disaster spike" window during which the rate is
+// multiplied (the crowd-scale burst that crowds a damaged uplink —
+// CARE / Choudhuri et al.'s regime).  Closed-loop devices instead wait a
+// think time after each completed round; both draw exclusively from the
+// caller's seeded Rng, so a device's whole schedule is a pure function of
+// (seed, device id).
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace bees::fleet {
+
+/// Piecewise-constant-rate Poisson arrivals (captures per second).
+struct ArrivalProcess {
+  double steady_rate_hz = 0.05;
+  /// Spike window [spike_start_s, spike_start_s + spike_duration_s) during
+  /// which the rate is steady_rate_hz * spike_multiplier.  A negative
+  /// start disables the spike.
+  double spike_start_s = -1.0;
+  double spike_duration_s = 0.0;
+  double spike_multiplier = 1.0;
+
+  /// Instantaneous rate at time `t`.
+  double rate_at(double t) const noexcept;
+  /// The peak rate over all t (the thinning envelope).
+  double peak_rate() const noexcept;
+  /// Next arrival strictly after `t`, by thinning against peak_rate().
+  /// Returns an arbitrarily large time if the rate is zero everywhere.
+  double next_after(double t, util::Rng& rng) const noexcept;
+};
+
+}  // namespace bees::fleet

@@ -1,0 +1,310 @@
+#include "fleet/device.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "fleet/client.hpp"
+#include "index/serialize.hpp"
+#include "net/protocol.hpp"
+#include "util/byte_io.hpp"
+
+namespace bees::fleet {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Salt spacing for the per-device forked RNG streams.
+constexpr std::uint64_t kSaltsPerDevice = 4;
+
+std::uint64_t device_salt(int id, std::uint64_t which) noexcept {
+  return 0x1000 + static_cast<std::uint64_t>(id) * kSaltsPerDevice + which;
+}
+
+}  // namespace
+
+Device::Device(const Config& config, const wl::Imageset& set)
+    : config_(config),
+      set_(set),
+      battery_(energy::Battery::kDefaultCapacityJ) {
+  util::Rng root(config_.fleet_seed);
+  rng_ = root.fork(device_salt(config_.id, 0));
+  backoff_rng_ = root.fork(device_salt(config_.id, 1));
+  net::ChannelParams params = config_.channel;
+  params.seed = root.fork(device_salt(config_.id, 2)).next_u64();
+  channel_ = net::Channel(params);
+  const double fraction = std::clamp(config_.battery_fraction, 0.0, 1.0);
+  battery_.drain(battery_.capacity_j() * (1.0 - fraction));
+  if (config_.closed_loop) {
+    schedule_next_capture(0.0);
+  } else {
+    next_capture_s_ = config_.arrivals.next_after(0.0, rng_);
+  }
+}
+
+void Device::deliver(Reply reply, double reaction_s) {
+  inbox_.emplace_back(std::move(reply), reaction_s);
+}
+
+void Device::advance(double t0, double t1, wl::ImageStore& store,
+                     std::vector<ServerArrival>& out) {
+  // Baseline draw covers the whole epoch regardless of activity (Fig. 9
+  // keeps the screen always on).
+  stats_.energy.idle_j += battery_.drain(config_.cost.idle_energy(t1 - t0));
+
+  // React to barrier-delivered replies in deterministic (time, seq) order.
+  std::sort(inbox_.begin(), inbox_.end(),
+            [](const std::pair<Reply, double>& a,
+               const std::pair<Reply, double>& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first.seq < b.first.seq;
+            });
+  std::vector<std::pair<Reply, double>> inbox;
+  inbox.swap(inbox_);
+  for (auto& [reply, reaction_s] : inbox) {
+    process_reply(reply, reaction_s, store);
+  }
+
+  // Fire captures and transmissions in virtual-time order.  Every event
+  // *initiated* before t1 runs now; its effects (airtime, arrivals) may
+  // land beyond t1, which the later barriers absorb.
+  while (true) {
+    const double t_send =
+        send_queue_.empty() ? kInf : send_queue_.begin()->first.first;
+    const double t = std::min(next_capture_s_, t_send);
+    if (t >= t1) break;
+    if (next_capture_s_ <= t_send) {
+      capture(next_capture_s_, store);
+    } else {
+      transmit(send_queue_.begin()->first, out);
+    }
+  }
+}
+
+void Device::process_reply(const Reply& reply, double reaction_s,
+                           wl::ImageStore& store) {
+  auto it = in_flight_.find(reply.seq);
+  if (it == in_flight_.end()) return;  // defensive; barriers reply once
+  Op op = std::move(it->second);
+  in_flight_.erase(it);
+
+  // Receive the reply payload over the radio from the reaction time on.
+  if (channel_.now() < reaction_s) channel_.advance(reaction_s - channel_.now());
+  const double bytes = static_cast<double>(reply.payload.size());
+  const double rx_s = channel_.transfer(bytes);
+  stats_.energy.rx_j += battery_.drain(config_.cost.rx_power_w * rx_s);
+  stats_.rx_bytes += bytes;
+
+  if (reply.shed) {
+    if (op.attempts >= config_.retry.max_attempts) {
+      drop_op(op);
+      return;
+    }
+    const double wait =
+        config_.retry.backoff_before(op.attempts, backoff_rng_);
+    stats_.backoff_s += wait;
+    ++stats_.shed_retries;
+    op.request = reply.request;  // the barrier hands the envelope back
+    enqueue(std::move(op), channel_.now() + wait);
+    return;
+  }
+
+  if (classify_reply(reply.payload) == ReplyStatus::kError) {
+    ++stats_.terminal_errors;
+    chain_done();
+    return;
+  }
+  if (op.kind == OpKind::kQuery) {
+    on_query_reply(std::move(op), reply, store);
+  } else {
+    chain_done();
+  }
+}
+
+void Device::on_query_reply(Op op, const Reply& reply,
+                            wl::ImageStore& store) {
+  net::BatchQueryResponse response;
+  try {
+    const net::Envelope env = net::open_envelope(reply.payload);
+    response = net::decode_batch_query_response(env.payload);
+  } catch (const util::DecodeError&) {
+    ++stats_.terminal_errors;
+    chain_done();
+    return;
+  }
+
+  const double now = channel_.now();
+  double compute_s = 0.0;
+  std::size_t n_uploads = 0;
+  const std::size_t n =
+      std::min(response.verdicts.size(), op.image_ids.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // The server's CBRD verdict: anything scoring above the EDR threshold
+    // already exists in the situation index and is not uploaded.
+    if (response.verdicts[i].max_similarity > op.knobs.redundancy_threshold) {
+      ++stats_.redundant_images;
+      continue;
+    }
+    ++stats_.unique_images;
+    const std::size_t image = op.image_ids[i];
+    const wl::ImageSpec& spec = set_.images[image];
+    const wl::EncodedImage enc = store.encoded(
+        spec, op.knobs.resolution_compression, op.knobs.quality_proportion);
+    compute_s += config_.cost.compute_seconds(enc.ops);
+    stats_.energy.other_compute_j +=
+        battery_.drain(config_.cost.compute_energy(enc.ops));
+    const feat::BinaryFeatures& features =
+        store.orb(spec, op.knobs.bitmap_compression);
+    Op upload;
+    upload.kind = OpKind::kUpload;
+    upload.seq = next_seq_++;
+    upload.enqueue_s = now;
+    upload.wire_bytes =
+        static_cast<double>(enc.bytes) * config_.image_byte_scale;
+    upload.n_images = 1;
+    upload.image_ids = {image};
+    upload.knobs = op.knobs;
+    upload.request = net::encode_image_upload(features, upload.wire_bytes,
+                                              spec.geo, /*thumbnail_bytes=*/0.0);
+    ++stats_.uploads;
+    ++n_uploads;
+    enqueue(std::move(upload), now + compute_s);
+  }
+  chain_open_ += n_uploads;
+  chain_done();  // the query itself is resolved
+}
+
+void Device::stop_capturing() noexcept {
+  capturing_ = false;
+  next_capture_s_ = kInf;
+}
+
+void Device::capture(double t, wl::ImageStore& store) {
+  if (!capturing_) {
+    next_capture_s_ = kInf;
+    return;
+  }
+  if (battery_.depleted()) {
+    // A dead phone captures nothing more; in-flight work may still finish.
+    stats_.depleted = true;
+    next_capture_s_ = kInf;
+    return;
+  }
+  const energy::adapt::Knobs knobs =
+      config_.adaptive ? energy::adapt::Knobs::from_battery(battery_.fraction())
+                       : energy::adapt::Knobs::full_energy();
+
+  const int batch = std::max(1, config_.batch_size);
+  std::vector<std::size_t> ids(static_cast<std::size_t>(batch));
+  for (auto& id : ids) id = rng_.index(set_.images.size());
+
+  std::vector<const feat::BinaryFeatures*> features(ids.size(), nullptr);
+  std::vector<double> fbytes(ids.size(), 0.0);
+  double wire = 0.0;
+  std::uint64_t ops = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const feat::BinaryFeatures& f =
+        store.orb(set_.images[ids[i]], knobs.bitmap_compression);
+    features[i] = &f;
+    ops += f.stats.ops;
+    fbytes[i] = static_cast<double>(idx::serialize_binary(f).size());
+    wire += fbytes[i];
+  }
+  stats_.energy.extraction_j += battery_.drain(config_.cost.compute_energy(ops));
+
+  Op op;
+  op.kind = OpKind::kQuery;
+  op.seq = next_seq_++;
+  op.enqueue_s = t;
+  op.wire_bytes = wire;
+  op.n_images = batch;
+  op.image_ids = std::move(ids);
+  op.knobs = knobs;
+  op.request = net::encode_batch_query(features, fbytes, config_.top_k);
+  ++stats_.captures;
+  ++stats_.queries;
+  enqueue(std::move(op), t + config_.cost.compute_seconds(ops));
+
+  if (config_.closed_loop) {
+    chain_open_ = 1;
+    next_capture_s_ = kInf;
+  } else {
+    next_capture_s_ = config_.arrivals.next_after(t, rng_);
+  }
+}
+
+void Device::transmit(std::pair<double, std::uint32_t> key,
+                      std::vector<ServerArrival>& out) {
+  auto node = send_queue_.extract(key);
+  Op op = std::move(node.mapped());
+  if (channel_.now() < key.first) channel_.advance(key.first - channel_.now());
+
+  const net::SendOutcome outcome =
+      channel_.send(op.wire_bytes, config_.retry.timeout_s);
+  ++op.attempts;
+  ++stats_.attempts;
+  const double tx_j =
+      battery_.drain(config_.cost.tx_power_w * outcome.seconds);
+
+  if (outcome.delivered) {
+    if (op.kind == OpKind::kQuery) {
+      stats_.energy.feature_tx_j += tx_j;
+    } else {
+      stats_.energy.image_tx_j += tx_j;
+    }
+    ServerArrival arrival;
+    arrival.arrival_s = channel_.now();
+    arrival.device = config_.id;
+    arrival.seq = op.seq;
+    arrival.kind = op.kind;
+    arrival.request = std::move(op.request);
+    arrival.wire_bytes = op.wire_bytes;
+    arrival.n_images = op.n_images;
+    arrival.image_ids = op.image_ids;
+    arrival.enqueue_s = op.enqueue_s;
+    arrival.attempts = op.attempts;
+    arrival.redundancy_threshold = op.knobs.redundancy_threshold;
+    out.push_back(std::move(arrival));
+    in_flight_.emplace(op.seq, std::move(op));
+    return;
+  }
+
+  stats_.energy.retransmit_tx_j += tx_j;
+  stats_.retransmitted_bytes += outcome.sent_bytes;
+  if (op.attempts >= config_.retry.max_attempts) {
+    drop_op(op);
+    return;
+  }
+  ++stats_.loss_retries;
+  const double wait = config_.retry.backoff_before(op.attempts, backoff_rng_);
+  stats_.backoff_s += wait;
+  enqueue(std::move(op), channel_.now() + wait);
+}
+
+void Device::enqueue(Op op, double ready_s) {
+  send_queue_.emplace(std::make_pair(ready_s, op.seq), std::move(op));
+}
+
+void Device::drop_op(const Op& op) {
+  (void)op;
+  ++stats_.gave_up;
+  chain_done();
+}
+
+void Device::chain_done() {
+  if (!config_.closed_loop) return;
+  if (chain_open_ > 0) --chain_open_;
+  if (chain_open_ == 0) schedule_next_capture(channel_.now());
+}
+
+void Device::schedule_next_capture(double t) {
+  if (!capturing_) {
+    next_capture_s_ = kInf;
+    return;
+  }
+  const double rate = 1.0 / std::max(config_.think_s, 1e-9);
+  next_capture_s_ = t + rng_.exponential(rate);
+}
+
+}  // namespace bees::fleet

@@ -1,0 +1,179 @@
+// One simulated BEES phone inside the fleet simulator: an event-driven
+// client state machine advanced epoch by epoch in virtual time.
+//
+// Each device owns its battery, its lossy radio channel (with its own
+// clock and RNG streams forked from the fleet seed), and a queue of
+// in-flight client operations.  During an epoch's parallel phase the
+// device (a) reacts to replies the previous barrier delivered — decoding
+// batch-query verdicts into image uploads, backing off and resending shed
+// requests, charging RX energy — and (b) generates new work: capture
+// events draw a batch of images from the shared imageset, extract ORB
+// features under the battery-driven EAC/EDR/EAU knobs, and enqueue a batch
+// query; ready operations are transmitted over the channel, each delivered
+// attempt emitting a ServerArrival record the barrier resolves against the
+// virtual queue model and the real serving cluster.
+//
+// Determinism: a device touches no shared mutable state during the
+// parallel phase (its ImageStore is per-worker, the imageset is read-only)
+// and all of its randomness comes from streams forked from (fleet seed,
+// device id), so its behaviour is a pure function of its inputs and the
+// replies it was handed — independent of worker count and scheduling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "energy/adaptive.hpp"
+#include "energy/battery.hpp"
+#include "energy/cost_model.hpp"
+#include "fleet/arrivals.hpp"
+#include "net/channel.hpp"
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+#include "workload/image_store.hpp"
+#include "workload/imageset.hpp"
+
+namespace bees::fleet {
+
+enum class OpKind : std::uint8_t { kQuery = 0, kUpload = 1 };
+
+/// One delivered request attempt entering the serving layer; produced by
+/// Device::advance, resolved by the simulator's epoch barrier.
+struct ServerArrival {
+  double arrival_s = 0.0;  ///< Virtual time the last byte hit the server.
+  int device = 0;
+  std::uint32_t seq = 0;  ///< Device-local operation sequence number.
+  OpKind kind = OpKind::kQuery;
+  std::vector<std::uint8_t> request;  ///< Encoded request envelope.
+  double wire_bytes = 0.0;            ///< Modelled payload size on the air.
+  int n_images = 1;                   ///< Images covered (service-time model).
+  std::vector<std::size_t> image_ids;  ///< Imageset indices, query order.
+  double enqueue_s = 0.0;  ///< When the operation was first created.
+  int attempts = 0;        ///< Send attempts so far, this one included.
+  /// EDR threshold pinned at capture; the barrier replays the device's
+  /// redundant/unique split against ground truth for precision accounting.
+  double redundancy_threshold = 0.0;
+};
+
+/// One resolved request handed back to its device at a barrier.
+struct Reply {
+  std::uint32_t seq = 0;
+  bool shed = false;
+  double completion_s = 0.0;          ///< Virtual reply time.
+  std::vector<std::uint8_t> payload;  ///< Encoded reply envelope.
+  std::vector<std::uint8_t> request;  ///< Returned on shed for the resend.
+};
+
+/// Per-device counters aggregated (in device-id order) into the report.
+struct DeviceStats {
+  energy::EnergyBreakdown energy;
+  std::size_t captures = 0;       ///< Capture events executed.
+  std::size_t queries = 0;        ///< Batch-query operations created.
+  std::size_t uploads = 0;        ///< Image-upload operations created.
+  std::size_t unique_images = 0;  ///< Query verdicts below the threshold.
+  std::size_t redundant_images = 0;  ///< Verdicts at/above the threshold.
+  std::size_t attempts = 0;          ///< Channel send attempts.
+  std::size_t loss_retries = 0;      ///< Resends after channel loss.
+  std::size_t shed_retries = 0;      ///< Resends after admission shedding.
+  std::size_t gave_up = 0;           ///< Operations dropped out of budget.
+  std::size_t terminal_errors = 0;   ///< Non-shed error replies (dropped).
+  double retransmitted_bytes = 0.0;  ///< Bytes burned by undelivered sends.
+  double rx_bytes = 0.0;             ///< Reply bytes received.
+  double backoff_s = 0.0;            ///< Idle time spent in backoff waits.
+  bool depleted = false;             ///< Battery hit empty (stops capturing).
+};
+
+class Device {
+ public:
+  struct Config {
+    int id = 0;
+    std::uint64_t fleet_seed = 0;
+    net::ChannelParams channel;  ///< seed field is overridden per device.
+    net::RetryPolicy retry;
+    double battery_fraction = 1.0;  ///< Initial charge in [0, 1].
+    bool adaptive = true;           ///< Battery-driven knobs vs. full-energy.
+    bool closed_loop = false;       ///< Think-time client vs. open loop.
+    double think_s = 5.0;           ///< Mean think time (closed loop).
+    ArrivalProcess arrivals;        ///< Capture process (open loop).
+    int batch_size = 4;
+    int top_k = 4;
+    double image_byte_scale = 1.0;  ///< Synthetic -> paper-sized bytes.
+    energy::CostModel cost;
+  };
+
+  Device(const Config& config, const wl::Imageset& set);
+
+  /// Hands a barrier-resolved reply to the device; it reacts during the
+  /// next advance() call.  `reaction_s` is the quantized earliest time the
+  /// device may observe the reply (>= completion and >= its epoch start).
+  void deliver(Reply reply, double reaction_s);
+
+  /// Runs the device through virtual time [t0, t1): processes delivered
+  /// replies, fires captures, transmits ready operations.  Delivered
+  /// attempts are appended to `out`.  `store` must be private to the
+  /// calling worker.
+  void advance(double t0, double t1, wl::ImageStore& store,
+               std::vector<ServerArrival>& out);
+
+  /// Stops new captures (end of the offered-load window); in-flight
+  /// operations still drain.  Idempotent.
+  void stop_capturing() noexcept;
+
+  const DeviceStats& stats() const noexcept { return stats_; }
+  double battery_fraction() const noexcept { return battery_.fraction(); }
+  int id() const noexcept { return config_.id; }
+  /// Operations created but not yet resolved (in flight or queued).
+  std::size_t open_ops() const noexcept {
+    return in_flight_.size() + send_queue_.size();
+  }
+
+ private:
+  /// A created-but-unresolved client operation.
+  struct Op {
+    OpKind kind = OpKind::kQuery;
+    std::uint32_t seq = 0;
+    double enqueue_s = 0.0;
+    int attempts = 0;
+    std::vector<std::uint8_t> request;
+    double wire_bytes = 0.0;
+    int n_images = 1;
+    std::vector<std::size_t> image_ids;
+    energy::adapt::Knobs knobs;  ///< Knobs pinned at capture time.
+  };
+
+  void process_reply(const Reply& reply, double reaction_s,
+                     wl::ImageStore& store);
+  void on_query_reply(Op op, const Reply& reply, wl::ImageStore& store);
+  void capture(double t, wl::ImageStore& store);
+  /// Sends the queued op keyed by `key`; appends to `out` on delivery.
+  void transmit(std::pair<double, std::uint32_t> key,
+                std::vector<ServerArrival>& out);
+  void enqueue(Op op, double ready_s);
+  void drop_op(const Op& op);
+  /// Closed loop: one chain member resolved; schedules the next capture
+  /// when the chain drains.
+  void chain_done();
+  void schedule_next_capture(double t);
+
+  Config config_;
+  const wl::Imageset& set_;
+  util::Rng rng_;          ///< Captures: arrival draws, image picks, think.
+  util::Rng backoff_rng_;  ///< Retry jitter (mirrors Transport's stream).
+  energy::Battery battery_;
+  net::Channel channel_;
+  DeviceStats stats_;
+
+  std::uint32_t next_seq_ = 0;
+  bool capturing_ = true;
+  double next_capture_s_ = 0.0;  ///< Infinity while a closed chain is open.
+  std::size_t chain_open_ = 0;   ///< Unresolved ops of the current chain.
+  /// Ready-to-send operations ordered by (ready time, seq).
+  std::map<std::pair<double, std::uint32_t>, Op> send_queue_;
+  /// Delivered operations awaiting a barrier reply, keyed by seq.
+  std::map<std::uint32_t, Op> in_flight_;
+  /// Replies delivered by the barrier, with their reaction times.
+  std::vector<std::pair<Reply, double>> inbox_;
+};
+
+}  // namespace bees::fleet

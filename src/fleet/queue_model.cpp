@@ -1,0 +1,39 @@
+#include "fleet/queue_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bees::fleet {
+
+QueueModel::QueueModel(int servers, std::size_t depth) : depth_(depth) {
+  if (servers < 1) throw std::invalid_argument("QueueModel: servers < 1");
+  if (depth < 1) throw std::invalid_argument("QueueModel: depth < 1");
+  for (int i = 0; i < servers; ++i) free_.push(0.0);
+}
+
+std::size_t QueueModel::in_system(double now_s) {
+  while (!outstanding_.empty() && outstanding_.top() <= now_s) {
+    outstanding_.pop();
+  }
+  return outstanding_.size();
+}
+
+ServiceOutcome QueueModel::offer(double arrival_s, double service_s) {
+  ++offered_;
+  ServiceOutcome out;
+  if (in_system(arrival_s) >= depth_) {
+    ++shed_;
+    out.shed = true;
+    out.completion_s = arrival_s;  // the gate answers without queueing
+    return out;
+  }
+  const double server_free = free_.top();
+  free_.pop();
+  out.start_s = std::max(arrival_s, server_free);
+  out.completion_s = out.start_s + service_s;
+  free_.push(out.completion_s);
+  outstanding_.push(out.completion_s);
+  return out;
+}
+
+}  // namespace bees::fleet

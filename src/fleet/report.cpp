@@ -1,0 +1,126 @@
+#include "fleet/report.hpp"
+
+#include "obs/json.hpp"
+
+namespace bees::fleet {
+
+using obs::json_number;
+
+namespace {
+
+std::string json_bool(bool b) { return b ? "true" : "false"; }
+
+std::string json_u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+LatencySummary LatencySummary::from(const obs::HistogramSnapshot& h) {
+  LatencySummary s;
+  s.count = h.count;
+  s.mean_s = h.mean();
+  s.max_s = h.max;
+  s.p50_s = h.quantile(0.50);
+  s.p90_s = h.quantile(0.90);
+  s.p99_s = h.quantile(0.99);
+  return s;
+}
+
+std::string LatencySummary::to_json() const {
+  return "{\"count\": " + json_u64(count) +
+         ", \"mean_s\": " + json_number(mean_s) +
+         ", \"max_s\": " + json_number(max_s) +
+         ", \"p50_s\": " + json_number(p50_s) +
+         ", \"p90_s\": " + json_number(p90_s) +
+         ", \"p99_s\": " + json_number(p99_s) + "}";
+}
+
+std::string ConfigEcho::to_json() const {
+  return "{\"seed\": " + json_u64(seed) +
+         ", \"devices\": " + std::to_string(devices) +
+         ", \"duration_s\": " + json_number(duration_s) +
+         ", \"epoch_s\": " + json_number(epoch_s) +
+         ", \"mode\": " +
+         (closed_loop ? std::string("\"closed\"") : std::string("\"open\"")) +
+         ", \"rate_hz\": " + json_number(rate_hz) +
+         ", \"think_s\": " + json_number(think_s) +
+         ", \"spike_start_s\": " + json_number(spike_start_s) +
+         ", \"spike_duration_s\": " + json_number(spike_duration_s) +
+         ", \"spike_multiplier\": " + json_number(spike_multiplier) +
+         ", \"batch\": " + std::to_string(batch) +
+         ", \"shards\": " + std::to_string(shards) +
+         ", \"server_threads\": " + std::to_string(server_threads) +
+         ", \"queue_depth\": " + json_u64(queue_depth) +
+         ", \"bitrate_kbps\": " + json_number(bitrate_kbps) +
+         ", \"loss\": " + json_number(loss) +
+         ", \"adaptive\": " + json_bool(adaptive) +
+         ", \"battery_fraction\": " + json_number(battery_fraction) + "}";
+}
+
+std::string Totals::to_json(double duration_s) const {
+  const double throughput =
+      duration_s > 0.0 ? static_cast<double>(served) / duration_s : 0.0;
+  return "{\"captures\": " + json_u64(captures) +
+         ", \"queries\": " + json_u64(queries) +
+         ", \"uploads\": " + json_u64(uploads) +
+         ", \"offered\": " + json_u64(offered) +
+         ", \"served\": " + json_u64(served) +
+         ", \"shed\": " + json_u64(shed) +
+         ", \"shed_rate\": " + json_number(shed_rate()) +
+         ", \"throughput_rps\": " + json_number(throughput) +
+         ", \"attempts\": " + json_u64(attempts) +
+         ", \"loss_retries\": " + json_u64(loss_retries) +
+         ", \"shed_retries\": " + json_u64(shed_retries) +
+         ", \"gave_up\": " + json_u64(gave_up) +
+         ", \"terminal_errors\": " + json_u64(terminal_errors) +
+         ", \"depleted_devices\": " + json_u64(depleted_devices) +
+         ", \"feature_bytes\": " + json_number(feature_bytes) +
+         ", \"image_bytes\": " + json_number(image_bytes) +
+         ", \"shed_bytes\": " + json_number(shed_bytes) +
+         ", \"retransmitted_bytes\": " + json_number(retransmitted_bytes) +
+         ", \"rx_bytes\": " + json_number(rx_bytes) +
+         ", \"backoff_s\": " + json_number(backoff_s) + "}";
+}
+
+std::string PrecisionInputs::to_json() const {
+  return "{\"unique_images\": " + json_u64(unique_images) +
+         ", \"redundant_images\": " + json_u64(redundant_images) +
+         ", \"redundant_correct\": " + json_u64(redundant_correct) +
+         ", \"redundant_wrong\": " + json_u64(redundant_wrong) +
+         ", \"redundancy_precision\": " + json_number(precision()) + "}";
+}
+
+std::string SloVerdict::to_json() const {
+  return "{\"p99_target_s\": " + json_number(p99_target_s) +
+         ", \"p99_s\": " + json_number(p99_s) +
+         ", \"p99_ok\": " + json_bool(p99_ok) +
+         ", \"max_shed_rate\": " + json_number(max_shed_rate) +
+         ", \"shed_rate\": " + json_number(shed_rate) +
+         ", \"shed_ok\": " + json_bool(shed_ok) +
+         ", \"ok\": " + json_bool(ok()) + "}";
+}
+
+std::string FleetReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"loadgen\": " + config.to_json() + ",\n";
+  out += "  \"totals\": " + totals.to_json(config.duration_s) + ",\n";
+  out += "  \"latency\": {\"all\": " + latency_all.to_json() +
+         ", \"query\": " + latency_query.to_json() +
+         ", \"upload\": " + latency_upload.to_json() + "},\n";
+  out += "  \"energy\": {\"extraction_j\": " +
+         json_number(energy.extraction_j) +
+         ", \"other_compute_j\": " + json_number(energy.other_compute_j) +
+         ", \"feature_tx_j\": " + json_number(energy.feature_tx_j) +
+         ", \"image_tx_j\": " + json_number(energy.image_tx_j) +
+         ", \"retransmit_tx_j\": " + json_number(energy.retransmit_tx_j) +
+         ", \"rx_j\": " + json_number(energy.rx_j) +
+         ", \"idle_j\": " + json_number(energy.idle_j) +
+         ", \"total_j\": " + json_number(energy.total()) +
+         ", \"mean_battery_fraction\": " +
+         json_number(mean_battery_fraction) + "},\n";
+  out += "  \"precision_inputs\": " + precision.to_json() + ",\n";
+  out += "  \"slo\": " + slo.to_json() + "\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace bees::fleet

@@ -1,0 +1,131 @@
+// The fleet run report: everything a load-generation run measured, plus a
+// byte-deterministic JSON emitter.  The report deliberately contains only
+// virtual-time quantities — wall-clock measurements (how fast the real
+// cluster chewed through the arrivals) live beside the report in
+// FleetResult, never inside it, so `bees_loadgen --seed S` emits identical
+// bytes for any worker-thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "energy/cost_model.hpp"
+#include "obs/metrics.hpp"
+
+namespace bees::fleet {
+
+/// Latency summary of one request class, derived from a fixed-bucket
+/// log-scale obs::Histogram (MetricsRegistry::latency_bounds).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_s = 0.0;
+  double max_s = 0.0;
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+
+  static LatencySummary from(const obs::HistogramSnapshot& h);
+  std::string to_json() const;
+};
+
+/// Configuration echo: the knobs that shaped the run, embedded in the
+/// report so a result file is self-describing.
+struct ConfigEcho {
+  std::uint64_t seed = 0;
+  int devices = 0;
+  double duration_s = 0.0;
+  double epoch_s = 0.0;
+  bool closed_loop = false;
+  double rate_hz = 0.0;
+  double think_s = 0.0;
+  double spike_start_s = -1.0;
+  double spike_duration_s = 0.0;
+  double spike_multiplier = 1.0;
+  int batch = 0;
+  int shards = 0;
+  int server_threads = 0;
+  std::size_t queue_depth = 0;
+  double bitrate_kbps = 0.0;
+  double loss = 0.0;
+  bool adaptive = true;
+  double battery_fraction = 1.0;
+
+  std::string to_json() const;
+};
+
+/// Aggregate counters over the whole fleet (virtual time).
+struct Totals {
+  std::uint64_t captures = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t uploads = 0;
+  std::uint64_t offered = 0;   ///< Requests reaching the admission gate.
+  std::uint64_t served = 0;    ///< Requests the cluster answered.
+  std::uint64_t shed = 0;      ///< Requests the gate refused.
+  std::uint64_t attempts = 0;  ///< Channel send attempts.
+  std::uint64_t loss_retries = 0;
+  std::uint64_t shed_retries = 0;
+  std::uint64_t gave_up = 0;
+  std::uint64_t terminal_errors = 0;
+  std::uint64_t depleted_devices = 0;
+  double feature_bytes = 0.0;  ///< Served query payload bytes.
+  double image_bytes = 0.0;    ///< Served upload payload bytes.
+  double shed_bytes = 0.0;     ///< Delivered-then-shed payload bytes.
+  double retransmitted_bytes = 0.0;
+  double rx_bytes = 0.0;
+  double backoff_s = 0.0;
+
+  double shed_rate() const noexcept {
+    return offered ? static_cast<double>(shed) / static_cast<double>(offered)
+                   : 0.0;
+  }
+  std::string to_json(double duration_s) const;
+};
+
+/// Inputs to the paper's precision metric, from ground-truth groups: a
+/// redundant verdict is correct iff the index image it matched shows the
+/// same scene as the query.
+struct PrecisionInputs {
+  std::uint64_t unique_images = 0;
+  std::uint64_t redundant_images = 0;
+  std::uint64_t redundant_correct = 0;
+  std::uint64_t redundant_wrong = 0;
+
+  double precision() const noexcept {
+    const std::uint64_t n = redundant_correct + redundant_wrong;
+    return n ? static_cast<double>(redundant_correct) /
+                   static_cast<double>(n)
+             : 1.0;
+  }
+  std::string to_json() const;
+};
+
+/// SLO verdict: the run's p99 latency and shed rate against the targets.
+struct SloVerdict {
+  double p99_target_s = 0.0;     ///< <= 0 disables the latency check.
+  double max_shed_rate = -1.0;   ///< < 0 disables the shed check.
+  double p99_s = 0.0;
+  double shed_rate = 0.0;
+  bool p99_ok = true;
+  bool shed_ok = true;
+
+  bool ok() const noexcept { return p99_ok && shed_ok; }
+  std::string to_json() const;
+};
+
+struct FleetReport {
+  ConfigEcho config;
+  Totals totals;
+  LatencySummary latency_all;
+  LatencySummary latency_query;
+  LatencySummary latency_upload;
+  energy::EnergyBreakdown energy;
+  double mean_battery_fraction = 0.0;
+  PrecisionInputs precision;
+  SloVerdict slo;
+
+  /// The machine-readable run report.  Fixed key order, %.17g numbers:
+  /// identical state serializes to identical bytes.
+  std::string to_json() const;
+};
+
+}  // namespace bees::fleet

@@ -1,0 +1,408 @@
+#include "fleet/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cloud/server.hpp"
+#include "fleet/device.hpp"
+#include "fleet/queue_model.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "serve/cluster.hpp"
+#include "util/byte_io.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/image_store.hpp"
+#include "workload/imageset.hpp"
+
+namespace bees::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void validate(const FleetOptions& o) {
+  if (o.devices < 1) throw std::invalid_argument("fleet: devices < 1");
+  if (o.duration_s <= 0.0) throw std::invalid_argument("fleet: duration <= 0");
+  if (o.epoch_s <= 0.0) throw std::invalid_argument("fleet: epoch <= 0");
+  if (o.batch < 1) throw std::invalid_argument("fleet: batch < 1");
+  if (o.set_images < 1) throw std::invalid_argument("fleet: set_images < 1");
+  if (o.shards < 1) throw std::invalid_argument("fleet: shards < 1");
+  if (o.server_threads < 1) {
+    throw std::invalid_argument("fleet: server_threads < 1");
+  }
+  if (o.queue_depth < 1) throw std::invalid_argument("fleet: queue_depth < 1");
+  if (o.bitrate_kbps <= 0.0) {
+    throw std::invalid_argument("fleet: bitrate <= 0");
+  }
+}
+
+/// A barrier-resolved reply waiting for its delivery epoch.
+struct FutureReply {
+  int device = 0;
+  Reply reply;
+  double reaction_s = 0.0;
+};
+
+}  // namespace
+
+FleetResult run_fleet(const FleetOptions& o) {
+  validate(o);
+  const auto wall_start = Clock::now();
+  const double E = o.epoch_s;
+
+  // --- Shared world: imageset, serving cluster, ground truth. ---
+  const wl::Imageset set =
+      wl::make_paris_like(o.set_images, std::max(1, o.set_locations),
+                          wl::GeoBox{}, o.width, o.height, o.seed ^ 0x5e7f1ee7ULL);
+
+  serve::ClusterOptions copts;
+  copts.shards = o.shards;
+  copts.threads = o.server_threads;
+  // The real gate stays out of the way: admission is resolved in virtual
+  // time by the QueueModel, so real scheduling never decides a shed.
+  copts.queue_depth = std::size_t{1} << 20;
+  serve::Cluster cluster(copts);
+
+  // Global id -> ground-truth scene group, for precision accounting.
+  std::unordered_map<idx::ImageId, std::size_t> gid_group;
+  {
+    wl::ImageStore setup_store;
+    const auto n_seed = static_cast<std::size_t>(std::llround(
+        std::clamp(o.seed_fraction, 0.0, 1.0) *
+        static_cast<double>(set.images.size())));
+    for (std::size_t i = 0; i < n_seed; ++i) {
+      const feat::BinaryFeatures& f = setup_store.orb(set.images[i], 0.0);
+      cloud::StoreInfo info;
+      info.geo = set.images[i].geo;
+      const idx::ImageId gid = cluster.store_binary(f, info);
+      gid_group.emplace(gid, set.images[i].group);
+    }
+  }
+
+  // --- The fleet. ---
+  std::vector<std::unique_ptr<Device>> devices;
+  devices.reserve(static_cast<std::size_t>(o.devices));
+  for (int id = 0; id < o.devices; ++id) {
+    Device::Config dc;
+    dc.id = id;
+    dc.fleet_seed = o.seed;
+    dc.channel = net::ChannelParams::fixed(o.bitrate_kbps * 1000.0);
+    dc.channel.loss_probability = o.loss;
+    dc.retry = o.retry;
+    dc.battery_fraction = o.battery_fraction;
+    dc.adaptive = o.adaptive;
+    dc.closed_loop = o.closed_loop;
+    dc.think_s = o.think_s;
+    dc.arrivals.steady_rate_hz = o.rate_hz;
+    dc.arrivals.spike_start_s = o.spike_start_s;
+    dc.arrivals.spike_duration_s = o.spike_duration_s;
+    dc.arrivals.spike_multiplier = o.spike_multiplier;
+    dc.batch_size = o.batch;
+    dc.top_k = o.top_k;
+    devices.push_back(std::make_unique<Device>(dc, set));
+  }
+
+  // --- Execution state. ---
+  util::ThreadPool pool(o.workers < 0 ? 1
+                                      : static_cast<std::size_t>(o.workers));
+  const std::size_t n = devices.size();
+  const std::size_t chunks = std::min(n, pool.thread_count());
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+  // One private store per chunk; chunk boundaries are fixed for the whole
+  // run, so each device always hits the same caches.
+  std::vector<wl::ImageStore> stores(chunks);
+  std::vector<std::vector<ServerArrival>> outs(n);
+
+  QueueModel gate(o.server_threads, o.queue_depth);
+  obs::MetricsRegistry metrics;
+  metrics.declare_histogram("latency_all", obs::MetricsRegistry::latency_bounds());
+  metrics.declare_histogram("latency_query",
+                            obs::MetricsRegistry::latency_bounds());
+  metrics.declare_histogram("latency_upload",
+                            obs::MetricsRegistry::latency_bounds());
+  const std::vector<std::uint8_t> shed_payload =
+      net::encode_error(serve::kShedErrorMessage);
+
+  std::vector<ServerArrival> pending;
+  std::map<std::uint64_t, std::vector<FutureReply>> future_replies;
+
+  Totals totals;
+  PrecisionInputs prec;
+  double serve_wall = 0.0;
+  std::size_t real_handles = 0;
+
+  const auto schedule_delivery = [&](int device, Reply reply,
+                                     double completion_s, std::uint64_t j) {
+    // A device may observe a reply no earlier than its completion and no
+    // earlier than the epoch after the barrier that resolved it.
+    std::uint64_t m = j + 1;
+    if (completion_s >= static_cast<double>(j + 1) * E) {
+      m = std::max<std::uint64_t>(
+          m, static_cast<std::uint64_t>(std::floor(completion_s / E)));
+    }
+    FutureReply fr;
+    fr.device = device;
+    fr.reply = std::move(reply);
+    fr.reaction_s = std::max(completion_s, static_cast<double>(m) * E);
+    future_replies[m].push_back(std::move(fr));
+  };
+
+  const auto load_epochs =
+      static_cast<std::uint64_t>(std::ceil(o.duration_s / E));
+  const auto max_epochs =
+      load_epochs +
+      static_cast<std::uint64_t>(std::ceil((o.duration_s + 600.0) / E));
+  bool stopped = false;
+
+  for (std::uint64_t j = 0;; ++j) {
+    const double t0 = static_cast<double>(j) * E;
+    const double t1 = static_cast<double>(j + 1) * E;
+
+    if (j >= load_epochs && !stopped) {
+      for (auto& d : devices) d->stop_capturing();
+      stopped = true;
+    }
+    if (stopped) {
+      bool busy = !pending.empty() || !future_replies.empty();
+      if (!busy) {
+        for (const auto& d : devices) {
+          if (d->open_ops() > 0) {
+            busy = true;
+            break;
+          }
+        }
+      }
+      if (!busy || j >= max_epochs) break;
+    }
+
+    // Deliver replies scheduled for this epoch, in (device, seq) order.
+    if (auto it = future_replies.find(j); it != future_replies.end()) {
+      std::sort(it->second.begin(), it->second.end(),
+                [](const FutureReply& a, const FutureReply& b) {
+                  if (a.device != b.device) return a.device < b.device;
+                  return a.reply.seq < b.reply.seq;
+                });
+      for (auto& fr : it->second) {
+        devices[static_cast<std::size_t>(fr.device)]->deliver(
+            std::move(fr.reply), fr.reaction_s);
+      }
+      future_replies.erase(it);
+    }
+
+    // Phase A: advance every device through [t0, t1) in parallel.  Static
+    // chunks, private stores, per-device output buffers: no shared state.
+    pool.parallel_for(chunks, [&](std::size_t c) {
+      const std::size_t begin = c * per_chunk;
+      const std::size_t end = std::min(begin + per_chunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        devices[i]->advance(t0, t1, stores[c], outs[i]);
+      }
+    });
+
+    // Barrier: merge this epoch's delivered attempts into the pending set
+    // and resolve everything arriving before t1 in global time order.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& a : outs[i]) pending.push_back(std::move(a));
+      outs[i].clear();
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const ServerArrival& a, const ServerArrival& b) {
+                if (a.arrival_s != b.arrival_s) return a.arrival_s < b.arrival_s;
+                if (a.device != b.device) return a.device < b.device;
+                return a.seq < b.seq;
+              });
+    std::size_t ready = 0;
+    while (ready < pending.size() && pending[ready].arrival_s < t1) ++ready;
+
+    // Virtual admission pass: every shed is decided here, in virtual time.
+    std::vector<std::size_t> admitted;
+    std::vector<double> completions;
+    for (std::size_t k = 0; k < ready; ++k) {
+      ServerArrival& a = pending[k];
+      const double service_s =
+          o.service_base_s + o.service_per_image_s * a.n_images;
+      const ServiceOutcome outcome = gate.offer(a.arrival_s, service_s);
+      if (outcome.shed) {
+        totals.shed_bytes += a.wire_bytes;
+        Reply r;
+        r.seq = a.seq;
+        r.shed = true;
+        r.completion_s = outcome.completion_s;
+        r.payload = shed_payload;
+        r.request = std::move(a.request);
+        schedule_delivery(a.device, std::move(r), outcome.completion_s, j);
+      } else {
+        admitted.push_back(k);
+        completions.push_back(outcome.completion_s);
+      }
+    }
+
+    // Real execution of admitted requests, in virtual arrival order:
+    // contiguous runs of read-only queries fan out across the pool,
+    // uploads apply serially, so index state evolves exactly as the
+    // virtual timeline dictates.
+    std::vector<std::vector<std::uint8_t>> replies(admitted.size());
+    {
+      const auto serve_start = Clock::now();
+      std::size_t i = 0;
+      while (i < admitted.size()) {
+        if (pending[admitted[i]].kind == OpKind::kUpload) {
+          replies[i] = cluster.handle(pending[admitted[i]].request);
+          ++i;
+          continue;
+        }
+        std::size_t run_end = i;
+        while (run_end < admitted.size() &&
+               pending[admitted[run_end]].kind == OpKind::kQuery) {
+          ++run_end;
+        }
+        pool.parallel_for(run_end - i, [&](std::size_t r) {
+          replies[i + r] = cluster.handle(pending[admitted[i + r]].request);
+        });
+        i = run_end;
+      }
+      serve_wall += seconds_since(serve_start);
+      real_handles += admitted.size();
+    }
+
+    for (std::size_t i = 0; i < admitted.size(); ++i) {
+      ServerArrival& a = pending[admitted[i]];
+      const double completion_s = completions[i];
+      const double latency_s = completion_s - a.enqueue_s;
+      metrics.observe("latency_all", latency_s);
+      ++totals.served;
+      if (a.kind == OpKind::kQuery) {
+        metrics.observe("latency_query", latency_s);
+        totals.feature_bytes += a.wire_bytes;
+        // Replay the device's redundant/unique split against ground truth.
+        try {
+          const net::Envelope env = net::open_envelope(replies[i]);
+          if (env.type == net::MessageType::kBatchQueryResponse) {
+            const net::BatchQueryResponse response =
+                net::decode_batch_query_response(env.payload);
+            const std::size_t nv =
+                std::min(response.verdicts.size(), a.image_ids.size());
+            for (std::size_t v = 0; v < nv; ++v) {
+              const net::QueryResponse& verdict = response.verdicts[v];
+              if (verdict.max_similarity <= a.redundancy_threshold) continue;
+              const auto git = gid_group.find(verdict.best_id);
+              const std::size_t truth = set.images[a.image_ids[v]].group;
+              if (git != gid_group.end() && git->second == truth) {
+                ++prec.redundant_correct;
+              } else {
+                ++prec.redundant_wrong;
+              }
+            }
+          }
+        } catch (const util::DecodeError&) {
+          // Counted as a terminal error by the device when it decodes.
+        }
+      } else {
+        metrics.observe("latency_upload", latency_s);
+        totals.image_bytes += a.wire_bytes;
+        try {
+          const net::Envelope env = net::open_envelope(replies[i]);
+          if (env.type == net::MessageType::kUploadAck) {
+            const net::UploadAck ack = net::decode_upload_ack(env.payload);
+            gid_group.emplace(ack.id, set.images[a.image_ids[0]].group);
+          }
+        } catch (const util::DecodeError&) {
+        }
+      }
+      Reply r;
+      r.seq = a.seq;
+      r.shed = false;
+      r.completion_s = completion_s;
+      r.payload = std::move(replies[i]);
+      schedule_delivery(a.device, std::move(r), completion_s, j);
+    }
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(ready));
+  }
+
+  // --- Aggregate, in device-id order. ---
+  FleetResult result;
+  FleetReport& report = result.report;
+  double battery_sum = 0.0;
+  for (const auto& d : devices) {
+    const DeviceStats& s = d->stats();
+    report.energy += s.energy;
+    totals.captures += s.captures;
+    totals.queries += s.queries;
+    totals.uploads += s.uploads;
+    totals.attempts += s.attempts;
+    totals.loss_retries += s.loss_retries;
+    totals.shed_retries += s.shed_retries;
+    totals.gave_up += s.gave_up;
+    totals.terminal_errors += s.terminal_errors;
+    totals.retransmitted_bytes += s.retransmitted_bytes;
+    totals.rx_bytes += s.rx_bytes;
+    totals.backoff_s += s.backoff_s;
+    prec.unique_images += s.unique_images;
+    prec.redundant_images += s.redundant_images;
+    battery_sum += d->battery_fraction();
+    if (s.depleted || d->battery_fraction() <= 0.0) {
+      ++totals.depleted_devices;
+    }
+  }
+  totals.offered = gate.offered();
+  totals.shed = gate.shed();
+  report.mean_battery_fraction =
+      battery_sum / static_cast<double>(devices.size());
+
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  report.latency_all = LatencySummary::from(snap.histograms.at("latency_all"));
+  report.latency_query =
+      LatencySummary::from(snap.histograms.at("latency_query"));
+  report.latency_upload =
+      LatencySummary::from(snap.histograms.at("latency_upload"));
+  report.totals = totals;
+  report.precision = prec;
+
+  ConfigEcho& echo = report.config;
+  echo.seed = o.seed;
+  echo.devices = o.devices;
+  echo.duration_s = o.duration_s;
+  echo.epoch_s = o.epoch_s;
+  echo.closed_loop = o.closed_loop;
+  echo.rate_hz = o.rate_hz;
+  echo.think_s = o.think_s;
+  echo.spike_start_s = o.spike_start_s;
+  echo.spike_duration_s = o.spike_duration_s;
+  echo.spike_multiplier = o.spike_multiplier;
+  echo.batch = o.batch;
+  echo.shards = o.shards;
+  echo.server_threads = o.server_threads;
+  echo.queue_depth = o.queue_depth;
+  echo.bitrate_kbps = o.bitrate_kbps;
+  echo.loss = o.loss;
+  echo.adaptive = o.adaptive;
+  echo.battery_fraction = o.battery_fraction;
+
+  SloVerdict& slo = report.slo;
+  slo.p99_target_s = o.slo_p99_s;
+  slo.max_shed_rate = o.slo_max_shed_rate;
+  slo.p99_s = report.latency_all.p99_s;
+  slo.shed_rate = totals.shed_rate();
+  slo.p99_ok = o.slo_p99_s <= 0.0 || slo.p99_s <= o.slo_p99_s;
+  slo.shed_ok = o.slo_max_shed_rate < 0.0 || slo.shed_rate <= o.slo_max_shed_rate;
+
+  result.serve_wall_seconds = serve_wall;
+  result.real_handles = real_handles;
+  result.wall_seconds = seconds_since(wall_start);
+  return result;
+}
+
+}  // namespace bees::fleet
+

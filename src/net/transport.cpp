@@ -10,6 +10,15 @@
 
 namespace bees::net {
 
+double RetryPolicy::backoff_before(int attempt, util::Rng& rng) const noexcept {
+  double wait = std::min(backoff_base_s * std::ldexp(1.0, attempt - 1),
+                         backoff_max_s);
+  if (jitter > 0.0 && wait > 0.0) {
+    wait *= 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+  }
+  return wait;
+}
+
 Transport::Transport(Handler handler, Channel& channel, RetryPolicy policy)
     : handler_(std::move(handler)),
       channel_(&channel),
@@ -56,11 +65,7 @@ ExchangeResult Transport::exchange(const std::vector<std::uint8_t>& request,
     result.wasted_seconds += outcome.seconds;
     result.retransmitted_bytes += outcome.sent_bytes;
     if (attempt < policy_.max_attempts) {
-      double wait = std::min(policy_.backoff_base_s * std::ldexp(1.0, attempt - 1),
-                             policy_.backoff_max_s);
-      if (policy_.jitter > 0.0 && wait > 0.0) {
-        wait *= 1.0 + policy_.jitter * (2.0 * jitter_rng_.next_double() - 1.0);
-      }
+      const double wait = policy_.backoff_before(attempt, jitter_rng_);
       if (wait > 0.0) {
         channel_->advance(wait);
         result.backoff_seconds += wait;

@@ -38,6 +38,14 @@ struct RetryPolicy {
   double jitter = 0.25;
   /// Seed of the jitter stream (independent of the channel's RNG).
   std::uint64_t seed = 0xb0ff5eedULL;
+
+  /// The wait before retrying after failed attempt number `attempt`
+  /// (1-based): min(base * 2^(attempt-1), max), jittered by +/- `jitter`
+  /// drawn from `rng`.  The rng is consumed only when a positive jittered
+  /// wait is possible, exactly matching Transport::exchange's draws — so
+  /// external retry loops (fleet devices, shed-aware clients) that share a
+  /// policy reproduce the transport's backoff schedule bit-for-bit.
+  double backoff_before(int attempt, util::Rng& rng) const noexcept;
 };
 
 /// What one reliable exchange cost.

@@ -1,10 +1,36 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/json.hpp"
 
 namespace bees::obs {
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target) {
+      // Interpolate within [bucket lower, bucket upper], clamped to the
+      // observed range so open-ended buckets stay finite.
+      double lo = i == 0 ? min : bounds[i - 1];
+      double hi = i < bounds.size() ? bounds[i] : max;
+      lo = std::clamp(lo, min, max);
+      hi = std::clamp(hi, min, max);
+      if (hi < lo) hi = lo;
+      const double fraction =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return max;
+}
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
@@ -27,6 +53,30 @@ std::vector<double> MetricsRegistry::default_bounds() {
       b *= 10.0;
     }
     bounds.push_back(decade < 0 ? 1.0 / b : b);
+  }
+  return bounds;
+}
+
+std::vector<double> MetricsRegistry::latency_bounds() {
+  // 5 buckets per decade, multiplicative steps: successive runs (and
+  // builds against the same libm) produce identical bound values, which
+  // the deterministic-report contract of the fleet simulator relies on.
+  constexpr int kDecades = 8;       // 1e-4 .. 1e4 seconds
+  constexpr int kPerDecade = 5;
+  std::vector<double> bounds;
+  bounds.reserve(kDecades * kPerDecade + 1);
+  const double step = std::pow(10.0, 1.0 / kPerDecade);
+  double b = 1e-4;
+  bounds.push_back(b);
+  for (int i = 1; i <= kDecades * kPerDecade; ++i) {
+    // Re-anchor at each decade so accumulated multiplication error cannot
+    // drift the canonical 10^k bounds.
+    if (i % kPerDecade == 0) {
+      b = 1e-4 * std::pow(10.0, i / kPerDecade);
+    } else {
+      b *= step;
+    }
+    bounds.push_back(b);
   }
   return bounds;
 }
@@ -120,7 +170,10 @@ std::string MetricsRegistry::to_json() const {
            std::to_string(h.count) + ", \"sum\": " + json_number(h.sum) +
            ", \"min\": " + json_number(h.min) +
            ", \"max\": " + json_number(h.max) +
-           ", \"mean\": " + json_number(h.mean()) + ", \"buckets\": [";
+           ", \"mean\": " + json_number(h.mean()) +
+           ", \"p50\": " + json_number(h.quantile(0.50)) +
+           ", \"p95\": " + json_number(h.quantile(0.95)) +
+           ", \"p99\": " + json_number(h.quantile(0.99)) + ", \"buckets\": [";
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
       if (i) out += ", ";
       out += "{\"le\": ";

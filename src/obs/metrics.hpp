@@ -37,6 +37,13 @@ struct HistogramSnapshot {
   double mean() const noexcept {
     return count ? sum / static_cast<double>(count) : 0.0;
   }
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket holding the target rank, clamped to the observed [min, max]
+  /// (so a single-sample histogram reports that sample at every quantile).
+  /// Purely a function of the frozen snapshot — deterministic regardless
+  /// of the recording order that produced it.
+  double quantile(double q) const noexcept;
 };
 
 /// Frozen view of the whole registry, sorted by name (std::map) so any
@@ -63,6 +70,13 @@ class MetricsRegistry {
   /// Log-spaced decade bounds 1e-6 .. 1e6: wide enough for seconds,
   /// bytes, and op counts alike.
   static std::vector<double> default_bounds();
+
+  /// Fixed log-scale latency bounds: 5 buckets per decade from 100 us to
+  /// 10,000 s (41 bounds + overflow).  Fine enough that interpolated
+  /// p50/p90/p99 estimates stay within one sub-decade step of the exact
+  /// order statistics, and fixed so every exporter of a latency histogram
+  /// (fleet reports, --metrics-json) buckets identically.
+  static std::vector<double> latency_bounds();
 
   MetricsSnapshot snapshot() const;
   /// Deterministic JSON dump: {"counters":{...},"gauges":{...},

@@ -91,7 +91,7 @@ std::vector<std::uint8_t> Cluster::handle(
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     shed_.fetch_add(1, std::memory_order_relaxed);
     obs::count("serve.shed");
-    return net::encode_error("server overloaded: request shed");
+    return net::encode_error(kShedErrorMessage);
   }
   obs::gauge("serve.queue.depth", static_cast<double>(depth));
   obs::count("serve.requests");

@@ -36,6 +36,13 @@
 
 namespace bees::serve {
 
+/// Error text of the admission gate's shed reply.  Part of the client
+/// contract: a reply decoding to an error with exactly this message is a
+/// *retryable* overload signal (back off and resend), unlike other encoded
+/// errors which are terminal.  fleet::classify_reply keys on it.
+inline constexpr const char* kShedErrorMessage =
+    "server overloaded: request shed";
+
 struct ClusterOptions {
   int shards = 1;
   /// Worker threads draining the request queue (minimum 1).

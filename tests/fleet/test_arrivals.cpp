@@ -1,0 +1,100 @@
+// Open-loop arrival process: piecewise-constant Poisson with a disaster
+// spike, sampled by thinning — rate shape, determinism, and statistical
+// sanity of the generated arrival stream.
+#include "fleet/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace bees::fleet {
+namespace {
+
+TEST(Arrivals, RateShapeFollowsSpikeWindow) {
+  ArrivalProcess p;
+  p.steady_rate_hz = 0.1;
+  p.spike_start_s = 100.0;
+  p.spike_duration_s = 50.0;
+  p.spike_multiplier = 20.0;
+  EXPECT_DOUBLE_EQ(p.rate_at(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(p.rate_at(99.9), 0.1);
+  EXPECT_DOUBLE_EQ(p.rate_at(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.rate_at(149.9), 2.0);
+  EXPECT_DOUBLE_EQ(p.rate_at(150.0), 0.1);
+  EXPECT_DOUBLE_EQ(p.peak_rate(), 2.0);
+}
+
+TEST(Arrivals, NoSpikeWhenDisabled) {
+  ArrivalProcess p;
+  p.steady_rate_hz = 0.5;
+  p.spike_start_s = -1.0;  // disabled
+  p.spike_multiplier = 100.0;
+  EXPECT_DOUBLE_EQ(p.rate_at(1000.0), 0.5);
+  EXPECT_DOUBLE_EQ(p.peak_rate(), 0.5);
+}
+
+TEST(Arrivals, SampleStreamIsDeterministic) {
+  ArrivalProcess p;
+  p.steady_rate_hz = 0.2;
+  p.spike_start_s = 10.0;
+  p.spike_duration_s = 10.0;
+  p.spike_multiplier = 5.0;
+  util::Rng a(7), b(7);
+  double ta = 0.0, tb = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    ta = p.next_after(ta, a);
+    tb = p.next_after(tb, b);
+    ASSERT_DOUBLE_EQ(ta, tb);
+    ASSERT_GT(ta, 0.0);
+  }
+}
+
+TEST(Arrivals, ArrivalsAreStrictlyIncreasing) {
+  ArrivalProcess p;
+  p.steady_rate_hz = 1.0;
+  util::Rng rng(3);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double next = p.next_after(t, rng);
+    ASSERT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(Arrivals, SpikeMultipliesObservedCounts) {
+  ArrivalProcess p;
+  p.steady_rate_hz = 0.5;
+  p.spike_start_s = 1000.0;
+  p.spike_duration_s = 1000.0;
+  p.spike_multiplier = 10.0;
+  util::Rng rng(11);
+  int before = 0, during = 0;
+  double t = 0.0;
+  while (true) {
+    t = p.next_after(t, rng);
+    if (t >= 2000.0) break;
+    if (t < 1000.0) {
+      ++before;
+    } else {
+      ++during;
+    }
+  }
+  // Expected 500 vs 5000; a wide tolerance keeps this deterministic-seed
+  // check robust while still catching a broken thinning sampler.
+  EXPECT_NEAR(before, 500, 120);
+  EXPECT_NEAR(during, 5000, 400);
+  EXPECT_GT(during, 5 * before);
+}
+
+TEST(Arrivals, ZeroRateNeverFires) {
+  ArrivalProcess p;
+  p.steady_rate_hz = 0.0;
+  util::Rng rng(1);
+  EXPECT_TRUE(std::isinf(p.next_after(0.0, rng)));
+}
+
+}  // namespace
+}  // namespace bees::fleet

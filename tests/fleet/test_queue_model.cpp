@@ -1,0 +1,69 @@
+// Virtual admission/queue model semantics: the QueueModel must mirror
+// serve::Cluster's gate (shed iff queued + executing >= depth on arrival)
+// while resolving waiting and completion times deterministically.
+#include "fleet/queue_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bees::fleet {
+namespace {
+
+TEST(QueueModel, ServesInFifoOrderOnOneServer) {
+  QueueModel q(1, 10);
+  const ServiceOutcome a = q.offer(0.0, 1.0);
+  const ServiceOutcome b = q.offer(0.1, 1.0);
+  const ServiceOutcome c = q.offer(2.5, 1.0);
+  EXPECT_FALSE(a.shed);
+  EXPECT_DOUBLE_EQ(a.start_s, 0.0);
+  EXPECT_DOUBLE_EQ(a.completion_s, 1.0);
+  // b waits for a; c arrives after both finished and starts immediately.
+  EXPECT_DOUBLE_EQ(b.start_s, 1.0);
+  EXPECT_DOUBLE_EQ(b.completion_s, 2.0);
+  EXPECT_DOUBLE_EQ(c.start_s, 2.5);
+  EXPECT_DOUBLE_EQ(c.completion_s, 3.5);
+  EXPECT_EQ(q.offered(), 3u);
+  EXPECT_EQ(q.shed(), 0u);
+}
+
+TEST(QueueModel, ParallelServersOverlap) {
+  QueueModel q(2, 10);
+  const ServiceOutcome a = q.offer(0.0, 2.0);
+  const ServiceOutcome b = q.offer(0.0, 2.0);
+  const ServiceOutcome c = q.offer(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(a.completion_s, 2.0);
+  EXPECT_DOUBLE_EQ(b.completion_s, 2.0);  // second server, no wait
+  EXPECT_DOUBLE_EQ(c.start_s, 2.0);       // queued behind the earlier free
+  EXPECT_DOUBLE_EQ(c.completion_s, 4.0);
+}
+
+TEST(QueueModel, ShedsAtDepthAndRepliesImmediately) {
+  QueueModel q(1, 2);
+  EXPECT_FALSE(q.offer(0.0, 10.0).shed);  // executing
+  EXPECT_FALSE(q.offer(0.0, 10.0).shed);  // queued: in_system = 2 = depth
+  const ServiceOutcome shed = q.offer(0.0, 10.0);
+  EXPECT_TRUE(shed.shed);
+  EXPECT_DOUBLE_EQ(shed.completion_s, 0.0);  // gate answers without queueing
+  EXPECT_EQ(q.shed(), 1u);
+  // Once the backlog drains, admission resumes.
+  EXPECT_FALSE(q.offer(25.0, 1.0).shed);
+  EXPECT_EQ(q.offered(), 4u);
+}
+
+TEST(QueueModel, InSystemDropsCompletedRequests) {
+  QueueModel q(1, 8);
+  q.offer(0.0, 1.0);
+  q.offer(0.0, 1.0);  // completes at 2
+  EXPECT_EQ(q.in_system(0.5), 2u);
+  EXPECT_EQ(q.in_system(1.5), 1u);
+  EXPECT_EQ(q.in_system(2.5), 0u);
+}
+
+TEST(QueueModel, RejectsDegenerateShapes) {
+  EXPECT_THROW(QueueModel(0, 4), std::invalid_argument);
+  EXPECT_THROW(QueueModel(2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bees::fleet

@@ -1,0 +1,160 @@
+// Client-observed admission shedding: the serving cluster's shed reply
+// must decode as a *retryable* error on the client side, and a client
+// that backs off and resends must succeed once the overload clears —
+// closing the loop between transport retries (message loss) and the
+// admission gate (server overload).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "features/orb.hpp"
+#include "fleet/client.hpp"
+#include "imaging/synth.hpp"
+#include "net/channel.hpp"
+#include "net/protocol.hpp"
+#include "net/transport.hpp"
+#include "serve/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace bees::fleet {
+namespace {
+
+feat::BinaryFeatures make_binary(std::uint64_t seed) {
+  util::Rng rng(seed);
+  img::ViewPerturbation pert;
+  return feat::extract_orb(
+      img::render_view(img::SceneSpec{seed, 18, 4}, 200, 150, pert, rng));
+}
+
+std::vector<std::uint8_t> make_query(std::uint64_t seed) {
+  return net::encode_binary_query(make_binary(seed), idx::kDefaultTopK,
+                                  9'000.0);
+}
+
+TEST(ShedClient, RealShedReplyClassifiesAsRetryable) {
+  // queue_depth 0 makes the real gate shed deterministically: every
+  // request produces the exact reply an overloaded cluster sends.
+  serve::ClusterOptions options;
+  options.shards = 1;
+  options.threads = 1;
+  options.queue_depth = 0;
+  serve::Cluster cluster(options);
+
+  const auto reply = cluster.handle(make_query(100));
+  EXPECT_EQ(classify_reply(reply), ReplyStatus::kShed);
+  EXPECT_TRUE(is_shed_reply(reply));
+  EXPECT_EQ(cluster.shed_count(), 1u);
+}
+
+TEST(ShedClient, ServedAndMalformedRepliesClassifyApart) {
+  serve::Cluster cluster;
+  cluster.seed_binary(make_binary(100), {2.3, 48.86, true}, 11'000.0);
+  EXPECT_EQ(classify_reply(cluster.handle(make_query(100))),
+            ReplyStatus::kOk);
+  // A non-shed encoded error is terminal for the client.
+  EXPECT_EQ(classify_reply(net::encode_error("malformed request")),
+            ReplyStatus::kError);
+  // Undecodable bytes are terminal too, never retried.
+  EXPECT_EQ(classify_reply({0x01, 0x02, 0x03}), ReplyStatus::kError);
+}
+
+TEST(ShedClient, SustainedOverloadShedsDecodeRetryableEverywhere) {
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 12;
+
+  serve::ClusterOptions options;
+  options.shards = 2;
+  options.threads = 1;
+  options.queue_depth = 1;
+  serve::Cluster cluster(options);
+  for (int i = 0; i < 4; ++i) {
+    cluster.seed_binary(make_binary(100 + static_cast<std::uint64_t>(i)),
+                        {2.3, 48.86, true}, 11'000.0);
+  }
+
+  std::atomic<int> ok{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> terminal{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kRequestsPerClient; ++q) {
+        const auto reply = cluster.handle(
+            make_query(100 + static_cast<std::uint64_t>((c + q) % 4)));
+        switch (classify_reply(reply)) {
+          case ReplyStatus::kOk: ok.fetch_add(1); break;
+          case ReplyStatus::kShed: shed.fetch_add(1); break;
+          case ReplyStatus::kError: terminal.fetch_add(1); break;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Under sustained overload every reply is either a served answer or the
+  // retryable shed error — never a terminal one — and the client-observed
+  // shed count matches the gate's own accounting exactly.
+  EXPECT_EQ(terminal.load(), 0);
+  EXPECT_EQ(ok.load() + shed.load(), kClients * kRequestsPerClient);
+  EXPECT_EQ(cluster.shed_count(), static_cast<std::size_t>(shed.load()));
+  // The overload is transient: once the burst drains, the gate admits.
+  EXPECT_EQ(classify_reply(cluster.handle(make_query(100))),
+            ReplyStatus::kOk);
+}
+
+TEST(ShedClient, ShedThenServedSucceedsAfterBackoff) {
+  constexpr int kSheds = 3;
+  serve::Cluster cluster;
+  cluster.seed_binary(make_binary(100), {2.3, 48.86, true}, 11'000.0);
+
+  // Deterministic overload window: the first kSheds requests see exactly
+  // the gate's shed reply, later ones reach the (recovered) cluster.
+  int calls = 0;
+  net::Transport::Handler handler =
+      [&](const std::vector<std::uint8_t>& request) {
+        if (calls++ < kSheds) {
+          return net::encode_error(serve::kShedErrorMessage);
+        }
+        return cluster.handle(request);
+      };
+
+  net::Channel channel(net::ChannelParams::fixed(256'000.0));
+  net::RetryPolicy policy;
+  policy.max_attempts = 8;
+  net::Transport transport(handler, channel, policy);
+  util::Rng backoff_rng(42);
+
+  const ShedRetryResult result = exchange_with_shed_retry(
+      transport, channel, make_query(100), backoff_rng);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.shed_retries, kSheds);
+  EXPECT_GT(result.shed_backoff_s, 0.0);
+  ASSERT_TRUE(result.last.ok);
+  const auto envelope = net::open_envelope(result.last.reply);
+  EXPECT_EQ(envelope.type, net::MessageType::kQueryResponse);
+}
+
+TEST(ShedClient, PermanentOverloadExhaustsTheBudget) {
+  net::Transport::Handler always_shed =
+      [](const std::vector<std::uint8_t>&) {
+        return net::encode_error(serve::kShedErrorMessage);
+      };
+  net::Channel channel(net::ChannelParams::fixed(256'000.0));
+  net::RetryPolicy policy;
+  policy.max_attempts = 4;
+  net::Transport transport(always_shed, channel, policy);
+  util::Rng backoff_rng(42);
+
+  const ShedRetryResult result = exchange_with_shed_retry(
+      transport, channel, make_query(100), backoff_rng);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.last.ok);  // delivery worked; the server kept shedding
+  EXPECT_EQ(result.shed_retries, policy.max_attempts - 1);
+  EXPECT_TRUE(is_shed_reply(result.last.reply));
+}
+
+}  // namespace
+}  // namespace bees::fleet

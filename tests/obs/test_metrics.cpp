@@ -158,5 +158,78 @@ TEST_F(MetricsTest, ToJsonIsDeterministicAndSorted) {
   EXPECT_NE(json.find("inf"), std::string::npos);
 }
 
+TEST_F(MetricsTest, QuantileInterpolatesWithinBuckets) {
+  MetricsRegistry reg;
+  reg.declare_histogram("h", {10.0, 20.0, 30.0});
+  // 100 samples spread uniformly through (0, 30]: ranks map linearly.
+  for (int i = 1; i <= 100; ++i) reg.observe("h", 0.3 * i);
+  const HistogramSnapshot h = reg.snapshot().histograms.at("h");
+  // Exact order statistics: p50 = 15, p90 = 27 (within a bucket-width
+  // tolerance of the linear interpolation).
+  EXPECT_NEAR(h.quantile(0.50), 15.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.90), 27.0, 1.0);
+  // Extremes clamp to the observed range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.min);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max);
+}
+
+TEST_F(MetricsTest, QuantileDegenerateCases) {
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  MetricsRegistry reg;
+  reg.declare_histogram("one", {1.0, 10.0});
+  reg.observe("one", 3.5);
+  const HistogramSnapshot one = reg.snapshot().histograms.at("one");
+  // A single sample is every quantile.
+  EXPECT_DOUBLE_EQ(one.quantile(0.01), 3.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.50), 3.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.99), 3.5);
+
+  // Samples beyond every bound live in the overflow bucket, clamped to
+  // the observed max rather than extrapolated to infinity.
+  reg.declare_histogram("over", {1.0});
+  reg.observe("over", 500.0);
+  reg.observe("over", 900.0);
+  const HistogramSnapshot over = reg.snapshot().histograms.at("over");
+  EXPECT_GE(over.quantile(0.99), 500.0);
+  EXPECT_LE(over.quantile(0.99), 900.0);
+}
+
+TEST_F(MetricsTest, LatencyBoundsAreFixedAndAscending) {
+  const std::vector<double> bounds = MetricsRegistry::latency_bounds();
+  ASSERT_EQ(bounds.size(), 41u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-4);
+  EXPECT_DOUBLE_EQ(bounds.back(), 1e4);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  // Fixed: two calls agree exactly (exporters must bucket identically).
+  EXPECT_EQ(bounds, MetricsRegistry::latency_bounds());
+}
+
+TEST_F(MetricsTest, ToJsonRoundTripsQuantileSummaries) {
+  MetricsRegistry reg;
+  reg.declare_histogram("lat", MetricsRegistry::latency_bounds());
+  for (int i = 1; i <= 200; ++i) reg.observe("lat", 0.001 * i);
+  const HistogramSnapshot h = reg.snapshot().histograms.at("lat");
+  const std::string json = reg.to_json();
+
+  // The export carries p50/p95/p99 and they round-trip: parsing the
+  // number after each key recovers exactly the snapshot's estimate
+  // (%.17g is lossless for doubles).
+  const auto parse_after = [&](const std::string& key) {
+    const std::size_t at = json.find(key);
+    EXPECT_NE(at, std::string::npos) << key;
+    return std::stod(json.substr(at + key.size()));
+  };
+  EXPECT_DOUBLE_EQ(parse_after("\"p50\": "), h.quantile(0.50));
+  EXPECT_DOUBLE_EQ(parse_after("\"p95\": "), h.quantile(0.95));
+  EXPECT_DOUBLE_EQ(parse_after("\"p99\": "), h.quantile(0.99));
+  // Sanity: the estimates bracket the true order statistics reasonably.
+  EXPECT_NEAR(h.quantile(0.50), 0.100, 0.03);
+  EXPECT_NEAR(h.quantile(0.99), 0.198, 0.05);
+}
+
 }  // namespace
 }  // namespace bees::obs

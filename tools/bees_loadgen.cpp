@@ -1,0 +1,220 @@
+// bees_loadgen — fleet load generator: N simulated devices (each with its
+// own battery, adaptive knobs, and lossy radio) drive a serve::Cluster
+// and the run is summarized as a machine-readable SLO report.
+//
+// stdout carries exactly the JSON report, which is byte-identical for a
+// fixed --seed across repeated runs and across any --workers count (the
+// determinism contract of fleet::run_fleet).  Wall-clock measurements and
+// a human summary go to stderr.
+//
+// Usage:
+//   bees_loadgen [--seed S] [--devices N] [--duration S] [--epoch S]
+//                [--closed-loop] [--rate HZ] [--think S]
+//                [--spike-start S] [--spike-duration S] [--spike-mult X]
+//                [--batch N] [--set-images N] [--set-locations N]
+//                [--width W] [--height H] [--seed-fraction F]
+//                [--shards N] [--server-threads N] [--queue-depth N]
+//                [--service-base S] [--service-per-image S]
+//                [--bitrate KBPS] [--loss P] [--retries N] [--backoff S]
+//                [--battery PCT] [--no-adapt] [--workers N]
+//                [--slo-p99 S] [--slo-shed-rate F] [--report PATH] [--quiet]
+//
+//   --devices        fleet size                                (default 64)
+//   --duration       offered-load window, virtual seconds      (default 120)
+//   --epoch          simulation epoch length                   (default 1)
+//   --closed-loop    think-time clients instead of open-loop Poisson
+//   --rate           per-device capture rate, Hz (open loop)   (default 0.05)
+//   --think          mean think time, s (closed loop)          (default 5)
+//   --spike-start    disaster spike start, s; < 0 disables     (default -1)
+//   --spike-duration spike length, s                           (default 30)
+//   --spike-mult     rate multiplier during the spike          (default 10)
+//   --batch          images per capture                        (default 4)
+//   --seed-fraction  fraction of the imageset pre-seeded into
+//                    the situation index                       (default 0.25)
+//   --shards / --server-threads / --queue-depth   serving layer shape
+//   --service-base / --service-per-image          virtual service time model
+//   --bitrate / --loss / --retries / --backoff    per-device radio
+//   --battery        starting battery percentage 1..100        (default 100)
+//   --no-adapt       pin EAC/EDR/EAU at full-energy values (BEES-EA)
+//   --workers        phase-A worker threads; 0 = hardware      (default 1)
+//   --slo-p99        p99 latency target, s; with a target set the exit
+//                    code is 1 when the SLO verdict fails      (default off)
+//   --slo-shed-rate  max tolerated shed fraction 0..1          (default off)
+//   --report         also write the JSON report to PATH
+//   --quiet          suppress the stderr summary
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "fleet/simulator.hpp"
+
+using namespace bees;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--seed S] [--devices N] [--duration S] [--epoch S]\n"
+         "       [--closed-loop] [--rate HZ] [--think S] [--spike-start S]\n"
+         "       [--spike-duration S] [--spike-mult X] [--batch N]\n"
+         "       [--set-images N] [--set-locations N] [--width W]\n"
+         "       [--height H] [--seed-fraction F] [--shards N]\n"
+         "       [--server-threads N] [--queue-depth N] [--service-base S]\n"
+         "       [--service-per-image S] [--bitrate KBPS] [--loss P]\n"
+         "       [--retries N] [--backoff S] [--battery PCT] [--no-adapt]\n"
+         "       [--workers N] [--slo-p99 S] [--slo-shed-rate F]\n"
+         "       [--report PATH] [--quiet]\n";
+  return 2;
+}
+
+struct Options {
+  fleet::FleetOptions fleet;
+  double battery_pct = 100.0;
+  std::string report_path;
+  bool quiet = false;
+};
+
+bool parse(int argc, char** argv, Options& opt) {
+  fleet::FleetOptions& f = opt.fleet;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      out = std::stod(argv[++i]);
+      return true;
+    };
+    double v = 0;
+    if (arg == "--seed" && next(v)) {
+      f.seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--devices" && next(v)) {
+      f.devices = static_cast<int>(v);
+    } else if (arg == "--duration" && next(v)) {
+      f.duration_s = v;
+    } else if (arg == "--epoch" && next(v)) {
+      f.epoch_s = v;
+    } else if (arg == "--closed-loop") {
+      f.closed_loop = true;
+    } else if (arg == "--rate" && next(v)) {
+      f.rate_hz = v;
+    } else if (arg == "--think" && next(v)) {
+      f.think_s = v;
+    } else if (arg == "--spike-start" && next(v)) {
+      f.spike_start_s = v;
+    } else if (arg == "--spike-duration" && next(v)) {
+      f.spike_duration_s = v;
+    } else if (arg == "--spike-mult" && next(v)) {
+      f.spike_multiplier = v;
+    } else if (arg == "--batch" && next(v)) {
+      f.batch = static_cast<int>(v);
+    } else if (arg == "--set-images" && next(v)) {
+      f.set_images = static_cast<int>(v);
+    } else if (arg == "--set-locations" && next(v)) {
+      f.set_locations = static_cast<int>(v);
+    } else if (arg == "--width" && next(v)) {
+      f.width = static_cast<int>(v);
+    } else if (arg == "--height" && next(v)) {
+      f.height = static_cast<int>(v);
+    } else if (arg == "--seed-fraction" && next(v)) {
+      f.seed_fraction = v;
+    } else if (arg == "--shards" && next(v)) {
+      f.shards = static_cast<int>(v);
+    } else if (arg == "--server-threads" && next(v)) {
+      f.server_threads = static_cast<int>(v);
+    } else if (arg == "--queue-depth" && next(v)) {
+      f.queue_depth = static_cast<std::size_t>(v);
+    } else if (arg == "--service-base" && next(v)) {
+      f.service_base_s = v;
+    } else if (arg == "--service-per-image" && next(v)) {
+      f.service_per_image_s = v;
+    } else if (arg == "--bitrate" && next(v)) {
+      f.bitrate_kbps = v;
+    } else if (arg == "--loss" && next(v)) {
+      f.loss = v;
+    } else if (arg == "--retries" && next(v)) {
+      f.retry.max_attempts = static_cast<int>(v);
+    } else if (arg == "--backoff" && next(v)) {
+      f.retry.backoff_base_s = v;
+    } else if (arg == "--battery" && next(v)) {
+      opt.battery_pct = v;
+    } else if (arg == "--no-adapt") {
+      f.adaptive = false;
+    } else if (arg == "--workers" && next(v)) {
+      f.workers = static_cast<int>(v);
+    } else if (arg == "--slo-p99" && next(v)) {
+      f.slo_p99_s = v;
+    } else if (arg == "--slo-shed-rate" && next(v)) {
+      f.slo_max_shed_rate = v;
+    } else if (arg == "--report" && i + 1 < argc) {
+      opt.report_path = argv[++i];
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      return false;
+    }
+  }
+  f.battery_fraction = opt.battery_pct / 100.0;
+  return f.devices >= 1 && f.duration_s > 0 && f.epoch_s > 0 &&
+         f.rate_hz >= 0 && f.think_s >= 0 && f.batch >= 1 &&
+         f.set_images >= 1 && f.set_locations >= 1 && f.width >= 32 &&
+         f.height >= 32 && f.seed_fraction >= 0 && f.seed_fraction <= 1 &&
+         f.shards >= 1 && f.server_threads >= 1 && f.queue_depth >= 1 &&
+         f.bitrate_kbps > 0 && f.loss >= 0 && f.loss <= 1 &&
+         f.retry.max_attempts >= 1 && f.retry.backoff_base_s > 0 &&
+         opt.battery_pct > 0 && opt.battery_pct <= 100 && f.workers >= 0 &&
+         f.slo_max_shed_rate <= 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage(argv[0]);
+
+  const fleet::FleetResult result = fleet::run_fleet(opt.fleet);
+  const std::string json = result.report.to_json();
+
+  std::cout << json;
+  if (!opt.report_path.empty()) {
+    std::ofstream out(opt.report_path);
+    if (!out) {
+      std::cerr << "bees_loadgen: cannot write " << opt.report_path << "\n";
+      return 2;
+    }
+    out << json;
+  }
+
+  if (!opt.quiet) {
+    const fleet::FleetReport& r = result.report;
+    std::fprintf(stderr,
+                 "fleet: %d devices, %.0fs %s load: offered %llu, served "
+                 "%llu, shed %llu (%.2f%%)\n",
+                 r.config.devices, r.config.duration_s,
+                 r.config.closed_loop ? "closed-loop" : "open-loop",
+                 static_cast<unsigned long long>(r.totals.offered),
+                 static_cast<unsigned long long>(r.totals.served),
+                 static_cast<unsigned long long>(r.totals.shed),
+                 100.0 * r.totals.shed_rate());
+    std::fprintf(stderr,
+                 "latency: p50 %.3fs  p90 %.3fs  p99 %.3fs  (%llu requests)\n",
+                 r.latency_all.p50_s, r.latency_all.p90_s, r.latency_all.p99_s,
+                 static_cast<unsigned long long>(r.latency_all.count));
+    std::fprintf(stderr,
+                 "real cluster: %zu handles in %.3fs wall (%.1f req/s); "
+                 "run wall %.3fs\n",
+                 result.real_handles, result.serve_wall_seconds,
+                 result.serve_wall_seconds > 0
+                     ? static_cast<double>(result.real_handles) /
+                           result.serve_wall_seconds
+                     : 0.0,
+                 result.wall_seconds);
+    if (opt.fleet.slo_p99_s > 0 || opt.fleet.slo_max_shed_rate >= 0) {
+      std::fprintf(stderr, "slo: %s\n", r.slo.ok() ? "OK" : "VIOLATED");
+    }
+  }
+
+  const bool gated =
+      opt.fleet.slo_p99_s > 0 || opt.fleet.slo_max_shed_rate >= 0;
+  return gated && !result.report.slo.ok() ? 1 : 0;
+}

@@ -40,6 +40,12 @@
 //                    WALs during the run, checkpoint on exit
 //   --save-index PATH  save the binary index as a snapshot on exit
 //   --load-index PATH  pre-seed the binary index from a snapshot
+//
+// Flag coherence: --load-index requires --data-dir (a warm start only
+// makes sense against a durability root to recover into), and
+// --queue-depth requires --server-threads (the admission bound gates the
+// cluster's worker pool); incoherent combinations are rejected with a
+// one-line error.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -205,6 +211,16 @@ bool parse(int argc, char** argv, Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, opt)) return usage(argv[0]);
+  if (!opt.load_index_path.empty() && opt.data_dir.empty()) {
+    std::cerr << "bees_sim: --load-index requires --data-dir (a snapshot "
+                 "warm-starts the cluster's durability root)\n";
+    return 2;
+  }
+  if (opt.queue_depth > 0 && opt.server_threads == 0) {
+    std::cerr << "bees_sim: --queue-depth requires --server-threads (the "
+                 "admission bound gates the cluster worker pool)\n";
+    return 2;
+  }
 
   // Observability is off (and free) unless an export was requested.
   const bool observe =
