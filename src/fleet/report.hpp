@@ -123,7 +123,8 @@ struct FleetReport {
   PrecisionInputs precision;
   SloVerdict slo;
 
-  /// The machine-readable run report.  Fixed key order, %.17g numbers:
+  /// The machine-readable run report.  Fixed key order, shortest
+  /// round-trip (locale-independent) numbers:
   /// identical state serializes to identical bytes.
   std::string to_json() const;
 };

@@ -1,0 +1,183 @@
+#include "index/ann.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/byte_io.hpp"
+#include "util/rng.hpp"
+
+namespace bees::idx {
+
+namespace {
+
+/// Fixed pseudo-random training sample for the vocabulary tree.  Deriving
+/// the sample from the seed (not from stored data) makes the quantizer a
+/// pure function of AnnParams: every shard, and every index built from the
+/// same params, assigns identical words.
+std::vector<feat::Descriptor256> seed_sample(const VocabularyParams& params,
+                                             int count) {
+  util::Rng rng(params.seed ^ 0xa22a5eedULL);
+  std::vector<feat::Descriptor256> sample(
+      static_cast<std::size_t>(std::max(count, 2)));
+  for (auto& d : sample) {
+    for (auto& lane : d.bits) lane = rng.next_u64();
+  }
+  return sample;
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t state = h ^ v;
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+std::size_t ann_shortlist_budget(int max_candidates, double recall_target) {
+  const auto floor = static_cast<std::size_t>(std::max(1, max_candidates));
+  const double clamped = std::clamp(recall_target, 0.0, 0.995);
+  const double factor = 1.0 / (1.0 - clamped);
+  return std::max(floor, static_cast<std::size_t>(std::ceil(
+                             static_cast<double>(floor) * factor)));
+}
+
+AnnFrontEnd::AnnFrontEnd(const AnnParams& params)
+    : params_(params),
+      hasher_([&] {
+        if (params.bands <= 0 || params.rows <= 0) {
+          throw std::invalid_argument("AnnFrontEnd: bad band shape");
+        }
+        MinHashParams mh = params.minhash;
+        mh.hashes = params.bands * params.rows;
+        return MinHasher(mh);
+      }()),
+      tree_(VocabularyTree::train(
+          seed_sample(params.vocabulary, params.vocabulary_sample),
+          params.vocabulary)),
+      band_tables_(static_cast<std::size_t>(params.bands)) {}
+
+std::vector<std::uint64_t> AnnFrontEnd::band_signatures_of(
+    const MinHashSketch& sketch) const {
+  std::vector<std::uint64_t> sigs(static_cast<std::size_t>(params_.bands));
+  for (int b = 0; b < params_.bands; ++b) {
+    // Chain the band's minima through splitmix; salting with the band index
+    // keeps equal-minima bands of different positions distinct.
+    std::uint64_t h = 0x5ee1ba9dULL ^ static_cast<std::uint64_t>(b);
+    for (int r = 0; r < params_.rows; ++r) {
+      h = mix(h, sketch.minima[static_cast<std::size_t>(
+                    b * params_.rows + r)]);
+    }
+    sigs[static_cast<std::size_t>(b)] = h;
+  }
+  return sigs;
+}
+
+AnnFrontEnd::Row AnnFrontEnd::make_row(
+    const std::vector<feat::Descriptor256>& descriptors) const {
+  Row row;
+  if (descriptors.empty()) {
+    // No descriptors -> no derived state; an empty row never matches.
+    return row;
+  }
+  row.band_signatures = band_signatures_of(hasher_.sketch(descriptors));
+  row.words.reserve(descriptors.size());
+  for (const auto& d : descriptors) row.words.push_back(tree_.quantize(d));
+  std::sort(row.words.begin(), row.words.end());
+  row.words.erase(std::unique(row.words.begin(), row.words.end()),
+                  row.words.end());
+  return row;
+}
+
+void AnnFrontEnd::install_row(ImageId id, const Row& row) {
+  if (static_cast<std::size_t>(id) != image_count()) {
+    throw std::invalid_argument("AnnFrontEnd: out-of-order insert");
+  }
+  signatures_.insert(signatures_.end(), row.band_signatures.begin(),
+                     row.band_signatures.end());
+  // Rows of empty descriptor sets have no signatures; pad so the CSR slots
+  // stay `bands` wide and never alias a real signature (id-salted).
+  for (std::size_t b = row.band_signatures.size();
+       b < static_cast<std::size_t>(params_.bands); ++b) {
+    signatures_.push_back(mix(0xe0077e57ULL + b, id));
+  }
+  if (!row.band_signatures.empty()) {
+    for (int b = 0; b < params_.bands; ++b) {
+      band_tables_[static_cast<std::size_t>(b)]
+                  [row.band_signatures[static_cast<std::size_t>(b)]]
+                      .push_back(id);
+    }
+  }
+  for (const std::uint32_t word : row.words) {
+    inverted_[word].push_back(id);
+  }
+  words_.insert(words_.end(), row.words.begin(), row.words.end());
+  word_offsets_.push_back(static_cast<std::uint32_t>(words_.size()));
+}
+
+void AnnFrontEnd::insert(ImageId id,
+                         const std::vector<feat::Descriptor256>& descriptors) {
+  install_row(id, make_row(descriptors));
+}
+
+void AnnFrontEnd::insert_row(ImageId id, Row row) {
+  if (!row.band_signatures.empty() &&
+      row.band_signatures.size() != static_cast<std::size_t>(params_.bands)) {
+    throw util::DecodeError("AnnFrontEnd: row band count mismatch");
+  }
+  if (!std::is_sorted(row.words.begin(), row.words.end())) {
+    throw util::DecodeError("AnnFrontEnd: row words not sorted");
+  }
+  install_row(id, row);
+}
+
+AnnFrontEnd::Row AnnFrontEnd::row_of(ImageId id) const {
+  const auto i = static_cast<std::size_t>(id);
+  Row row;
+  const auto bands = static_cast<std::size_t>(params_.bands);
+  row.band_signatures.assign(signatures_.begin() + i * bands,
+                             signatures_.begin() + (i + 1) * bands);
+  row.words.assign(words_.begin() + word_offsets_[i],
+                   words_.begin() + word_offsets_[i + 1]);
+  if (row.words.empty()) {
+    // Empty-set images stored padded signatures; export the canonical
+    // empty row so save/load round-trips bit-exactly.
+    row.band_signatures.clear();
+  }
+  return row;
+}
+
+void AnnFrontEnd::collect(
+    const std::vector<feat::Descriptor256>& query,
+    std::unordered_map<ImageId, std::uint32_t>& scores) const {
+  if (query.empty() || image_count() == 0) return;
+  const Row q = make_row(query);
+  for (int b = 0; b < params_.bands; ++b) {
+    const auto& table = band_tables_[static_cast<std::size_t>(b)];
+    const auto it =
+        table.find(q.band_signatures[static_cast<std::size_t>(b)]);
+    if (it == table.end()) continue;
+    for (const ImageId id : it->second) scores[id] += params_.band_weight;
+  }
+  for (const std::uint32_t word : q.words) {
+    const auto it = inverted_.find(word);
+    if (it == inverted_.end()) continue;
+    for (const ImageId id : it->second) scores[id] += 1;
+  }
+}
+
+std::uint64_t AnnFrontEnd::fingerprint() const noexcept {
+  std::uint64_t h = 0xbee5a22aULL;
+  h = mix(h, static_cast<std::uint64_t>(params_.bands));
+  h = mix(h, static_cast<std::uint64_t>(params_.rows));
+  h = mix(h, params_.band_weight);
+  h = mix(h, static_cast<std::uint64_t>(params_.vocabulary.branching));
+  h = mix(h, static_cast<std::uint64_t>(params_.vocabulary.depth));
+  h = mix(h, static_cast<std::uint64_t>(params_.vocabulary.kmeans_iterations));
+  h = mix(h, params_.vocabulary.seed);
+  h = mix(h, static_cast<std::uint64_t>(params_.vocabulary_sample));
+  h = mix(h, static_cast<std::uint64_t>(params_.minhash.token_bits));
+  h = mix(h, params_.minhash.seed);
+  return h;
+}
+
+}  // namespace bees::idx

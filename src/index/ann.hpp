@@ -1,0 +1,134 @@
+// Approximate-nearest-neighbour candidate pruning for the server's feature
+// index.  At millions of images the exact LSH vote scan is the query-cost
+// wall: every stored descriptor colliding anywhere with the query is
+// touched.  This front end shortlists candidates from two compact,
+// image-level structures instead:
+//
+//   * MinHash banding — each image's descriptor-token set is sketched once
+//     (bands x rows minima); a band's minima hash to one 64-bit signature,
+//     and images sharing a band signature with the query are fetched from a
+//     per-band table in O(1).  Collision probability per band is J^rows,
+//     the classic banding curve, so near-duplicates surface reliably.
+//   * Vocabulary routing — descriptors quantize to visual words in a tree
+//     trained once from the seed (not from data), and an inverted file maps
+//     word -> posting list.  Only images sharing a word are touched.
+//
+// Both signals are pure functions of the (query, image) pair — the tree and
+// the hash salts derive from AnnParams alone, never from what else is
+// stored.  That is the determinism argument: any sharding of the corpus
+// computes identical per-image scores, so per-shard top-B lists merged with
+// the (score desc, gid asc) tie-break reproduce the single-index shortlist
+// exactly (DESIGN.md §11).  The exact packed-kernel rescore then runs on
+// the shortlist only, making query cost sublinear in corpus size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "features/keypoint.hpp"
+#include "index/minhash.hpp"
+#include "index/types.hpp"
+#include "index/vocabulary.hpp"
+
+namespace bees::idx {
+
+struct AnnParams {
+  /// Master switch; off keeps the exact LSH-vote candidate path.
+  bool enabled = false;
+  /// MinHash bands probed per query; each band holds `rows` sketch minima.
+  int bands = 8;
+  int rows = 4;
+  /// Score weight of one band collision relative to one shared visual word
+  /// (a band collision is far stronger evidence of high Jaccard).
+  std::uint32_t band_weight = 8;
+  /// Vocabulary-tree shape; the tree is trained on `vocabulary_sample`
+  /// pseudo-random descriptors derived from `vocabulary.seed`, so it is a
+  /// fixed data-independent quantizer (required for shard invariance).
+  VocabularyParams vocabulary;
+  int vocabulary_sample = 4096;
+  /// Token quantization for the sketches (MinHashParams::hashes is derived
+  /// as bands * rows and need not be set).
+  MinHashParams minhash;
+  /// When the index also maintains descriptor LSH tables, fold its
+  /// (bucket-deduplicated) votes into the shortlist score.
+  bool merge_lsh_votes = true;
+};
+
+/// Sizes the exact-rescore shortlist from the caller's recall target: the
+/// budget grows as 1/(1 - recall_target) on top of the top-k candidate
+/// floor.  Single source of truth for the index and the cluster merge —
+/// both must truncate to the same budget for byte-identical replies.
+std::size_t ann_shortlist_budget(int max_candidates, double recall_target);
+
+/// The ANN structures of one index: band tables + inverted file, plus the
+/// per-image rows (band signatures, sorted word ids) they are built from.
+/// Rows are kept in flat CSR layout so snapshots can persist them and a
+/// restore can skip the sketch/quantize work.
+class AnnFrontEnd {
+ public:
+  explicit AnnFrontEnd(const AnnParams& params);
+
+  /// Persistable per-image derived state.
+  struct Row {
+    std::vector<std::uint64_t> band_signatures;  ///< `bands` entries.
+    std::vector<std::uint32_t> words;            ///< sorted, unique.
+  };
+
+  /// Sketches and quantizes one image's descriptors.  Images must be
+  /// inserted in ascending id order starting at 0 (the index's insertion
+  /// order), which keeps every posting list sorted by id for free.
+  void insert(ImageId id, const std::vector<feat::Descriptor256>& descriptors);
+
+  /// Restore path: installs a previously computed row (snapshot load).
+  /// Throws util::DecodeError if the row's shape does not match `params`.
+  void insert_row(ImageId id, Row row);
+
+  /// Computes the row insert() would store, without storing it.
+  Row make_row(const std::vector<feat::Descriptor256>& descriptors) const;
+
+  /// Copies image `id`'s stored row back out (snapshot save).
+  Row row_of(ImageId id) const;
+
+  /// Adds band_weight * (band collisions) + (shared distinct words) into
+  /// `scores` for every image sharing a band signature or a word with the
+  /// query.  Touches only posting-list entries — never the whole corpus.
+  void collect(const std::vector<feat::Descriptor256>& query,
+               std::unordered_map<ImageId, std::uint32_t>& scores) const;
+
+  std::size_t image_count() const noexcept {
+    return word_offsets_.size() - 1;
+  }
+
+  /// Stable digest of every parameter that shapes rows (band/row counts,
+  /// seeds, tree shape).  Snapshots store it; a restore with a different
+  /// fingerprint recomputes rows instead of trusting stale ones.
+  std::uint64_t fingerprint() const noexcept;
+
+  const AnnParams& params() const noexcept { return params_; }
+
+ private:
+  std::vector<std::uint64_t> band_signatures_of(
+      const MinHashSketch& sketch) const;
+  void install_row(ImageId id, const Row& row);
+
+  AnnParams params_;
+  MinHasher hasher_;
+  VocabularyTree tree_;
+
+  /// Per-image rows, CSR: image i's signatures are
+  /// signatures_[i*bands .. (i+1)*bands); its words are
+  /// words_[word_offsets_[i] .. word_offsets_[i+1]).
+  std::vector<std::uint64_t> signatures_;
+  std::vector<std::uint32_t> word_offsets_{0};
+  std::vector<std::uint32_t> words_;
+
+  /// band -> signature -> images (ascending ids).
+  std::vector<std::unordered_map<std::uint64_t, std::vector<ImageId>>>
+      band_tables_;
+  /// word -> images (ascending ids).
+  std::unordered_map<std::uint32_t, std::vector<ImageId>> inverted_;
+};
+
+}  // namespace bees::idx

@@ -55,8 +55,18 @@ void for_each_chunk(std::size_t n, util::ThreadPool* pool,
 
 }  // namespace
 
+std::size_t candidate_budget(const FeatureIndexParams& params,
+                             double recall_target) {
+  if (!params.ann.enabled) {
+    return static_cast<std::size_t>(std::max(1, params.max_candidates));
+  }
+  return ann_shortlist_budget(params.max_candidates, recall_target);
+}
+
 FeatureIndex::FeatureIndex(const FeatureIndexParams& params)
-    : params_(params), lsh_(params.lsh) {}
+    : params_(params), lsh_(params.lsh) {
+  if (params_.ann.enabled) ann_.emplace(params_.ann);
+}
 
 util::ThreadPool* FeatureIndex::rescore_pool() const {
   const std::size_t threads = resolve_threads(params_.rescore_threads);
@@ -65,13 +75,35 @@ util::ThreadPool* FeatureIndex::rescore_pool() const {
   return pool_.get();
 }
 
-ImageId FeatureIndex::insert(feat::BinaryFeatures features,
-                             const GeoTag& geo) {
+ImageId FeatureIndex::insert_entry(feat::BinaryFeatures features,
+                                   const GeoTag& geo,
+                                   const AnnFrontEnd::Row* row) {
   const auto id = static_cast<ImageId>(images_.size());
-  for (const auto& d : features.descriptors) lsh_.insert(d, id);
+  if (params_.enable_descriptor_lsh) {
+    for (const auto& d : features.descriptors) lsh_.insert(d, id);
+  }
+  if (ann_) {
+    if (row != nullptr) {
+      ann_->insert_row(id, *row);
+    } else {
+      ann_->insert(id, features.descriptors);
+    }
+  }
+  descriptor_count_ += features.descriptors.size();
   wire_bytes_ += features.wire_bytes();
   images_.push_back({std::move(features), geo});
   return id;
+}
+
+ImageId FeatureIndex::insert(feat::BinaryFeatures features,
+                             const GeoTag& geo) {
+  return insert_entry(std::move(features), geo, nullptr);
+}
+
+ImageId FeatureIndex::insert_with_ann_row(feat::BinaryFeatures features,
+                                          const GeoTag& geo,
+                                          AnnFrontEnd::Row row) {
+  return insert_entry(std::move(features), geo, &row);
 }
 
 QueryResult FeatureIndex::rescore(const feat::BinaryFeatures& query_features,
@@ -124,14 +156,42 @@ std::vector<std::pair<ImageId, std::uint32_t>> FeatureIndex::lsh_candidates(
   return ranked;
 }
 
+std::vector<std::pair<ImageId, std::uint32_t>> FeatureIndex::candidates(
+    const feat::BinaryFeatures& query_features, double recall_target) const {
+  if (!ann_) return lsh_candidates(query_features);
+  if (images_.empty() || query_features.empty()) return {};
+  std::unordered_map<ImageId, std::uint32_t> scores;
+  ann_->collect(query_features.descriptors, scores);
+  if (params_.enable_descriptor_lsh && params_.ann.merge_lsh_votes) {
+    for (const auto& d : query_features.descriptors) lsh_.vote(d, scores);
+  }
+  std::vector<std::pair<ImageId, std::uint32_t>> ranked(scores.begin(),
+                                                        scores.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  const std::size_t budget = candidate_budget(params_, recall_target);
+  if (ranked.size() > budget) ranked.resize(budget);
+  return ranked;
+}
+
 QueryResult FeatureIndex::query(const feat::BinaryFeatures& query_features,
                                 int top_k) const {
+  QueryOptions options;
+  options.top_k = top_k;
+  return query(query_features, options);
+}
+
+QueryResult FeatureIndex::query(const feat::BinaryFeatures& query_features,
+                                const QueryOptions& options) const {
   if (images_.empty() || query_features.empty()) return {};
-  const auto ranked = lsh_candidates(query_features);
-  std::vector<ImageId> candidates;
-  candidates.reserve(ranked.size());
-  for (const auto& [id, votes] : ranked) candidates.push_back(id);
-  return rescore(query_features, candidates, top_k);
+  const auto ranked = candidates(query_features, options.recall_target);
+  std::vector<ImageId> shortlist;
+  shortlist.reserve(ranked.size());
+  for (const auto& [id, score] : ranked) shortlist.push_back(id);
+  return rescore(query_features, shortlist, options.top_k);
 }
 
 QueryResult FeatureIndex::query_exact(

@@ -13,8 +13,10 @@
 
 #include "features/keypoint.hpp"
 #include "features/matching.hpp"
+#include "index/ann.hpp"
 #include "index/geo.hpp"
 #include "index/lsh.hpp"
+#include "index/types.hpp"
 
 namespace bees::util {
 class ThreadPool;
@@ -22,39 +24,18 @@ class ThreadPool;
 
 namespace bees::idx {
 
-using ImageId = std::uint32_t;
-inline constexpr ImageId kInvalidImageId =
-    std::numeric_limits<ImageId>::max();
-
-/// Ranked hits a similarity query returns by default.  Single source of
-/// truth for every layer's default: index queries, the vocabulary index,
-/// cloud::Server entry points, the wire protocol's query messages, and
-/// core::SchemeConfig all route through this constant.
-inline constexpr int kDefaultTopK = 4;
-
-/// One ranked hit of a similarity query.
-struct QueryHit {
-  ImageId id = kInvalidImageId;
-  double similarity = 0.0;
-};
-
-/// Result of querying the index with one image's features.
-struct QueryResult {
-  /// Ranked hits, most similar first (up to the requested top-k).
-  std::vector<QueryHit> hits;
-  /// The paper's "maximum similarity": similarity to the most similar
-  /// stored image, 0 if the index is empty.
-  double max_similarity = 0.0;
-  ImageId best_id = kInvalidImageId;
-  /// Candidate images whose descriptors were exactly matched.
-  std::size_t candidates_checked = 0;
-  /// Descriptor-comparison work performed (for the server-cost ablation).
-  std::uint64_t ops = 0;
-};
-
 struct FeatureIndexParams {
   LshParams lsh;
-  /// Exact-rescore budget: the top candidates by LSH votes.
+  /// Descriptor-level LSH tables: the exact-vote candidate path and (when
+  /// `ann.merge_lsh_votes`) a score refiner for the ANN shortlist.  Off
+  /// saves the per-descriptor bucket storage at million-image scale; with
+  /// it off, `ann.enabled` must be on for query() to see any candidates.
+  bool enable_descriptor_lsh = true;
+  /// ANN candidate-pruning front end (MinHash banding + vocabulary
+  /// routing); see index/ann.hpp.
+  AnnParams ann;
+  /// Exact-rescore budget: the top candidates by LSH votes.  The ANN path
+  /// widens it to ann_shortlist_budget(max_candidates, recall_target).
   int max_candidates = 16;
   feat::BinaryMatchParams match;
   /// Worker threads for the exact-rescore stage: 0 = hardware concurrency,
@@ -64,13 +45,12 @@ struct FeatureIndexParams {
   int rescore_threads = 0;
 };
 
-namespace detail {
-/// Shared top-k epilogue of every similarity query: sorts hits by
-/// similarity (descending), breaking ties by ascending ImageId so rankings
-/// are stable across memory layouts and thread counts; truncates to
-/// `top_k` and fills max_similarity / best_id from the leader.
-void finalize_top_k(QueryResult& result, int top_k);
-}  // namespace detail
+/// Phase-2 rescore budget for one query: max_candidates on the exact
+/// LSH-vote path, the recall-target-sized ANN shortlist otherwise.  The
+/// cluster frontend truncates its merged candidate list with this same
+/// function — the requirement for byte-identical sharded replies.
+std::size_t candidate_budget(const FeatureIndexParams& params,
+                             double recall_target);
 
 /// Index over binary (ORB) feature sets.
 class FeatureIndex {
@@ -80,9 +60,13 @@ class FeatureIndex {
   /// Stores an image's features (and optional geotag); returns its id.
   ImageId insert(feat::BinaryFeatures features, const GeoTag& geo = {});
 
-  /// Queries with LSH candidate generation + exact rescoring.
+  /// Queries with candidate generation + exact rescoring.  Candidates come
+  /// from the ANN front end when `params.ann.enabled`, from descriptor-LSH
+  /// votes otherwise.
   QueryResult query(const feat::BinaryFeatures& query_features,
                     int top_k = kDefaultTopK) const;
+  QueryResult query(const feat::BinaryFeatures& query_features,
+                    const QueryOptions& options) const;
 
   /// Exhaustive query over every stored image (no LSH); the accuracy
   /// reference for the LSH ablation bench.
@@ -98,6 +82,17 @@ class FeatureIndex {
   std::vector<std::pair<ImageId, std::uint32_t>> lsh_candidates(
       const feat::BinaryFeatures& query_features) const;
 
+  /// Phase 1 with ANN dispatch: the rescore shortlist under
+  /// candidate_budget(params, recall_target), ranked (score desc, id asc).
+  /// With `params.ann.enabled` the score is band collisions * band_weight
+  /// + shared words (+ deduplicated LSH votes when merging); otherwise
+  /// this is exactly lsh_candidates().  Scores are pure per-(query, image)
+  /// functions either way, so sharded deployments merge per-shard lists
+  /// into the single-index shortlist (see index/ann.hpp).
+  std::vector<std::pair<ImageId, std::uint32_t>> candidates(
+      const feat::BinaryFeatures& query_features,
+      double recall_target = kDefaultRecallTarget) const;
+
   /// Phase 2 of a query: exact Jaccard rescoring of an explicit candidate
   /// list (public so a cluster frontend can rescore a globally merged
   /// candidate set on the shard that owns the features).
@@ -106,7 +101,7 @@ class FeatureIndex {
                       int top_k = kDefaultTopK) const;
 
   std::size_t image_count() const noexcept { return images_.size(); }
-  std::size_t descriptor_count() const noexcept { return lsh_.descriptor_count(); }
+  std::size_t descriptor_count() const noexcept { return descriptor_count_; }
   /// Total serialized descriptor bytes stored (Table I space overhead).
   std::size_t wire_bytes() const noexcept { return wire_bytes_; }
 
@@ -115,16 +110,35 @@ class FeatureIndex {
   }
   const GeoTag& geo_of(ImageId id) const { return images_.at(id).geo; }
 
+  const FeatureIndexParams& params() const noexcept { return params_; }
+
+  /// --- snapshot support (index/persistence.cpp) ---
+  bool ann_enabled() const noexcept { return ann_.has_value(); }
+  /// Fingerprint of the ANN row-shaping parameters; 0 when ANN is off.
+  std::uint64_t ann_fingerprint() const noexcept {
+    return ann_ ? ann_->fingerprint() : 0;
+  }
+  AnnFrontEnd::Row ann_row_of(ImageId id) const { return ann_->row_of(id); }
+  /// Restore-path insert: installs a previously persisted ANN row instead
+  /// of re-sketching/re-quantizing the descriptors.  Only valid when ANN is
+  /// enabled and the snapshot fingerprint matched.
+  ImageId insert_with_ann_row(feat::BinaryFeatures features, const GeoTag& geo,
+                              AnnFrontEnd::Row row);
+
  private:
   struct Entry {
     feat::BinaryFeatures features;
     GeoTag geo;
   };
 
+  ImageId insert_entry(feat::BinaryFeatures features, const GeoTag& geo,
+                       const AnnFrontEnd::Row* row);
   util::ThreadPool* rescore_pool() const;
 
   FeatureIndexParams params_;
   DescriptorLsh lsh_;
+  std::optional<AnnFrontEnd> ann_;
+  std::size_t descriptor_count_ = 0;
   std::vector<Entry> images_;
   std::size_t wire_bytes_ = 0;
   /// Lazily-created rescore pool (shared_ptr keeps the index copyable;

@@ -38,7 +38,13 @@ std::uint32_t DescriptorLsh::key_for(const feat::Descriptor256& d,
 void DescriptorLsh::insert(const feat::Descriptor256& d,
                            std::uint32_t payload) {
   for (std::size_t t = 0; t < positions_.size(); ++t) {
-    buckets_[t][key_for(d, t)].push_back(payload);
+    auto& bucket = buckets_[t][key_for(d, t)];
+    // Per-bucket payload dedup.  One image's descriptors are inserted
+    // back-to-back, so a repeat collision of the same image in this bucket
+    // is always at the tail; skipping it keeps vote() from inflating
+    // descriptor-dense images and shrinks bucket storage.
+    if (!bucket.empty() && bucket.back() == payload) continue;
+    bucket.push_back(payload);
   }
   ++inserted_;
 }

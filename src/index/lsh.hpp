@@ -26,12 +26,18 @@ class DescriptorLsh {
  public:
   explicit DescriptorLsh(const LshParams& params = {});
 
-  /// Inserts one descriptor owned by `payload` into all tables.
+  /// Inserts one descriptor owned by `payload` into all tables.  A payload
+  /// already present at the tail of a bucket is not appended again: all of
+  /// one image's descriptors are inserted consecutively, so equal payloads
+  /// land adjacently and the per-bucket payload list stays duplicate-free.
   void insert(const feat::Descriptor256& d, std::uint32_t payload);
 
-  /// Accumulates, for each payload, how many (table, descriptor) collisions
-  /// the query descriptor produces.  A payload colliding in several tables
-  /// or with several stored descriptors accrues a larger vote.
+  /// Accumulates, for each payload, in how many (table, bucket) cells the
+  /// query descriptor collides with at least one of the payload's stored
+  /// descriptors.  Payloads are deduplicated per bucket: an image whose
+  /// descriptors collide k times in the same (table, key) bucket gets one
+  /// vote from this query descriptor, not k — otherwise descriptor-dense
+  /// images would outrank genuinely closer ones.
   void vote(const feat::Descriptor256& d,
             std::unordered_map<std::uint32_t, std::uint32_t>& votes) const;
 

@@ -1,6 +1,7 @@
 #include "index/persistence.hpp"
 
 #include <fstream>
+#include <limits>
 
 #include "index/serialize.hpp"
 #include "util/byte_io.hpp"
@@ -11,7 +12,18 @@ namespace bees::idx {
 namespace {
 constexpr std::uint32_t kSnapshotMagic = 0x53454542;       // "BEES"
 constexpr std::uint32_t kFloatSnapshotMagic = 0x46454542;  // "BEEF"
-constexpr std::uint32_t kSnapshotVersion = 1;
+/// v1: magic, version, count, entries (feature bytes + geo).
+/// v2: adds an ANN block — a presence flag (+ fingerprint and band count)
+/// after the version, and a persisted AnnFrontEnd::Row after each entry's
+/// geotag, so a restore skips the sketch/quantize work when the reader's
+/// ANN parameters match the writer's.  Readers accept both versions.
+constexpr std::uint32_t kSnapshotVersionLegacy = 1;
+constexpr std::uint32_t kSnapshotVersion = 2;
+/// Tightest possible snapshot entry: 1-byte feature length varint, a
+/// 1-byte empty descriptor set, and the 17-byte geotag.  Image counts
+/// beyond remaining/this are unsatisfiable and must fail before any
+/// allocation sized from them.
+constexpr std::size_t kMinEntryBytes = 19;
 
 void put_geo(util::ByteWriter& w, const GeoTag& geo) {
   w.put_u8(geo.valid ? 1 : 0);
@@ -51,12 +63,56 @@ std::vector<std::uint8_t> read_file(const std::string& path, const char* who) {
   return util::lz_decompress(compressed);
 }
 
+void put_ann_row(util::ByteWriter& w, const AnnFrontEnd::Row& row) {
+  w.put_u8(row.band_signatures.empty() ? 0 : 1);
+  for (const auto sig : row.band_signatures) w.put_u64(sig);
+  w.put_varint(row.words.size());
+  // Words are sorted and unique, so deltas are small — varints stay short.
+  std::uint32_t prev = 0;
+  for (const auto word : row.words) {
+    w.put_varint(word - prev);
+    prev = word;
+  }
+}
+
+AnnFrontEnd::Row get_ann_row(util::ByteReader& r, std::uint32_t bands) {
+  AnnFrontEnd::Row row;
+  if (r.get_u8() != 0) {
+    row.band_signatures.reserve(bands);
+    for (std::uint32_t b = 0; b < bands; ++b) {
+      row.band_signatures.push_back(r.get_u64());
+    }
+  }
+  const auto word_count = r.get_varint();
+  if (word_count > r.remaining()) {  // every word delta is >= 1 byte
+    throw util::DecodeError("decode_index_snapshot: word count exceeds buffer");
+  }
+  row.words.reserve(word_count);
+  std::uint32_t prev = 0;
+  for (std::uint64_t i = 0; i < word_count; ++i) {
+    const auto delta = r.get_varint();
+    const std::uint64_t word = static_cast<std::uint64_t>(prev) + delta;
+    if (word > std::numeric_limits<std::uint32_t>::max()) {
+      throw util::DecodeError("decode_index_snapshot: word id overflow");
+    }
+    row.words.push_back(static_cast<std::uint32_t>(word));
+    prev = static_cast<std::uint32_t>(word);
+  }
+  return row;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_index_snapshot(const FeatureIndex& index) {
   util::ByteWriter w;
   w.put_u32(kSnapshotMagic);
   w.put_u32(kSnapshotVersion);
+  const bool ann = index.ann_enabled();
+  w.put_u8(ann ? 1 : 0);
+  if (ann) {
+    w.put_u64(index.ann_fingerprint());
+    w.put_u32(static_cast<std::uint32_t>(index.params().ann.bands));
+  }
   w.put_varint(index.image_count());
   for (std::size_t i = 0; i < index.image_count(); ++i) {
     const auto id = static_cast<ImageId>(i);
@@ -64,6 +120,7 @@ std::vector<std::uint8_t> encode_index_snapshot(const FeatureIndex& index) {
     w.put_varint(features.size());
     w.put_bytes(features);
     put_geo(w, index.geo_of(id));
+    if (ann) put_ann_row(w, index.ann_row_of(id));
   }
   return w.take();
 }
@@ -74,16 +131,46 @@ FeatureIndex decode_index_snapshot(const std::vector<std::uint8_t>& bytes,
   if (r.get_u32() != kSnapshotMagic) {
     throw util::DecodeError("decode_index_snapshot: bad magic");
   }
-  if (r.get_u32() != kSnapshotVersion) {
+  const auto version = r.get_u32();
+  if (version != kSnapshotVersionLegacy && version != kSnapshotVersion) {
     throw util::DecodeError("decode_index_snapshot: unsupported version");
   }
+  bool stored_rows = false;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t bands = 0;
+  if (version >= kSnapshotVersion) {
+    stored_rows = r.get_u8() != 0;
+    if (stored_rows) {
+      fingerprint = r.get_u64();
+      bands = r.get_u32();
+      if (bands == 0 || bands > 1024) {
+        throw util::DecodeError("decode_index_snapshot: bad band count");
+      }
+    }
+  }
   FeatureIndex index(params);
+  // Stored rows are only trusted when the reader's ANN parameters shape
+  // rows identically to the writer's; otherwise they are parsed (to keep
+  // the stream in sync) and recomputed by the plain insert path.
+  const bool use_rows = stored_rows && index.ann_enabled() &&
+                        fingerprint == index.ann_fingerprint() &&
+                        bands == static_cast<std::uint32_t>(params.ann.bands);
   const auto count = r.get_varint();
+  if (count > r.remaining() / kMinEntryBytes) {
+    throw util::DecodeError("decode_index_snapshot: image count exceeds buffer");
+  }
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto feature_len = static_cast<std::size_t>(r.get_varint());
     const auto feature_bytes = r.get_bytes(feature_len);
     feat::BinaryFeatures features = deserialize_binary(feature_bytes);
     const GeoTag geo = get_geo(r);
+    if (stored_rows) {
+      AnnFrontEnd::Row row = get_ann_row(r, bands);
+      if (use_rows) {
+        index.insert_with_ann_row(std::move(features), geo, std::move(row));
+        continue;
+      }
+    }
     index.insert(std::move(features), geo);
   }
   return index;
@@ -112,11 +199,16 @@ FloatFeatureIndex decode_float_index_snapshot(
   if (r.get_u32() != kFloatSnapshotMagic) {
     throw util::DecodeError("decode_float_index_snapshot: bad magic");
   }
-  if (r.get_u32() != kSnapshotVersion) {
+  const auto version = r.get_u32();
+  if (version != kSnapshotVersionLegacy && version != kSnapshotVersion) {
     throw util::DecodeError("decode_float_index_snapshot: unsupported version");
   }
   FloatFeatureIndex index(params);
   const auto count = r.get_varint();
+  if (count > r.remaining() / kMinEntryBytes) {
+    throw util::DecodeError(
+        "decode_float_index_snapshot: image count exceeds buffer");
+  }
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto feature_len = static_cast<std::size_t>(r.get_varint());
     const auto feature_bytes = r.get_bytes(feature_len);

@@ -18,6 +18,11 @@ feat::BinaryFeatures deserialize_binary(
   util::ByteReader r(bytes);
   feat::BinaryFeatures f;
   const auto n = r.get_varint();
+  // A corrupt count must fail cleanly before the reserve: every descriptor
+  // occupies 32 bytes, so any count beyond remaining/32 is unsatisfiable.
+  if (n > r.remaining() / sizeof(feat::Descriptor256::bits)) {
+    throw util::DecodeError("deserialize_binary: descriptor count exceeds buffer");
+  }
   f.descriptors.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     feat::Descriptor256 d;
@@ -40,9 +45,19 @@ feat::FloatFeatures deserialize_float(const std::vector<std::uint8_t>& bytes) {
   util::ByteReader r(bytes);
   feat::FloatFeatures f;
   const auto n = r.get_varint();
-  f.dim = static_cast<int>(r.get_varint());
-  f.values.reserve(n * static_cast<std::uint64_t>(f.dim));
-  for (std::uint64_t i = 0; i < n * static_cast<std::uint64_t>(f.dim); ++i) {
+  const auto dim = r.get_varint();
+  // Validate both varints against the buffer before sizing anything: each
+  // value is a 4-byte f32, so n * dim beyond remaining/4 is unsatisfiable,
+  // and an absurd dim must not drive the multiplication into overflow.
+  if (dim > (1u << 16) || (n > 0 && dim == 0)) {
+    throw util::DecodeError("deserialize_float: bad descriptor dimension");
+  }
+  if (dim > 0 && n > r.remaining() / 4 / dim) {
+    throw util::DecodeError("deserialize_float: value count exceeds buffer");
+  }
+  f.dim = static_cast<int>(dim);
+  f.values.reserve(n * dim);
+  for (std::uint64_t i = 0; i < n * dim; ++i) {
     f.values.push_back(r.get_f32());
   }
   f.stats.keypoint_count = f.size();

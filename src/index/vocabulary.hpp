@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "features/keypoint.hpp"
-#include "index/feature_index.hpp"
+#include "features/matching.hpp"
+#include "index/geo.hpp"
+#include "index/types.hpp"
 
 namespace bees::idx {
 
@@ -77,15 +79,17 @@ class VocabularyIndex {
   std::size_t image_count() const noexcept { return images_.size(); }
   const VocabularyTree& tree() const noexcept { return tree_; }
 
+  /// idf(word) = ln((N + 1) / (1 + images containing word)).  Public for
+  /// the scoring tests: a word present in every stored image carries zero
+  /// discriminative weight (idf == 0), never a negative one.
+  double idf(std::uint32_t word) const noexcept;
+
  private:
   struct Entry {
     feat::BinaryFeatures features;
     GeoTag geo;
     std::unordered_map<std::uint32_t, float> histogram;  // normalized TF
   };
-
-  /// idf(word) = ln(N / (1 + images containing word)).
-  double idf(std::uint32_t word) const noexcept;
 
   VocabularyTree tree_;
   Params params_;

@@ -1,19 +1,23 @@
 // Minimal JSON emission helpers shared by the metrics and trace exporters.
-// Numbers are printed with %.17g so every double round-trips exactly; the
-// exporters sort map keys, making each dump byte-deterministic for a given
-// recorded state.
+// Numbers are printed with std::to_chars so every double round-trips
+// exactly; the exporters sort map keys, making each dump byte-deterministic
+// for a given recorded state.
 #pragma once
 
+#include <charconv>
 #include <cstdio>
 #include <string>
 
 namespace bees::obs {
 
-/// Shortest-lossless-ish double literal (%.17g round-trips IEEE doubles).
+/// Shortest round-trip double literal.  std::to_chars (not snprintf or
+/// std::to_string) because the printf family formats through the global C
+/// locale: under a comma-decimal locale "%.17g" emits "0,5", which is not
+/// JSON.  to_chars is locale-independent by specification.
 inline std::string json_number(double v) {
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc() ? std::string(buf, end) : "0";
 }
 
 /// Quotes and escapes a string literal (quotes, backslashes, control

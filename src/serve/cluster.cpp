@@ -222,6 +222,15 @@ std::vector<std::uint8_t> Cluster::route_request(
 
 idx::QueryResult Cluster::query_binary(const feat::BinaryFeatures& features,
                                        double feature_bytes, int top_k) {
+  idx::QueryOptions query_options;
+  query_options.top_k = top_k;
+  return query_binary(features, feature_bytes, query_options);
+}
+
+idx::QueryResult Cluster::query_binary(
+    const feat::BinaryFeatures& features, double feature_bytes,
+    const idx::QueryOptions& query_options) {
+  const int top_k = query_options.top_k;
   obs::ScopedTimer timer("serve.query.binary.seconds");
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -233,9 +242,10 @@ idx::QueryResult Cluster::query_binary(const feat::BinaryFeatures& features,
   // Phase 1: merge per-shard candidate rankings.  Each shard's list is the
   // global (votes desc, gid asc) order restricted to its images, so the
   // merged-and-truncated list is exactly the single-index candidate set.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> merged;  // (gid, votes)
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> merged;  // (gid, score)
   for (const auto& shard : shards_) {
-    const auto candidates = shard->binary_candidates(features);
+    const auto candidates =
+        shard->binary_candidates(features, query_options.recall_target);
     merged.insert(merged.end(), candidates.begin(), candidates.end());
   }
   std::sort(merged.begin(), merged.end(),
@@ -243,8 +253,11 @@ idx::QueryResult Cluster::query_binary(const feat::BinaryFeatures& features,
               if (a.second != b.second) return a.second > b.second;
               return a.first < b.first;
             });
-  const auto budget = static_cast<std::size_t>(
-      std::max(0, options_.binary_params.max_candidates));
+  // Same budget the single-index candidate path truncates to; per-image
+  // scores are pure pair functions, so the global top-B is contained in
+  // the union of per-shard top-B lists and this truncation reproduces it.
+  const std::size_t budget = idx::candidate_budget(
+      options_.binary_params, query_options.recall_target);
   if (merged.size() > budget) merged.resize(budget);
 
   // Phase 2: exact rescore on the owning shards; per-shard top-k lists

@@ -83,6 +83,13 @@ class Cluster {
   idx::QueryResult query_binary(const feat::BinaryFeatures& features,
                                 double feature_bytes,
                                 int top_k = idx::kDefaultTopK);
+  /// QueryOptions overload: carries the ANN recall_target knob.  The
+  /// shortlist budget is computed by idx::candidate_budget from the same
+  /// (params, recall_target) pair the shards use, which keeps the merged
+  /// reply byte-identical to a single serial server's.
+  idx::QueryResult query_binary(const feat::BinaryFeatures& features,
+                                double feature_bytes,
+                                const idx::QueryOptions& query_options);
   idx::QueryResult query_float(const feat::FloatFeatures& features,
                                double feature_bytes,
                                int top_k = idx::kDefaultTopK);

@@ -118,9 +118,10 @@ void Shard::apply_locked(const WalRecord& record, idx::ImageId* local_out) {
 }
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>> Shard::binary_candidates(
-    const feat::BinaryFeatures& features) const {
+    const feat::BinaryFeatures& features, double recall_target) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto locals = server_.binary_index().lsh_candidates(features);
+  const auto locals =
+      server_.binary_index().candidates(features, recall_target);
   std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
   out.reserve(locals.size());
   // local -> global is monotone (locals are appended in global-id order),

@@ -55,10 +55,13 @@ class Shard {
   /// ops, kInvalidImageId otherwise.
   idx::ImageId apply(WalRecord record);
 
-  /// Query phase 1: this shard's LSH candidates as (global id, votes),
-  /// ranked (votes desc, global id asc).
+  /// Query phase 1: this shard's candidates as (global id, score), ranked
+  /// (score desc, global id asc).  Scores come from the index's configured
+  /// candidate path — deduplicated LSH votes, or the ANN shortlist sized by
+  /// `recall_target` (see idx::FeatureIndex::candidates).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> binary_candidates(
-      const feat::BinaryFeatures& features) const;
+      const feat::BinaryFeatures& features,
+      double recall_target = idx::kDefaultRecallTarget) const;
   /// Query phase 2: exact rescore of `locals` (local ids, as mapped by the
   /// cluster); returned hits carry global ids.
   idx::QueryResult rescore_binary(const feat::BinaryFeatures& features,

@@ -62,6 +62,32 @@ TEST(Lsh, NearDescriptorsOutvoteFarOnes) {
   EXPECT_GT(votes[1], votes[2] * 3 + 3);
 }
 
+TEST(Lsh, DuplicateDescriptorsDoNotInflateVotes) {
+  // Regression: an image storing the same descriptor k times used to get k
+  // votes per table from one query descriptor, letting a low-texture image
+  // with a few repeated patterns outrank a genuinely similar one.  A
+  // (table, key) bucket now holds each payload once, so the vote count is
+  // bounded by the table count regardless of multiplicity.
+  util::Rng rng(7);
+  DescriptorLsh lsh;
+  const feat::Descriptor256 d = random_descriptor(rng);
+  for (int i = 0; i < 10; ++i) lsh.insert(d, 3);
+  std::unordered_map<std::uint32_t, std::uint32_t> votes;
+  lsh.vote(d, votes);
+  ASSERT_TRUE(votes.count(3));
+  EXPECT_EQ(votes[3], static_cast<std::uint32_t>(lsh.tables()));
+  // The duplicate suppression is per payload: a second image with the same
+  // descriptor still collects its own full vote share.
+  lsh.insert(d, 4);
+  votes.clear();
+  lsh.vote(d, votes);
+  EXPECT_EQ(votes[3], static_cast<std::uint32_t>(lsh.tables()));
+  EXPECT_EQ(votes[4], static_cast<std::uint32_t>(lsh.tables()));
+  // descriptor_count still reports physical insertions (Table I space
+  // accounting), not deduplicated bucket entries.
+  EXPECT_EQ(lsh.descriptor_count(), 11u);
+}
+
 TEST(Lsh, VoteOnEmptyIndexIsEmpty) {
   util::Rng rng(3);
   DescriptorLsh lsh;

@@ -45,6 +45,16 @@ TEST(SerializeBinary, TruncatedInputThrows) {
   EXPECT_THROW(deserialize_binary(bytes), util::DecodeError);
 }
 
+TEST(SerializeBinary, HugeCountFailsBeforeAllocating) {
+  // A corrupted descriptor count must raise DecodeError up front: every
+  // descriptor takes 32 bytes, so a count beyond remaining/32 can never be
+  // satisfied and reserving for it would be a multi-gigabyte allocation.
+  util::ByteWriter w;
+  w.put_varint(0x1fffffffffffull);
+  w.put_u64(0);  // a little trailing data, far short of the claim
+  EXPECT_THROW(deserialize_binary(w.take()), util::DecodeError);
+}
+
 TEST(SerializeFloat, RoundTripPreservesValues) {
   const feat::FloatFeatures f = feat::extract_sift(
       img::render_scene(img::SceneSpec{11, 18, 4}, 200, 150));
@@ -69,6 +79,29 @@ TEST(SerializeFloat, TruncatedInputThrows) {
   auto bytes = serialize_float(f);
   bytes.resize(bytes.size() / 2);
   EXPECT_THROW(deserialize_float(bytes), util::DecodeError);
+}
+
+TEST(SerializeFloat, HugeCountOrDimensionFailsBeforeAllocating) {
+  {
+    util::ByteWriter w;
+    w.put_varint(0x1fffffffffffull);  // absurd keypoint count
+    w.put_varint(128);
+    w.put_u64(0);
+    EXPECT_THROW(deserialize_float(w.take()), util::DecodeError);
+  }
+  {
+    util::ByteWriter w;
+    w.put_varint(4);
+    w.put_varint(0x7fffffffull);  // absurd dimension
+    w.put_u64(0);
+    EXPECT_THROW(deserialize_float(w.take()), util::DecodeError);
+  }
+  {
+    util::ByteWriter w;
+    w.put_varint(4);  // keypoints claimed but dim == 0
+    w.put_varint(0);
+    EXPECT_THROW(deserialize_float(w.take()), util::DecodeError);
+  }
 }
 
 TEST(Serialize, BinaryIsFarSmallerThanFloat) {

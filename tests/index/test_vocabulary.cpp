@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "features/orb.hpp"
@@ -119,6 +120,30 @@ TEST(VocabularyIndex, FindsSimilarImages) {
     EXPECT_GT(r.max_similarity, 0.0);
   }
   EXPECT_GE(correct, 4);  // allow one hard view to miss
+}
+
+TEST(VocabularyIndex, IdfOfUbiquitousWordIsZero) {
+  // A word present in every stored image carries no discriminative signal:
+  // idf = ln((N + 1) / (1 + df)) with df == N is exactly 0 — never
+  // negative, which would turn sharing a common word into a penalty.
+  util::Rng rng(8);
+  const auto sample = clustered_sample(6, 12, rng);
+  VocabularyIndex index(VocabularyTree::train(sample, {}));
+  const feat::Descriptor256 shared = random_descriptor(rng);
+  const std::uint32_t shared_word = index.tree().quantize(shared);
+  for (int i = 0; i < 4; ++i) {
+    feat::BinaryFeatures f;
+    f.descriptors.push_back(shared);  // same word lands in every image
+    f.descriptors.push_back(random_descriptor(rng));
+    index.insert(f);
+  }
+  EXPECT_DOUBLE_EQ(index.idf(shared_word), 0.0);
+  // A word no stored image contains (df = 0) is maximally informative:
+  // idf = ln(N + 1), the largest value the formula can produce.
+  const std::uint32_t absent_word = index.tree().leaf_count() + 1000;
+  EXPECT_DOUBLE_EQ(index.idf(absent_word),
+                   std::log(static_cast<double>(index.image_count() + 1)));
+  EXPECT_GT(index.idf(absent_word), index.idf(shared_word));
 }
 
 TEST(VocabularyIndex, EmptyCases) {

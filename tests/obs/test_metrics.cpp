@@ -56,6 +56,43 @@ TEST_F(MetricsTest, HistogramBucketsCountSumMinMax) {
   EXPECT_DOUBLE_EQ(h.mean(), 1109.5 / 4.0);
 }
 
+TEST_F(MetricsTest, QuantileEdgeCases) {
+  MetricsRegistry reg;
+  reg.declare_histogram("h", {1.0, 10.0, 100.0});
+  // Empty histogram: every quantile is 0 (there is nothing to estimate).
+  const HistogramSnapshot empty = reg.snapshot().histograms.at("h");
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+  // One sample: every quantile collapses to it — interpolation is clamped
+  // to the observed [min, max] range, which is a single point.
+  reg.observe("h", 7.5);
+  const HistogramSnapshot one = reg.snapshot().histograms.at("h");
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 7.5);
+
+  // Many samples: q = 0 pins to the observed minimum, q = 1 to the
+  // observed maximum, and out-of-range q clamps rather than extrapolating.
+  reg.observe("h", 0.25);
+  reg.observe("h", 42.0);
+  reg.observe("h", 500.0);
+  const HistogramSnapshot many = reg.snapshot().histograms.at("h");
+  EXPECT_DOUBLE_EQ(many.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(many.quantile(1.0), 500.0);
+  EXPECT_DOUBLE_EQ(many.quantile(-3.0), many.quantile(0.0));
+  EXPECT_DOUBLE_EQ(many.quantile(7.0), many.quantile(1.0));
+  // Interior quantiles stay within the observed range and are monotone.
+  double prev = many.quantile(0.0);
+  for (const double q : {0.25, 0.5, 0.75, 0.95, 1.0}) {
+    const double v = many.quantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_LE(v, 500.0);
+    prev = v;
+  }
+}
+
 TEST_F(MetricsTest, UndeclaredHistogramGetsDefaultBounds) {
   MetricsRegistry reg;
   reg.observe("h.seconds", 0.5);

@@ -48,8 +48,15 @@ TEST_F(TraceTest, ChromeJsonUsesMicrosecondsAndLanes) {
   tracer.add({"span", "cat", 1.5, 0.5, kLaneTransport});
   const std::string json = tracer.to_chrome_json();
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
-  EXPECT_NE(json.find("\"ts\": 1500000"), std::string::npos);
-  EXPECT_NE(json.find("\"dur\": 500000"), std::string::npos);
+  // json_number emits the shortest round-trip literal (1.5 s -> 1.5e+06 us);
+  // Chrome's trace viewer parses JSON numbers, so scientific notation is
+  // fine — assert the parsed values rather than a fixed-notation spelling.
+  const std::size_t ts_at = json.find("\"ts\": ");
+  ASSERT_NE(ts_at, std::string::npos);
+  EXPECT_DOUBLE_EQ(std::stod(json.substr(ts_at + 6)), 1500000.0);
+  const std::size_t dur_at = json.find("\"dur\": ");
+  ASSERT_NE(dur_at, std::string::npos);
+  EXPECT_DOUBLE_EQ(std::stod(json.substr(dur_at + 7)), 500000.0);
   EXPECT_NE(json.find("\"tid\": 2"), std::string::npos);
 }
 

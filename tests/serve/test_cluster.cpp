@@ -245,6 +245,50 @@ TEST_P(ClusterEquivalence, ErrorRepliesMatchSerial) {
 INSTANTIATE_TEST_SUITE_P(ShardCounts, ClusterEquivalence,
                          ::testing::Values(1, 2, 3, 5));
 
+TEST_P(ClusterEquivalence, AnnPrunedQueriesMatchSerialExactly) {
+  // The ANN shortlist path must preserve the cluster's core contract: the
+  // per-image scores are pure (query, image) functions, so any shard count
+  // reproduces the serial server's reply — hits, similarities, candidate
+  // counts, and op counts all equal.
+  idx::FeatureIndexParams binary_params;
+  binary_params.ann.enabled = true;
+  binary_params.ann.vocabulary.branching = 4;
+  binary_params.ann.vocabulary.depth = 2;
+  binary_params.ann.vocabulary_sample = 256;
+  cloud::Server server(binary_params, {});
+  ClusterOptions options;
+  options.shards = GetParam();
+  options.binary_params = binary_params;
+  Cluster cluster(options);
+  for (int i = 0; i < 10; ++i) {
+    const auto features = make_binary(400 + static_cast<std::uint64_t>(i));
+    server.seed_binary(features, geo_of(i), 11'000.0);
+    cluster.seed_binary(features, geo_of(i), 11'000.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto query = make_binary(400 + static_cast<std::uint64_t>(i));
+    const idx::QueryResult a = server.query_binary(query, 9'000.0);
+    const idx::QueryResult b = cluster.query_binary(query, 9'000.0);
+    EXPECT_EQ(b.best_id, a.best_id) << "shards=" << GetParam() << " q=" << i;
+    EXPECT_DOUBLE_EQ(b.max_similarity, a.max_similarity);
+    EXPECT_EQ(b.candidates_checked, a.candidates_checked);
+    EXPECT_EQ(b.ops, a.ops);
+    ASSERT_EQ(b.hits.size(), a.hits.size());
+    for (std::size_t h = 0; h < a.hits.size(); ++h) {
+      EXPECT_EQ(b.hits[h].id, a.hits[h].id);
+      EXPECT_DOUBLE_EQ(b.hits[h].similarity, a.hits[h].similarity);
+    }
+    // The recall_target knob rides through the QueryOptions overload; a
+    // tighter target must shrink (or keep) the rescore budget, and stay
+    // shard-invariant too.
+    idx::QueryOptions tight;
+    tight.recall_target = 0.5;
+    const idx::QueryResult c = cluster.query_binary(query, 0.0, tight);
+    EXPECT_LE(c.candidates_checked, b.candidates_checked);
+    EXPECT_EQ(c.best_id, a.best_id);
+  }
+}
+
 TEST(Cluster, MergedBinaryIndexPreservesGlobalIdOrder) {
   ClusterOptions options;
   options.shards = 3;
