@@ -5,9 +5,11 @@
 // format.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "cloud/server.hpp"
+#include "net/protocol.hpp"
 
 namespace bees::cloud {
 
@@ -16,5 +18,16 @@ namespace bees::cloud {
 /// server must not die because one phone sent garbage.
 std::vector<std::uint8_t> dispatch(Server& server,
                                    const std::vector<std::uint8_t>& request);
+
+/// Shared chunk-plane handler used by dispatch and the serving cluster's
+/// frontend (so chunked replies stay byte-identical between them).
+/// `env` must be a kChunkManifest / kChunkData / kChunkCommit envelope;
+/// `dispatch_inner` executes the commit's embedded legacy upload envelope.
+/// A null `chunk_store` answers with net::kChunkStoreDisabledMessage.
+/// Never throws request errors: malformed input comes back encoded.
+std::vector<std::uint8_t> handle_chunk_message(
+    store::SegmentStore* chunk_store, const net::Envelope& env,
+    const std::function<std::vector<std::uint8_t>(
+        const std::vector<std::uint8_t>&)>& dispatch_inner);
 
 }  // namespace bees::cloud

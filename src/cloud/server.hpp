@@ -11,6 +11,7 @@
 #include "features/global.hpp"
 #include "index/feature_index.hpp"
 #include "index/geo.hpp"
+#include "store/segment_store.hpp"
 
 namespace bees::cloud {
 
@@ -112,6 +113,16 @@ class Server {
   void restore_accounting(const ServerStats& stats,
                           const std::vector<std::uint64_t>& location_keys);
 
+  /// Attaches the content-addressed chunk store serving the chunk-manifest
+  /// upload plane (kChunkManifest/Data/Commit).  Borrowed, not owned; null
+  /// (the default) makes dispatch answer every chunk message with
+  /// net::kChunkStoreDisabledMessage so clients fall back to whole-image
+  /// uploads.
+  void attach_chunk_store(store::SegmentStore* chunk_store) noexcept {
+    chunk_store_ = chunk_store;
+  }
+  store::SegmentStore* chunk_store() const noexcept { return chunk_store_; }
+
  private:
   void note_location(const idx::GeoTag& geo);
   /// Shared store_* bookkeeping: stats, coverage, store counters.
@@ -123,6 +134,7 @@ class Server {
   std::vector<std::pair<feat::ColorHistogram, idx::GeoTag>> global_entries_;
   std::unordered_set<std::uint64_t> locations_;
   ServerStats stats_;
+  store::SegmentStore* chunk_store_ = nullptr;
 };
 
 }  // namespace bees::cloud

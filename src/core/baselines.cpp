@@ -28,8 +28,10 @@ BatchReport DirectUploadScheme::upload_batch(
     net::PlainUploadRequest upload;
     upload.image_bytes = bytes;
     upload.geo = spec.geo;
-    const auto env = exchange(transport, net::encode(upload), bytes,
-                              TxKind::kImage, battery, report);
+    std::span<const std::uint8_t> payload;
+    if (config().chunking.enabled) payload = store().original_payload(spec);
+    const auto env = upload_payload(transport, payload, bytes,
+                                    net::encode(upload), battery, report);
     if (!env) {
       report.aborted = true;
       return report;
@@ -107,8 +109,10 @@ BatchReport SmartEyeScheme::upload_batch(
     const double bytes = image_wire_bytes(enc.bytes);
     const auto request = net::encode_float_upload(
         store().pca_sift(batch[i], *pca_), bytes, batch[i].geo);
+    std::span<const std::uint8_t> payload;
+    if (config().chunking.enabled) payload = store().original_payload(batch[i]);
     const auto env =
-        exchange(transport, request, bytes, TxKind::kImage, battery, report);
+        upload_payload(transport, payload, bytes, request, battery, report);
     if (!env) {
       report.aborted = true;
       return report;
@@ -201,8 +205,10 @@ BatchReport MrcScheme::upload_batch(const std::vector<wl::ImageSpec>& batch,
     const auto request =
         net::encode_image_upload(store().orb(batch[i], 0.0), bytes,
                                  batch[i].geo, image_wire_bytes(thumb.bytes));
+    std::span<const std::uint8_t> payload;
+    if (config().chunking.enabled) payload = store().original_payload(batch[i]);
     const auto env =
-        exchange(transport, request, bytes, TxKind::kImage, battery, report);
+        upload_payload(transport, payload, bytes, request, battery, report);
     if (!env) {
       report.aborted = true;
       return report;

@@ -149,8 +149,13 @@ BatchReport BeesScheme::upload_batch(const std::vector<wl::ImageSpec>& batch,
     const wl::EncodedImage thumb = store().encoded(batch[i], 0.75, 0.5);
     const auto request = net::encode_image_upload(
         *features[i], bytes, batch[i].geo, image_wire_bytes(thumb.bytes));
+    std::span<const std::uint8_t> payload;
+    if (config().chunking.enabled) {
+      payload = store().encoded_payload(batch[i], knobs.resolution_compression,
+                                        knobs.quality_proportion);
+    }
     const auto env =
-        exchange(transport, request, bytes, TxKind::kImage, battery, report);
+        upload_payload(transport, payload, bytes, request, battery, report);
     if (!env) {  // give up on this round; the image stays pending
       report.aborted = true;
       return report;

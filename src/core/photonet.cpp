@@ -70,8 +70,10 @@ BatchReport PhotoNetScheme::upload_batch(
     upload.histogram = progress_.histograms[i];
     upload.image_bytes = bytes;
     upload.geo = batch[i].geo;
-    const auto env = exchange(transport, net::encode(upload), bytes,
-                              TxKind::kImage, battery, report);
+    std::span<const std::uint8_t> payload;
+    if (config().chunking.enabled) payload = store().original_payload(batch[i]);
+    const auto env = upload_payload(transport, payload, bytes,
+                                    net::encode(upload), battery, report);
     if (!env) {
       report.aborted = true;
       return report;

@@ -28,6 +28,9 @@ BatchReport& BatchReport::operator+=(const BatchReport& other) noexcept {
   eliminated_in_batch += other.eliminated_in_batch;
   retries += other.retries;
   gave_up += other.gave_up;
+  chunks_sent += other.chunks_sent;
+  chunks_deduped += other.chunks_deduped;
+  chunks_resent += other.chunks_resent;
   aborted = aborted || other.aborted;
   return *this;
 }
@@ -69,6 +72,10 @@ std::vector<NamedValue> BatchReport::named_values() const {
       real("energy_idle_j", energy.idle_j),
       real("energy_active_j", energy.active_total()),
       real("energy_total_j", energy.total()),
+      // Appended (names are append-only): chunk-manifest upload counters.
+      integral("chunks_sent", chunks_sent),
+      integral("chunks_deduped", chunks_deduped),
+      integral("chunks_resent", chunks_resent),
   };
 }
 
@@ -176,6 +183,26 @@ std::optional<net::Envelope> UploadScheme::exchange(
     obs::count("core.tx.image_j", tx_j);
   }
   return net::open_envelope(res.reply);
+}
+
+std::optional<net::Envelope> UploadScheme::upload_payload(
+    net::Transport& transport, std::span<const std::uint8_t> payload,
+    double modeled_bytes, const std::vector<std::uint8_t>& commit_request,
+    energy::Battery& battery, BatchReport& report) {
+  net::ChunkUploadStats stats;
+  const auto reply = chunk_uploader_.upload(
+      payload, modeled_bytes, commit_request,
+      [&](const std::vector<std::uint8_t>& request, double wire_bytes,
+          bool image_payload) {
+        return exchange(transport, request, wire_bytes,
+                        image_payload ? TxKind::kImage : TxKind::kFeature,
+                        battery, report);
+      },
+      &stats);
+  report.chunks_sent += static_cast<int>(stats.chunks_sent);
+  report.chunks_deduped += static_cast<int>(stats.chunks_deduped);
+  report.chunks_resent += static_cast<int>(stats.chunks_resent);
+  return reply;
 }
 
 std::uint64_t batch_key(const std::vector<wl::ImageSpec>& batch) {

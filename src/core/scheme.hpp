@@ -17,6 +17,7 @@
 #include "energy/cost_model.hpp"
 #include "features/matching.hpp"
 #include "net/channel.hpp"
+#include "net/chunk_uploader.hpp"
 #include "net/protocol.hpp"
 #include "net/transport.hpp"
 #include "submodular/ssmm.hpp"
@@ -54,6 +55,10 @@ struct SchemeConfig {
   /// (no per-attempt timeout) leaves loss-free runs identical to the
   /// pre-transport byte/energy accounting.
   net::RetryPolicy retry;
+  /// Chunk-manifest upload plane (see net::ChunkUploader).  Disabled by
+  /// default, which keeps every upload byte-identical to the legacy
+  /// whole-image protocol.
+  net::ChunkingPolicy chunking;
 };
 
 /// One named scalar of a BatchReport: the export row every consumer
@@ -90,6 +95,12 @@ struct BatchReport {
   int retries = 0;
   /// Exchanges abandoned after exhausting the retry budget.
   int gave_up = 0;
+  /// Chunk-manifest plane counters (zero while chunking is disabled):
+  /// chunk payloads delivered, skipped because the server already held
+  /// them, and delivered again after an earlier delivery.
+  int chunks_sent = 0;
+  int chunks_deduped = 0;
+  int chunks_resent = 0;
   /// True if the batch did not finish (battery death, or a query round
   /// abandoned after exhausting retries).  Aborted batches can be resumed
   /// by calling upload_batch again with the same batch.
@@ -159,7 +170,10 @@ class StageProbe {
 class UploadScheme {
  public:
   UploadScheme(std::string name, wl::ImageStore& store, SchemeConfig config)
-      : name_(std::move(name)), store_(&store), config_(std::move(config)) {}
+      : name_(std::move(name)),
+        store_(&store),
+        config_(std::move(config)),
+        chunk_uploader_(config_.chunking) {}
   virtual ~UploadScheme() = default;
 
   UploadScheme(const UploadScheme&) = delete;
@@ -212,6 +226,21 @@ class UploadScheme {
   net::Transport make_transport(cloud::Server& server,
                                 net::Channel& channel) const;
 
+  /// Uploads one image payload through the shared net::ChunkUploader — the
+  /// single resumable-upload path every scheme rides.  `payload` holds the
+  /// real encoded bytes (pass empty when chunking is disabled; the call is
+  /// then exactly one exchange of `commit_request`, byte-identical to the
+  /// legacy protocol), `modeled_bytes` their paper-domain wire size, and
+  /// `commit_request` the scheme's legacy upload envelope.  Chunk-plane
+  /// control messages are charged as feature traffic at encoded size;
+  /// chunk data is charged as image traffic in the modelled domain.
+  /// Accumulates chunk counters into `report`; returns the upload ack (or
+  /// nullopt when the transport gave up — abort and resume later).
+  std::optional<net::Envelope> upload_payload(
+      net::Transport& transport, std::span<const std::uint8_t> payload,
+      double modeled_bytes, const std::vector<std::uint8_t>& commit_request,
+      energy::Battery& battery, BatchReport& report);
+
   /// Transfers `bytes` uplink, charging TX energy for the actual airtime.
   /// Returns the airtime.
   double transfer_up(double bytes, net::Channel& channel,
@@ -227,6 +256,7 @@ class UploadScheme {
   wl::ImageStore* store_;
   SchemeConfig config_;
   net::Transport::Handler server_handler_;  // overrides dispatch when set
+  net::ChunkUploader chunk_uploader_;
 };
 
 /// Stable identity of a batch's content (hash of every image's cache key),

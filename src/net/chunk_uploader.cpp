@@ -1,0 +1,99 @@
+#include "net/chunk_uploader.hpp"
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace bees::net {
+
+std::optional<Envelope> ChunkUploader::upload(
+    std::span<const std::uint8_t> payload, double modeled_bytes,
+    const std::vector<std::uint8_t>& commit_request, const Exchange& exchange,
+    ChunkUploadStats* stats) {
+  if (!policy_.enabled || payload.empty() || !server_supports_chunks_) {
+    return exchange(commit_request, modeled_bytes, /*image_payload=*/true);
+  }
+  const store::Manifest manifest =
+      store::build_manifest(payload, policy_.chunk_size);
+  // Chunk bytes are charged in the same modelled domain as the whole image:
+  // a chunk of raw size s stands for s * (modeled / raw_total) wire bytes.
+  const double scale =
+      modeled_bytes / static_cast<double>(manifest.total_bytes);
+
+  // Two rounds: the second only runs if the commit reports chunks missing
+  // (compaction reclaimed uncommitted chunks between our data and commit),
+  // in which case a fresh manifest offer tells us what to resend.
+  for (int round = 0; round < 2; ++round) {
+    const auto fall_back = [&](const Envelope& error_reply)
+        -> std::optional<std::optional<Envelope>> {
+      if (decode_error(error_reply.payload) == kChunkStoreDisabledMessage) {
+        server_supports_chunks_ = false;
+        obs::count("net.upload.chunk_fallbacks");
+        return exchange(commit_request, modeled_bytes, true);
+      }
+      return std::nullopt;  // not a fallback case
+    };
+
+    const auto offer = exchange(encode(ChunkManifestRequest{manifest}), -1.0,
+                                /*image_payload=*/false);
+    if (!offer) return std::nullopt;
+    if (offer->type == MessageType::kError) {
+      if (auto fb = fall_back(*offer)) return *fb;
+      return offer;  // terminal server error
+    }
+    const ChunkManifestAck ack = decode_chunk_manifest_ack(offer->payload);
+    obs::count("net.upload.manifests");
+
+    std::unordered_set<store::ChunkKey, store::ChunkKeyHasher> sent_this_round;
+    std::size_t missing_at = 0;
+    for (std::size_t i = 0; i < manifest.chunks.size(); ++i) {
+      const store::ChunkKey& key = manifest.chunks[i];
+      const bool missing =
+          missing_at < ack.missing.size() && ack.missing[missing_at] == i;
+      if (missing) ++missing_at;
+      if (!missing || sent_this_round.count(key)) {
+        // The server holds it (or just received it earlier this round).
+        if (!delivered_.count(key)) {
+          if (stats) ++stats->chunks_deduped;
+          obs::count("net.upload.chunks_deduped");
+        }
+        continue;
+      }
+      const auto data_reply =
+          exchange(encode_chunk_data(key, chunk_bytes(payload, manifest, i)),
+                   static_cast<double>(key.size) * scale,
+                   /*image_payload=*/true);
+      if (!data_reply) return std::nullopt;  // aborted; progress persists
+      if (data_reply->type == MessageType::kError) {
+        if (auto fb = fall_back(*data_reply)) return *fb;
+        return data_reply;
+      }
+      sent_this_round.insert(key);
+      if (stats) ++stats->chunks_sent;
+      obs::count("net.upload.chunks_sent");
+      if (delivered_.count(key)) {
+        if (stats) ++stats->chunks_resent;
+        obs::count("net.upload.chunks_resent");
+      } else {
+        delivered_.insert(key);
+      }
+    }
+
+    const auto commit = exchange(encode(ChunkCommitRequest{
+                                     manifest, commit_request}),
+                                 -1.0, /*image_payload=*/false);
+    if (!commit) return std::nullopt;
+    if (commit->type == MessageType::kError) {
+      if (auto fb = fall_back(*commit)) return *fb;
+      if (round == 0 &&
+          decode_error(commit->payload) == kChunkCommitMissingMessage) {
+        obs::count("net.upload.commit_retries");
+        continue;  // re-offer the manifest and fill the holes
+      }
+    }
+    return commit;
+  }
+  return std::nullopt;  // unreachable: round 1 always returns
+}
+
+}  // namespace bees::net

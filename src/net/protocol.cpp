@@ -194,6 +194,48 @@ std::vector<std::uint8_t> encode(const PlainUploadRequest& m) {
   return seal(MessageType::kPlainUpload, w.take());
 }
 
+std::vector<std::uint8_t> encode(const ChunkManifestRequest& m) {
+  util::ByteWriter w;
+  store::put_manifest(w, m.manifest);
+  return seal(MessageType::kChunkManifest, w.take());
+}
+
+std::vector<std::uint8_t> encode(const ChunkManifestAck& m) {
+  util::ByteWriter w;
+  w.put_varint(m.missing.size());
+  for (const std::uint32_t index : m.missing) w.put_varint(index);
+  return seal(MessageType::kChunkManifestAck, w.take());
+}
+
+std::vector<std::uint8_t> encode_chunk_data(
+    const store::ChunkKey& key, std::span<const std::uint8_t> data) {
+  util::ByteWriter w;
+  w.put_u64(key.hash);
+  w.put_u32(key.crc);
+  w.put_varint(key.size);
+  w.put_varint(data.size());
+  w.put_bytes(data);
+  return seal(MessageType::kChunkData, w.take());
+}
+
+std::vector<std::uint8_t> encode(const ChunkDataRequest& m) {
+  return encode_chunk_data(m.key, m.data);
+}
+
+std::vector<std::uint8_t> encode(const ChunkAck& m) {
+  util::ByteWriter w;
+  w.put_u64(m.hash);
+  return seal(MessageType::kChunkAck, w.take());
+}
+
+std::vector<std::uint8_t> encode(const ChunkCommitRequest& m) {
+  util::ByteWriter w;
+  store::put_manifest(w, m.manifest);
+  w.put_varint(m.inner.size());
+  w.put_bytes(m.inner);
+  return seal(MessageType::kChunkCommit, w.take());
+}
+
 std::vector<std::uint8_t> encode_error(const std::string& what) {
   util::ByteWriter w;
   w.put_string(what);
@@ -205,7 +247,7 @@ Envelope open_envelope(const std::vector<std::uint8_t>& bytes) {
   Envelope env;
   const auto type = r.get_u8();
   if (type < static_cast<std::uint8_t>(MessageType::kBinaryQuery) ||
-      type > static_cast<std::uint8_t>(MessageType::kPlainUpload)) {
+      type > static_cast<std::uint8_t>(MessageType::kChunkCommit)) {
     throw util::DecodeError("protocol: bad type");
   }
   env.type = static_cast<MessageType>(type);
@@ -332,6 +374,61 @@ PlainUploadRequest decode_plain_upload(
   PlainUploadRequest m;
   m.image_bytes = r.get_f64();
   m.geo = get_geo(r);
+  return m;
+}
+
+ChunkManifestRequest decode_chunk_manifest(
+    const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  ChunkManifestRequest m;
+  m.manifest = store::get_manifest(r);
+  if (!r.done()) throw util::DecodeError("chunk manifest: trailing bytes");
+  return m;
+}
+
+ChunkManifestAck decode_chunk_manifest_ack(
+    const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  ChunkManifestAck m;
+  const auto n = static_cast<std::size_t>(r.get_varint());
+  if (n > store::kMaxManifestChunks) {
+    throw util::DecodeError("chunk ack: missing count exceeds limit");
+  }
+  m.missing.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.missing.push_back(static_cast<std::uint32_t>(r.get_varint()));
+  }
+  return m;
+}
+
+ChunkDataRequest decode_chunk_data(const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  ChunkDataRequest m;
+  m.key.hash = r.get_u64();
+  m.key.crc = r.get_u32();
+  m.key.size = static_cast<std::uint32_t>(r.get_varint());
+  const auto len = static_cast<std::size_t>(r.get_varint());
+  if (len != m.key.size) {
+    throw util::DecodeError("chunk data: length disagrees with key");
+  }
+  m.data = r.get_bytes(len);
+  return m;
+}
+
+ChunkAck decode_chunk_ack(const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  ChunkAck m;
+  m.hash = r.get_u64();
+  return m;
+}
+
+ChunkCommitRequest decode_chunk_commit(
+    const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  ChunkCommitRequest m;
+  m.manifest = store::get_manifest(r);
+  const auto len = static_cast<std::size_t>(r.get_varint());
+  m.inner = r.get_bytes(len);
   return m;
 }
 

@@ -21,6 +21,7 @@
 #include "features/keypoint.hpp"
 #include "index/feature_index.hpp"
 #include "index/geo.hpp"
+#include "store/chunk.hpp"
 
 namespace bees::net {
 
@@ -37,6 +38,15 @@ enum class MessageType : std::uint8_t {
   kGlobalQuery = 10,   ///< Color-histogram query (PhotoNet).
   kGlobalUpload = 11,  ///< Upload indexed by global features (PhotoNet).
   kPlainUpload = 12,   ///< Featureless upload (Direct Upload).
+  // Chunk-manifest upload plane (see DESIGN §12): an image upload becomes
+  // manifest -> (missing chunk data)* -> commit, so a retried upload
+  // resends only the chunks the server lacks and byte-identical chunks
+  // dedup on the wire.
+  kChunkManifest = 13,     ///< Offer: payload manifest; ack lists missing.
+  kChunkManifestAck = 14,  ///< Server's missing-chunk index list.
+  kChunkData = 15,         ///< One raw chunk (key + bytes).
+  kChunkAck = 16,          ///< Server stored the chunk (hash echoed).
+  kChunkCommit = 17,       ///< Manifest + embedded legacy upload envelope.
 };
 
 struct BinaryQueryRequest {
@@ -109,6 +119,50 @@ struct PlainUploadRequest {
   idx::GeoTag geo;
 };
 
+/// Offers a payload by manifest; the server answers with a
+/// ChunkManifestAck naming the chunks it does not hold yet.
+struct ChunkManifestRequest {
+  store::Manifest manifest;
+};
+
+struct ChunkManifestAck {
+  /// Indices into the offered manifest's chunk list, ascending.
+  std::vector<std::uint32_t> missing;
+};
+
+/// One raw chunk.  `data` is the actual chunk bytes (unlike image payloads,
+/// chunk content is real — it is what the store hashes and persists); the
+/// *modelled* uplink cost is charged by the caller via the transport, as
+/// with every other message.
+struct ChunkDataRequest {
+  store::ChunkKey key;
+  std::vector<std::uint8_t> data;
+};
+
+struct ChunkAck {
+  std::uint64_t hash = 0;  ///< key.hash echoed back.
+};
+
+/// Finalizes a chunked upload: the server verifies it holds every chunk of
+/// `manifest`, pins them live, then dispatches the embedded legacy upload
+/// envelope (`inner`) and returns *its* reply — so a chunked upload yields
+/// exactly the ack a whole-image upload would.
+struct ChunkCommitRequest {
+  store::Manifest manifest;
+  std::vector<std::uint8_t> inner;
+};
+
+/// Error text a commit returns when the store is missing manifest chunks
+/// (e.g. compaction dropped uncommitted chunks between data and commit).
+/// Clients key on it to re-offer the manifest and resend; any other error
+/// is terminal.
+inline constexpr const char* kChunkCommitMissingMessage =
+    "chunk commit: missing chunks";
+/// Error text every chunk-plane request gets from a server without a chunk
+/// store; clients key on it to fall back to whole-image uploads.
+inline constexpr const char* kChunkStoreDisabledMessage =
+    "chunk store: not enabled";
+
 /// Envelope: returns type + payload bytes, or nullopt for malformed input.
 struct Envelope {
   MessageType type;
@@ -126,8 +180,16 @@ std::vector<std::uint8_t> encode(const FloatUploadRequest& m);
 std::vector<std::uint8_t> encode(const GlobalQueryRequest& m);
 std::vector<std::uint8_t> encode(const GlobalUploadRequest& m);
 std::vector<std::uint8_t> encode(const PlainUploadRequest& m);
+std::vector<std::uint8_t> encode(const ChunkManifestRequest& m);
+std::vector<std::uint8_t> encode(const ChunkManifestAck& m);
+std::vector<std::uint8_t> encode(const ChunkDataRequest& m);
+std::vector<std::uint8_t> encode(const ChunkAck& m);
+std::vector<std::uint8_t> encode(const ChunkCommitRequest& m);
 /// An error report (message text carried for diagnostics).
 std::vector<std::uint8_t> encode_error(const std::string& what);
+/// Zero-copy chunk-data encoder (borrows the chunk bytes).
+std::vector<std::uint8_t> encode_chunk_data(
+    const store::ChunkKey& key, std::span<const std::uint8_t> data);
 
 /// Zero-copy encoders for the hot client paths: identical bytes to the
 /// struct overloads, but borrow the feature sets instead of copying whole
@@ -166,6 +228,14 @@ GlobalQueryRequest decode_global_query(
 GlobalUploadRequest decode_global_upload(
     const std::vector<std::uint8_t>& payload);
 PlainUploadRequest decode_plain_upload(
+    const std::vector<std::uint8_t>& payload);
+ChunkManifestRequest decode_chunk_manifest(
+    const std::vector<std::uint8_t>& payload);
+ChunkManifestAck decode_chunk_manifest_ack(
+    const std::vector<std::uint8_t>& payload);
+ChunkDataRequest decode_chunk_data(const std::vector<std::uint8_t>& payload);
+ChunkAck decode_chunk_ack(const std::vector<std::uint8_t>& payload);
+ChunkCommitRequest decode_chunk_commit(
     const std::vector<std::uint8_t>& payload);
 std::string decode_error(const std::vector<std::uint8_t>& payload);
 

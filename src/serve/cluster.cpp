@@ -4,6 +4,7 @@
 #include <future>
 #include <stdexcept>
 
+#include "cloud/rpc.hpp"
 #include "index/serialize.hpp"
 #include "net/protocol.hpp"
 #include "obs/metrics.hpp"
@@ -29,12 +30,24 @@ std::uint64_t mix64(std::uint64_t x) {
 Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   const int n = std::max(1, options_.shards);
   options_.shards = n;
+  if (options_.enable_segment_store || !options_.segment_store.dir.empty()) {
+    store::SegmentStoreOptions store_options = options_.segment_store;
+    if (store_options.pool == nullptr) {
+      store_pool_ = std::make_unique<util::ThreadPool>(
+          static_cast<std::size_t>(std::max(1, options_.threads)));
+      store_options.pool = store_pool_.get();
+    }
+    // Constructed before any shard so recovery can resolve chunked WAL
+    // records and snapshot manifests against the rebuilt directory.
+    store_ = std::make_unique<store::SegmentStore>(store_options);
+  }
   shards_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     ShardOptions shard_options;
     if (!options_.data_dir.empty()) {
       shard_options.dir = options_.data_dir + "/shard-" + std::to_string(i);
     }
+    shard_options.segment_store = store_.get();
     shard_options.checkpoint_every = options_.checkpoint_every;
     shard_options.wal_reset_on_checkpoint = options_.wal_reset_on_checkpoint;
     shard_options.binary_params = options_.binary_params;
@@ -209,6 +222,15 @@ std::vector<std::uint8_t> Cluster::route_request(
         store_plain({u.image_bytes, u.geo});
         return net::encode(net::UploadAck{});
       }
+      case net::MessageType::kChunkManifest:
+      case net::MessageType::kChunkData:
+      case net::MessageType::kChunkCommit:
+        // Shared chunk plane (same handler as the serial server); a commit's
+        // embedded legacy upload re-enters this dispatch.
+        return cloud::handle_chunk_message(
+            store_.get(), env, [this](const std::vector<std::uint8_t>& inner) {
+              return route_request(inner);
+            });
       default:
         return net::encode_error("unexpected message type");
     }

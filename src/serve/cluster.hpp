@@ -57,6 +57,19 @@ struct ClusterOptions {
   std::size_t checkpoint_every = 0;
   /// Crash-window test hook, forwarded to each shard (see ShardOptions).
   bool wal_reset_on_checkpoint = true;
+  /// Content-addressed segment store shared by every shard (WAL bodies +
+  /// snapshots) and by the wire chunk-upload plane (kChunkManifest /
+  /// kChunkData / kChunkCommit requests).  Enabled when
+  /// `segment_store.dir` is non-empty or `enable_segment_store` is true
+  /// (the latter with an empty dir runs memory-backed — durable state
+  /// falls back to inline WAL/snapshot bytes being unavailable across
+  /// restarts, so pair it with data_dir only in tests).  Unless the caller
+  /// supplies one, the store compresses chunks on the cluster's worker
+  /// pool.  Chunk requests answered without a store decode to the
+  /// kChunkStoreDisabledMessage error, and uploaders fall back to whole
+  /// images.
+  bool enable_segment_store = false;
+  store::SegmentStoreOptions segment_store;
   idx::FeatureIndexParams binary_params;
   idx::FloatFeatureIndex::Params float_params;
 };
@@ -120,8 +133,12 @@ class Cluster {
   /// restart from zero (queries are not journaled).
   cloud::ServerStats stats() const;
 
-  /// Snapshots every shard now (and truncates their WALs).
+  /// Snapshots every shard now (and truncates their WALs); with a segment
+  /// store attached this also runs its compaction trigger.
   void checkpoint();
+
+  /// The shared segment store; nullptr when not enabled.
+  store::SegmentStore* segment_store() noexcept { return store_.get(); }
 
   /// Requests shed by the admission gate since construction.
   std::size_t shed_count() const noexcept {
@@ -160,6 +177,11 @@ class Cluster {
                               std::uint32_t gid);
 
   ClusterOptions options_;
+  /// The store's compression pool must be distinct from the request pool
+  /// (parallel_for from inside a worker task would self-deadlock) and must
+  /// outlive the store; both precede shards_, which hold store pointers.
+  std::unique_ptr<util::ThreadPool> store_pool_;
+  std::unique_ptr<store::SegmentStore> store_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<util::ThreadPool> pool_;
 

@@ -16,6 +16,9 @@ namespace {
 // snapshot handed to load_index_snapshot (or vice versa) fails loudly.
 constexpr std::uint32_t kShardMagic = 0x56525342;
 constexpr std::uint32_t kShardVersion = 1;
+// "BSMN" little-endian: the snapshot.manifest file (store-backed snapshots)
+// — a chunk manifest standing in for the snapshot bytes held by the store.
+constexpr std::uint32_t kManifestFileMagic = 0x4E4D5342;
 
 void write_file(const std::string& path,
                 const std::vector<std::uint8_t>& bytes) {
@@ -56,13 +59,19 @@ Shard::Shard(int id, const ShardOptions& options)
   if (options_.dir.empty()) return;
   std::filesystem::create_directories(options_.dir);
   recover();
-  wal_ = std::make_unique<WriteAheadLog>(wal_path());
+  wal_ = std::make_unique<WriteAheadLog>(wal_path(), options_.segment_store);
+  wal_->adopt_pins(std::move(wal_recovered_pins_));
+  wal_recovered_pins_.clear();
 }
 
 std::string Shard::wal_path() const { return options_.dir + "/wal.log"; }
 
 std::string Shard::snapshot_path() const {
   return options_.dir + "/snapshot.bin";
+}
+
+std::string Shard::manifest_path() const {
+  return options_.dir + "/snapshot.manifest";
 }
 
 idx::ImageId Shard::apply(WalRecord record) {
@@ -216,6 +225,41 @@ void Shard::checkpoint() {
 
 void Shard::checkpoint_locked() {
   if (options_.dir.empty()) return;
+  const std::vector<std::uint8_t> bytes = encode_snapshot_locked();
+  if (store::SegmentStore* st = options_.segment_store) {
+    // Store-backed: snapshot bytes live as chunks (compressed by the store,
+    // unchanged regions deduped against prior checkpoints and other
+    // shards); the file published here is just the manifest.  Pin the new
+    // generation before unpinning the old so chunks shared between the two
+    // never transit a dead state.
+    const store::Manifest manifest = st->put_payload(bytes);
+    st->flush();
+    util::ByteWriter w;
+    w.put_u32(kManifestFileMagic);
+    w.put_u32(kShardVersion);
+    store::put_manifest(w, manifest);
+    const std::string tmp = manifest_path() + ".tmp";
+    write_file(tmp, w.bytes());
+    std::filesystem::rename(tmp, manifest_path());
+    st->pin(manifest.chunks);
+    st->unpin(snapshot_pins_);
+    snapshot_pins_ = manifest.chunks;
+    // The manifest supersedes any inline snapshot left by a pre-store run.
+    std::filesystem::remove(snapshot_path());
+  } else {
+    // Atomic publish: a crash mid-write leaves the old snapshot intact.
+    const std::string tmp = snapshot_path() + ".tmp";
+    write_file(tmp, util::lz_compress(bytes));
+    std::filesystem::rename(tmp, snapshot_path());
+    std::filesystem::remove(manifest_path());
+  }
+  if (wal_ && options_.wal_reset_on_checkpoint) wal_->reset();
+  mutations_since_checkpoint_ = 0;
+  if (options_.segment_store) options_.segment_store->maybe_compact();
+  obs::count("serve.checkpoint");
+}
+
+std::vector<std::uint8_t> Shard::encode_snapshot_locked() {
   util::ByteWriter w;
   w.put_u32(kShardMagic);
   w.put_u32(kShardVersion);
@@ -252,97 +296,127 @@ void Shard::checkpoint_locked() {
     for (float bin : histogram.bins) w.put_f32(bin);
     put_geo(w, geo);
   }
-
-  // Atomic publish: a crash mid-write leaves the old snapshot intact.
-  const std::string tmp = snapshot_path() + ".tmp";
-  write_file(tmp, util::lz_compress(w.bytes()));
-  std::filesystem::rename(tmp, snapshot_path());
-  if (wal_ && options_.wal_reset_on_checkpoint) wal_->reset();
-  mutations_since_checkpoint_ = 0;
-  obs::count("serve.checkpoint");
+  return w.take();
 }
 
 void Shard::recover() {
-  if (std::filesystem::exists(snapshot_path())) {
-    const auto bytes = util::lz_decompress(read_file(snapshot_path()));
-    util::ByteReader r(bytes);
-    if (r.get_u32() != kShardMagic) {
-      throw util::DecodeError("shard snapshot: bad magic");
+  store::SegmentStore* st = options_.segment_store;
+  if (st && std::filesystem::exists(manifest_path())) {
+    const auto file = read_file(manifest_path());
+    util::ByteReader r(file);
+    if (r.get_u32() != kManifestFileMagic) {
+      throw util::DecodeError("shard snapshot manifest: bad magic");
     }
     if (r.get_u32() != kShardVersion) {
-      throw util::DecodeError("shard snapshot: unsupported version");
+      throw util::DecodeError("shard snapshot manifest: unsupported version");
     }
-    seq_ = r.get_u64();
-
-    cloud::ServerStats stats;
-    stats.images_stored = static_cast<std::size_t>(r.get_u64());
-    stats.image_bytes_received = r.get_f64();
-    stats.feature_bytes_received = r.get_f64();
-    stats.binary_queries = static_cast<std::size_t>(r.get_u64());
-    stats.float_queries = static_cast<std::size_t>(r.get_u64());
-    std::vector<std::uint64_t> keys(
-        static_cast<std::size_t>(r.get_varint()));
-    for (std::uint64_t& key : keys) key = r.get_u64();
-
-    binary_globals_.resize(static_cast<std::size_t>(r.get_varint()));
-    for (std::uint32_t& gid : binary_globals_) {
-      gid = static_cast<std::uint32_t>(r.get_varint());
+    const store::Manifest manifest = store::get_manifest(r);
+    if (!r.done()) {
+      throw util::DecodeError("shard snapshot manifest: trailing bytes");
     }
-    std::vector<double> thumbs(binary_globals_.size());
-    for (double& t : thumbs) t = r.get_f64();
-    float_globals_.resize(static_cast<std::size_t>(r.get_varint()));
-    for (std::uint32_t& gid : float_globals_) {
-      gid = static_cast<std::uint32_t>(r.get_varint());
-    }
-
-    const auto binary_bytes =
-        r.get_bytes(static_cast<std::size_t>(r.get_varint()));
-    const idx::FeatureIndex binary =
-        idx::decode_index_snapshot(binary_bytes, options_.binary_params);
-    const auto float_bytes =
-        r.get_bytes(static_cast<std::size_t>(r.get_varint()));
-    const idx::FloatFeatureIndex floats =
-        idx::decode_float_index_snapshot(float_bytes, options_.float_params);
-    if (binary.image_count() != binary_globals_.size() ||
-        floats.image_count() != float_globals_.size()) {
-      throw util::DecodeError("shard snapshot: id map / index size mismatch");
-    }
-
-    // Rebuild through seed_* (seeding records no stats), then reinstate the
-    // accounting the snapshot carried.
-    for (std::size_t i = 0; i < binary_globals_.size(); ++i) {
-      const auto id = static_cast<idx::ImageId>(i);
-      server_.seed_binary(binary.features_of(id), binary.geo_of(id),
-                          thumbs[i]);
-    }
-    for (std::size_t i = 0; i < float_globals_.size(); ++i) {
-      const auto id = static_cast<idx::ImageId>(i);
-      server_.seed_float(floats.features_of(id), floats.geo_of(id));
-    }
-    const auto n_globals = static_cast<std::size_t>(r.get_varint());
-    for (std::size_t i = 0; i < n_globals; ++i) {
-      feat::ColorHistogram histogram;
-      for (float& bin : histogram.bins) bin = r.get_f32();
-      server_.seed_global(histogram, get_geo(r));
-    }
-    if (!r.done()) throw util::DecodeError("shard snapshot: trailing bytes");
-    server_.restore_accounting(stats, keys);
+    // get_payload verifies every chunk (and the whole-payload hash), so a
+    // store that lost or corrupted snapshot chunks fails loudly here.
+    restore_snapshot(st->get_payload(manifest));
+    st->pin(manifest.chunks);
+    snapshot_pins_ = manifest.chunks;
+  } else if (std::filesystem::exists(manifest_path())) {
+    // A store-backed run left a manifest but this shard has no store to
+    // resolve it with: refusing is the only honest option (snapshot.bin
+    // was deleted when the manifest was published).
+    throw std::runtime_error(
+        "shard: snapshot.manifest present but no segment store attached");
+  } else if (std::filesystem::exists(snapshot_path())) {
+    restore_snapshot(util::lz_decompress(read_file(snapshot_path())));
   }
 
   // Replay the WAL tail the snapshot does not cover; seq_ advances to the
   // last applied record so new mutations continue the sequence.
   const WalReplayResult replayed = replay_wal(
-      wal_path(), seq_, [this](const WalRecord& record) {
+      wal_path(), seq_,
+      [this](const WalRecord& record) {
         apply_locked(record, nullptr);
         seq_ = record.seq;
-      });
+      },
+      st);
   if (replayed.dropped > 0) {
     // Truncate the torn tail so future appends extend the valid prefix
     // instead of hiding behind garbage.
     std::filesystem::resize_file(wal_path(), replayed.valid_bytes);
   }
+  if (st && !replayed.chunk_keys.empty()) {
+    // Restart cleared every pin; re-establish the surviving WAL records'
+    // claims.  The log itself takes these over once constructed, so its
+    // next reset() releases them.
+    st->pin(replayed.chunk_keys);
+    wal_recovered_pins_ = replayed.chunk_keys;
+  }
   obs::count("serve.recovery.replayed",
              static_cast<double>(replayed.applied));
+}
+
+void Shard::restore_snapshot(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader r(bytes);
+  if (r.get_u32() != kShardMagic) {
+    throw util::DecodeError("shard snapshot: bad magic");
+  }
+  if (r.get_u32() != kShardVersion) {
+    throw util::DecodeError("shard snapshot: unsupported version");
+  }
+  seq_ = r.get_u64();
+
+  cloud::ServerStats stats;
+  stats.images_stored = static_cast<std::size_t>(r.get_u64());
+  stats.image_bytes_received = r.get_f64();
+  stats.feature_bytes_received = r.get_f64();
+  stats.binary_queries = static_cast<std::size_t>(r.get_u64());
+  stats.float_queries = static_cast<std::size_t>(r.get_u64());
+  std::vector<std::uint64_t> keys(
+      static_cast<std::size_t>(r.get_varint()));
+  for (std::uint64_t& key : keys) key = r.get_u64();
+
+  binary_globals_.resize(static_cast<std::size_t>(r.get_varint()));
+  for (std::uint32_t& gid : binary_globals_) {
+    gid = static_cast<std::uint32_t>(r.get_varint());
+  }
+  std::vector<double> thumbs(binary_globals_.size());
+  for (double& t : thumbs) t = r.get_f64();
+  float_globals_.resize(static_cast<std::size_t>(r.get_varint()));
+  for (std::uint32_t& gid : float_globals_) {
+    gid = static_cast<std::uint32_t>(r.get_varint());
+  }
+
+  const auto binary_bytes =
+      r.get_bytes(static_cast<std::size_t>(r.get_varint()));
+  const idx::FeatureIndex binary =
+      idx::decode_index_snapshot(binary_bytes, options_.binary_params);
+  const auto float_bytes =
+      r.get_bytes(static_cast<std::size_t>(r.get_varint()));
+  const idx::FloatFeatureIndex floats =
+      idx::decode_float_index_snapshot(float_bytes, options_.float_params);
+  if (binary.image_count() != binary_globals_.size() ||
+      floats.image_count() != float_globals_.size()) {
+    throw util::DecodeError("shard snapshot: id map / index size mismatch");
+  }
+
+  // Rebuild through seed_* (seeding records no stats), then reinstate the
+  // accounting the snapshot carried.
+  for (std::size_t i = 0; i < binary_globals_.size(); ++i) {
+    const auto id = static_cast<idx::ImageId>(i);
+    server_.seed_binary(binary.features_of(id), binary.geo_of(id),
+                        thumbs[i]);
+  }
+  for (std::size_t i = 0; i < float_globals_.size(); ++i) {
+    const auto id = static_cast<idx::ImageId>(i);
+    server_.seed_float(floats.features_of(id), floats.geo_of(id));
+  }
+  const auto n_globals = static_cast<std::size_t>(r.get_varint());
+  for (std::size_t i = 0; i < n_globals; ++i) {
+    feat::ColorHistogram histogram;
+    for (float& bin : histogram.bins) bin = r.get_f32();
+    server_.seed_global(histogram, get_geo(r));
+  }
+  if (!r.done()) throw util::DecodeError("shard snapshot: trailing bytes");
+  server_.restore_accounting(stats, keys);
 }
 
 }  // namespace bees::serve

@@ -22,6 +22,13 @@ struct ShardOptions {
   /// Durability root for this shard (wal.log + snapshot.bin live here);
   /// empty = in-memory only, no WAL, no checkpoints.
   std::string dir;
+  /// Optional content-addressed segment store (not owned; typically shared
+  /// across shards by the cluster).  When set, WAL record bodies are
+  /// chunked into it and snapshots are written as a chunk manifest
+  /// (snapshot.manifest) instead of an inline snapshot.bin — unchanged
+  /// index regions dedup across checkpoints and across shards.  A legacy
+  /// snapshot.bin is still readable; the next checkpoint replaces it.
+  store::SegmentStore* segment_store = nullptr;
   /// Mutations between automatic snapshot checkpoints; 0 = never (WAL only,
   /// or explicit checkpoint() calls).
   std::size_t checkpoint_every = 0;
@@ -102,8 +109,11 @@ class Shard {
   void apply_locked(const WalRecord& record, idx::ImageId* local_out);
   void checkpoint_locked();
   void recover();
+  std::vector<std::uint8_t> encode_snapshot_locked();
+  void restore_snapshot(const std::vector<std::uint8_t>& bytes);
   std::string wal_path() const;
   std::string snapshot_path() const;
+  std::string manifest_path() const;
 
   const int id_;
   ShardOptions options_;
@@ -114,6 +124,12 @@ class Shard {
   std::uint64_t seq_ = 0;
   std::size_t mutations_since_checkpoint_ = 0;
   std::unique_ptr<WriteAheadLog> wal_;
+  /// Chunks the current snapshot manifest pins (store-backed mode only);
+  /// rotated — new pinned, old unpinned — on every checkpoint.
+  std::vector<store::ChunkKey> snapshot_pins_;
+  /// Pins recover() re-established for surviving WAL records, handed to
+  /// the log (adopt_pins) once it exists so reset() releases them.
+  std::vector<store::ChunkKey> wal_recovered_pins_;
 };
 
 }  // namespace bees::serve

@@ -2,30 +2,53 @@
 
 #include "obs/metrics.hpp"
 #include "util/byte_io.hpp"
-#include "util/crc32.hpp"
+#include "util/hash.hpp"
 
 namespace bees::serve {
 
-std::vector<std::uint8_t> encode_wal_record(const WalRecord& record) {
-  util::ByteWriter w;
+namespace {
+
+// Everything up to the payload section, shared by both encoders.
+void put_record_head(util::ByteWriter& w, const WalRecord& record,
+                     std::uint8_t op_byte) {
   w.put_u64(record.seq);
-  w.put_u8(static_cast<std::uint8_t>(record.op));
+  w.put_u8(op_byte);
   w.put_varint(record.global_id);
   w.put_f64(record.info.image_bytes);
   w.put_u8(record.info.geo.valid ? 1 : 0);
   w.put_f64(record.info.geo.lon);
   w.put_f64(record.info.geo.lat);
   w.put_f64(record.info.thumbnail_bytes);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_wal_record(const WalRecord& record) {
+  util::ByteWriter w;
+  put_record_head(w, record, static_cast<std::uint8_t>(record.op));
   w.put_varint(record.payload.size());
   w.put_bytes(record.payload);
   return w.take();
 }
 
-WalRecord decode_wal_record(const std::vector<std::uint8_t>& bytes) {
+std::vector<std::uint8_t> encode_wal_record_chunked(
+    const WalRecord& record, const store::Manifest& manifest) {
+  util::ByteWriter w;
+  put_record_head(w, record,
+                  static_cast<std::uint8_t>(record.op) | kWalChunkedFlag);
+  store::put_manifest(w, manifest);
+  return w.take();
+}
+
+WalRecord decode_wal_record(const std::vector<std::uint8_t>& bytes,
+                            store::SegmentStore* chunk_store,
+                            std::vector<store::ChunkKey>* keys_out) {
   util::ByteReader r(bytes);
   WalRecord record;
   record.seq = r.get_u64();
-  const std::uint8_t op = r.get_u8();
+  const std::uint8_t op_byte = r.get_u8();
+  const bool chunked = (op_byte & kWalChunkedFlag) != 0;
+  const std::uint8_t op = op_byte & ~kWalChunkedFlag;
   if (op < static_cast<std::uint8_t>(WalOp::kStoreBinary) ||
       op > static_cast<std::uint8_t>(WalOp::kSeedGlobal)) {
     throw util::DecodeError("wal record: unknown op");
@@ -37,9 +60,22 @@ WalRecord decode_wal_record(const std::vector<std::uint8_t>& bytes) {
   record.info.geo.lon = r.get_f64();
   record.info.geo.lat = r.get_f64();
   record.info.thumbnail_bytes = r.get_f64();
-  const auto payload_len = static_cast<std::size_t>(r.get_varint());
-  record.payload = r.get_bytes(payload_len);
-  if (!r.done()) throw util::DecodeError("wal record: trailing bytes");
+  if (chunked) {
+    const store::Manifest manifest = store::get_manifest(r);
+    if (!r.done()) throw util::DecodeError("wal record: trailing bytes");
+    if (chunk_store == nullptr) {
+      throw util::DecodeError("wal record: chunked record without a store");
+    }
+    record.payload = chunk_store->get_payload(manifest);
+    if (keys_out) {
+      keys_out->insert(keys_out->end(), manifest.chunks.begin(),
+                       manifest.chunks.end());
+    }
+  } else {
+    const auto payload_len = static_cast<std::size_t>(r.get_varint());
+    record.payload = r.get_bytes(payload_len);
+    if (!r.done()) throw util::DecodeError("wal record: trailing bytes");
+  }
   return record;
 }
 
@@ -57,7 +93,9 @@ feat::ColorHistogram decode_histogram(const std::vector<std::uint8_t>& bytes) {
   return h;
 }
 
-WriteAheadLog::WriteAheadLog(std::string path) : path_(std::move(path)) {
+WriteAheadLog::WriteAheadLog(std::string path,
+                             store::SegmentStore* chunk_store)
+    : path_(std::move(path)), chunk_store_(chunk_store) {
   open(/*truncate=*/false);
 }
 
@@ -72,7 +110,21 @@ void WriteAheadLog::open(bool truncate) {
 }
 
 void WriteAheadLog::append(const WalRecord& record) {
-  const std::vector<std::uint8_t> payload = encode_wal_record(record);
+  std::vector<std::uint8_t> payload;
+  if (chunk_store_ && !record.payload.empty()) {
+    // Write-ahead extends to the store: the chunks must be durable before
+    // the frame that references them, or a crash in between leaves a valid
+    // frame pointing at nothing (replay would mistake it for a torn tail
+    // and silently drop every record after it on the next append).
+    const store::Manifest manifest = chunk_store_->put_payload(record.payload);
+    chunk_store_->flush();
+    chunk_store_->pin(manifest.chunks);
+    pinned_.insert(pinned_.end(), manifest.chunks.begin(),
+                   manifest.chunks.end());
+    payload = encode_wal_record_chunked(record, manifest);
+  } else {
+    payload = encode_wal_record(record);
+  }
   util::ByteWriter frame;
   frame.put_u32(static_cast<std::uint32_t>(payload.size()));
   frame.put_u32(util::crc32(payload));
@@ -86,11 +138,20 @@ void WriteAheadLog::append(const WalRecord& record) {
   }
 }
 
-void WriteAheadLog::reset() { open(/*truncate=*/true); }
+void WriteAheadLog::reset() {
+  open(/*truncate=*/true);
+  if (chunk_store_) chunk_store_->unpin(pinned_);
+  pinned_.clear();
+}
+
+void WriteAheadLog::adopt_pins(std::vector<store::ChunkKey> keys) {
+  pinned_.insert(pinned_.end(), keys.begin(), keys.end());
+}
 
 WalReplayResult replay_wal(
     const std::string& path, std::uint64_t after_seq,
-    const std::function<void(const WalRecord&)>& apply) {
+    const std::function<void(const WalRecord&)>& apply,
+    store::SegmentStore* chunk_store) {
   WalReplayResult result;
   std::ifstream in(path, std::ios::binary);
   if (!in) return result;  // No log yet: nothing to replay.
@@ -116,12 +177,15 @@ WalReplayResult replay_wal(
                                       bytes.begin() + pos + 8 + len);
     if (util::crc32(payload) != crc) break;
     WalRecord record;
+    std::vector<store::ChunkKey> record_keys;
     try {
-      record = decode_wal_record(payload);
+      record = decode_wal_record(payload, chunk_store, &record_keys);
     } catch (const util::DecodeError&) {
       break;
     }
     pos += 8 + len;
+    result.chunk_keys.insert(result.chunk_keys.end(), record_keys.begin(),
+                             record_keys.end());
     if (record.seq <= after_seq) {
       ++result.skipped;
       continue;

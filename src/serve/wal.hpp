@@ -10,6 +10,15 @@
 // covered by the latest snapshot (seq <= snapshot seq), and stops cleanly
 // at the first truncated, CRC-damaged, or garbage frame, counting what it
 // dropped (serve.wal.dropped_records).
+//
+// With a store::SegmentStore attached, record bodies route through the
+// content-addressed chunk store instead of living inline in the frame: the
+// op byte carries kWalChunkedFlag and the payload section is replaced by a
+// chunk manifest (see DESIGN §12).  Chunks are written and flushed to the
+// store *before* the frame that references them — the write-ahead rule
+// extends to the store — and the log pins its records' chunks until reset()
+// declares them snapshot-covered.  Replay resolves manifests through the
+// store; a record whose chunks are missing or corrupt is a torn tail.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +29,7 @@
 
 #include "cloud/server.hpp"
 #include "index/feature_index.hpp"
+#include "store/segment_store.hpp"
 
 namespace bees::serve {
 
@@ -36,6 +46,11 @@ enum class WalOp : std::uint8_t {
   kSeedGlobal = 7,
 };
 
+/// High bit of the on-disk op byte: the record's payload section is a
+/// store::Manifest (resolved through the attached segment store) rather
+/// than inline bytes.  Never set on WalRecord::op in memory.
+inline constexpr std::uint8_t kWalChunkedFlag = 0x80;
+
 /// One logged mutation.  `global_id` is the cluster-wide id the frontend
 /// assigned (meaningful for binary/float ops; 0 otherwise).  `payload`
 /// carries the op's feature bytes: serialize_binary / serialize_float
@@ -50,8 +65,19 @@ struct WalRecord {
 
 /// Encodes a record's payload section (everything inside the CRC frame).
 std::vector<std::uint8_t> encode_wal_record(const WalRecord& record);
-/// Inverse of encode_wal_record; throws util::DecodeError on bad bytes.
-WalRecord decode_wal_record(const std::vector<std::uint8_t>& bytes);
+/// Chunked form: the record's payload lives in the segment store under
+/// `manifest` (which must describe exactly record.payload); the frame
+/// carries the manifest and the op byte gains kWalChunkedFlag.
+std::vector<std::uint8_t> encode_wal_record_chunked(
+    const WalRecord& record, const store::Manifest& manifest);
+/// Inverse of both encoders; throws util::DecodeError on bad bytes.  A
+/// chunked record requires `chunk_store` (nullptr -> DecodeError) and
+/// resolves its payload through it — a missing or corrupt chunk throws,
+/// which replay treats as a torn tail.  When `keys_out` is non-null the
+/// record's chunk keys (empty for inline records) are appended to it.
+WalRecord decode_wal_record(const std::vector<std::uint8_t>& bytes,
+                            store::SegmentStore* chunk_store = nullptr,
+                            std::vector<store::ChunkKey>* keys_out = nullptr);
 
 /// WAL payload codec for global-feature ops: kBins little-endian f32s.
 std::vector<std::uint8_t> encode_histogram(const feat::ColorHistogram& h);
@@ -61,14 +87,22 @@ feat::ColorHistogram decode_histogram(const std::vector<std::uint8_t>& bytes);
 /// current as the OS page cache; a production deployment would fsync here.
 class WriteAheadLog {
  public:
-  explicit WriteAheadLog(std::string path);
+  /// With a store, non-empty record payloads are chunked into it (written
+  /// and flushed before the referencing frame) and pinned until reset().
+  explicit WriteAheadLog(std::string path,
+                         store::SegmentStore* chunk_store = nullptr);
 
   /// Appends one framed record and flushes.  Throws std::runtime_error on
   /// I/O failure.
   void append(const WalRecord& record);
 
-  /// Truncates the log (after a successful snapshot made it redundant).
+  /// Truncates the log (after a successful snapshot made it redundant) and
+  /// unpins every chunk the truncated records referenced.
   void reset();
+
+  /// Takes ownership of chunk pins recovery re-established for records
+  /// already in the log, so reset() releases them too.
+  void adopt_pins(std::vector<store::ChunkKey> keys);
 
   const std::string& path() const noexcept { return path_; }
 
@@ -76,6 +110,8 @@ class WriteAheadLog {
   void open(bool truncate);
 
   std::string path_;
+  store::SegmentStore* chunk_store_ = nullptr;
+  std::vector<store::ChunkKey> pinned_;  ///< Keys pinned by live records.
   std::ofstream out_;
 };
 
@@ -90,14 +126,22 @@ struct WalReplayResult {
   /// Length of the intact prefix; recovery truncates the file here so new
   /// appends never land after garbage (which would orphan them).
   std::size_t valid_bytes = 0;
+  /// Chunk keys referenced by every intact record (applied *and* skipped —
+  /// skipped records stay in the file until the next reset).  The owner
+  /// re-pins these after a restart, then hands them to the log via
+  /// WriteAheadLog::adopt_pins.
+  std::vector<store::ChunkKey> chunk_keys;
 };
 
 /// Replays `path` in write order, invoking `apply` for every record with
 /// seq > after_seq.  Never throws on a damaged log — recovery's contract is
 /// "restore the longest valid prefix"; a missing file replays zero records.
-/// Charges serve.wal.dropped_records / serve.wal.dropped_bytes metrics when
-/// observability is enabled.
+/// Chunked records resolve through `chunk_store`; one that cannot (store
+/// absent, chunk missing or corrupt) ends the valid prefix like any torn
+/// frame.  Charges serve.wal.dropped_records / serve.wal.dropped_bytes
+/// metrics when observability is enabled.
 WalReplayResult replay_wal(const std::string& path, std::uint64_t after_seq,
-                           const std::function<void(const WalRecord&)>& apply);
+                           const std::function<void(const WalRecord&)>& apply,
+                           store::SegmentStore* chunk_store = nullptr);
 
 }  // namespace bees::serve

@@ -1,0 +1,551 @@
+#include "store/segment_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <iomanip>
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/compress.hpp"
+#include "util/hash.hpp"
+
+namespace bees::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Segment file header: magic "BSEG" (LE) + format version.
+constexpr std::uint32_t kSegmentMagic = 0x47455342u;
+constexpr std::uint32_t kSegmentVersion = 1;
+constexpr std::uint64_t kSegmentHeaderBytes = 8;
+/// Per-record header: u64 hash | u32 crc | u32 raw | u32 stored | u8 enc.
+constexpr std::uint64_t kRecordHeaderBytes = 21;
+/// Sanity cap on a single chunk's raw length during segment scans; guards
+/// allocation on corrupt length fields.
+constexpr std::uint32_t kMaxChunkRaw = 64u << 20;
+
+void put_le32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void put_le64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+SegmentStore::SegmentStore(SegmentStoreOptions options)
+    : options_(std::move(options)) {
+  if (options_.chunk_size == 0) options_.chunk_size = 64 * 1024;
+  if (options_.segment_target_bytes == 0) options_.segment_target_bytes = 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!options_.dir.empty()) {
+    fs::create_directories(options_.dir);
+    scan_existing_locked();
+  }
+  open_new_segment_locked();
+}
+
+SegmentStore::~SegmentStore() {
+  if (out_.is_open()) out_.flush();
+}
+
+std::string SegmentStore::segment_path(std::uint64_t id) const {
+  std::ostringstream name;
+  name << "seg-" << std::setfill('0') << std::setw(6) << id << ".bsg";
+  return (fs::path(options_.dir) / name.str()).string();
+}
+
+void SegmentStore::scan_existing_locked() {
+  std::vector<std::uint64_t> ids;
+  for (const auto& entry : fs::directory_iterator(options_.dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() == 14 && name.rfind("seg-", 0) == 0 &&
+        name.substr(10) == ".bsg") {
+      ids.push_back(std::stoull(name.substr(4, 6)));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) {
+    const std::string path = segment_path(id);
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    in.close();
+    if (bytes.size() < kSegmentHeaderBytes ||
+        get_le32(bytes.data()) != kSegmentMagic) {
+      throw util::DecodeError("segment store: bad segment magic in " + path);
+    }
+    if (get_le32(bytes.data() + 4) != kSegmentVersion) {
+      throw util::DecodeError("segment store: unknown segment version in " +
+                              path);
+    }
+    Segment segment;
+    segment.id = id;
+    segment.sealed = true;
+    std::uint64_t pos = kSegmentHeaderBytes;
+    // Parse records until the tail runs out; a torn final record is
+    // truncated away (mirrors WAL torn-tail recovery).
+    while (bytes.size() - pos >= kRecordHeaderBytes) {
+      const std::uint8_t* p = bytes.data() + pos;
+      ChunkKey key;
+      key.hash = get_le64(p);
+      key.crc = get_le32(p + 8);
+      key.size = get_le32(p + 12);
+      const std::uint32_t stored = get_le32(p + 16);
+      const std::uint8_t encoding = p[20];
+      if (key.size > kMaxChunkRaw || stored > kMaxChunkRaw || encoding > 1 ||
+          stored > bytes.size() - pos - kRecordHeaderBytes) {
+        break;  // torn or garbage tail
+      }
+      if (!directory_.count(key)) {
+        Entry e;
+        e.segment = id;
+        e.offset = pos + kRecordHeaderBytes;
+        e.stored = stored;
+        e.raw = key.size;
+        e.encoding = encoding;
+        directory_.emplace(key, e);
+        segment.dead_bytes += stored;  // everything starts unpinned
+      }
+      pos += kRecordHeaderBytes + stored;
+    }
+    if (pos < bytes.size()) {
+      fs::resize_file(path, pos);
+      obs::count("store.segment.truncated_tails");
+      obs::count("store.segment.truncated_bytes",
+                 static_cast<double>(bytes.size() - pos));
+    }
+    segment.bytes = pos;
+    segments_.emplace(id, segment);
+    next_segment_id_ = std::max(next_segment_id_, id + 1);
+  }
+}
+
+void SegmentStore::open_new_segment_locked() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+  if (auto it = segments_.find(open_segment_); it != segments_.end()) {
+    it->second.sealed = true;
+  }
+  Segment segment;
+  segment.id = next_segment_id_++;
+  segment.bytes = kSegmentHeaderBytes;
+  open_segment_ = segment.id;
+  if (options_.dir.empty()) {
+    put_le32(segment.memory, kSegmentMagic);
+    put_le32(segment.memory, kSegmentVersion);
+  } else {
+    out_.open(segment_path(segment.id),
+              std::ios::binary | std::ios::trunc);
+    std::vector<std::uint8_t> header;
+    put_le32(header, kSegmentMagic);
+    put_le32(header, kSegmentVersion);
+    out_.write(reinterpret_cast<const char*>(header.data()),
+               static_cast<std::streamsize>(header.size()));
+    out_.flush();
+  }
+  segments_.emplace(segment.id, std::move(segment));
+}
+
+SegmentStore::Prepared SegmentStore::prepare(
+    std::span<const std::uint8_t> raw) {
+  Prepared prepared;
+  prepared.key = ChunkKey{
+      .hash = util::content_hash64(raw),
+      .crc = util::crc32(raw),
+      .size = static_cast<std::uint32_t>(raw.size()),
+  };
+  std::vector<std::uint8_t> packed = util::lz_compress(raw);
+  if (packed.size() < raw.size()) {
+    prepared.stored = std::move(packed);
+    prepared.encoding = 1;
+  } else {
+    prepared.stored.assign(raw.begin(), raw.end());
+    prepared.encoding = 0;
+  }
+  return prepared;
+}
+
+void SegmentStore::append_locked(const Prepared& prepared) {
+  if (directory_.count(prepared.key)) {
+    ++dedup_hits_;
+    obs::count("store.chunk.dedup_hits");
+    return;
+  }
+  Segment& open = segments_.at(open_segment_);
+  if (open.bytes >= options_.segment_target_bytes + kSegmentHeaderBytes) {
+    open_new_segment_locked();
+  }
+  Segment& segment = segments_.at(open_segment_);
+  std::vector<std::uint8_t> record;
+  record.reserve(kRecordHeaderBytes + prepared.stored.size());
+  put_le64(record, prepared.key.hash);
+  put_le32(record, prepared.key.crc);
+  put_le32(record, prepared.key.size);
+  put_le32(record, static_cast<std::uint32_t>(prepared.stored.size()));
+  record.push_back(prepared.encoding);
+  record.insert(record.end(), prepared.stored.begin(), prepared.stored.end());
+
+  Entry entry;
+  entry.segment = segment.id;
+  entry.offset = segment.bytes + kRecordHeaderBytes;
+  entry.stored = static_cast<std::uint32_t>(prepared.stored.size());
+  entry.raw = prepared.key.size;
+  entry.encoding = prepared.encoding;
+
+  if (options_.dir.empty()) {
+    segment.memory.insert(segment.memory.end(), record.begin(), record.end());
+  } else {
+    out_.write(reinterpret_cast<const char*>(record.data()),
+               static_cast<std::streamsize>(record.size()));
+  }
+  segment.bytes += record.size();
+  segment.dead_bytes += entry.stored;  // live once an owner pins it
+  directory_.emplace(prepared.key, entry);
+  obs::count("store.chunk.writes");
+  obs::count("store.chunk.stored_bytes",
+             static_cast<double>(prepared.stored.size()));
+}
+
+ChunkKey SegmentStore::put(std::span<const std::uint8_t> raw) {
+  Prepared prepared = prepare(raw);
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_locked(prepared);
+  return prepared.key;
+}
+
+std::size_t SegmentStore::put_manifest_payload(
+    const Manifest& manifest, std::span<const std::uint8_t> payload) {
+  // Find missing chunks under the lock, compress them outside it (in
+  // parallel when a pool is attached), then append in manifest order.
+  std::vector<std::size_t> missing;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < manifest.chunks.size(); ++i) {
+      if (directory_.count(manifest.chunks[i])) {
+        ++dedup_hits_;
+        obs::count("store.chunk.dedup_hits");
+      } else {
+        missing.push_back(i);
+      }
+    }
+  }
+  if (missing.empty()) return 0;
+  std::vector<Prepared> prepared(missing.size());
+  const auto compress_one = [&](std::size_t j) {
+    prepared[j] = prepare(chunk_bytes(payload, manifest, missing[j]));
+  };
+  if (options_.pool != nullptr && missing.size() > 1) {
+    options_.pool->parallel_for(missing.size(), compress_one);
+  } else {
+    for (std::size_t j = 0; j < missing.size(); ++j) compress_one(j);
+  }
+  std::size_t written = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Prepared& p : prepared) {
+    const bool fresh = !directory_.count(p.key);
+    append_locked(p);
+    if (fresh) ++written;
+  }
+  return written;
+}
+
+Manifest SegmentStore::put_payload(std::span<const std::uint8_t> payload) {
+  return put_payload(payload, options_.chunk_size);
+}
+
+Manifest SegmentStore::put_payload(std::span<const std::uint8_t> payload,
+                                   std::uint32_t chunk_size) {
+  Manifest manifest = build_manifest(payload, chunk_size);
+  put_manifest_payload(manifest, payload);
+  return manifest;
+}
+
+bool SegmentStore::contains(const ChunkKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return directory_.count(key) != 0;
+}
+
+std::vector<std::uint8_t> SegmentStore::read_stored_locked(
+    const Entry& entry) {
+  const Segment& segment = segments_.at(entry.segment);
+  std::vector<std::uint8_t> stored(entry.stored);
+  if (options_.dir.empty()) {
+    std::copy_n(segment.memory.begin() +
+                    static_cast<std::ptrdiff_t>(entry.offset),
+                entry.stored, stored.begin());
+    return stored;
+  }
+  if (entry.segment == open_segment_ && out_.is_open()) out_.flush();
+  std::ifstream in(segment_path(entry.segment), std::ios::binary);
+  in.seekg(static_cast<std::streamoff>(entry.offset));
+  in.read(reinterpret_cast<char*>(stored.data()), entry.stored);
+  if (in.gcount() != static_cast<std::streamsize>(entry.stored)) {
+    throw util::DecodeError("segment store: short read (truncated segment)");
+  }
+  return stored;
+}
+
+std::vector<std::uint8_t> SegmentStore::get(const ChunkKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = cache_index_.find(key); it != cache_index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++cache_hits_;
+    obs::count("store.cache.hits");
+    return it->second->second;
+  }
+  ++cache_misses_;
+  obs::count("store.cache.misses");
+  const auto dir_it = directory_.find(key);
+  if (dir_it == directory_.end()) {
+    throw util::DecodeError("segment store: missing chunk");
+  }
+  std::vector<std::uint8_t> stored = read_stored_locked(dir_it->second);
+  std::vector<std::uint8_t> raw =
+      dir_it->second.encoding == 1 ? util::lz_decompress(stored)
+                                   : std::move(stored);
+  if (raw.size() != key.size || util::crc32(raw) != key.crc ||
+      util::content_hash64(raw) != key.hash) {
+    throw util::DecodeError("segment store: chunk failed checksum");
+  }
+  cache_insert_locked(key, raw);
+  return raw;
+}
+
+std::vector<std::uint8_t> SegmentStore::get_payload(const Manifest& manifest) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(manifest.total_bytes);
+  for (const ChunkKey& key : manifest.chunks) {
+    const std::vector<std::uint8_t> raw = get(key);
+    payload.insert(payload.end(), raw.begin(), raw.end());
+  }
+  if (payload.size() != manifest.total_bytes ||
+      util::content_hash64(payload) != manifest.content_hash) {
+    throw util::DecodeError("segment store: payload failed content hash");
+  }
+  return payload;
+}
+
+void SegmentStore::cache_insert_locked(const ChunkKey& key,
+                                       std::vector<std::uint8_t> raw) {
+  if (raw.size() > options_.cache_capacity_bytes) return;
+  cache_bytes_ += raw.size();
+  lru_.emplace_front(key, std::move(raw));
+  cache_index_[key] = lru_.begin();
+  while (cache_bytes_ > options_.cache_capacity_bytes && !lru_.empty()) {
+    cache_bytes_ -= lru_.back().second.size();
+    cache_index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void SegmentStore::pin(const ChunkKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = directory_.find(key);
+  if (it == directory_.end()) {
+    throw util::DecodeError("segment store: pin of missing chunk");
+  }
+  if (it->second.pins++ == 0) {
+    Segment& segment = segments_.at(it->second.segment);
+    segment.dead_bytes -= it->second.stored;
+    segment.live_bytes += it->second.stored;
+  }
+}
+
+void SegmentStore::pin(const std::vector<ChunkKey>& keys) {
+  for (const ChunkKey& key : keys) pin(key);
+}
+
+void SegmentStore::unpin(const ChunkKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = directory_.find(key);
+  if (it == directory_.end() || it->second.pins == 0) return;
+  if (--it->second.pins == 0) {
+    Segment& segment = segments_.at(it->second.segment);
+    segment.live_bytes -= it->second.stored;
+    segment.dead_bytes += it->second.stored;
+  }
+}
+
+void SegmentStore::unpin(const std::vector<ChunkKey>& keys) {
+  for (const ChunkKey& key : keys) unpin(key);
+}
+
+void SegmentStore::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) out_.flush();
+}
+
+void SegmentStore::rewrite_segment_locked(std::uint64_t segment_id) {
+  // Collect the victim's entries; live ones move to the open segment in
+  // offset order (deterministic), dead ones are dropped.
+  std::vector<std::pair<std::uint64_t, ChunkKey>> live;
+  std::vector<ChunkKey> dead;
+  for (const auto& [key, entry] : directory_) {
+    if (entry.segment != segment_id) continue;
+    if (entry.pins > 0) {
+      live.emplace_back(entry.offset, key);
+    } else {
+      dead.push_back(key);
+    }
+  }
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [offset, key] : live) {
+    Entry& entry = directory_.at(key);
+    std::vector<std::uint8_t> stored = read_stored_locked(entry);
+    Segment& open = segments_.at(open_segment_);
+    if (open.bytes >= options_.segment_target_bytes + kSegmentHeaderBytes) {
+      open_new_segment_locked();
+    }
+    Segment& target = segments_.at(open_segment_);
+    std::vector<std::uint8_t> record;
+    record.reserve(kRecordHeaderBytes + stored.size());
+    put_le64(record, key.hash);
+    put_le32(record, key.crc);
+    put_le32(record, key.size);
+    put_le32(record, static_cast<std::uint32_t>(stored.size()));
+    record.push_back(entry.encoding);
+    record.insert(record.end(), stored.begin(), stored.end());
+    if (options_.dir.empty()) {
+      target.memory.insert(target.memory.end(), record.begin(), record.end());
+    } else {
+      out_.write(reinterpret_cast<const char*>(record.data()),
+                 static_cast<std::streamsize>(record.size()));
+    }
+    entry.segment = target.id;
+    entry.offset = target.bytes + kRecordHeaderBytes;
+    target.bytes += record.size();
+    target.live_bytes += entry.stored;  // still pinned at its new home
+    obs::count("store.compaction.moved_chunks");
+    obs::count("store.compaction.moved_bytes",
+               static_cast<double>(stored.size()));
+  }
+  for (const ChunkKey& key : dead) {
+    cache_index_.erase(key);  // iterator stays valid in lru_; purge lazily
+    directory_.erase(key);
+  }
+  // Purge any cache entries whose list node belonged to dropped keys.
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (cache_index_.count(it->first)) {
+      ++it;
+    } else {
+      cache_bytes_ -= it->second.size();
+      it = lru_.erase(it);
+    }
+  }
+  segments_.erase(segment_id);
+  if (!options_.dir.empty()) {
+    std::error_code ec;
+    fs::remove(segment_path(segment_id), ec);
+  }
+  ++compactions_;
+  obs::count("store.compaction.segments_reclaimed");
+}
+
+std::size_t SegmentStore::compact_locked(double dead_ratio,
+                                         bool enforce_ceiling) {
+  std::size_t reclaimed = 0;
+  // Pass 1: every sealed segment whose dead fraction exceeds the ratio.
+  std::vector<std::uint64_t> victims;
+  for (const auto& [id, segment] : segments_) {
+    if (!segment.sealed) continue;
+    const std::uint64_t payload = segment.live_bytes + segment.dead_bytes;
+    if (payload == 0) {
+      victims.push_back(id);  // empty sealed segment: pure overhead
+      continue;
+    }
+    if (static_cast<double>(segment.dead_bytes) /
+            static_cast<double>(payload) >
+        dead_ratio) {
+      victims.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : victims) {
+    rewrite_segment_locked(id);
+    ++reclaimed;
+  }
+  // Pass 2: while over the disk ceiling, reclaim the deadest sealed
+  // segment (sealing the open one if it is the only holder of dead bytes).
+  if (enforce_ceiling && options_.disk_ceiling_bytes > 0) {
+    for (;;) {
+      std::uint64_t disk = 0;
+      for (const auto& [id, segment] : segments_) disk += segment.bytes;
+      if (disk <= options_.disk_ceiling_bytes) break;
+      std::uint64_t best = 0;
+      std::uint64_t best_dead = 0;
+      for (const auto& [id, segment] : segments_) {
+        if (!segment.sealed) continue;
+        if (segment.dead_bytes > best_dead) {
+          best_dead = segment.dead_bytes;
+          best = id;
+        }
+      }
+      if (best_dead == 0) {
+        const Segment& open = segments_.at(open_segment_);
+        if (open.dead_bytes == 0) break;  // nothing reclaimable
+        open_new_segment_locked();
+        continue;
+      }
+      rewrite_segment_locked(best);
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+std::size_t SegmentStore::compact(double dead_ratio) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compact_locked(dead_ratio, /*enforce_ceiling=*/false);
+}
+
+std::size_t SegmentStore::maybe_compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compact_locked(options_.compact_dead_ratio,
+                        /*enforce_ceiling=*/true);
+}
+
+SegmentStore::Stats SegmentStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.chunks = directory_.size();
+  stats.segments = segments_.size();
+  for (const auto& [id, segment] : segments_) {
+    stats.disk_bytes += segment.bytes;
+    stats.live_bytes += segment.live_bytes;
+    stats.dead_bytes += segment.dead_bytes;
+  }
+  for (const auto& [key, entry] : directory_) stats.raw_bytes += entry.raw;
+  stats.dedup_hits = dedup_hits_;
+  stats.cache_hits = cache_hits_;
+  stats.cache_misses = cache_misses_;
+  stats.compactions = compactions_;
+  return stats;
+}
+
+std::uint64_t SegmentStore::disk_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t disk = 0;
+  for (const auto& [id, segment] : segments_) disk += segment.bytes;
+  return disk;
+}
+
+}  // namespace bees::store

@@ -1,16 +1,6 @@
-// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
-// Guards the serving layer's write-ahead-log records: a torn or bit-flipped
-// record must be detected at recovery time, not replayed into the index.
+// Forwarding shim: util::crc32 moved to util/hash.hpp when the 64-bit
+// content hash joined it (both are persisted formats with shared stability
+// guarantees).  Include util/hash.hpp directly in new code.
 #pragma once
 
-#include <cstdint>
-#include <span>
-
-namespace bees::util {
-
-/// CRC-32 of `data`, optionally continuing from a previous value (pass the
-/// prior return value as `seed` to checksum a stream in pieces).
-std::uint32_t crc32(std::span<const std::uint8_t> data,
-                    std::uint32_t seed = 0) noexcept;
-
-}  // namespace bees::util
+#include "util/hash.hpp"

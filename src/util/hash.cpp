@@ -1,4 +1,4 @@
-#include "util/crc32.hpp"
+#include "util/hash.hpp"
 
 #include <array>
 
@@ -29,6 +29,16 @@ std::uint32_t crc32(std::span<const std::uint8_t> data,
     c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t content_hash64(std::span<const std::uint8_t> data,
+                             std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  for (const std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
 }  // namespace bees::util

@@ -96,6 +96,34 @@ EncodedImage ImageStore::encoded(const ImageSpec& spec, double resolution_prop,
   return result;
 }
 
+const std::vector<std::uint8_t>& ImageStore::encoded_payload(
+    const ImageSpec& spec, double resolution_prop, double quality_prop) {
+  const std::uint64_t key = variant_key(
+      variant_key(spec.cache_key(), 4, resolution_prop), 5, quality_prop);
+  const auto it = payload_cache_.find(key);
+  if (it != payload_cache_.end()) return it->second;
+
+  // Same pipeline as encoded() — the cached EncodedImage::bytes for this
+  // variant always equals the payload's size().  CPU work is charged via
+  // encoded(); this accessor only materializes the bytes.
+  const img::Image& full = pixels(spec);
+  const img::Image* to_encode = &full;
+  img::Image reduced;
+  if (resolution_prop > 0.0) {
+    reduced = img::bitmap_compress(full, resolution_prop);
+    to_encode = &reduced;
+  }
+  const int quality = img::quality_from_proportion(quality_prop);
+  std::vector<std::uint8_t> bytes = img::encode_jpeg_like(*to_encode, quality);
+  return payload_cache_.emplace(key, std::move(bytes)).first->second;
+}
+
+const std::vector<std::uint8_t>& ImageStore::original_payload(
+    const ImageSpec& spec) {
+  const double original_prop = 1.0 - params_.original_quality / 100.0;
+  return encoded_payload(spec, 0.0, original_prop);
+}
+
 EncodedImage ImageStore::original(const ImageSpec& spec) {
   const double original_prop =
       1.0 - params_.original_quality / 100.0;  // inverse of the quality map

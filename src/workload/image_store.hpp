@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "features/orb.hpp"
 #include "features/pca.hpp"
@@ -64,6 +65,17 @@ class ImageStore {
   /// quality) — what Direct Upload sends.
   EncodedImage original(const ImageSpec& spec);
 
+  /// The actual codec output bytes behind encoded() — what the
+  /// chunk-manifest upload plane hashes and ships.  Cached separately from
+  /// the size/ops record so legacy (non-chunked) runs never hold payload
+  /// bytes; only fetch this when chunking is enabled.  The reference stays
+  /// valid for the store's lifetime (payloads are never evicted).
+  const std::vector<std::uint8_t>& encoded_payload(const ImageSpec& spec,
+                                                   double resolution_prop,
+                                                   double quality_prop);
+  /// Payload of original(): as-shot encoding (Direct Upload's bytes).
+  const std::vector<std::uint8_t>& original_payload(const ImageSpec& spec);
+
   const Params& params() const noexcept { return params_; }
 
   /// Cache statistics for tests.
@@ -85,6 +97,7 @@ class ImageStore {
   std::unordered_map<std::uint64_t, feat::FloatFeatures> sift_cache_;
   std::unordered_map<std::uint64_t, feat::FloatFeatures> pca_cache_;
   std::unordered_map<std::uint64_t, EncodedImage> encoded_cache_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> payload_cache_;
 };
 
 }  // namespace bees::wl

@@ -10,7 +10,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/byte_io.hpp"
-#include "util/crc32.hpp"
+#include "util/hash.hpp"
 
 namespace bees::serve {
 namespace {

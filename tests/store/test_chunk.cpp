@@ -1,0 +1,121 @@
+// Chunk manifests: deterministic construction, the frozen codec, and the
+// decoder's structural validation (a corrupt manifest must become a
+// DecodeError, never a bad allocation or a silent misparse).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "store/chunk.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace bees::store {
+namespace {
+
+std::vector<std::uint8_t> random_payload(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+TEST(ChunkManifest, SplitsPayloadWithShortLastChunk) {
+  const auto payload = random_payload(10'000, 1);
+  const Manifest m = build_manifest(payload, 4096);
+  EXPECT_EQ(m.chunk_size, 4096u);
+  EXPECT_EQ(m.total_bytes, 10'000u);
+  EXPECT_EQ(m.content_hash, util::content_hash64(payload));
+  ASSERT_EQ(m.chunks.size(), 3u);
+  EXPECT_EQ(m.chunks[0].size, 4096u);
+  EXPECT_EQ(m.chunks[1].size, 4096u);
+  EXPECT_EQ(m.chunks[2].size, 10'000u - 2u * 4096u);
+  for (std::size_t i = 0; i < m.chunks.size(); ++i) {
+    const auto piece = chunk_bytes(payload, m, i);
+    EXPECT_EQ(m.chunks[i].hash, util::content_hash64(piece)) << i;
+    EXPECT_EQ(m.chunks[i].crc, util::crc32(piece)) << i;
+  }
+}
+
+TEST(ChunkManifest, ExactMultipleAndEmptyPayload) {
+  const auto payload = random_payload(8192, 2);
+  const Manifest m = build_manifest(payload, 4096);
+  ASSERT_EQ(m.chunks.size(), 2u);
+  EXPECT_EQ(m.chunks[1].size, 4096u);
+
+  const Manifest empty = build_manifest({}, 4096);
+  EXPECT_EQ(empty.total_bytes, 0u);
+  EXPECT_TRUE(empty.chunks.empty());
+}
+
+TEST(ChunkManifest, ZeroChunkSizeThrows) {
+  const auto payload = random_payload(16, 3);
+  EXPECT_THROW(build_manifest(payload, 0), std::invalid_argument);
+}
+
+TEST(ChunkManifest, Deterministic) {
+  const auto payload = random_payload(20'000, 4);
+  EXPECT_EQ(build_manifest(payload, 1024), build_manifest(payload, 1024));
+  EXPECT_NE(build_manifest(payload, 1024), build_manifest(payload, 2048));
+}
+
+TEST(ChunkManifest, IdenticalChunksShareKeys) {
+  // Two identical 4 KB halves: both chunks must carry the same key (the
+  // basis of on-disk and on-wire dedup).
+  auto payload = random_payload(4096, 5);
+  payload.insert(payload.end(), payload.begin(), payload.begin() + 4096);
+  const Manifest m = build_manifest(payload, 4096);
+  ASSERT_EQ(m.chunks.size(), 2u);
+  EXPECT_EQ(m.chunks[0], m.chunks[1]);
+}
+
+TEST(ChunkManifestCodec, RoundTrips) {
+  const auto payload = random_payload(30'000, 6);
+  const Manifest m = build_manifest(payload, 4096);
+  EXPECT_EQ(decode_manifest(encode_manifest(m)), m);
+
+  const Manifest empty = build_manifest({}, 512);
+  EXPECT_EQ(decode_manifest(encode_manifest(empty)), empty);
+}
+
+TEST(ChunkManifestCodec, RejectsTrailingBytes) {
+  const Manifest m = build_manifest(random_payload(100, 7), 64);
+  auto bytes = encode_manifest(m);
+  bytes.push_back(0);
+  EXPECT_THROW(decode_manifest(bytes), util::DecodeError);
+}
+
+TEST(ChunkManifestCodec, RejectsInconsistentChunkCount) {
+  const auto payload = random_payload(10'000, 8);
+  Manifest m = build_manifest(payload, 4096);
+  m.chunks.pop_back();  // count no longer matches ceil(total / chunk_size)
+  EXPECT_THROW(decode_manifest(encode_manifest(m)), util::DecodeError);
+}
+
+TEST(ChunkManifestCodec, RejectsWrongChunkSizes) {
+  const auto payload = random_payload(10'000, 9);
+  Manifest m = build_manifest(payload, 4096);
+  m.chunks[0].size = 4095;  // interior chunks must equal chunk_size
+  EXPECT_THROW(decode_manifest(encode_manifest(m)), util::DecodeError);
+}
+
+TEST(ChunkManifestCodec, RejectsZeroChunkSizeHeader) {
+  Manifest m;
+  m.chunk_size = 0;
+  m.total_bytes = 10;
+  m.chunks.push_back({1, 2, 10});
+  EXPECT_THROW(decode_manifest(encode_manifest(m)), util::DecodeError);
+}
+
+TEST(ChunkKeyHash, SpreadsAndAgrees) {
+  ChunkKeyHasher hasher;
+  const ChunkKey a{0x1234, 0x55, 100};
+  const ChunkKey b{0x1234, 0x55, 100};
+  const ChunkKey c{0x1235, 0x55, 100};
+  EXPECT_EQ(hasher(a), hasher(b));
+  EXPECT_NE(hasher(a), hasher(c));
+}
+
+}  // namespace
+}  // namespace bees::store

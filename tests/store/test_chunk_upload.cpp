@@ -1,0 +1,242 @@
+// The chunk-manifest upload plane, end to end through the schemes: chunked
+// runs reach the same redundancy decisions and modelled image bytes as the
+// legacy whole-image protocol, duplicate content dedups on the wire, an
+// aborted batch resumes by sending only the chunks the server is missing,
+// and a store-less server cleanly falls back to whole-image commits.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cloud/server.hpp"
+#include "core/baselines.hpp"
+#include "core/bees.hpp"
+#include "core/photonet.hpp"
+#include "core/simulation.hpp"
+#include "store/segment_store.hpp"
+
+namespace bees::core {
+namespace {
+
+class ChunkUploadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_ = new wl::Imageset(wl::make_disaster_like(12, 3, 200, 150, 67));
+    store_ = new wl::ImageStore();
+    pca_ = new feat::PcaModel(train_pca_model(*store_, *set_, 4));
+  }
+  static void TearDownTestSuite() {
+    delete pca_;
+    delete store_;
+    delete set_;
+    pca_ = nullptr;
+    store_ = nullptr;
+    set_ = nullptr;
+  }
+
+  static SchemeConfig legacy_config() {
+    SchemeConfig cfg;
+    cfg.image_byte_scale = 4.0;
+    return cfg;
+  }
+  static SchemeConfig chunked_config(std::uint32_t chunk_size = 2048) {
+    SchemeConfig cfg = legacy_config();
+    cfg.chunking.enabled = true;
+    cfg.chunking.chunk_size = chunk_size;
+    return cfg;
+  }
+  static net::Channel channel(double loss = 0.0, std::uint64_t seed = 17) {
+    net::ChannelParams p = net::ChannelParams::fixed(256000.0);
+    p.loss_probability = loss;
+    p.seed = seed;
+    return net::Channel(p);
+  }
+  std::shared_ptr<const feat::PcaModel> pca() const {
+    return {pca_, [](const feat::PcaModel*) {}};
+  }
+
+  static wl::Imageset* set_;
+  static wl::ImageStore* store_;
+  static feat::PcaModel* pca_;
+};
+
+wl::Imageset* ChunkUploadTest::set_ = nullptr;
+wl::ImageStore* ChunkUploadTest::store_ = nullptr;
+feat::PcaModel* ChunkUploadTest::pca_ = nullptr;
+
+TEST_F(ChunkUploadTest, ChunkedRunsMatchLegacyDecisionsForEveryScheme) {
+  // Chunking changes the transfer plane, not the protocol semantics: the
+  // same images upload, the same redundancy eliminations fire, and the
+  // modelled image bytes agree (chunk data is charged pro-rata).
+  auto run = [&](UploadScheme& scheme, cloud::Server& server) {
+    net::Channel ch = channel();
+    energy::Battery bat;
+    return scheme.upload_batch(set_->images, server, ch, bat);
+  };
+  auto for_each_scheme = [&](const SchemeConfig& cfg, auto&& fn) {
+    DirectUploadScheme direct(*store_, cfg);
+    SmartEyeScheme smarteye(*store_, cfg, pca());
+    MrcScheme mrc(*store_, cfg);
+    PhotoNetScheme photonet(*store_, cfg);
+    BeesScheme bees(*store_, cfg);
+    UploadScheme* schemes[] = {&direct, &smarteye, &mrc, &photonet, &bees};
+    for (UploadScheme* s : schemes) fn(*s);
+  };
+
+  std::vector<BatchReport> legacy;
+  for_each_scheme(legacy_config(), [&](UploadScheme& s) {
+    cloud::Server server;
+    legacy.push_back(run(s, server));
+  });
+  std::size_t i = 0;
+  for_each_scheme(chunked_config(), [&](UploadScheme& s) {
+    cloud::Server server;
+    store::SegmentStore chunk_store({});
+    server.attach_chunk_store(&chunk_store);
+    const BatchReport chunked = run(s, server);
+    const BatchReport& ref = legacy[i++];
+    EXPECT_EQ(chunked.images_uploaded, ref.images_uploaded) << s.name();
+    EXPECT_EQ(chunked.eliminated_cross_batch, ref.eliminated_cross_batch)
+        << s.name();
+    EXPECT_EQ(chunked.eliminated_in_batch, ref.eliminated_in_batch)
+        << s.name();
+    EXPECT_NEAR(chunked.image_bytes, ref.image_bytes,
+                1e-6 * (1.0 + ref.image_bytes))
+        << s.name();
+    if (chunked.images_uploaded > 0) {
+      EXPECT_GT(chunked.chunks_sent, 0) << s.name();
+    }
+    EXPECT_EQ(ref.chunks_sent, 0) << s.name();
+  });
+}
+
+TEST_F(ChunkUploadTest, DuplicateBatchNeverRidesTheWireTwice) {
+  cloud::Server server;
+  store::SegmentStore chunk_store({});
+  server.attach_chunk_store(&chunk_store);
+  auto run = [&] {
+    // A fresh scheme instance each time: the dedup below is the *server's*
+    // manifest ack, not client-side memory.
+    DirectUploadScheme direct(*store_, chunked_config());
+    net::Channel ch = channel();
+    energy::Battery bat;
+    return direct.upload_batch(set_->images, server, ch, bat);
+  };
+  const BatchReport first = run();
+  EXPECT_GT(first.chunks_sent, 0);
+  EXPECT_EQ(first.chunks_deduped, 0);
+
+  const BatchReport second = run();
+  EXPECT_EQ(second.chunks_sent, 0);
+  EXPECT_EQ(second.chunks_deduped, first.chunks_sent);
+  // No chunk data moved, so no image bytes were charged the second time.
+  EXPECT_DOUBLE_EQ(second.image_bytes, 0.0);
+  EXPECT_LT(second.image_bytes, first.image_bytes);
+}
+
+TEST_F(ChunkUploadTest, ResumedBatchSendsOnlyMissingChunks) {
+  SchemeConfig cfg = chunked_config();
+  cfg.retry.max_attempts = 2;
+  DirectUploadScheme direct(*store_, cfg);
+  cloud::Server server;
+  store::SegmentStore chunk_store({});
+  server.attach_chunk_store(&chunk_store);
+  energy::Battery bat;
+
+  // Lossy enough that some exchange exhausts its two attempts mid-batch,
+  // after other chunks already landed.
+  net::Channel flaky = channel(0.3, 71);
+  const BatchReport first = direct.upload_batch(set_->images, server, flaky,
+                                                bat);
+  ASSERT_TRUE(first.aborted);
+  ASSERT_GT(first.chunks_sent, 0);  // partial progress survived server-side
+
+  net::Channel healthy = channel(0.0);
+  const BatchReport second =
+      direct.upload_batch(set_->images, server, healthy, bat);
+  EXPECT_FALSE(second.aborted);
+  // Nothing rode the wire twice: the resumed attempt re-offered manifests
+  // and the server's acks excluded every chunk that already landed.
+  EXPECT_EQ(second.chunks_resent, 0);
+  // Every unique chunk crossed exactly once across abort + resume — the
+  // server store's directory is the ground truth.  A whole-image resend
+  // would have re-sent the aborted image's first-attempt chunks on top.
+  EXPECT_EQ(static_cast<std::uint64_t>(first.chunks_sent) +
+                static_cast<std::uint64_t>(second.chunks_sent),
+            chunk_store.stats().chunks);
+  EXPECT_EQ(server.stats().images_stored, 12u);
+}
+
+TEST_F(ChunkUploadTest, StorelessServerTriggersWholeImageFallback) {
+  // Chunking on, but the server has no store: the first manifest gets
+  // kChunkStoreDisabledMessage, the client latches, and the batch still
+  // completes via legacy whole-image commits.
+  DirectUploadScheme chunked(*store_, chunked_config());
+  cloud::Server server;  // no attach_chunk_store
+  net::Channel ch = channel();
+  energy::Battery bat;
+  const BatchReport r = chunked.upload_batch(set_->images, server, ch, bat);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.images_uploaded, 12);
+  EXPECT_EQ(r.chunks_sent, 0);
+  EXPECT_EQ(r.chunks_deduped, 0);
+  EXPECT_EQ(server.stats().images_stored, 12u);
+
+  DirectUploadScheme legacy(*store_, legacy_config());
+  cloud::Server legacy_server;
+  net::Channel ch2 = channel();
+  energy::Battery bat2;
+  const BatchReport ref =
+      legacy.upload_batch(set_->images, legacy_server, ch2, bat2);
+  EXPECT_DOUBLE_EQ(r.image_bytes, ref.image_bytes);
+}
+
+TEST_F(ChunkUploadTest, DisabledChunkingIsExactlyTheLegacyPath) {
+  // A server-side store alone must change nothing: with chunking disabled
+  // the uploader is the legacy protocol, byte for byte.
+  auto run = [&](bool with_store) {
+    BeesScheme bees(*store_, legacy_config());
+    cloud::Server server;
+    store::SegmentStore chunk_store({});
+    if (with_store) server.attach_chunk_store(&chunk_store);
+    net::Channel ch = channel(0.2, 29);
+    energy::Battery bat;
+    return bees.upload_batch(set_->images, server, ch, bat);
+  };
+  const BatchReport plain = run(false);
+  const BatchReport with_store = run(true);
+  EXPECT_EQ(plain.images_uploaded, with_store.images_uploaded);
+  EXPECT_DOUBLE_EQ(plain.image_bytes, with_store.image_bytes);
+  EXPECT_DOUBLE_EQ(plain.feature_bytes, with_store.feature_bytes);
+  EXPECT_DOUBLE_EQ(plain.energy.total(), with_store.energy.total());
+  EXPECT_EQ(plain.retries, with_store.retries);
+  EXPECT_EQ(plain.chunks_sent, 0);
+  EXPECT_EQ(with_store.chunks_sent, 0);
+}
+
+TEST_F(ChunkUploadTest, ChunkCountersAreAppendedToTheExportRow) {
+  DirectUploadScheme direct(*store_, chunked_config());
+  cloud::Server server;
+  store::SegmentStore chunk_store({});
+  server.attach_chunk_store(&chunk_store);
+  net::Channel ch = channel();
+  energy::Battery bat;
+  const BatchReport r = direct.upload_batch(set_->images, server, ch, bat);
+
+  EXPECT_EQ(r.value_of("chunks_sent"), static_cast<double>(r.chunks_sent));
+  EXPECT_EQ(r.value_of("chunks_deduped"),
+            static_cast<double>(r.chunks_deduped));
+  EXPECT_EQ(r.value_of("chunks_resent"), static_cast<double>(r.chunks_resent));
+  // Append-only export contract: the new counters sit at the tail, after
+  // the pre-existing energy columns.
+  const auto values = r.named_values();
+  ASSERT_GE(values.size(), 4u);
+  EXPECT_STREQ(values[values.size() - 4].name, "energy_total_j");
+  EXPECT_STREQ(values[values.size() - 3].name, "chunks_sent");
+  EXPECT_STREQ(values[values.size() - 2].name, "chunks_deduped");
+  EXPECT_STREQ(values[values.size() - 1].name, "chunks_resent");
+}
+
+}  // namespace
+}  // namespace bees::core

@@ -1,0 +1,66 @@
+// Golden-value locks for the persisted hash formats (util/hash.hpp).
+// These outputs are embedded in segment files, WAL manifest frames, and
+// wire manifests: if any expectation here ever needs editing, the change
+// breaks every store on disk — add a new function and format version
+// instead.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace bees::util {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32Golden, CheckValueAndKnownVectors) {
+  // The CRC-32 check value: every implementation of the zlib/PNG variant
+  // (reflected 0xEDB88320, init/xorout 0xFFFFFFFF) produces this.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes_of("abc")), 0x352441C2u);
+  EXPECT_EQ(crc32(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32Golden, SeedChainsAStream) {
+  const auto whole = bytes_of("123456789");
+  const auto head = bytes_of("12345");
+  const auto tail = bytes_of("6789");
+  EXPECT_EQ(crc32(tail, crc32(head)), crc32(whole));
+}
+
+TEST(ContentHash64Golden, FnvVectors) {
+  // FNV-1a 64-bit reference vectors (offset basis 0xcbf29ce484222325,
+  // prime 0x100000001b3).
+  EXPECT_EQ(content_hash64(bytes_of("")), 0xcbf29ce484222325ull);
+  EXPECT_EQ(content_hash64(bytes_of("")), kContentHashSeed);
+  EXPECT_EQ(content_hash64(bytes_of("a")), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(content_hash64(bytes_of("foobar")), 0x85944171f73967e8ull);
+}
+
+TEST(ContentHash64Golden, SeedChainsAStream) {
+  const auto whole = bytes_of("foobar");
+  const auto head = bytes_of("foo");
+  const auto tail = bytes_of("bar");
+  EXPECT_EQ(content_hash64(tail, content_hash64(head)), content_hash64(whole));
+}
+
+TEST(ContentHash64Golden, SensitiveToEveryByte) {
+  std::vector<std::uint8_t> data(64, 0x5A);
+  const std::uint64_t base = content_hash64(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(content_hash64(data), base) << "byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+}  // namespace
+}  // namespace bees::util

@@ -41,11 +41,19 @@
 //   --save-index PATH  save the binary index as a snapshot on exit
 //   --load-index PATH  pre-seed the binary index from a snapshot
 //
+// Chunk-store options (enable the content-addressed segment store and the
+// chunk-manifest upload plane, for either server mode):
+//   --store-dir PATH   segment-store directory; uploads become chunked
+//                      (dedup + partial-resend), and with a cluster the
+//                      shard WALs/snapshots route through the same store
+//   --chunk-size B     chunk size in bytes                    (default 8192)
+//
 // Flag coherence: --load-index requires --data-dir (a warm start only
-// makes sense against a durability root to recover into), and
-// --queue-depth requires --server-threads (the admission bound gates the
-// cluster's worker pool); incoherent combinations are rejected with a
-// one-line error.
+// makes sense against a durability root to recover into), --queue-depth
+// requires --server-threads (the admission bound gates the cluster's
+// worker pool), and --chunk-size requires --store-dir (a chunking interval
+// without a chunk store has nothing to apply to); incoherent combinations
+// are rejected with a one-line error.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -60,6 +68,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/cluster.hpp"
+#include "store/segment_store.hpp"
 #include "util/table.hpp"
 
 using namespace bees;
@@ -92,6 +101,8 @@ struct Options {
   std::string data_dir;
   std::string save_index_path;
   std::string load_index_path;
+  std::string store_dir;
+  int chunk_size = 0;  // 0 = default (only valid with --store-dir)
 
   bool use_cluster() const {
     return shards > 0 || server_threads > 0 || queue_depth > 0 ||
@@ -120,6 +131,11 @@ constexpr CsvColumn kCsvColumns[] = {
     {"retries", "retries"},
     {"retransmitted_bytes", "retransmitted_bytes"},
     {"gave_up", "gave_up"},
+    // Chunk-upload plane counters (all 0 unless --store-dir); appended so
+    // every pre-existing column keeps its position.
+    {"chunks_sent", "chunks_sent"},
+    {"chunks_deduped", "chunks_deduped"},
+    {"chunks_resent", "chunks_resent"},
 };
 
 int usage(const char* argv0) {
@@ -132,7 +148,8 @@ int usage(const char* argv0) {
                "       [--metrics-json PATH] [--trace PATH]\n"
                "       [--shards N] [--server-threads N] [--queue-depth N]\n"
                "       [--data-dir PATH] [--save-index PATH]\n"
-               "       [--load-index PATH]\n";
+               "       [--load-index PATH] [--store-dir PATH]\n"
+               "       [--chunk-size BYTES]\n";
   return 2;
 }
 
@@ -193,6 +210,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.save_index_path = argv[++i];
     } else if (arg == "--load-index" && i + 1 < argc) {
       opt.load_index_path = argv[++i];
+    } else if (arg == "--store-dir" && i + 1 < argc) {
+      opt.store_dir = argv[++i];
+    } else if (arg == "--chunk-size" && next(v)) {
+      opt.chunk_size = static_cast<int>(v);
     } else {
       return false;
     }
@@ -203,7 +224,7 @@ bool parse(int argc, char** argv, Options& opt) {
          opt.loss >= 0 && opt.loss <= 1 && opt.outage >= 0 && opt.outage <= 1 &&
          opt.outage_dur > 0 && opt.retries >= 1 && opt.timeout_s >= 0 &&
          opt.backoff_s > 0 && opt.shards >= 0 && opt.server_threads >= 0 &&
-         opt.queue_depth >= 0;
+         opt.queue_depth >= 0 && opt.chunk_size >= 0;
 }
 
 }  // namespace
@@ -219,6 +240,11 @@ int main(int argc, char** argv) {
   if (opt.queue_depth > 0 && opt.server_threads == 0) {
     std::cerr << "bees_sim: --queue-depth requires --server-threads (the "
                  "admission bound gates the cluster worker pool)\n";
+    return 2;
+  }
+  if (opt.chunk_size > 0 && opt.store_dir.empty()) {
+    std::cerr << "bees_sim: --chunk-size requires --store-dir (a chunking "
+                 "interval without a chunk store has nothing to apply to)\n";
     return 2;
   }
 
@@ -243,6 +269,12 @@ int main(int argc, char** argv) {
   config.retry.max_attempts = opt.retries;
   config.retry.backoff_base_s = opt.backoff_s;
   if (opt.timeout_s > 0) config.retry.timeout_s = opt.timeout_s;
+  if (!opt.store_dir.empty()) {
+    config.chunking.enabled = true;
+    if (opt.chunk_size > 0) {
+      config.chunking.chunk_size = static_cast<std::uint32_t>(opt.chunk_size);
+    }
+  }
 
   std::unique_ptr<core::UploadScheme> scheme;
   std::shared_ptr<feat::PcaModel> pca;
@@ -263,6 +295,7 @@ int main(int argc, char** argv) {
   }
 
   cloud::Server server;
+  std::unique_ptr<store::SegmentStore> chunk_store;  // serial-server mode
   std::unique_ptr<serve::Cluster> cluster;
   if (opt.use_cluster()) {
     serve::ClusterOptions cluster_options;
@@ -272,10 +305,20 @@ int main(int argc, char** argv) {
       cluster_options.queue_depth = static_cast<std::size_t>(opt.queue_depth);
     }
     cluster_options.data_dir = opt.data_dir;
+    if (!opt.store_dir.empty()) {
+      cluster_options.segment_store.dir = opt.store_dir;
+      cluster_options.segment_store.chunk_size = config.chunking.chunk_size;
+    }
     cluster = std::make_unique<serve::Cluster>(cluster_options);
     // Every exchange of the run now rides the cluster's admission gate and
     // worker pool instead of a direct cloud::dispatch bind.
     scheme->set_server_handler(cluster->handler());
+  } else if (!opt.store_dir.empty()) {
+    store::SegmentStoreOptions store_options;
+    store_options.dir = opt.store_dir;
+    store_options.chunk_size = config.chunking.chunk_size;
+    chunk_store = std::make_unique<store::SegmentStore>(store_options);
+    server.attach_chunk_store(chunk_store.get());
   }
   if (!opt.load_index_path.empty()) {
     const idx::FeatureIndex loaded =
