@@ -398,6 +398,7 @@ ChunkManifestAck decode_chunk_manifest_ack(
   for (std::size_t i = 0; i < n; ++i) {
     m.missing.push_back(static_cast<std::uint32_t>(r.get_varint()));
   }
+  if (!r.done()) throw util::DecodeError("chunk ack: trailing bytes");
   return m;
 }
 
@@ -412,6 +413,7 @@ ChunkDataRequest decode_chunk_data(const std::vector<std::uint8_t>& payload) {
     throw util::DecodeError("chunk data: length disagrees with key");
   }
   m.data = r.get_bytes(len);
+  if (!r.done()) throw util::DecodeError("chunk data: trailing bytes");
   return m;
 }
 
@@ -419,6 +421,7 @@ ChunkAck decode_chunk_ack(const std::vector<std::uint8_t>& payload) {
   util::ByteReader r(payload);
   ChunkAck m;
   m.hash = r.get_u64();
+  if (!r.done()) throw util::DecodeError("chunk ack: trailing bytes");
   return m;
 }
 
@@ -429,6 +432,7 @@ ChunkCommitRequest decode_chunk_commit(
   m.manifest = store::get_manifest(r);
   const auto len = static_cast<std::size_t>(r.get_varint());
   m.inner = r.get_bytes(len);
+  if (!r.done()) throw util::DecodeError("chunk commit: trailing bytes");
   return m;
 }
 

@@ -229,19 +229,27 @@ void Shard::checkpoint_locked() {
   if (store::SegmentStore* st = options_.segment_store) {
     // Store-backed: snapshot bytes live as chunks (compressed by the store,
     // unchanged regions deduped against prior checkpoints and other
-    // shards); the file published here is just the manifest.  Pin the new
-    // generation before unpinning the old so chunks shared between the two
-    // never transit a dead state.
-    const store::Manifest manifest = st->put_payload(bytes);
+    // shards); the file published here is just the manifest.  The new
+    // generation is pinned atomically with the put and before the manifest
+    // is published — shards share this store, and a concurrent compaction
+    // (another shard's checkpoint) could otherwise reclaim the unpinned
+    // chunks and leave a published manifest referencing nothing.  The old
+    // generation is unpinned only after publish, so chunks shared between
+    // the two never transit a dead state.
+    const store::Manifest manifest = st->put_payload_pinned(bytes);
     st->flush();
     util::ByteWriter w;
     w.put_u32(kManifestFileMagic);
     w.put_u32(kShardVersion);
     store::put_manifest(w, manifest);
     const std::string tmp = manifest_path() + ".tmp";
-    write_file(tmp, w.bytes());
-    std::filesystem::rename(tmp, manifest_path());
-    st->pin(manifest.chunks);
+    try {
+      write_file(tmp, w.bytes());
+      std::filesystem::rename(tmp, manifest_path());
+    } catch (...) {
+      st->unpin(manifest.chunks);  // publish failed: old snapshot stands
+      throw;
+    }
     st->unpin(snapshot_pins_);
     snapshot_pins_ = manifest.chunks;
     // The manifest supersedes any inline snapshot left by a pre-store run.

@@ -115,10 +115,13 @@ void WriteAheadLog::append(const WalRecord& record) {
     // Write-ahead extends to the store: the chunks must be durable before
     // the frame that references them, or a crash in between leaves a valid
     // frame pointing at nothing (replay would mistake it for a torn tail
-    // and silently drop every record after it on the next append).
-    const store::Manifest manifest = chunk_store_->put_payload(record.payload);
+    // and silently drop every record after it on the next append).  The
+    // pins are taken atomically with the put — shards share this store, and
+    // another shard's checkpoint-triggered compaction could otherwise
+    // reclaim the still-unpinned chunks between put and pin.
+    const store::Manifest manifest =
+        chunk_store_->put_payload_pinned(record.payload);
     chunk_store_->flush();
-    chunk_store_->pin(manifest.chunks);
     pinned_.insert(pinned_.end(), manifest.chunks.begin(),
                    manifest.chunks.end());
     payload = encode_wal_record_chunked(record, manifest);

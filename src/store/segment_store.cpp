@@ -1,6 +1,7 @@
 #include "store/segment_store.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <iomanip>
 #include <iterator>
@@ -77,7 +78,15 @@ void SegmentStore::scan_existing_locked() {
     const std::string name = entry.path().filename().string();
     if (name.size() == 14 && name.rfind("seg-", 0) == 0 &&
         name.substr(10) == ".bsg") {
-      ids.push_back(std::stoull(name.substr(4, 6)));
+      const std::string id_str = name.substr(4, 6);
+      // A stray file like "seg-00000a.bsg" is not ours: skip it rather
+      // than letting std::stoull throw std::invalid_argument (callers only
+      // expect util::DecodeError from this constructor).
+      if (std::all_of(id_str.begin(), id_str.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+          })) {
+        ids.push_back(std::stoull(id_str));
+      }
     }
   }
   std::sort(ids.begin(), ids.end());
@@ -233,7 +242,8 @@ ChunkKey SegmentStore::put(std::span<const std::uint8_t> raw) {
 }
 
 std::size_t SegmentStore::put_manifest_payload(
-    const Manifest& manifest, std::span<const std::uint8_t> payload) {
+    const Manifest& manifest, std::span<const std::uint8_t> payload,
+    bool pin_chunks) {
   // Find missing chunks under the lock, compress them outside it (in
   // parallel when a pool is attached), then append in manifest order.
   std::vector<std::size_t> missing;
@@ -248,7 +258,6 @@ std::size_t SegmentStore::put_manifest_payload(
       }
     }
   }
-  if (missing.empty()) return 0;
   std::vector<Prepared> prepared(missing.size());
   const auto compress_one = [&](std::size_t j) {
     prepared[j] = prepare(chunk_bytes(payload, manifest, missing[j]));
@@ -260,10 +269,24 @@ std::size_t SegmentStore::put_manifest_payload(
   }
   std::size_t written = 0;
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const Prepared& p : prepared) {
-    const bool fresh = !directory_.count(p.key);
-    append_locked(p);
-    if (fresh) ++written;
+  std::size_t j = 0;  // index into prepared/missing, both in manifest order
+  for (std::size_t i = 0; i < manifest.chunks.size(); ++i) {
+    const ChunkKey& key = manifest.chunks[i];
+    if (j < missing.size() && missing[j] == i) {
+      const bool fresh = !directory_.count(prepared[j].key);
+      append_locked(prepared[j]);
+      if (fresh) ++written;
+      ++j;
+    } else if (!directory_.count(key)) {
+      // Present at the first check but reclaimed by a concurrent
+      // compaction since (it was unpinned).  Re-prepare inline under the
+      // lock so the manifest never references an absent chunk on return.
+      append_locked(prepare(chunk_bytes(payload, manifest, i)));
+      ++written;
+    }
+    // Pinning inside the same critical section as the presence guarantee:
+    // once we return, no compaction can have reclaimed these chunks.
+    if (pin_chunks) pin_locked(key);
   }
   return written;
 }
@@ -276,6 +299,13 @@ Manifest SegmentStore::put_payload(std::span<const std::uint8_t> payload,
                                    std::uint32_t chunk_size) {
   Manifest manifest = build_manifest(payload, chunk_size);
   put_manifest_payload(manifest, payload);
+  return manifest;
+}
+
+Manifest SegmentStore::put_payload_pinned(
+    std::span<const std::uint8_t> payload) {
+  Manifest manifest = build_manifest(payload, options_.chunk_size);
+  put_manifest_payload(manifest, payload, /*pin_chunks=*/true);
   return manifest;
 }
 
@@ -359,6 +389,10 @@ void SegmentStore::cache_insert_locked(const ChunkKey& key,
 
 void SegmentStore::pin(const ChunkKey& key) {
   std::lock_guard<std::mutex> lock(mutex_);
+  pin_locked(key);
+}
+
+void SegmentStore::pin_locked(const ChunkKey& key) {
   const auto it = directory_.find(key);
   if (it == directory_.end()) {
     throw util::DecodeError("segment store: pin of missing chunk");
@@ -454,6 +488,11 @@ void SegmentStore::rewrite_segment_locked(std::uint64_t segment_id) {
   }
   segments_.erase(segment_id);
   if (!options_.dir.empty()) {
+    // The live chunks just rewritten above may still sit in out_'s
+    // userspace buffer; they must reach the filesystem before the only
+    // other copy is deleted, or a crash in between loses durable pinned
+    // chunks (the same write-ahead rule WAL append follows).
+    if (out_.is_open()) out_.flush();
     std::error_code ec;
     fs::remove(segment_path(segment_id), ec);
   }

@@ -82,13 +82,25 @@ class SegmentStore {
   /// the attached pool, then appended in manifest order — the resulting
   /// segment bytes are identical to serial puts.  Returns the number of
   /// chunks newly written (the rest were dedup hits).
+  ///
+  /// With `pin_chunks`, every manifest entry is pinned in the same critical
+  /// section that guarantees its presence, so a concurrent compaction can
+  /// never reclaim a chunk between the put and the pin (the TOCTOU that
+  /// plain put-then-pin has when several owners share one store).  On
+  /// return every chunk is guaranteed present and, if requested, pinned.
   std::size_t put_manifest_payload(const Manifest& manifest,
-                                   std::span<const std::uint8_t> payload);
+                                   std::span<const std::uint8_t> payload,
+                                   bool pin_chunks = false);
 
   /// Convenience: build_manifest + put_manifest_payload.
   Manifest put_payload(std::span<const std::uint8_t> payload);
   Manifest put_payload(std::span<const std::uint8_t> payload,
                        std::uint32_t chunk_size);
+
+  /// build_manifest + put_manifest_payload with pin_chunks: the returned
+  /// manifest's chunks are already pinned (atomically with their append).
+  /// The owner must unpin them when the referencing record dies.
+  Manifest put_payload_pinned(std::span<const std::uint8_t> payload);
 
   bool contains(const ChunkKey& key) const;
 
@@ -171,6 +183,8 @@ class SegmentStore {
   void scan_existing_locked();
   /// Appends one prepared chunk record to the open segment (dedup-checked).
   void append_locked(const Prepared& prepared);
+  /// pin() body; the caller holds mutex_.
+  void pin_locked(const ChunkKey& key);
   static Prepared prepare(std::span<const std::uint8_t> raw);
   std::vector<std::uint8_t> read_stored_locked(const Entry& entry);
   void cache_insert_locked(const ChunkKey& key, std::vector<std::uint8_t> raw);

@@ -60,6 +60,34 @@ TEST(Protocol, ImageUploadRoundTrips) {
   EXPECT_EQ(back.features.size(), upload.features.size());
 }
 
+TEST(Protocol, ChunkPlaneDecodersRejectTrailingBytes) {
+  const std::vector<std::uint8_t> payload(100, 0x5A);
+  const store::Manifest manifest = store::build_manifest(payload, 64);
+
+  net::ChunkDataRequest data;
+  data.key = manifest.chunks[0];
+  data.data.assign(payload.begin(), payload.begin() + 64);
+  net::ChunkCommitRequest commit;
+  commit.manifest = manifest;
+  commit.inner = {0x01, 0x02};
+
+  // Every chunk-plane message must reject trailing garbage, like the
+  // manifest codec does.
+  const auto check = [](std::vector<std::uint8_t> encoded, auto decoder) {
+    auto env = net::open_envelope(encoded);
+    EXPECT_NO_THROW(decoder(env.payload));
+    env.payload.push_back(0xFF);
+    EXPECT_THROW(decoder(env.payload), util::DecodeError);
+  };
+  check(net::encode(net::ChunkManifestRequest{manifest}),
+        net::decode_chunk_manifest);
+  check(net::encode(net::ChunkManifestAck{{0, 1}}),
+        net::decode_chunk_manifest_ack);
+  check(net::encode(data), net::decode_chunk_data);
+  check(net::encode(net::ChunkAck{data.key.hash}), net::decode_chunk_ack);
+  check(net::encode(commit), net::decode_chunk_commit);
+}
+
 TEST(Protocol, MalformedEnvelopeThrows) {
   EXPECT_THROW(net::open_envelope({}), util::DecodeError);
   EXPECT_THROW(net::open_envelope({0x00, 0x01}), util::DecodeError);

@@ -174,6 +174,75 @@ TEST_F(SegmentStoreTest, PinnedChunksSurviveCompactionAndReopen) {
   EXPECT_EQ(reopened.get_payload(m), payload);
 }
 
+TEST_F(SegmentStoreTest, PutPayloadPinnedIsPinnedOnReturn) {
+  SegmentStoreOptions options;
+  options.dir = dir_;
+  options.chunk_size = 512;
+  options.segment_target_bytes = 1;  // one chunk per segment, sealed fast
+  SegmentStore store(options);
+  const auto payload = random_payload(2048, 70);
+  const Manifest m = store.put_payload_pinned(payload);
+  store.put(random_payload(100, 71));  // seals the payload's segments
+  // Pins were taken atomically with the put: an aggressive compaction pass
+  // (the race a concurrent owner's maybe_compact would run) reclaims
+  // nothing of the payload.
+  store.compact(0.0);
+  EXPECT_EQ(store.get_payload(m), payload);
+  // Releasing the pins makes the chunks reclaimable as usual.
+  store.unpin(m.chunks);
+  EXPECT_GT(store.compact(0.0), 0u);
+  EXPECT_THROW(store.get_payload(m), util::DecodeError);
+}
+
+TEST_F(SegmentStoreTest, PutPayloadPinnedRestoresChunksReclaimedMidPut) {
+  SegmentStoreOptions options;
+  options.dir = dir_;
+  options.chunk_size = 512;
+  options.segment_target_bytes = 1;
+  SegmentStore store(options);
+  const auto payload = random_payload(2048, 72);
+  // First put leaves the chunks unpinned; sealing + compacting reclaims
+  // them all — the state a concurrent compaction would produce between
+  // put_manifest_payload's presence check and its append pass.
+  const Manifest first = store.put_payload(payload);
+  store.put(random_payload(100, 73));
+  store.compact(0.0);
+  EXPECT_THROW(store.get_payload(first), util::DecodeError);
+  // put_payload_pinned must land every chunk again and pin it.
+  const Manifest m = store.put_payload_pinned(payload);
+  EXPECT_EQ(m, first);
+  store.put(random_payload(100, 74));
+  store.compact(0.0);
+  EXPECT_EQ(store.get_payload(m), payload);
+}
+
+TEST_F(SegmentStoreTest, CompactionFlushesMovedChunksBeforeDeletingVictim) {
+  SegmentStoreOptions options;
+  options.dir = dir_;
+  options.segment_target_bytes = 4096;
+  SegmentStore store(options);
+  const auto keep_bytes = random_payload(900, 80);
+  const ChunkKey keep = store.put(keep_bytes);
+  store.put(random_payload(900, 81));   // dead filler, same segment
+  store.put(random_payload(4096, 82));  // pushes the segment past target
+  store.put(random_payload(100, 83));   // rolls over, sealing the victim
+  store.pin(keep);
+  EXPECT_GT(store.compact(0.5), 0u);  // moves `keep` into the open segment
+
+  // Snapshot the directory as a crash right after compaction would leave
+  // it — no flush() call, the writing store still open.  The moved chunk
+  // must already be on disk: its only other copy was just deleted.
+  const std::string crash_dir = dir_ + "_crash";
+  std::filesystem::remove_all(crash_dir);
+  std::filesystem::copy(dir_, crash_dir);
+  SegmentStoreOptions reopen_options = options;
+  reopen_options.dir = crash_dir;
+  SegmentStore reopened(reopen_options);
+  EXPECT_TRUE(reopened.contains(keep));
+  EXPECT_EQ(reopened.get(keep), keep_bytes);
+  std::filesystem::remove_all(crash_dir);
+}
+
 TEST_F(SegmentStoreTest, MaybeCompactEnforcesDiskCeiling) {
   SegmentStoreOptions options;
   options.dir = dir_;

@@ -210,6 +210,24 @@ TEST_F(StoreCorruptionTest, UnknownSegmentVersionRejectedOnOpen) {
   EXPECT_THROW(SegmentStore reopened(options), util::DecodeError);
 }
 
+TEST_F(StoreCorruptionTest, StraySegmentLookalikeFileIsSkippedOnOpen) {
+  SegmentStoreOptions options;
+  options.dir = dir_;
+  ChunkKey key;
+  {
+    SegmentStore store(options);
+    key = store.put(random_payload(300, 11));
+    store.flush();
+  }
+  // A 14-char name shaped like a segment but with a non-digit id must not
+  // reach std::stoull (which would throw std::invalid_argument, an
+  // exception no caller expects from the constructor).
+  std::ofstream(fs::path(dir_) / "seg-00000a.bsg", std::ios::binary)
+      << "not a segment";
+  SegmentStore reopened(options);
+  EXPECT_EQ(reopened.get(key), random_payload(300, 11));
+}
+
 TEST_F(StoreCorruptionTest, GarbageRecordHeaderTreatedAsTornTail) {
   SegmentStoreOptions options;
   options.dir = dir_;
