@@ -5,7 +5,12 @@
 // deterministic virtual report supplies the SLO columns (p99 latency,
 // shed rate) for each row.
 //
-// The scaling bar (4/4 must reach >= 2x the 1/1 real rate) is only
+// Each shape sets batch_window = threads, so the scaled run also
+// exercises the coalesced (batched rescore) query plane; the virtual
+// report columns are identical either way — only the real wall clock and
+// the report's batching stats move.
+//
+// The scaling bar (4/4 must reach >= 3x the 1/1 real rate) is only
 // *enforced* on machines with at least 4 hardware threads; on fewer cores
 // the fan-out cannot physically scale and the ratio is informational.
 // When BEES_BENCH_JSON names a directory the rows are written to
@@ -62,6 +67,7 @@ Row run_shape(const Shape& shape, const fleet::FleetOptions& base) {
   fleet::FleetOptions o = base;
   o.shards = shape.shards;
   o.server_threads = shape.threads;
+  o.batch_window = shape.threads;
   // Barrier query fan-out matches the cluster's parallelism; phase-A
   // device work rides the same pool.  The report stays deterministic for
   // any worker count — only the wall clock moves.
@@ -135,16 +141,16 @@ int main_impl(bool smoke) {
   const double scaling = rows.back().speedup;
   if (cores >= 4) {
     std::cout << "\nScaling bar: 4 shards / 4 threads reached "
-              << util::Table::num(scaling, 2) << "x (required >= 2x)\n";
-    if (scaling < 2.0) {
-      std::cerr << "FAIL: 4/4 fleet run did not reach 2x the 1/1 rate\n";
+              << util::Table::num(scaling, 2) << "x (required >= 3x)\n";
+    if (scaling < 3.0) {
+      std::cerr << "FAIL: 4/4 fleet run did not reach 3x the 1/1 rate\n";
       return 1;
     }
   } else {
     std::cout << "\nScaling bar: informational only on " << cores
               << " hardware thread(s) — 4/4 reached "
               << util::Table::num(scaling, 2)
-              << "x (>= 2x is required on machines with 4+ cores)\n";
+              << "x (>= 3x is required on machines with 4+ cores)\n";
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "features/match_kernel.hpp"
 
 #include <bit>
+#include <cstring>
 #include <limits>
 
 #include "obs/metrics.hpp"
@@ -11,12 +12,31 @@ namespace {
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 }  // namespace
 
+// The candidate-major pack is a straight memcpy of the descriptor vector,
+// which requires the wire layout below; a Descriptor256 is exactly one
+// kLaneAlignment-sized block of kLaneBlock words.
+static_assert(sizeof(Descriptor256) ==
+              detail::kLaneBlock * sizeof(std::uint64_t));
+static_assert(sizeof(Descriptor256) == detail::kLaneAlignment);
+
 void PackedDescriptors::assign(const std::vector<Descriptor256>& descriptors) {
   size_ = descriptors.size();
-  lanes_.resize(4 * size_);
+  padded_ = (size_ + detail::kLaneBlock - 1) / detail::kLaneBlock *
+            detail::kLaneBlock;
+  lanes_.resize(4 * padded_);
   for (std::size_t l = 0; l < 4; ++l) {
-    std::uint64_t* out = lanes_.data() + l * size_;
+    std::uint64_t* out = lanes_.data() + l * padded_;
     for (std::size_t j = 0; j < size_; ++j) out[j] = descriptors[j].bits[l];
+    // Zero-fill the pad so every buffer word is defined memory; sanitizers
+    // and determinism both prefer zeros.
+    for (std::size_t j = size_; j < padded_; ++j) out[j] = 0;
+  }
+  // Candidate-major copy for the vector kernels: each descriptor's four
+  // lanes contiguous, i.e. the Descriptor256 memory layout itself.
+  words_.resize(detail::kLaneBlock * size_);
+  if (size_ > 0) {
+    std::memcpy(words_.data(), descriptors.data(),
+                size_ * sizeof(Descriptor256));
   }
 }
 
@@ -40,9 +60,20 @@ inline int reduce_bytes(std::uint64_t counts) noexcept {
 }  // namespace
 
 struct MatchKernelImpl {
-  /// The scan loop, templated on the cross-check flag so the single-pass
-  /// column bookkeeping compiles out of the forward-only path entirely.
-  /// Requires a and b non-empty.  Returns the number of lanes pruned.
+  /// Shared per-candidate decision step: replays the two early-exit
+  /// checkpoints and the best/second bookkeeping on three partial sums.
+  /// Both the scalar fused loop and the SIMD decision scan funnel through
+  /// this, which is what makes the paths bit-identical by construction —
+  /// they differ only in how the partials are produced.
+  struct RowState {
+    int best;
+    int second;
+    std::size_t best_j;
+  };
+
+  /// The scalar SWAR scan loop, templated on the cross-check flag so the
+  /// single-pass column bookkeeping compiles out of the forward-only path
+  /// entirely.  Requires a and b non-empty.  Returns lanes pruned.
   template <bool Cross>
   static std::uint64_t scan(const std::vector<Descriptor256>& a,
                             const BinaryMatchParams& params,
@@ -114,20 +145,113 @@ struct MatchKernelImpl {
     return lanes_pruned;
   }
 
+  /// The vector scan loop: a lane kernel fills the row's per-lane sums for
+  /// every candidate branch-free, then a scalar decision scan replays the
+  /// checkpoint logic on the buffered sums — same winners, same tie order,
+  /// same counters as scan<Cross>.
+  ///
+  /// The replay exploits an invariant of the checkpoints: a pair the
+  /// scalar loop prunes (partial >= second, and >= col_second when
+  /// cross-checking) can never update best/second or the column stats,
+  /// because the full distance only grows from the partial that already
+  /// reached the bound.  So the replay computes the full distance
+  /// unconditionally (the sums are all buffered anyway), applies the
+  /// updates behind the same `d < bound` guards — no-ops exactly where the
+  /// scalar loop skipped — and tracks the prune counters as branchless
+  /// flag arithmetic.  That removes the data-dependent prune branches the
+  /// predictor cannot learn, which would otherwise eat the vector win.
+  /// The modeled prune counters describe the semantic early exits, not the
+  /// vector work actually done (which feat.match.simd_lanes reports).
+  template <bool Cross>
+  static std::uint64_t scan_simd(const std::vector<Descriptor256>& a,
+                                 const BinaryMatchParams& params,
+                                 MatchWorkspace& ws,
+                                 detail::LaneRowFn lane_rows) {
+    constexpr int kIntMax = std::numeric_limits<int>::max();
+    const std::size_t na = a.size();
+    const std::size_t nb = ws.packed_b_.size();
+    const std::uint64_t* words = ws.packed_b_.words();
+    // Candidates are processed in tiles so the sums the vector kernel just
+    // wrote are still in L1 when the decision scan reads them back (at a
+    // few hundred candidates a full row of sums starts evicting itself).
+    constexpr std::size_t kTile = 128;
+    const std::size_t tile = nb < kTile ? nb : kTile;
+    ws.row_sums_.resize(detail::kLaneBlock * tile);
+    std::uint64_t* sums = ws.row_sums_.data();
+    int* col_best = ws.col_best_.data();
+    int* col_second = ws.col_second_.data();
+    std::size_t* col_best_i = ws.col_best_i_.data();
+
+    std::uint64_t lanes_pruned = 0;
+    for (std::size_t i = 0; i < na; ++i) {
+      int best = kIntMax;
+      int second = kIntMax;
+      std::size_t best_j = kNone;
+      for (std::size_t t0 = 0; t0 < nb; t0 += tile) {
+      const std::size_t tn = nb - t0 < tile ? nb - t0 : tile;
+      lane_rows(a[i].bits.data(), words + detail::kLaneBlock * t0, tn, sums);
+      for (std::size_t jt = 0; jt < tn; ++jt) {
+        const std::size_t j = t0 + jt;
+        const std::uint64_t* s = sums + detail::kLaneBlock * jt;
+        const int d0 = static_cast<int>(s[0]);
+        const int d012 = d0 + static_cast<int>(s[1] + s[2]);
+        const int d = d012 + static_cast<int>(s[3]);
+        // Exact replay of the scalar prune decisions, as branchless flag
+        // arithmetic (bitwise &, so no unpredictable short-circuit jumps).
+        const unsigned p0 =
+            static_cast<unsigned>(d0 >= second) &
+            (Cross ? static_cast<unsigned>(d0 >= col_second[j]) : 1u);
+        const unsigned p012 =
+            (p0 ^ 1u) & static_cast<unsigned>(d012 >= second) &
+            (Cross ? static_cast<unsigned>(d012 >= col_second[j]) : 1u);
+        lanes_pruned += 3u * p0 + p012;
+        // Updates guarded exactly as in the fused loop; where the scalar
+        // loop pruned, these guards are provably false.
+        if (d < second) {
+          if (d < best) {
+            second = best;
+            best = d;
+            best_j = j;
+          } else {
+            second = d;
+          }
+        }
+        if (Cross) {
+          if (d < col_second[j]) {
+            if (d < col_best[j]) {
+              col_second[j] = col_best[j];
+              col_best[j] = d;
+              col_best_i[j] = i;
+            } else {
+              col_second[j] = d;
+            }
+          }
+        }
+      }
+      }
+      if (best <= params.max_distance &&
+          (second == kIntMax ||
+           best < params.ratio * static_cast<double>(second))) {
+        ws.fwd_[i] = best_j;
+        ws.fwd_dist_[i] = best;
+      }
+    }
+    return lanes_pruned;
+  }
+
   /// Fills workspace.fwd_/fwd_dist_ with the gated forward matches of every
   /// a-descriptor and (when `cross_check`) workspace.col_* with the reverse
   /// best/second/winner per b-descriptor; charges the modeled comparison
-  /// count and the lane counters.  Requires a and b non-empty.
-  static void run(const std::vector<Descriptor256>& a,
-                  const std::vector<Descriptor256>& b,
-                  const BinaryMatchParams& params, std::uint64_t* ops,
-                  MatchWorkspace& ws) {
+  /// count and the lane counters.  Requires a non-empty and the workspace's
+  /// packed_b_ already assigned (non-empty).
+  static void run_packed(const std::vector<Descriptor256>& a,
+                         const BinaryMatchParams& params, std::uint64_t* ops,
+                         MatchWorkspace& ws) {
     constexpr int kIntMax = std::numeric_limits<int>::max();
     const std::size_t na = a.size();
-    const std::size_t nb = b.size();
+    const std::size_t nb = ws.packed_b_.size();
     const bool cross = params.cross_check;
 
-    ws.packed_b_.assign(b);
     ws.fwd_.assign(na, kNone);
     ws.fwd_dist_.assign(na, 0);
     if (cross) {
@@ -136,8 +260,19 @@ struct MatchKernelImpl {
       ws.col_best_i_.assign(nb, kNone);
     }
 
-    const std::uint64_t lanes_pruned =
-        cross ? scan<true>(a, params, ws) : scan<false>(a, params, ws);
+    const detail::LaneRowFn lane_rows = detail::active_lane_rows();
+    std::uint64_t lanes_pruned;
+    if (lane_rows != nullptr) {
+      lanes_pruned = cross ? scan_simd<true>(a, params, ws, lane_rows)
+                           : scan_simd<false>(a, params, ws, lane_rows);
+      // Vector lane words actually computed (4 lanes x candidates per
+      // query row): the real-work counterpart of the modeled
+      // examined/pruned split below.
+      obs::count("feat.match.simd_lanes", static_cast<double>(4 * nb * na));
+    } else {
+      lanes_pruned = cross ? scan<true>(a, params, ws)
+                           : scan<false>(a, params, ws);
+    }
 
     // Modeled comparisons, exactly as the naive matcher counts them: one
     // per (a, b) descriptor pair per direction.  The energy model consumes
@@ -164,19 +299,34 @@ struct MatchKernelImpl {
     return kNone;
   }
 
+  /// Runs the scan against the already-packed candidate set and emits the
+  /// surviving matches.  Requires a non-empty, packed_b_ non-empty.
   template <typename Emit>
-  static void matches(const std::vector<Descriptor256>& a,
-                      const std::vector<Descriptor256>& b,
-                      const BinaryMatchParams& params, std::uint64_t* ops,
-                      MatchWorkspace& ws, Emit&& emit) {
-    if (a.empty() || b.empty()) return;
-    run(a, b, params, ops, ws);
+  static void matches_packed(const std::vector<Descriptor256>& a,
+                             const BinaryMatchParams& params,
+                             std::uint64_t* ops, MatchWorkspace& ws,
+                             Emit&& emit) {
+    run_packed(a, params, ops, ws);
     for (std::size_t i = 0; i < a.size(); ++i) {
       const std::size_t j = ws.fwd_[i];
       if (j == kNone) continue;
       if (params.cross_check && reverse_winner(ws, j, params) != i) continue;
       emit(i, j, ws.fwd_dist_[i]);
     }
+  }
+
+  static void pack(const std::vector<Descriptor256>& b, MatchWorkspace& ws) {
+    ws.packed_b_.assign(b);
+  }
+
+  template <typename Emit>
+  static void matches(const std::vector<Descriptor256>& a,
+                      const std::vector<Descriptor256>& b,
+                      const BinaryMatchParams& params, std::uint64_t* ops,
+                      MatchWorkspace& ws, Emit&& emit) {
+    if (a.empty() || b.empty()) return;
+    pack(b, ws);
+    matches_packed(a, params, ops, ws, static_cast<Emit&&>(emit));
   }
 };
 
@@ -204,6 +354,27 @@ std::size_t match_binary_count(const std::vector<Descriptor256>& a,
                              ++count;
                            });
   return count;
+}
+
+void match_binary_count_batch(
+    const std::vector<const std::vector<Descriptor256>*>& batch,
+    const std::vector<Descriptor256>& b, const BinaryMatchParams& params,
+    std::size_t* counts, std::uint64_t* ops, MatchWorkspace& workspace) {
+  const std::size_t nq = batch.size();
+  for (std::size_t k = 0; k < nq; ++k) counts[k] = 0;
+  if (nq == 0 || b.empty()) return;
+  MatchKernelImpl::pack(b, workspace);
+  for (std::size_t k = 0; k < nq; ++k) {
+    const std::vector<Descriptor256>& a = *batch[k];
+    if (a.empty()) continue;  // Same no-op (no ops charged) as single-query.
+    std::size_t count = 0;
+    MatchKernelImpl::matches_packed(a, params, ops ? ops + k : nullptr,
+                                    workspace,
+                                    [&count](std::size_t, std::size_t, int) {
+                                      ++count;
+                                    });
+    counts[k] = count;
+  }
 }
 
 }  // namespace bees::feat

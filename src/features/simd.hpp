@@ -1,0 +1,44 @@
+// Runtime ISA dispatch for the descriptor-matching kernel.  The scalar SWAR
+// path is always built and always correct; explicit AVX2 (x86) and NEON
+// (ARM) lane kernels are compiled when the toolchain supports them and
+// selected once per process after a CPU-feature probe.  Every path is
+// bit-exact with the others — same matches, distances, modeled `ops`, and
+// `feat.match.lanes_{examined,pruned}` counters — so dispatch is purely a
+// throughput decision (see DESIGN.md §13 for the equivalence argument).
+//
+// Overrides, strongest first:
+//  * force_simd_isa(isa) — programmatic pin, used by the differential
+//    property tests and the ISA-dispatch bench smoke.
+//  * BEES_FORCE_SCALAR environment variable (any value but "0") — forces
+//    the scalar SWAR kernel, the knob differential harnesses use to diff a
+//    production binary against its own fallback.
+//  * CPU probe: AVX2 when the CPU reports it, NEON on ARM builds, scalar
+//    otherwise.
+#pragma once
+
+namespace bees::feat {
+
+enum class SimdIsa {
+  kScalar = 0,  ///< Portable SWAR popcount (always available).
+  kAvx2 = 1,    ///< 4 candidates per 256-bit vector, pshufb popcount.
+  kNeon = 2,    ///< 2 candidates per 128-bit vector, vcnt popcount.
+};
+
+/// The ISA the kernel will actually run: the forced override if one is
+/// set, else scalar under BEES_FORCE_SCALAR, else the best ISA this CPU
+/// and build support.  Cheap (one relaxed atomic load after first call).
+SimdIsa active_simd_isa();
+
+/// The best ISA the probe found, ignoring overrides.
+SimdIsa detected_simd_isa();
+
+/// Pins the active ISA for this process (tests / bench smoke).  Pinning an
+/// ISA the build or CPU does not support falls back to scalar.  Pass
+/// reset=true via clear_forced_simd_isa() to return to the probe.
+void force_simd_isa(SimdIsa isa);
+void clear_forced_simd_isa();
+
+/// Stable lowercase name: "scalar", "avx2", "neon".
+const char* simd_isa_name(SimdIsa isa);
+
+}  // namespace bees::feat

@@ -3,6 +3,9 @@
 // intersection size is the number of accepted descriptor correspondences.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "features/keypoint.hpp"
 #include "features/matching.hpp"
 
@@ -22,6 +25,16 @@ double jaccard_similarity(const BinaryFeatures& a, const BinaryFeatures& b,
 double jaccard_similarity(const BinaryFeatures& a, const BinaryFeatures& b,
                           const BinaryMatchParams& params, std::uint64_t* ops,
                           MatchWorkspace& workspace);
+
+/// Batched overload behind the multi-query rescore plane: scores every
+/// query in `queries` against the same candidate `b`, packing `b` once.
+/// sims[k] and (when non-null) ops[k] receive exactly what the workspace
+/// overload above would produce for (*queries[k], b); `sims` and `ops`
+/// must hold queries.size() slots, and ops slots are accumulated into.
+void jaccard_similarity_batch(const std::vector<const BinaryFeatures*>& queries,
+                              const BinaryFeatures& b,
+                              const BinaryMatchParams& params, double* sims,
+                              std::uint64_t* ops, MatchWorkspace& workspace);
 
 /// Jaccard similarity of two float feature sets (SIFT / PCA-SIFT).
 double jaccard_similarity(const FloatFeatures& a, const FloatFeatures& b,

@@ -50,6 +50,7 @@ std::string ConfigEcho::to_json() const {
          ", \"shards\": " + std::to_string(shards) +
          ", \"server_threads\": " + std::to_string(server_threads) +
          ", \"queue_depth\": " + json_u64(queue_depth) +
+         ", \"batch_window\": " + std::to_string(batch_window) +
          ", \"bitrate_kbps\": " + json_number(bitrate_kbps) +
          ", \"loss\": " + json_number(loss) +
          ", \"adaptive\": " + json_bool(adaptive) +
@@ -89,6 +90,13 @@ std::string PrecisionInputs::to_json() const {
          ", \"redundancy_precision\": " + json_number(precision()) + "}";
 }
 
+std::string BatchStats::to_json() const {
+  return "{\"batches\": " + json_u64(batches) +
+         ", \"batch_size_p50\": " + json_number(batch_size_p50) +
+         ", \"batch_size_p99\": " + json_number(batch_size_p99) +
+         ", \"coalesced_rps\": " + json_number(coalesced_rps) + "}";
+}
+
 std::string SloVerdict::to_json() const {
   return "{\"p99_target_s\": " + json_number(p99_target_s) +
          ", \"p99_s\": " + json_number(p99_s) +
@@ -118,6 +126,7 @@ std::string FleetReport::to_json() const {
          ", \"mean_battery_fraction\": " +
          json_number(mean_battery_fraction) + "},\n";
   out += "  \"precision_inputs\": " + precision.to_json() + ",\n";
+  out += "  \"batching\": " + batching.to_json() + ",\n";
   out += "  \"slo\": " + slo.to_json() + "\n";
   out += "}\n";
   return out;

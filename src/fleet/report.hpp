@@ -45,6 +45,7 @@ struct ConfigEcho {
   int shards = 0;
   int server_threads = 0;
   std::size_t queue_depth = 0;
+  int batch_window = 1;
   double bitrate_kbps = 0.0;
   double loss = 0.0;
   bool adaptive = true;
@@ -99,6 +100,18 @@ struct PrecisionInputs {
   std::string to_json() const;
 };
 
+/// Query-coalescing stats: admitted query runs grouped into batches of at
+/// most `batch_window` requests in virtual arrival order — deterministic
+/// for any worker count, like everything else in the report.
+struct BatchStats {
+  std::uint64_t batches = 0;      ///< Coalesced fan-outs issued.
+  double batch_size_p50 = 0.0;    ///< Nearest-rank quantiles of batch size.
+  double batch_size_p99 = 0.0;
+  double coalesced_rps = 0.0;     ///< batches / duration_s.
+
+  std::string to_json() const;
+};
+
 /// SLO verdict: the run's p99 latency and shed rate against the targets.
 struct SloVerdict {
   double p99_target_s = 0.0;     ///< <= 0 disables the latency check.
@@ -121,6 +134,7 @@ struct FleetReport {
   energy::EnergyBreakdown energy;
   double mean_battery_fraction = 0.0;
   PrecisionInputs precision;
+  BatchStats batching;
   SloVerdict slo;
 
   /// The machine-readable run report.  Fixed key order, shortest

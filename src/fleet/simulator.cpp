@@ -42,6 +42,9 @@ void validate(const FleetOptions& o) {
     throw std::invalid_argument("fleet: server_threads < 1");
   }
   if (o.queue_depth < 1) throw std::invalid_argument("fleet: queue_depth < 1");
+  if (o.batch_window < 1) {
+    throw std::invalid_argument("fleet: batch_window < 1");
+  }
   if (o.bitrate_kbps <= 0.0) {
     throw std::invalid_argument("fleet: bitrate <= 0");
   }
@@ -141,6 +144,10 @@ FleetResult run_fleet(const FleetOptions& o) {
   PrecisionInputs prec;
   double serve_wall = 0.0;
   std::size_t real_handles = 0;
+  /// Query-batch sizes actually issued, in virtual arrival order — a pure
+  /// function of the admitted timeline, so the batching stats are as
+  /// deterministic as everything else in the report.
+  std::vector<std::size_t> batch_sizes;
 
   const auto schedule_delivery = [&](int device, Reply reply,
                                      double completion_s, std::uint64_t j) {
@@ -249,12 +256,17 @@ FleetResult run_fleet(const FleetOptions& o) {
     }
 
     // Real execution of admitted requests, in virtual arrival order:
-    // contiguous runs of read-only queries fan out across the pool,
+    // contiguous runs of read-only queries are grouped into coalesced
+    // batches of at most batch_window and fan out across the pool (each
+    // batch shares one query_binary_batch fan-out inside the cluster),
     // uploads apply serially, so index state evolves exactly as the
-    // virtual timeline dictates.
+    // virtual timeline dictates.  Grouping is index arithmetic over the
+    // admitted order — deterministic for every worker count — and
+    // handle_coalesced replies are byte-identical to per-request handle().
     std::vector<std::vector<std::uint8_t>> replies(admitted.size());
     {
       const auto serve_start = Clock::now();
+      const auto window = static_cast<std::size_t>(o.batch_window);
       std::size_t i = 0;
       while (i < admitted.size()) {
         if (pending[admitted[i]].kind == OpKind::kUpload) {
@@ -267,9 +279,26 @@ FleetResult run_fleet(const FleetOptions& o) {
                pending[admitted[run_end]].kind == OpKind::kQuery) {
           ++run_end;
         }
-        pool.parallel_for(run_end - i, [&](std::size_t r) {
-          replies[i + r] = cluster.handle(pending[admitted[i + r]].request);
+        const std::size_t run_len = run_end - i;
+        const std::size_t n_groups = (run_len + window - 1) / window;
+        pool.parallel_for(n_groups, [&](std::size_t g) {
+          const std::size_t gb = i + g * window;
+          const std::size_t ge = std::min(gb + window, run_end);
+          std::vector<std::vector<std::uint8_t>> group;
+          group.reserve(ge - gb);
+          for (std::size_t r = gb; r < ge; ++r) {
+            group.push_back(pending[admitted[r]].request);
+          }
+          std::vector<std::vector<std::uint8_t>> group_replies =
+              cluster.handle_coalesced(group);
+          for (std::size_t r = gb; r < ge; ++r) {
+            replies[r] = std::move(group_replies[r - gb]);
+          }
         });
+        for (std::size_t g = 0; g < n_groups; ++g) {
+          const std::size_t gb = i + g * window;
+          batch_sizes.push_back(std::min(gb + window, run_end) - gb);
+        }
         i = run_end;
       }
       serve_wall += seconds_since(serve_start);
@@ -370,6 +399,23 @@ FleetResult run_fleet(const FleetOptions& o) {
   report.totals = totals;
   report.precision = prec;
 
+  BatchStats& batching = report.batching;
+  batching.batches = batch_sizes.size();
+  if (!batch_sizes.empty()) {
+    std::vector<std::size_t> sorted = batch_sizes;
+    std::sort(sorted.begin(), sorted.end());
+    const auto nearest_rank = [&](double q) {
+      std::size_t rank = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(sorted.size())));
+      if (rank == 0) rank = 1;
+      return static_cast<double>(sorted[rank - 1]);
+    };
+    batching.batch_size_p50 = nearest_rank(0.50);
+    batching.batch_size_p99 = nearest_rank(0.99);
+    batching.coalesced_rps =
+        static_cast<double>(batching.batches) / o.duration_s;
+  }
+
   ConfigEcho& echo = report.config;
   echo.seed = o.seed;
   echo.devices = o.devices;
@@ -385,6 +431,7 @@ FleetResult run_fleet(const FleetOptions& o) {
   echo.shards = o.shards;
   echo.server_threads = o.server_threads;
   echo.queue_depth = o.queue_depth;
+  echo.batch_window = o.batch_window;
   echo.bitrate_kbps = o.bitrate_kbps;
   echo.loss = o.loss;
   echo.adaptive = o.adaptive;

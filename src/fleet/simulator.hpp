@@ -71,6 +71,14 @@ struct FleetOptions {
   int shards = 1;
   int server_threads = 1;     ///< Virtual servers; real cluster threads.
   std::size_t queue_depth = 64;  ///< Admission bound (virtual gate).
+  /// Coalescing window: admitted query runs are grouped into batches of at
+  /// most this many requests *in virtual arrival order* and served through
+  /// Cluster::handle_coalesced, so each batch shares one fan-out.  The
+  /// grouping is deterministic (a pure function of the virtual timeline,
+  /// never of worker scheduling) and replies are byte-identical to
+  /// batch_window = 1, so only the report's `batching` stats and config
+  /// echo differ.
+  int batch_window = 1;
   /// Virtual service time: base + per_image * images covered.
   double service_base_s = 0.02;
   double service_per_image_s = 0.02;

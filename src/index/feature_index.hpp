@@ -100,6 +100,20 @@ class FeatureIndex {
                       const std::vector<ImageId>& candidates,
                       int top_k = kDefaultTopK) const;
 
+  /// Batched phase 2 — the multi-query rescore plane.  Rescoring work is
+  /// grouped by stored image, so each distinct candidate's descriptors are
+  /// packed once and streamed against every query that shortlisted it
+  /// (query-major blocking inside the match kernel).  results[q] is
+  /// byte-identical to rescore(*queries[q], candidates[q], top_k[q]) for
+  /// any rescore_threads setting: per-(query, slot) similarity and ops are
+  /// pure pair functions written to disjoint slots, and per-query assembly
+  /// walks candidate order exactly like the single-query path.  `queries`,
+  /// `candidates`, and `top_k` must have equal sizes.
+  std::vector<QueryResult> rescore_batch(
+      const std::vector<const feat::BinaryFeatures*>& queries,
+      const std::vector<std::vector<ImageId>>& candidates,
+      const std::vector<int>& top_k) const;
+
   std::size_t image_count() const noexcept { return images_.size(); }
   std::size_t descriptor_count() const noexcept { return descriptor_count_; }
   /// Total serialized descriptor bytes stored (Table I space overhead).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <optional>
 #include <stdexcept>
 
 #include "cloud/rpc.hpp"
@@ -110,21 +111,167 @@ std::vector<std::uint8_t> Cluster::handle(
   obs::count("serve.requests");
   auto promise = std::make_shared<std::promise<std::vector<std::uint8_t>>>();
   std::future<std::vector<std::uint8_t>> reply = promise->get_future();
-  pool_->submit([this, request, promise] {
-    std::vector<std::uint8_t> bytes;
-    try {
-      bytes = route_request(request);
-    } catch (const std::exception& e) {
-      // Worker tasks must never leak an exception (it would poison the
-      // pool's first-error slot); everything becomes an error reply.
-      bytes = net::encode_error(e.what());
-    } catch (...) {
-      bytes = net::encode_error("internal server error");
+  if (options_.batch_window > 1) {
+    // Coalescing gate: park the request; some worker's drain task (this
+    // arrival's, or an earlier one's that grabs a bigger batch) serves it
+    // through handle_coalesced.  One drain task per arrival means no job
+    // can be stranded; a drain finding an emptied queue just returns.
+    {
+      std::lock_guard<std::mutex> lock(batch_mutex_);
+      batch_queue_.push_back({request, promise});
     }
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
-    promise->set_value(std::move(bytes));
-  });
+    pool_->submit([this] { drain_batch_queue(); });
+  } else {
+    pool_->submit([this, request, promise] {
+      std::vector<std::uint8_t> bytes = route_request_noexcept(request);
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      promise->set_value(std::move(bytes));
+    });
+  }
   return reply.get();
+}
+
+std::vector<std::uint8_t> Cluster::route_request_noexcept(
+    const std::vector<std::uint8_t>& request) {
+  try {
+    return route_request(request);
+  } catch (const std::exception& e) {
+    // Worker tasks must never leak an exception (it would poison the
+    // pool's first-error slot); everything becomes an error reply.
+    return net::encode_error(e.what());
+  } catch (...) {
+    return net::encode_error("internal server error");
+  }
+}
+
+void Cluster::drain_batch_queue() {
+  std::vector<BatchJob> jobs;
+  {
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    const std::size_t take =
+        std::min(options_.batch_window, batch_queue_.size());
+    jobs.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      jobs.push_back(std::move(batch_queue_.front()));
+      batch_queue_.pop_front();
+    }
+  }
+  if (jobs.empty()) return;
+  obs::observe("serve.batch.size", static_cast<double>(jobs.size()));
+  std::vector<std::vector<std::uint8_t>> requests;
+  requests.reserve(jobs.size());
+  for (BatchJob& job : jobs) requests.push_back(std::move(job.request));
+  std::vector<std::vector<std::uint8_t>> replies = handle_coalesced(requests);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    jobs[i].promise->set_value(std::move(replies[i]));
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> Cluster::handle_coalesced(
+    const std::vector<std::vector<std::uint8_t>>& requests) {
+  const std::size_t n = requests.size();
+  std::vector<std::vector<std::uint8_t>> replies(n);
+
+  // Plan: decode every query envelope up front so its queries can join one
+  // batched fan-out; anything else — uploads, the chunk plane, malformed
+  // envelopes — takes the per-request dispatch below, which reproduces
+  // handle()'s replies (including its exact error strings) bit for bit.
+  struct QueryPlan {
+    bool is_batch = false;
+    net::BinaryQueryRequest single;
+    net::BatchQueryRequest batch;
+    std::size_t first_item = 0;  ///< index into `items`
+    std::size_t item_count = 0;
+  };
+  std::vector<std::optional<QueryPlan>> plans(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      const net::Envelope env = net::open_envelope(requests[i]);
+      if (env.type == net::MessageType::kBinaryQuery) {
+        QueryPlan plan;
+        plan.single = net::decode_binary_query(env.payload);
+        plans[i] = std::move(plan);
+      } else if (env.type == net::MessageType::kBatchQuery) {
+        QueryPlan plan;
+        plan.is_batch = true;
+        plan.batch = net::decode_batch_query(env.payload);
+        plans[i] = std::move(plan);
+      }
+    } catch (...) {
+      // Malformed query envelope: the per-request path below replays the
+      // decode and produces the identical error reply.
+    }
+  }
+  // Flatten after planning so the item pointers into `plans` stay stable.
+  std::vector<BinaryBatchItem> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!plans[i]) continue;
+    QueryPlan& plan = *plans[i];
+    plan.first_item = items.size();
+    if (plan.is_batch) {
+      plan.item_count = plan.batch.features.size();
+      for (std::size_t k = 0; k < plan.batch.features.size(); ++k) {
+        BinaryBatchItem item;
+        item.features = &plan.batch.features[k];
+        item.feature_bytes = plan.batch.feature_bytes[k];
+        item.options.top_k = plan.batch.top_k;
+        items.push_back(item);
+      }
+    } else {
+      plan.item_count = 1;
+      BinaryBatchItem item;
+      item.features = &plan.single.features;
+      item.feature_bytes = plan.single.feature_bytes >= 0.0
+                               ? plan.single.feature_bytes
+                               : static_cast<double>(requests[i].size());
+      item.options.top_k = plan.single.top_k;
+      items.push_back(item);
+    }
+  }
+
+  std::vector<idx::QueryResult> results;
+  bool batched = true;
+  try {
+    results = query_binary_batch(items);
+  } catch (...) {
+    // Defensive: fall every query back to the per-request path rather than
+    // leaving its reply empty.
+    batched = false;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!plans[i] || !batched) {
+      replies[i] = route_request_noexcept(requests[i]);
+      continue;
+    }
+    const QueryPlan& plan = *plans[i];
+    if (plan.is_batch) {
+      net::BatchQueryResponse reply;
+      reply.verdicts.reserve(plan.item_count);
+      for (std::size_t k = 0; k < plan.item_count; ++k) {
+        const idx::QueryResult& result = results[plan.first_item + k];
+        net::QueryResponse verdict;
+        verdict.max_similarity = result.max_similarity;
+        verdict.best_id = result.best_id;
+        if (result.best_id != idx::kInvalidImageId) {
+          verdict.thumbnail_bytes = thumbnail_bytes_of(result.best_id);
+        }
+        reply.verdicts.push_back(verdict);
+      }
+      replies[i] = net::encode(reply);
+    } else {
+      const idx::QueryResult& result = results[plan.first_item];
+      net::QueryResponse reply;
+      reply.max_similarity = result.max_similarity;
+      reply.best_id = result.best_id;
+      if (result.best_id != idx::kInvalidImageId) {
+        reply.thumbnail_bytes = thumbnail_bytes_of(result.best_id);
+      }
+      replies[i] = net::encode(reply);
+    }
+  }
+  return replies;
 }
 
 net::Transport::Handler Cluster::handler() {
@@ -306,6 +453,90 @@ idx::QueryResult Cluster::query_binary(
   obs::observe("serve.query.binary.candidates",
                static_cast<double>(out.candidates_checked));
   return out;
+}
+
+std::vector<idx::QueryResult> Cluster::query_binary_batch(
+    const std::vector<BinaryBatchItem>& items) {
+  const std::size_t nq = items.size();
+  std::vector<idx::QueryResult> results(nq);
+  if (nq == 0) return results;
+  obs::ScopedTimer timer("serve.query.binary.seconds");
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (const BinaryBatchItem& item : items) {
+      ++binary_queries_;
+      query_feature_bytes_ += item.feature_bytes;
+    }
+  }
+  obs::ScopedSpan span("fanout.binary.batch", "serve", obs::kLaneServer);
+
+  // Phase 1 runs per query — candidate scores are pure (query, image)
+  // functions, so each query's merged-and-truncated shortlist is exactly
+  // what its solo query_binary would compute — while phase-2 work is
+  // accumulated into one batched rescore per shard.
+  const std::size_t n_shards = shards_.size();
+  std::vector<std::vector<const feat::BinaryFeatures*>> shard_features(
+      n_shards);
+  std::vector<std::vector<std::vector<idx::ImageId>>> shard_locals(n_shards);
+  std::vector<std::vector<int>> shard_top_k(n_shards);
+  std::vector<std::vector<std::size_t>> shard_query(n_shards);
+  for (std::size_t q = 0; q < nq; ++q) {
+    const BinaryBatchItem& item = items[q];
+    const feat::BinaryFeatures& features = *item.features;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> merged;
+    for (const auto& shard : shards_) {
+      const auto candidates =
+          shard->binary_candidates(features, item.options.recall_target);
+      merged.insert(merged.end(), candidates.begin(), candidates.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    const std::size_t budget = idx::candidate_budget(
+        options_.binary_params, item.options.recall_target);
+    if (merged.size() > budget) merged.resize(budget);
+
+    std::vector<std::vector<idx::ImageId>> locals(n_shards);
+    {
+      std::lock_guard<std::mutex> lock(maps_mutex_);
+      for (const auto& [gid, votes] : merged) {
+        const Location& loc = binary_locations_[gid];
+        locals[static_cast<std::size_t>(loc.shard)].push_back(loc.local);
+      }
+    }
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      if (locals[s].empty()) continue;
+      shard_features[s].push_back(&features);
+      shard_locals[s].push_back(std::move(locals[s]));
+      shard_top_k[s].push_back(item.options.top_k);
+      shard_query[s].push_back(q);
+    }
+  }
+
+  // Phase 2: one batched rescore per shard; scatter the per-query parts
+  // back and finalize exactly like the single-query merge.
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    if (shard_features[s].empty()) continue;
+    const std::vector<idx::QueryResult> parts =
+        shards_[s]->rescore_binary_batch(shard_features[s], shard_locals[s],
+                                         shard_top_k[s]);
+    for (std::size_t e = 0; e < parts.size(); ++e) {
+      idx::QueryResult& out = results[shard_query[s][e]];
+      out.hits.insert(out.hits.end(), parts[e].hits.begin(),
+                      parts[e].hits.end());
+      out.candidates_checked += parts[e].candidates_checked;
+      out.ops += parts[e].ops;
+    }
+  }
+  for (std::size_t q = 0; q < nq; ++q) {
+    idx::detail::finalize_top_k(results[q], items[q].options.top_k);
+    obs::count("serve.query.binary");
+    obs::observe("serve.query.binary.candidates",
+                 static_cast<double>(results[q].candidates_checked));
+  }
+  return results;
 }
 
 idx::QueryResult Cluster::query_float(const feat::FloatFeatures& features,

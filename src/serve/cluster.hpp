@@ -22,6 +22,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +52,15 @@ struct ClusterOptions {
   /// Admission bound: requests in flight (queued + executing) before new
   /// arrivals are shed with an encoded error reply.
   std::size_t queue_depth = 256;
+  /// Admission-gate coalescing window: when > 1, admitted requests are
+  /// queued and a worker drains up to this many at once through
+  /// handle_coalesced, so queued similarity queries share one batched
+  /// fan-out (each shard packs a candidate's descriptors once per batch
+  /// instead of once per query).  Replies are byte-identical to
+  /// batch_window = 1 for every request; only latency/throughput shifts.
+  /// Batch sizes actually formed are observable as the `serve.batch.size`
+  /// histogram.
+  std::size_t batch_window = 1;
   /// Durability root (one subdirectory per shard); empty = in-memory only.
   /// When set, construction recovers from the latest snapshots + WAL tails.
   std::string data_dir;
@@ -74,6 +85,14 @@ struct ClusterOptions {
   idx::FloatFeatureIndex::Params float_params;
 };
 
+/// One query of a batched binary fan-out (Cluster::query_binary_batch).
+/// `features` is borrowed and must outlive the call.
+struct BinaryBatchItem {
+  const feat::BinaryFeatures* features = nullptr;
+  double feature_bytes = 0.0;
+  idx::QueryOptions options;
+};
+
 class Cluster {
  public:
   explicit Cluster(const ClusterOptions& options = {});
@@ -85,7 +104,21 @@ class Cluster {
   /// pool; blocks until the reply is ready.  Thread-safe; never throws a
   /// request error — malformed input, internal failures, and shed load all
   /// come back as net::encode_error replies, mirroring cloud::dispatch.
+  /// With `options.batch_window` > 1, admitted requests are queued and
+  /// drained in coalesced batches (see handle_coalesced); the reply for
+  /// each request is unchanged.
   std::vector<std::uint8_t> handle(const std::vector<std::uint8_t>& request);
+
+  /// Serves a group of encoded envelopes as one coalesced unit: every
+  /// similarity query the group carries (kBinaryQuery payloads and each
+  /// entry of a kBatchQuery) joins a single query_binary_batch fan-out;
+  /// any other envelope type is dispatched individually.  replies[i] is
+  /// byte-identical to handle(requests[i]) — coalescing is an
+  /// amortization, never a semantic change.  Bypasses the admission gate:
+  /// callers (the gate's own drain loop, the fleet's deterministic
+  /// batcher) do their own admission.  Thread-safe.
+  std::vector<std::vector<std::uint8_t>> handle_coalesced(
+      const std::vector<std::vector<std::uint8_t>>& requests);
 
   /// The cluster as a net::Transport server handler.
   net::Transport::Handler handler();
@@ -103,6 +136,14 @@ class Cluster {
   idx::QueryResult query_binary(const feat::BinaryFeatures& features,
                                 double feature_bytes,
                                 const idx::QueryOptions& query_options);
+  /// Batched fan-out: results[q] is byte-identical to
+  /// query_binary(*items[q].features, items[q].feature_bytes,
+  /// items[q].options) for any shard/thread/batch-size combination —
+  /// per-(query, image) scores are pure pair functions and the per-query
+  /// merge path is unchanged — but phase 2 rescoring runs through each
+  /// shard's batched plane, packing every candidate image once per batch.
+  std::vector<idx::QueryResult> query_binary_batch(
+      const std::vector<BinaryBatchItem>& items);
   idx::QueryResult query_float(const feat::FloatFeatures& features,
                                double feature_bytes,
                                int top_k = idx::kDefaultTopK);
@@ -165,6 +206,13 @@ class Cluster {
   std::size_t route(const idx::GeoTag& geo, std::uint32_t gid) const;
   std::vector<std::uint8_t> route_request(
       const std::vector<std::uint8_t>& request);
+  /// route_request with the worker-task exception fences (never throws).
+  std::vector<std::uint8_t> route_request_noexcept(
+      const std::vector<std::uint8_t>& request);
+  /// Drains up to batch_window queued gate jobs through handle_coalesced
+  /// and fulfills their promises; no-op when another drain emptied the
+  /// queue first.  Runs on the worker pool.
+  void drain_batch_queue();
   /// Routes, WAL-logs and applies one mutation (caller holds
   /// mutation_mutex_).  For indexed ops the routing-table entry is published
   /// *before* the shard applies — the local id is predicted from the
@@ -187,6 +235,17 @@ class Cluster {
 
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::size_t> shed_{0};
+
+  /// Gate-coalescing queue (batch_window > 1 only): admitted requests wait
+  /// here until a worker drains a batch of them.  Every arrival submits one
+  /// drain task, so no job can be stranded; a drain that finds the queue
+  /// already emptied by a peer simply returns.
+  struct BatchJob {
+    std::vector<std::uint8_t> request;
+    std::shared_ptr<std::promise<std::vector<std::uint8_t>>> promise;
+  };
+  std::mutex batch_mutex_;
+  std::deque<BatchJob> batch_queue_;
 
   /// Serializes stores/seeds: gid assignment, WAL append order, and routing
   /// table growth stay consistent without finer-grained ordering.

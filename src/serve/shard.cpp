@@ -154,6 +154,22 @@ idx::QueryResult Shard::rescore_binary(const feat::BinaryFeatures& features,
   return result;
 }
 
+std::vector<idx::QueryResult> Shard::rescore_binary_batch(
+    const std::vector<const feat::BinaryFeatures*>& features,
+    const std::vector<std::vector<idx::ImageId>>& locals,
+    const std::vector<int>& top_k) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<idx::QueryResult> results =
+      server_.binary_index().rescore_batch(features, locals, top_k);
+  for (idx::QueryResult& result : results) {
+    for (auto& hit : result.hits) hit.id = binary_globals_[hit.id];
+    if (result.best_id != idx::kInvalidImageId) {
+      result.best_id = binary_globals_[result.best_id];
+    }
+  }
+  return results;
+}
+
 std::vector<std::pair<double, std::uint32_t>> Shard::float_candidates(
     const feat::FloatFeatures& features) const {
   std::lock_guard<std::mutex> lock(mutex_);

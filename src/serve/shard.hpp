@@ -74,6 +74,15 @@ class Shard {
   idx::QueryResult rescore_binary(const feat::BinaryFeatures& features,
                                   const std::vector<idx::ImageId>& locals,
                                   int top_k) const;
+  /// Batched phase 2: every query's local candidate list rescored under one
+  /// lock acquisition through the index's batched rescore plane (each
+  /// stored image packed once, streamed against all subscribing queries).
+  /// results[q] is byte-identical to
+  /// rescore_binary(*features[q], locals[q], top_k[q]).
+  std::vector<idx::QueryResult> rescore_binary_batch(
+      const std::vector<const feat::BinaryFeatures*>& features,
+      const std::vector<std::vector<idx::ImageId>>& locals,
+      const std::vector<int>& top_k) const;
 
   /// Float-index counterparts; candidates are (centroid distance, gid)
   /// ranked (distance asc, global id asc).

@@ -1,0 +1,81 @@
+// Over-aligned heap buffer for SIMD lane storage.  std::vector<T> only
+// guarantees alignof(T); the packed descriptor lanes need 32-byte alignment
+// so AVX2 loads never take the unaligned path.  The buffer is
+// resize-without-preserve (callers rewrite contents on every assign), which
+// keeps reallocation a plain aligned new.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+namespace bees::util {
+
+template <typename T, std::size_t Align>
+class AlignedBuffer {
+  static_assert(std::is_trivial_v<T>,
+                "AlignedBuffer holds trivially copyable lane words only");
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+
+ public:
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { release(); }
+
+  AlignedBuffer(const AlignedBuffer& other) { copy_from(other); }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.size_ = other.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.size_ = other.capacity_ = 0;
+    }
+    return *this;
+  }
+
+  /// Ensures room for `n` elements; contents are NOT preserved across a
+  /// reallocation (callers rewrite the buffer after every resize).
+  void resize(std::size_t n) {
+    if (n > capacity_) {
+      release();
+      data_ = static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t(Align)));
+      capacity_ = n;
+    }
+    size_ = n;
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  void release() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t(Align));
+      data_ = nullptr;
+    }
+    size_ = capacity_ = 0;
+  }
+  void copy_from(const AlignedBuffer& other) {
+    resize(other.size_);
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = other.data_[i];
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace bees::util

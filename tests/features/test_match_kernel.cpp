@@ -1,18 +1,31 @@
 // Property tests of the packed early-exit matching kernel against the
 // naive reference matcher: identical match vectors, distances, and modeled
 // `ops` over randomized descriptor sets, including the degenerate shapes
-// (empty, singleton, duplicates) and both cross-check settings.  Labeled
-// `sanitize` so the ASan/UBSan preset covers the kernel's buffer reuse.
+// (empty, singleton, duplicates) and both cross-check settings.  Also the
+// ISA differential sweep (scalar / AVX2 / NEON must agree bit for bit,
+// down to the lanes_{examined,pruned} counters), the 32-byte alignment
+// contract of PackedDescriptors, and the batched entry points'
+// equivalence with their serial counterparts.  Labeled `sanitize` and
+// `tsan` so the sanitizer presets cover the kernel's buffer reuse and the
+// dispatch atomics.
 #include "features/match_kernel.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
+#include "features/simd.hpp"
 #include "features/similarity.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace bees::feat {
 namespace {
+
+static_assert(detail::kLaneAlignment == 32,
+              "packed descriptors promise one AVX2 vector of alignment");
+static_assert(detail::kLaneBlock == 4,
+              "one 256-bit descriptor is four 64-bit words");
 
 Descriptor256 random_descriptor(util::Rng& rng) {
   Descriptor256 d;
@@ -132,6 +145,176 @@ TEST(MatchKernelProperty, WorkspaceJaccardMatchesPlainOverload) {
     const double with_ws = jaccard_similarity(a, b, {}, &ops_ws, ws);
     EXPECT_DOUBLE_EQ(with_ws, plain);
     EXPECT_EQ(ops_ws, ops_plain);
+  }
+}
+
+/// Restores probe-based dispatch even when a test body fails mid-sweep.
+struct IsaGuard {
+  ~IsaGuard() { clear_forced_simd_isa(); }
+};
+
+/// Full per-ISA observation of one kernel call: matches, ops, and the
+/// modeled lane counters read back from the metrics registry.
+struct IsaRun {
+  std::vector<Match> matches;
+  std::uint64_t ops = 0;
+  double lanes_examined = 0.0;
+  double lanes_pruned = 0.0;
+};
+
+IsaRun run_under_isa(SimdIsa isa, const std::vector<Descriptor256>& a,
+                     const std::vector<Descriptor256>& b,
+                     const BinaryMatchParams& params, MatchWorkspace& ws) {
+  force_simd_isa(isa);
+  IsaRun run;
+  obs::MetricsRegistry::global().reset();
+  obs::set_enabled(true);
+  run.matches = match_binary_kernel(a, b, params, &run.ops, ws);
+  obs::set_enabled(false);
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  obs::MetricsRegistry::global().reset();
+  if (snap.counters.count("feat.match.lanes_examined")) {
+    run.lanes_examined = snap.counters.at("feat.match.lanes_examined");
+  }
+  if (snap.counters.count("feat.match.lanes_pruned")) {
+    run.lanes_pruned = snap.counters.at("feat.match.lanes_pruned");
+  }
+  return run;
+}
+
+TEST(MatchKernelSimd, EveryIsaAgreesWithScalarBitForBit) {
+  IsaGuard guard;
+  util::Rng rng(20250809);
+  MatchWorkspace ws;
+  // kScalar always runs the fused SWAR loop; forcing an ISA this build or
+  // CPU lacks falls back to scalar, so the sweep is safe everywhere and
+  // differential wherever a vector unit exists.
+  const SimdIsa isas[] = {SimdIsa::kAvx2, SimdIsa::kNeon};
+  const std::size_t sizes[] = {0, 1, 3, 17, 64, 131, 150};
+  for (int round = 0; round < 3; ++round) {
+    for (const std::size_t na : sizes) {
+      for (const std::size_t nb : sizes) {
+        const auto a = random_set(na, rng);
+        const auto b = random_set(nb, rng, a);
+        BinaryMatchParams params;
+        params.cross_check = (round % 2 == 0);
+        params.max_distance = (round == 0) ? 48 : 256;
+        params.ratio = (round == 0) ? 0.8 : 1.0;
+        const IsaRun scalar =
+            run_under_isa(SimdIsa::kScalar, a, b, params, ws);
+        for (const SimdIsa isa : isas) {
+          const IsaRun vec = run_under_isa(isa, a, b, params, ws);
+          ASSERT_EQ(vec.matches.size(), scalar.matches.size())
+              << simd_isa_name(isa) << " na=" << na << " nb=" << nb;
+          for (std::size_t m = 0; m < scalar.matches.size(); ++m) {
+            EXPECT_EQ(vec.matches[m].index_a, scalar.matches[m].index_a);
+            EXPECT_EQ(vec.matches[m].index_b, scalar.matches[m].index_b);
+            EXPECT_EQ(vec.matches[m].distance, scalar.matches[m].distance);
+          }
+          EXPECT_EQ(vec.ops, scalar.ops);
+          // The modeled pruning counters replay identically too: the
+          // vector path buffers lane sums but charges the same lanes.
+          EXPECT_EQ(vec.lanes_examined, scalar.lanes_examined)
+              << simd_isa_name(isa) << " na=" << na << " nb=" << nb;
+          EXPECT_EQ(vec.lanes_pruned, scalar.lanes_pruned)
+              << simd_isa_name(isa) << " na=" << na << " nb=" << nb;
+        }
+      }
+    }
+  }
+}
+
+TEST(MatchKernelSimd, ForcingUnavailableIsaFallsBackToScalar) {
+  IsaGuard guard;
+#if !defined(BEES_HAVE_NEON)
+  force_simd_isa(SimdIsa::kNeon);
+  EXPECT_EQ(active_simd_isa(), SimdIsa::kScalar);
+#endif
+#if !defined(BEES_HAVE_AVX2)
+  force_simd_isa(SimdIsa::kAvx2);
+  EXPECT_EQ(active_simd_isa(), SimdIsa::kScalar);
+#endif
+  force_simd_isa(SimdIsa::kScalar);
+  EXPECT_EQ(active_simd_isa(), SimdIsa::kScalar);
+  clear_forced_simd_isa();
+  EXPECT_EQ(active_simd_isa(), detected_simd_isa());
+}
+
+TEST(MatchKernelSimd, PackedDescriptorsHonorLaneAlignment) {
+  util::Rng rng(55);
+  PackedDescriptors packed;
+  // Re-assign through growing and shrinking sizes: every (re)allocation
+  // must keep both layouts on 32-byte boundaries.
+  for (const std::size_t n : {5u, 150u, 3u, 64u}) {
+    packed.assign(random_set(n, rng));
+    ASSERT_EQ(packed.size(), n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(packed.words()) %
+                  detail::kLaneAlignment,
+              0u);
+    for (std::size_t l = 0; l < detail::kLaneBlock; ++l) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(packed.lane(l)) %
+                    detail::kLaneAlignment,
+                0u)
+          << "lane " << l << " n=" << n;
+    }
+    // The candidate-major copy is the natural Descriptor256 layout and the
+    // lane-major copy its transpose; spot-check both against each other.
+    for (std::size_t j = 0; j < n; j += (n / 7) + 1) {
+      for (std::size_t l = 0; l < detail::kLaneBlock; ++l) {
+        EXPECT_EQ(packed.words()[detail::kLaneBlock * j + l],
+                  packed.lane(l)[j]);
+      }
+    }
+  }
+}
+
+TEST(MatchKernelBatch, CountBatchMatchesSerialCalls) {
+  util::Rng rng(606);
+  MatchWorkspace ws;
+  const auto b = random_set(40, rng);
+  std::vector<std::vector<Descriptor256>> queries;
+  for (const std::size_t n : {0u, 1u, 12u, 33u}) {
+    queries.push_back(random_set(n, rng, b));
+  }
+  std::vector<const std::vector<Descriptor256>*> batch;
+  for (const auto& q : queries) batch.push_back(&q);
+
+  for (const bool cross : {true, false}) {
+    BinaryMatchParams params;
+    params.cross_check = cross;
+    std::vector<std::size_t> counts(batch.size(), 0);
+    std::vector<std::uint64_t> ops(batch.size(), 0);
+    match_binary_count_batch(batch, b, params, counts.data(), ops.data(),
+                             ws);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      std::uint64_t serial_ops = 0;
+      EXPECT_EQ(counts[k],
+                match_binary_count(*batch[k], b, params, &serial_ops, ws));
+      EXPECT_EQ(ops[k], serial_ops);
+    }
+  }
+}
+
+TEST(MatchKernelBatch, JaccardBatchMatchesSerialCalls) {
+  util::Rng rng(707);
+  MatchWorkspace ws;
+  BinaryFeatures b;
+  b.descriptors = random_set(30, rng);
+  std::vector<BinaryFeatures> queries(4);
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    queries[k].descriptors = random_set(5 + 9 * k, rng, b.descriptors);
+  }
+  std::vector<const BinaryFeatures*> batch;
+  for (const auto& q : queries) batch.push_back(&q);
+
+  std::vector<double> sims(batch.size(), 0.0);
+  std::vector<std::uint64_t> ops(batch.size(), 0);
+  jaccard_similarity_batch(batch, b, {}, sims.data(), ops.data(), ws);
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    std::uint64_t serial_ops = 0;
+    EXPECT_DOUBLE_EQ(sims[k],
+                     jaccard_similarity(*batch[k], b, {}, &serial_ops, ws));
+    EXPECT_EQ(ops[k], serial_ops);
   }
 }
 

@@ -55,6 +55,45 @@ TEST(FleetSimulator, ReportIsInvariantAcrossWorkerCounts) {
   EXPECT_EQ(w1, w8);
 }
 
+TEST(FleetSimulator, BatchedReportInvariantAcrossWorkerCounts) {
+  // Coalescing groups query runs by pure index arithmetic over the virtual
+  // arrival order, so the determinism contract survives batch_window > 1.
+  FleetOptions o = busy_options();
+  o.batch_window = 3;
+  o.workers = 1;
+  const std::string w1 = run_fleet(o).report.to_json();
+  o.workers = 8;
+  const std::string w8 = run_fleet(o).report.to_json();
+  EXPECT_EQ(w1, w8);
+}
+
+TEST(FleetSimulator, BatchWindowOnlyMovesBatchingStats) {
+  // Coalescing is an amortization, never a semantic change: everything the
+  // report measures about serving — totals, latency, precision, energy,
+  // the SLO verdict — is identical for batch_window 1 and 4.  Only the
+  // batching section (and its config echo) moves.
+  FleetOptions o = busy_options();
+  o.batch_window = 1;
+  const FleetReport serial = run_fleet(o).report;
+  o.batch_window = 4;
+  const FleetReport batched = run_fleet(o).report;
+
+  EXPECT_EQ(serial.totals.to_json(o.duration_s),
+            batched.totals.to_json(o.duration_s));
+  EXPECT_EQ(serial.latency_all.to_json(), batched.latency_all.to_json());
+  EXPECT_EQ(serial.latency_query.to_json(),
+            batched.latency_query.to_json());
+  EXPECT_EQ(serial.precision.to_json(), batched.precision.to_json());
+  EXPECT_EQ(serial.slo.to_json(), batched.slo.to_json());
+
+  EXPECT_EQ(serial.config.batch_window, 1);
+  EXPECT_EQ(batched.config.batch_window, 4);
+  // Same queries, fewer fan-outs: coalescing strictly reduces batches.
+  EXPECT_GT(serial.batching.batches, batched.batching.batches);
+  EXPECT_GT(batched.batching.batch_size_p99, 1.0);
+  EXPECT_DOUBLE_EQ(serial.batching.batch_size_p50, 1.0);
+}
+
 TEST(FleetSimulator, DifferentSeedsDiverge) {
   FleetOptions o = busy_options();
   const std::string a = run_fleet(o).report.to_json();
@@ -194,6 +233,9 @@ TEST(FleetSimulator, RejectsDegenerateOptions) {
   EXPECT_THROW(run_fleet(o), std::invalid_argument);
   o = FleetOptions{};
   o.queue_depth = 0;
+  EXPECT_THROW(run_fleet(o), std::invalid_argument);
+  o = FleetOptions{};
+  o.batch_window = 0;
   EXPECT_THROW(run_fleet(o), std::invalid_argument);
 }
 

@@ -142,6 +142,53 @@ TEST(ParallelRescore, EqualSimilaritiesRankByAscendingId) {
   EXPECT_EQ(result.best_id, 0u);
 }
 
+TEST(ParallelRescore, RescoreBatchMatchesSerialRescore) {
+  util::Rng rng(909);
+  std::vector<feat::Descriptor256> base;
+  for (int i = 0; i < 30; ++i) base.push_back(random_descriptor(rng));
+  std::vector<feat::BinaryFeatures> stored;
+  for (int i = 0; i < 20; ++i) {
+    stored.push_back(features_near(base, 30, 6 + i, rng));
+  }
+  std::vector<feat::BinaryFeatures> queries;
+  for (int q = 0; q < 5; ++q) {
+    queries.push_back(features_near(base, 30, 4 + 3 * q, rng));
+  }
+
+  for (const int threads : {1, 4}) {
+    FeatureIndexParams params;
+    params.rescore_threads = threads;
+    FeatureIndex index(params);
+    for (const auto& f : stored) index.insert(f);
+
+    // Overlapping candidate lists of different lengths (including one
+    // empty), so the by-image grouping packs shared candidates once and
+    // the per-query assembly still walks each query's own list.
+    std::vector<const feat::BinaryFeatures*> query_ptrs;
+    std::vector<std::vector<ImageId>> candidates;
+    std::vector<int> top_k;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      query_ptrs.push_back(&queries[q]);
+      std::vector<ImageId> list;
+      for (std::size_t i = q; i < stored.size(); i += q + 1) {
+        list.push_back(static_cast<ImageId>(i));
+      }
+      if (q == 3) list.clear();
+      candidates.push_back(std::move(list));
+      top_k.push_back(1 + static_cast<int>(q));
+    }
+
+    const std::vector<QueryResult> batched =
+        index.rescore_batch(query_ptrs, candidates, top_k);
+    ASSERT_EQ(batched.size(), queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const QueryResult serial =
+          index.rescore(queries[q], candidates[q], top_k[q]);
+      expect_same_result(batched[q], serial);
+    }
+  }
+}
+
 TEST(ParallelRescore, RescoreTimerVisibleInMetrics) {
   util::Rng rng(64);
   feat::BinaryFeatures f;

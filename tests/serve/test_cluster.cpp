@@ -289,6 +289,105 @@ TEST_P(ClusterEquivalence, AnnPrunedQueriesMatchSerialExactly) {
   }
 }
 
+TEST_P(ClusterEquivalence, BatchedBinaryQueriesMatchSerialQueries) {
+  ClusterOptions options;
+  options.shards = GetParam();
+  Cluster serial_cluster(options);
+  Cluster batched_cluster(options);
+  for (int i = 0; i < 8; ++i) {
+    const auto features = make_binary(100 + static_cast<std::uint64_t>(i));
+    serial_cluster.seed_binary(features, geo_of(i), 11'000.0);
+    batched_cluster.seed_binary(features, geo_of(i), 11'000.0);
+  }
+
+  std::vector<feat::BinaryFeatures> queries;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(make_binary(100 + static_cast<std::uint64_t>(i % 4)));
+  }
+  std::vector<BinaryBatchItem> items;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    BinaryBatchItem item;
+    item.features = &queries[q];
+    item.feature_bytes = 9'000.0 + 10.0 * static_cast<double>(q);
+    item.options.top_k = 1 + static_cast<int>(q % 3);
+    items.push_back(item);
+  }
+
+  const std::vector<idx::QueryResult> batched =
+      batched_cluster.query_binary_batch(items);
+  ASSERT_EQ(batched.size(), items.size());
+  for (std::size_t q = 0; q < items.size(); ++q) {
+    const idx::QueryResult serial = serial_cluster.query_binary(
+        *items[q].features, items[q].feature_bytes, items[q].options);
+    EXPECT_EQ(batched[q].best_id, serial.best_id);
+    EXPECT_DOUBLE_EQ(batched[q].max_similarity, serial.max_similarity);
+    EXPECT_EQ(batched[q].candidates_checked, serial.candidates_checked);
+    EXPECT_EQ(batched[q].ops, serial.ops);
+    ASSERT_EQ(batched[q].hits.size(), serial.hits.size());
+    for (std::size_t h = 0; h < serial.hits.size(); ++h) {
+      EXPECT_EQ(batched[q].hits[h].id, serial.hits[h].id);
+      EXPECT_DOUBLE_EQ(batched[q].hits[h].similarity,
+                       serial.hits[h].similarity);
+    }
+  }
+  expect_stats_equal(batched_cluster.stats(), serial_cluster.stats());
+}
+
+TEST_P(ClusterEquivalence, CoalescedRepliesMatchPerRequestHandling) {
+  ClusterOptions options;
+  options.shards = GetParam();
+  Cluster serial_cluster(options);
+  Cluster coalesced_cluster(options);
+  {
+    cloud::Server unused;  // seed_both wants a server; keep workloads equal
+    seed_both(unused, serial_cluster);
+  }
+  {
+    cloud::Server unused;
+    seed_both(unused, coalesced_cluster);
+  }
+
+  // A read-only group — the shape the gate and the fleet batcher actually
+  // coalesce (mutations break a run).  Binary and bulk-CBRD queries join
+  // the shared fan-out; the float query, global query, and malformed
+  // envelope take the per-request fallback.  Every reply must match
+  // per-request handling byte for byte, in group order.
+  std::vector<std::vector<std::uint8_t>> requests;
+  for (int i = 0; i < 4; ++i) {
+    net::BinaryQueryRequest q;
+    q.features = make_binary(100 + static_cast<std::uint64_t>(i));
+    q.feature_bytes = 9'000.0 + 10.0 * i;
+    requests.push_back(net::encode(q));
+  }
+  net::BatchQueryRequest bulk;
+  for (int i = 0; i < 3; ++i) {
+    bulk.features.push_back(make_binary(100 + static_cast<std::uint64_t>(i)));
+    bulk.feature_bytes.push_back(8'500.0);
+  }
+  requests.push_back(net::encode(bulk));
+  net::FloatQueryRequest fq;
+  fq.features = make_float(200);
+  fq.feature_bytes = 20'000.0;
+  requests.push_back(net::encode(fq));
+  net::GlobalQueryRequest gq;
+  gq.histogram = make_histogram(300);
+  gq.geo = geo_of(0);
+  gq.feature_bytes = 256.0;
+  requests.push_back(net::encode(gq));
+  requests.push_back({0x42, 0x00, 0x17});  // malformed envelope
+
+  std::vector<std::vector<std::uint8_t>> expected;
+  for (const auto& request : requests) {
+    expected.push_back(serial_cluster.handle(request));
+  }
+  const auto replies = coalesced_cluster.handle_coalesced(requests);
+  ASSERT_EQ(replies.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replies[i], expected[i]) << "request " << i;
+  }
+  expect_stats_equal(coalesced_cluster.stats(), serial_cluster.stats());
+}
+
 TEST(Cluster, MergedBinaryIndexPreservesGlobalIdOrder) {
   ClusterOptions options;
   options.shards = 3;

@@ -14,7 +14,7 @@
 //                [--batch N] [--set-images N] [--set-locations N]
 //                [--width W] [--height H] [--seed-fraction F]
 //                [--shards N] [--server-threads N] [--queue-depth N]
-//                [--service-base S] [--service-per-image S]
+//                [--batch-window N] [--service-base S] [--service-per-image S]
 //                [--bitrate KBPS] [--loss P] [--retries N] [--backoff S]
 //                [--battery PCT] [--no-adapt] [--workers N]
 //                [--slo-p99 S] [--slo-shed-rate F] [--report PATH] [--quiet]
@@ -32,6 +32,10 @@
 //   --seed-fraction  fraction of the imageset pre-seeded into
 //                    the situation index                       (default 0.25)
 //   --shards / --server-threads / --queue-depth   serving layer shape
+//   --batch-window   max admitted queries coalesced per fan-out (default 1);
+//                    requires --server-threads (the window coalesces the
+//                    queue that pool serves); replies and every non-batching
+//                    report field are byte-identical to batch-window 1
 //   --service-base / --service-per-image          virtual service time model
 //   --bitrate / --loss / --retries / --backoff    per-device radio
 //   --battery        starting battery percentage 1..100        (default 100)
@@ -61,7 +65,8 @@ int usage(const char* argv0) {
          "       [--spike-duration S] [--spike-mult X] [--batch N]\n"
          "       [--set-images N] [--set-locations N] [--width W]\n"
          "       [--height H] [--seed-fraction F] [--shards N]\n"
-         "       [--server-threads N] [--queue-depth N] [--service-base S]\n"
+         "       [--server-threads N] [--queue-depth N] [--batch-window N]\n"
+         "       [--service-base S]\n"
          "       [--service-per-image S] [--bitrate KBPS] [--loss P]\n"
          "       [--retries N] [--backoff S] [--battery PCT] [--no-adapt]\n"
          "       [--workers N] [--slo-p99 S] [--slo-shed-rate F]\n"
@@ -74,6 +79,8 @@ struct Options {
   double battery_pct = 100.0;
   std::string report_path;
   bool quiet = false;
+  bool server_threads_set = false;
+  bool batch_window_set = false;
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -122,8 +129,12 @@ bool parse(int argc, char** argv, Options& opt) {
       f.shards = static_cast<int>(v);
     } else if (arg == "--server-threads" && next(v)) {
       f.server_threads = static_cast<int>(v);
+      opt.server_threads_set = true;
     } else if (arg == "--queue-depth" && next(v)) {
       f.queue_depth = static_cast<std::size_t>(v);
+    } else if (arg == "--batch-window" && next(v)) {
+      f.batch_window = static_cast<int>(v);
+      opt.batch_window_set = true;
     } else if (arg == "--service-base" && next(v)) {
       f.service_base_s = v;
     } else if (arg == "--service-per-image" && next(v)) {
@@ -160,6 +171,7 @@ bool parse(int argc, char** argv, Options& opt) {
          f.set_images >= 1 && f.set_locations >= 1 && f.width >= 32 &&
          f.height >= 32 && f.seed_fraction >= 0 && f.seed_fraction <= 1 &&
          f.shards >= 1 && f.server_threads >= 1 && f.queue_depth >= 1 &&
+         f.batch_window >= 1 &&
          f.bitrate_kbps > 0 && f.loss >= 0 && f.loss <= 1 &&
          f.retry.max_attempts >= 1 && f.retry.backoff_base_s > 0 &&
          opt.battery_pct > 0 && opt.battery_pct <= 100 && f.workers >= 0 &&
@@ -171,6 +183,11 @@ bool parse(int argc, char** argv, Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, opt)) return usage(argv[0]);
+  if (opt.batch_window_set && !opt.server_threads_set) {
+    std::cerr << "bees_loadgen: --batch-window requires --server-threads "
+                 "(the window coalesces the queue that pool serves)\n";
+    return 2;
+  }
 
   const fleet::FleetResult result = fleet::run_fleet(opt.fleet);
   const std::string json = result.report.to_json();

@@ -36,6 +36,7 @@
 //   --shards         cluster shard count                       (default 1)
 //   --server-threads cluster worker threads                    (default 1)
 //   --queue-depth    admission bound before requests are shed  (default 256)
+//   --batch-window   max queued queries coalesced per fan-out  (default 1)
 //   --data-dir       durability root: recover on start, write per-shard
 //                    WALs during the run, checkpoint on exit
 //   --save-index PATH  save the binary index as a snapshot on exit
@@ -51,7 +52,9 @@
 // Flag coherence: --load-index requires --data-dir (a warm start only
 // makes sense against a durability root to recover into), --queue-depth
 // requires --server-threads (the admission bound gates the cluster's
-// worker pool), and --chunk-size requires --store-dir (a chunking interval
+// worker pool), --batch-window requires --server-threads (coalescing
+// happens behind the gate that pool serves), and --chunk-size requires
+// --store-dir (a chunking interval
 // without a chunk store has nothing to apply to); incoherent combinations
 // are rejected with a one-line error.
 #include <cstring>
@@ -98,6 +101,7 @@ struct Options {
   int shards = 0;
   int server_threads = 0;
   int queue_depth = 0;
+  int batch_window = 0;
   std::string data_dir;
   std::string save_index_path;
   std::string load_index_path;
@@ -106,7 +110,7 @@ struct Options {
 
   bool use_cluster() const {
     return shards > 0 || server_threads > 0 || queue_depth > 0 ||
-           !data_dir.empty();
+           batch_window > 0 || !data_dir.empty();
   }
 };
 
@@ -147,7 +151,7 @@ int usage(const char* argv0) {
                "       [--timeout S] [--backoff S] [--csv]\n"
                "       [--metrics-json PATH] [--trace PATH]\n"
                "       [--shards N] [--server-threads N] [--queue-depth N]\n"
-               "       [--data-dir PATH] [--save-index PATH]\n"
+               "       [--batch-window N] [--data-dir PATH] [--save-index PATH]\n"
                "       [--load-index PATH] [--store-dir PATH]\n"
                "       [--chunk-size BYTES]\n";
   return 2;
@@ -204,6 +208,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.server_threads = static_cast<int>(v);
     } else if (arg == "--queue-depth" && next(v)) {
       opt.queue_depth = static_cast<int>(v);
+    } else if (arg == "--batch-window" && next(v)) {
+      opt.batch_window = static_cast<int>(v);
     } else if (arg == "--data-dir" && i + 1 < argc) {
       opt.data_dir = argv[++i];
     } else if (arg == "--save-index" && i + 1 < argc) {
@@ -224,7 +230,7 @@ bool parse(int argc, char** argv, Options& opt) {
          opt.loss >= 0 && opt.loss <= 1 && opt.outage >= 0 && opt.outage <= 1 &&
          opt.outage_dur > 0 && opt.retries >= 1 && opt.timeout_s >= 0 &&
          opt.backoff_s > 0 && opt.shards >= 0 && opt.server_threads >= 0 &&
-         opt.queue_depth >= 0 && opt.chunk_size >= 0;
+         opt.queue_depth >= 0 && opt.batch_window >= 0 && opt.chunk_size >= 0;
 }
 
 }  // namespace
@@ -240,6 +246,11 @@ int main(int argc, char** argv) {
   if (opt.queue_depth > 0 && opt.server_threads == 0) {
     std::cerr << "bees_sim: --queue-depth requires --server-threads (the "
                  "admission bound gates the cluster worker pool)\n";
+    return 2;
+  }
+  if (opt.batch_window > 0 && opt.server_threads == 0) {
+    std::cerr << "bees_sim: --batch-window requires --server-threads (query "
+                 "coalescing happens behind the gate that pool serves)\n";
     return 2;
   }
   if (opt.chunk_size > 0 && opt.store_dir.empty()) {
@@ -303,6 +314,9 @@ int main(int argc, char** argv) {
     cluster_options.threads = std::max(1, opt.server_threads);
     if (opt.queue_depth > 0) {
       cluster_options.queue_depth = static_cast<std::size_t>(opt.queue_depth);
+    }
+    if (opt.batch_window > 0) {
+      cluster_options.batch_window = opt.batch_window;
     }
     cluster_options.data_dir = opt.data_dir;
     if (!opt.store_dir.empty()) {
