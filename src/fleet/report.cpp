@@ -54,7 +54,27 @@ std::string ConfigEcho::to_json() const {
          ", \"bitrate_kbps\": " + json_number(bitrate_kbps) +
          ", \"loss\": " + json_number(loss) +
          ", \"adaptive\": " + json_bool(adaptive) +
-         ", \"battery_fraction\": " + json_number(battery_fraction) + "}";
+         ", \"battery_fraction\": " + json_number(battery_fraction) +
+         ", \"replicas\": " + std::to_string(replicas) +
+         ", \"relays\": " + std::to_string(relays) + "}";
+}
+
+std::string ResilienceStats::to_json() const {
+  return "{\"failovers\": " + json_u64(failovers) +
+         ", \"catch_ups\": " + json_u64(catch_ups) +
+         ", \"live_standbys\": " + json_u64(live_standbys) +
+         ", \"ship_records\": " + json_u64(ship_records) +
+         ", \"ship_bytes\": " + json_u64(ship_bytes) +
+         ", \"ship_lag_max\": " + json_u64(ship_lag_max) +
+         ", \"relay_requests\": " + json_u64(relay_requests) +
+         ", \"relay_ingress_bytes\": " + json_u64(relay_ingress_bytes) +
+         ", \"relay_backhaul_bytes\": " + json_u64(relay_backhaul_bytes) +
+         ", \"relay_dedup_chunks_hit\": " + json_u64(relay_dedup_chunks_hit) +
+         ", \"relay_dedup_bytes_saved\": " + json_u64(relay_dedup_bytes_saved) +
+         ", \"relay_held\": " + json_u64(relay_held) +
+         ", \"relay_drained\": " + json_u64(relay_drained) +
+         ", \"relay_queue_depth_max\": " + json_u64(relay_queue_depth_max) +
+         ", \"relay_rejects\": " + json_u64(relay_rejects) + "}";
 }
 
 std::string Totals::to_json(double duration_s) const {
@@ -127,6 +147,7 @@ std::string FleetReport::to_json() const {
          json_number(mean_battery_fraction) + "},\n";
   out += "  \"precision_inputs\": " + precision.to_json() + ",\n";
   out += "  \"batching\": " + batching.to_json() + ",\n";
+  out += "  \"resilience\": " + resilience.to_json() + ",\n";
   out += "  \"slo\": " + slo.to_json() + "\n";
   out += "}\n";
   return out;

@@ -50,6 +50,8 @@ struct ConfigEcho {
   double loss = 0.0;
   bool adaptive = true;
   double battery_fraction = 1.0;
+  int replicas = 0;
+  int relays = 0;
 
   std::string to_json() const;
 };
@@ -112,6 +114,32 @@ struct BatchStats {
   std::string to_json() const;
 };
 
+/// Damaged-network scenario outcomes: replication shipping and failover on
+/// the serving side, store-and-forward and CARE dedup on the relay side.
+/// Every field is a virtual-time quantity (kills fire at epoch starts,
+/// relay traffic is accounted in virtual arrival order), so the section is
+/// as worker-count-deterministic as the rest of the report; it is emitted
+/// even when replication and relays are disabled (all zeros).
+struct ResilienceStats {
+  std::uint64_t failovers = 0;      ///< Primaries killed and replaced.
+  std::uint64_t catch_ups = 0;      ///< Snapshot installs into stale instances.
+  std::uint64_t live_standbys = 0;  ///< Surviving followers at run end.
+  std::uint64_t ship_records = 0;   ///< WAL frames shipped to followers.
+  std::uint64_t ship_bytes = 0;
+  std::uint64_t ship_lag_max = 0;   ///< Peak follower ship-queue depth.
+  std::uint64_t relay_requests = 0;       ///< Requests crossing the backhaul.
+  std::uint64_t relay_ingress_bytes = 0;  ///< Raw bytes entering relays.
+  std::uint64_t relay_backhaul_bytes = 0; ///< Bytes after CARE dedup.
+  std::uint64_t relay_dedup_chunks_hit = 0;
+  std::uint64_t relay_dedup_bytes_saved = 0;
+  std::uint64_t relay_held = 0;     ///< Uploads parked during partitions.
+  std::uint64_t relay_drained = 0;  ///< Parked uploads pushed at heal.
+  std::uint64_t relay_queue_depth_max = 0;
+  std::uint64_t relay_rejects = 0;  ///< Retryable relay-unavailable replies.
+
+  std::string to_json() const;
+};
+
 /// SLO verdict: the run's p99 latency and shed rate against the targets.
 struct SloVerdict {
   double p99_target_s = 0.0;     ///< <= 0 disables the latency check.
@@ -135,6 +163,7 @@ struct FleetReport {
   double mean_battery_fraction = 0.0;
   PrecisionInputs precision;
   BatchStats batching;
+  ResilienceStats resilience;
   SloVerdict slo;
 
   /// The machine-readable run report.  Fixed key order, shortest

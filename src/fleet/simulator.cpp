@@ -15,6 +15,8 @@
 #include "fleet/queue_model.hpp"
 #include "net/protocol.hpp"
 #include "obs/metrics.hpp"
+#include "relay/relay.hpp"
+#include "replica/replication.hpp"
 #include "serve/cluster.hpp"
 #include "util/byte_io.hpp"
 #include "util/thread_pool.hpp"
@@ -48,6 +50,51 @@ void validate(const FleetOptions& o) {
   if (o.bitrate_kbps <= 0.0) {
     throw std::invalid_argument("fleet: bitrate <= 0");
   }
+  if (o.replicas < 0) throw std::invalid_argument("fleet: replicas < 0");
+  if (o.relays < 0) throw std::invalid_argument("fleet: relays < 0");
+  if (o.relay_chunk_size == 0) {
+    throw std::invalid_argument("fleet: relay_chunk_size == 0");
+  }
+  if (o.relay_service_s < 0.0) {
+    throw std::invalid_argument("fleet: relay_service_s < 0");
+  }
+  const auto check_windows = [&](const std::vector<EpochWindow>& windows,
+                                 const char* what) {
+    if (!windows.empty() && o.relays < 1) {
+      throw std::invalid_argument(std::string("fleet: ") + what +
+                                  " without relays");
+    }
+    for (const EpochWindow& w : windows) {
+      if (w.begin >= w.end) {
+        throw std::invalid_argument(std::string("fleet: empty ") + what +
+                                    " window");
+      }
+      if (w.target < -1 || w.target >= o.relays) {
+        throw std::invalid_argument(std::string("fleet: ") + what +
+                                    " targets a missing relay");
+      }
+    }
+  };
+  check_windows(o.partitions, "partition");
+  check_windows(o.relay_outages, "relay outage");
+  for (const PrimaryKill& k : o.primary_kills) {
+    if (o.replicas < 1) {
+      throw std::invalid_argument("fleet: primary kill without replicas");
+    }
+    if (k.shard < 0 || k.shard >= o.shards) {
+      throw std::invalid_argument("fleet: primary kill targets a missing shard");
+    }
+  }
+}
+
+/// Does any window in `windows` cover (relay, epoch)?
+bool window_hits(const std::vector<EpochWindow>& windows, int relay,
+                 std::uint64_t epoch) {
+  for (const EpochWindow& w : windows) {
+    if (epoch < w.begin || epoch >= w.end) continue;
+    if (w.target == -1 || w.target == relay) return true;
+  }
+  return false;
 }
 
 /// A barrier-resolved reply waiting for its delivery epoch.
@@ -75,7 +122,21 @@ FleetResult run_fleet(const FleetOptions& o) {
   // The real gate stays out of the way: admission is resolved in virtual
   // time by the QueueModel, so real scheduling never decides a shed.
   copts.queue_depth = std::size_t{1} << 20;
+  if (o.replicas > 0) {
+    copts.backend_factory = replica::make_replicated_factory(o.replicas);
+  }
   serve::Cluster cluster(copts);
+
+  // Edge-relay tier (optional).  Relays are driven entirely by the virtual
+  // clock: outage/partition windows are epoch ranges, holds drain at epoch
+  // starts, and backhaul accounting happens in virtual arrival order
+  // during the sequential barrier — never in phase A.
+  std::unique_ptr<relay::RelayTier> relay_tier;
+  if (o.relays > 0) {
+    relay_tier =
+        std::make_unique<relay::RelayTier>(o.relays, o.relay_chunk_size);
+  }
+  std::uint64_t relay_rejects = 0;
 
   // Global id -> ground-truth scene group, for precision accounting.
   std::unordered_map<idx::ImageId, std::size_t> gid_group;
@@ -136,6 +197,15 @@ FleetResult run_fleet(const FleetOptions& o) {
                             obs::MetricsRegistry::latency_bounds());
   const std::vector<std::uint8_t> shed_payload =
       net::encode_error(serve::kShedErrorMessage);
+  // Relay-side replies: a retryable rejection (relay down, or a query that
+  // needs the partitioned backhaul) and the local ack a relay gives for an
+  // upload it parks (the device's chain completes; the core sees the bytes
+  // at heal time).
+  const std::vector<std::uint8_t> relay_reject_payload =
+      net::encode_error(relay::kRelayUnavailableMessage);
+  const std::vector<std::uint8_t> relay_ack_payload =
+      net::encode(net::UploadAck{});
+  constexpr std::uint64_t kNoGroup = ~std::uint64_t{0};
 
   std::vector<ServerArrival> pending;
   std::map<std::uint64_t, std::vector<FutureReply>> future_replies;
@@ -165,6 +235,27 @@ FleetResult run_fleet(const FleetOptions& o) {
     future_replies[m].push_back(std::move(fr));
   };
 
+  // Pushes every upload a relay held through the backhaul: CARE-accounted,
+  // then applied to the cluster directly, in hold (FIFO) order.  Held
+  // uploads bypass the admission gate — the relay owns the backhaul and
+  // trickles its queue as background traffic; the device was acked at hold
+  // time, so only the index (and the dedup ledger) changes here.
+  const auto drain_relay = [&](relay::Relay& rl) {
+    for (relay::HeldRequest& h : rl.take_held()) {
+      rl.forward(h.request);
+      const std::vector<std::uint8_t> reply = cluster.handle(h.request);
+      ++real_handles;
+      try {
+        const net::Envelope env = net::open_envelope(reply);
+        if (env.type == net::MessageType::kUploadAck && h.token != kNoGroup) {
+          const net::UploadAck ack = net::decode_upload_ack(env.payload);
+          gid_group.emplace(ack.id, static_cast<std::size_t>(h.token));
+        }
+      } catch (const util::DecodeError&) {
+      }
+    }
+  };
+
   const auto load_epochs =
       static_cast<std::uint64_t>(std::ceil(o.duration_s / E));
   const auto max_epochs =
@@ -191,6 +282,22 @@ FleetResult run_fleet(const FleetOptions& o) {
         }
       }
       if (!busy || j >= max_epochs) break;
+    }
+
+    // Scheduled disasters fire at the epoch boundary, in schedule order:
+    // primaries die first (failover promotes a drained follower), then any
+    // relay whose backhaul healed this epoch drains its held uploads into
+    // the (possibly just-promoted) cluster.
+    for (const PrimaryKill& k : o.primary_kills) {
+      if (k.epoch == j) cluster.kill_primary(k.shard);
+    }
+    if (relay_tier) {
+      for (int r = 0; r < relay_tier->size(); ++r) {
+        if (relay_tier->at(r).queue_depth() == 0) continue;
+        if (window_hits(o.relay_outages, r, j)) continue;
+        if (window_hits(o.partitions, r, j)) continue;
+        drain_relay(relay_tier->at(r));
+      }
     }
 
     // Deliver replies scheduled for this epoch, in (device, seq) order.
@@ -237,6 +344,44 @@ FleetResult run_fleet(const FleetOptions& o) {
     std::vector<double> completions;
     for (std::size_t k = 0; k < ready; ++k) {
       ServerArrival& a = pending[k];
+      // Relay hop first: a down relay rejects retryably; a partitioned
+      // backhaul parks uploads (local ack now, core at heal) and rejects
+      // queries; a healthy relay charges the backhaul through CARE dedup
+      // and passes the request on to the admission gate.  Every arrival
+      // resolved at this barrier lies in [t0, t1), so epoch j is the
+      // arrival's own epoch and the routing is worker-count-independent.
+      if (relay_tier) {
+        const int r = a.device % o.relays;
+        const bool down = window_hits(o.relay_outages, r, j);
+        const bool parted = !down && window_hits(o.partitions, r, j);
+        if (down || (parted && a.kind == OpKind::kQuery)) {
+          ++relay_rejects;
+          Reply rr;
+          rr.seq = a.seq;
+          rr.shed = true;  // retryable, like a gate shed
+          rr.completion_s = a.arrival_s + o.relay_service_s;
+          rr.payload = relay_reject_payload;
+          rr.request = std::move(a.request);
+          schedule_delivery(a.device, std::move(rr), rr.completion_s, j);
+          continue;
+        }
+        if (parted) {
+          const std::uint64_t token =
+              a.image_ids.empty()
+                  ? kNoGroup
+                  : static_cast<std::uint64_t>(
+                        set.images[a.image_ids[0]].group);
+          relay_tier->at(r).hold(token, std::move(a.request));
+          Reply rr;
+          rr.seq = a.seq;
+          rr.shed = false;
+          rr.completion_s = a.arrival_s + o.relay_service_s;
+          rr.payload = relay_ack_payload;
+          schedule_delivery(a.device, std::move(rr), rr.completion_s, j);
+          continue;
+        }
+        relay_tier->at(r).forward(a.request);
+      }
       const double service_s =
           o.service_base_s + o.service_per_image_s * a.n_images;
       const ServiceOutcome outcome = gate.offer(a.arrival_s, service_s);
@@ -360,6 +505,14 @@ FleetResult run_fleet(const FleetOptions& o) {
                   pending.begin() + static_cast<std::ptrdiff_t>(ready));
   }
 
+  // Implicit heal at run end: any upload still parked behind an unhealed
+  // partition drains now, so the scenario's byte accounting is complete.
+  if (relay_tier) {
+    for (int r = 0; r < relay_tier->size(); ++r) {
+      if (relay_tier->at(r).queue_depth() > 0) drain_relay(relay_tier->at(r));
+    }
+  }
+
   // --- Aggregate, in device-id order. ---
   FleetResult result;
   FleetReport& report = result.report;
@@ -416,6 +569,29 @@ FleetResult run_fleet(const FleetOptions& o) {
         static_cast<double>(batching.batches) / o.duration_s;
   }
 
+  ResilienceStats& res = report.resilience;
+  {
+    const serve::BackendResilience br = cluster.resilience();
+    res.failovers = br.failovers;
+    res.catch_ups = br.catch_ups;
+    res.live_standbys = br.live_standbys;
+    res.ship_records = br.ship_records;
+    res.ship_bytes = br.ship_bytes;
+    res.ship_lag_max = br.ship_lag_max;
+  }
+  if (relay_tier) {
+    const relay::RelayStats rs = relay_tier->stats();
+    res.relay_requests = rs.forwarded_requests;
+    res.relay_ingress_bytes = rs.ingress_bytes;
+    res.relay_backhaul_bytes = rs.backhaul_bytes;
+    res.relay_dedup_chunks_hit = rs.dedup_chunks_hit;
+    res.relay_dedup_bytes_saved = rs.dedup_bytes_saved;
+    res.relay_held = rs.held_requests;
+    res.relay_drained = rs.drained_requests;
+    res.relay_queue_depth_max = rs.queue_depth_max;
+  }
+  res.relay_rejects = relay_rejects;
+
   ConfigEcho& echo = report.config;
   echo.seed = o.seed;
   echo.devices = o.devices;
@@ -436,6 +612,8 @@ FleetResult run_fleet(const FleetOptions& o) {
   echo.loss = o.loss;
   echo.adaptive = o.adaptive;
   echo.battery_fraction = o.battery_fraction;
+  echo.replicas = o.replicas;
+  echo.relays = o.relays;
 
   SloVerdict& slo = report.slo;
   slo.p99_target_s = o.slo_p99_s;

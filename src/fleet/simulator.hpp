@@ -36,11 +36,27 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "fleet/report.hpp"
 #include "net/transport.hpp"
 
 namespace bees::fleet {
+
+/// A half-open range of epochs [begin, end) during which something is
+/// broken: a relay's backhaul partitioned, or a relay down entirely.
+struct EpochWindow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  int target = -1;  ///< Relay index; -1 = every relay.
+};
+
+/// Kill the primary of `shard` at the start of epoch `epoch` (failover to
+/// its most-caught-up follower; requires replicas >= 1).
+struct PrimaryKill {
+  std::uint64_t epoch = 0;
+  int shard = 0;
+};
 
 struct FleetOptions {
   std::uint64_t seed = 42;
@@ -91,6 +107,20 @@ struct FleetOptions {
   // Device energy state.
   bool adaptive = true;
   double battery_fraction = 1.0;
+
+  // Resilience scenario (DESIGN §14).  Kills fire at epoch starts and
+  // relay traffic is accounted in virtual arrival order, so the report —
+  // including its `resilience` section — stays byte-identical across
+  // worker counts for a fixed seed and schedule.
+  int replicas = 0;  ///< Standby followers per shard (0 = unreplicated).
+  int relays = 0;    ///< Edge relays between devices and core (0 = direct).
+  std::uint32_t relay_chunk_size = 4096;  ///< CARE chunking interval.
+  /// Local-hop service time a relay adds when it answers for the core
+  /// (ack of a held upload, relay-unavailable rejection).
+  double relay_service_s = 0.005;
+  std::vector<EpochWindow> partitions;     ///< Backhaul down; relays hold.
+  std::vector<EpochWindow> relay_outages;  ///< Relay down; devices retry.
+  std::vector<PrimaryKill> primary_kills;
 
   /// Phase-A worker threads (0 = hardware concurrency).  Never affects
   /// the report bytes.

@@ -1,0 +1,88 @@
+#include "relay/relay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace bees::relay {
+
+Relay::Relay(int id, std::uint32_t chunk_size)
+    : id_(id), chunk_size_(chunk_size) {
+  if (chunk_size_ == 0) {
+    throw std::invalid_argument("relay: chunk size must be > 0");
+  }
+}
+
+std::uint64_t Relay::forward(const std::vector<std::uint8_t>& request) {
+  const store::Manifest manifest = store::build_manifest(request, chunk_size_);
+  std::uint64_t sent = store::encode_manifest(manifest).size();
+  std::uint64_t chunk_bytes_sent = 0;
+  for (std::size_t c = 0; c < manifest.chunks.size(); ++c) {
+    const store::ChunkKey& key = manifest.chunks[c];
+    if (forwarded_.insert(key).second) {
+      chunk_bytes_sent += key.size;
+    } else {
+      ++stats_.dedup_chunks_hit;
+      obs::count("relay.dedup.chunks_hit");
+    }
+  }
+  sent += chunk_bytes_sent;
+
+  ++stats_.forwarded_requests;
+  stats_.ingress_bytes += request.size();
+  stats_.backhaul_bytes += sent;
+  const std::uint64_t saved = request.size() - chunk_bytes_sent;
+  stats_.dedup_bytes_saved += saved;
+  obs::count("relay.forward.requests");
+  obs::count("relay.forward.backhaul_bytes", static_cast<double>(sent));
+  obs::count("relay.dedup.bytes_saved", static_cast<double>(saved));
+  return sent;
+}
+
+void Relay::hold(std::uint64_t token, std::vector<std::uint8_t> request) {
+  held_.push_back(HeldRequest{token, std::move(request)});
+  ++stats_.held_requests;
+  stats_.queue_depth_max =
+      std::max<std::uint64_t>(stats_.queue_depth_max, held_.size());
+  obs::count("relay.hold.requests");
+}
+
+std::vector<HeldRequest> Relay::take_held() {
+  std::vector<HeldRequest> out(std::make_move_iterator(held_.begin()),
+                               std::make_move_iterator(held_.end()));
+  held_.clear();
+  stats_.drained_requests += out.size();
+  if (!out.empty()) {
+    obs::count("relay.drain.requests", static_cast<double>(out.size()));
+  }
+  return out;
+}
+
+RelayTier::RelayTier(int relays, std::uint32_t chunk_size) {
+  if (relays <= 0) {
+    throw std::invalid_argument("relay: tier needs at least one relay");
+  }
+  relays_.reserve(static_cast<std::size_t>(relays));
+  for (int r = 0; r < relays; ++r) relays_.emplace_back(r, chunk_size);
+}
+
+RelayStats RelayTier::stats() const {
+  RelayStats total;
+  for (const Relay& relay : relays_) {
+    const RelayStats& s = relay.stats();
+    total.forwarded_requests += s.forwarded_requests;
+    total.ingress_bytes += s.ingress_bytes;
+    total.backhaul_bytes += s.backhaul_bytes;
+    total.dedup_bytes_saved += s.dedup_bytes_saved;
+    total.dedup_chunks_hit += s.dedup_chunks_hit;
+    total.held_requests += s.held_requests;
+    total.drained_requests += s.drained_requests;
+    total.queue_depth_max =
+        std::max(total.queue_depth_max, s.queue_depth_max);
+  }
+  return total;
+}
+
+}  // namespace bees::relay

@@ -1,0 +1,112 @@
+// Edge-relay tier: store-and-forward between fleet devices and the core
+// cluster, with content-aware redundancy elimination (CARE) on the
+// backhaul.
+//
+// Devices in the field talk to a nearby relay over the cheap local hop;
+// the relay owns the expensive backhaul link to the core.  Two services:
+//
+//   Dedup (CARE).  Every forwarded request is chunked through
+//   store::build_manifest and addressed by store::ChunkKey (content hash +
+//   CRC + size).  The relay remembers which chunk keys it has already
+//   pushed upstream; a forwarded request is charged only its manifest
+//   bytes plus the chunks the core has not seen from this relay.  Devices
+//   photographing the same scene upload near-duplicate bytes, so
+//   co-located traffic collapses: the second copy of a shared region costs
+//   a manifest entry, not the region.
+//
+//   Store-and-forward.  When the backhaul is partitioned the relay holds
+//   uploads in arrival order (a bounded view of the damaged-network case:
+//   the device gets its ack from the relay and moves on).  When the
+//   partition heals, held requests drain FIFO through the same dedup
+//   accounting — bytes cross the backhaul at heal time, not hold time.
+//
+// Relays are passive state machines driven by the fleet simulator's
+// virtual clock: nothing here reads real time, so relay behaviour is
+// deterministic for a fixed arrival order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "store/chunk.hpp"
+
+namespace bees::relay {
+
+/// Error message a device sees when its relay is down (scripted outage) or
+/// cannot reach the core for a query.  Fleet clients classify it as
+/// retryable, like serve::kShedErrorMessage.
+inline constexpr const char* kRelayUnavailableMessage = "relay unavailable";
+
+/// Counters one relay (or an aggregated tier) accumulates.
+struct RelayStats {
+  std::uint64_t forwarded_requests = 0;
+  std::uint64_t ingress_bytes = 0;   ///< Raw request bytes entering the relay.
+  std::uint64_t backhaul_bytes = 0;  ///< Manifest + missing-chunk bytes sent.
+  std::uint64_t dedup_bytes_saved = 0;  ///< ingress - chunk bytes shipped.
+  std::uint64_t dedup_chunks_hit = 0;   ///< Chunks already known upstream.
+  std::uint64_t held_requests = 0;      ///< Requests parked by hold().
+  std::uint64_t drained_requests = 0;   ///< Held requests later drained.
+  std::uint64_t queue_depth_max = 0;    ///< Peak store-and-forward depth.
+};
+
+/// One held upload: the caller's token (the fleet keeps the routing
+/// context — device, sequence number — on its side) plus the raw request.
+struct HeldRequest {
+  std::uint64_t token = 0;
+  std::vector<std::uint8_t> request;
+};
+
+class Relay {
+ public:
+  /// `chunk_size` is the CARE chunking interval (> 0).
+  Relay(int id, std::uint32_t chunk_size);
+
+  /// Accounts one request crossing the backhaul now and returns the bytes
+  /// charged: encoded-manifest size plus the raw bytes of every chunk this
+  /// relay has not previously pushed upstream.  Updates the dedup set.
+  std::uint64_t forward(const std::vector<std::uint8_t>& request);
+
+  /// Parks an upload during a backhaul partition (FIFO).
+  void hold(std::uint64_t token, std::vector<std::uint8_t> request);
+
+  /// Hands back every held request in arrival order and clears the queue.
+  /// The caller forwards each (dedup accounting happens at drain, when the
+  /// bytes actually cross the backhaul).
+  std::vector<HeldRequest> take_held();
+
+  std::size_t queue_depth() const { return held_.size(); }
+  int id() const noexcept { return id_; }
+  const RelayStats& stats() const noexcept { return stats_; }
+
+ private:
+  const int id_;
+  const std::uint32_t chunk_size_;
+  std::unordered_set<store::ChunkKey, store::ChunkKeyHasher> forwarded_;
+  std::deque<HeldRequest> held_;
+  RelayStats stats_;
+};
+
+/// The fleet's relay fan: device d talks to relay d % size.  Outage
+/// scheduling lives in the simulator (it owns the virtual clock); the tier
+/// is just the relays plus aggregate accounting.
+class RelayTier {
+ public:
+  RelayTier(int relays, std::uint32_t chunk_size);
+
+  Relay& route(int device) {
+    return relays_[static_cast<std::size_t>(device) % relays_.size()];
+  }
+  Relay& at(int relay) { return relays_[static_cast<std::size_t>(relay)]; }
+  int size() const { return static_cast<int>(relays_.size()); }
+
+  /// Sum of every relay's counters (queue_depth_max is the max).
+  RelayStats stats() const;
+
+ private:
+  std::vector<Relay> relays_;
+};
+
+}  // namespace bees::relay

@@ -1,0 +1,262 @@
+#include "replica/replication.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "serve/shard.hpp"
+#include "serve/wal.hpp"
+#include "util/byte_io.hpp"
+#include "util/hash.hpp"
+
+namespace bees::replica {
+
+namespace {
+
+constexpr std::uint32_t kTermMagic = 0x4D545242;  // "BRTM"
+constexpr std::uint32_t kTermVersion = 1;
+
+}  // namespace
+
+ReplicationGroup::ReplicationGroup(int shard_id,
+                                   const serve::ShardOptions& shard_options,
+                                   const ReplicationOptions& options)
+    : shard_id_(shard_id), base_options_(shard_options), options_(options) {
+  if (options_.followers < 0) {
+    throw std::invalid_argument("replica: follower count must be >= 0");
+  }
+  if (options_.ship_queue_cap == 0) {
+    throw std::invalid_argument("replica: ship queue cap must be >= 1");
+  }
+  const std::size_t n = static_cast<std::size_t>(options_.followers) + 1;
+
+  // Recover the term first: it names which instance's timeline is
+  // authoritative, and therefore which instance the stale ones are caught
+  // up from.
+  if (!base_options_.dir.empty()) {
+    std::ifstream in(term_path(), std::ios::binary);
+    if (in) {
+      std::vector<std::uint8_t> bytes(
+          (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+      util::ByteReader reader(bytes);
+      if (reader.get_u32() != kTermMagic || reader.get_u32() != kTermVersion) {
+        throw std::runtime_error("replica: unrecognized term file");
+      }
+      const int active = static_cast<int>(reader.get_u32());
+      failovers_ = reader.get_u64();
+      if (active < 0 || static_cast<std::size_t>(active) >= n) {
+        throw std::runtime_error("replica: term names a missing instance");
+      }
+      active_.store(active, std::memory_order_relaxed);
+    }
+  }
+
+  instances_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    instances_.push_back(std::make_unique<serve::Shard>(
+        shard_id_, instance_options(static_cast<int>(i))));
+  }
+  alive_.assign(n, true);
+  queues_.resize(n);
+  acked_seq_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    acked_seq_[i] = instances_[i]->last_applied_seq();
+  }
+
+  // Snapshot-install every instance whose recovered sequence diverges from
+  // the active's: the killed primary's stale dir after a failover, or a
+  // follower that crashed mid-ship.  (The replaced instance's recovery may
+  // have pinned snapshot chunks it no longer references — a benign
+  // over-pin; pins only defer reclaim, never correctness.)
+  const int cur = active_.load(std::memory_order_relaxed);
+  const std::uint64_t target = acked_seq_[static_cast<std::size_t>(cur)];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<int>(i) == cur || acked_seq_[i] == target) continue;
+    const std::vector<std::uint8_t> snapshot =
+        instances_[static_cast<std::size_t>(cur)]->encode_snapshot();
+    instances_[i] = std::make_unique<serve::Shard>(
+        shard_id_, instance_options(static_cast<int>(i)), snapshot);
+    acked_seq_[i] = instances_[i]->last_applied_seq();
+    ++catch_ups_;
+    obs::count("replica.catch_up");
+  }
+}
+
+serve::ShardOptions ReplicationGroup::instance_options(int i) const {
+  serve::ShardOptions o = base_options_;
+  if (i > 0 && !o.dir.empty()) {
+    o.dir += "/replica-" + std::to_string(i);
+  }
+  return o;
+}
+
+std::string ReplicationGroup::term_path() const {
+  return base_options_.dir + "/replica.term";
+}
+
+void ReplicationGroup::persist_term() const {
+  util::ByteWriter writer;
+  writer.put_u32(kTermMagic);
+  writer.put_u32(kTermVersion);
+  writer.put_u32(
+      static_cast<std::uint32_t>(active_.load(std::memory_order_relaxed)));
+  writer.put_u64(failovers_);
+  const std::string tmp = term_path() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+              static_cast<std::streamsize>(writer.size()));
+    if (!out) throw std::runtime_error("replica: cannot write term file");
+  }
+  std::filesystem::rename(tmp, term_path());
+}
+
+idx::ImageId ReplicationGroup::apply(serve::WalRecord record) {
+  const int cur = active_.load(std::memory_order_relaxed);
+  serve::Shard& primary = *instances_[static_cast<std::size_t>(cur)];
+  const idx::ImageId local = primary.apply(record);
+  record.seq = primary.last_applied_seq();
+
+  int subscribers = 0;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (alive_[i] && static_cast<int>(i) != cur) ++subscribers;
+  }
+  if (subscribers == 0) return local;
+
+  // Re-encode as exactly the frame the primary's WAL carries.  With a
+  // store, chunks are pinned here — the primary's own WAL pin is released
+  // whenever its auto-checkpoint resets the log, which can happen before
+  // any follower drains.
+  auto frame = std::make_shared<ShipFrame>();
+  frame->seq = record.seq;
+  frame->unacked = subscribers;
+  std::vector<std::uint8_t> body;
+  if (base_options_.segment_store != nullptr && !record.payload.empty()) {
+    const store::Manifest manifest =
+        base_options_.segment_store->put_payload_pinned(record.payload);
+    base_options_.segment_store->flush();
+    frame->pins = manifest.chunks;
+    body = serve::encode_wal_record_chunked(record, manifest);
+  } else {
+    body = serve::encode_wal_record(record);
+  }
+  util::ByteWriter writer;
+  writer.put_u32(static_cast<std::uint32_t>(body.size()));
+  writer.put_u32(util::crc32(body));
+  writer.put_bytes(body);
+  frame->frame = writer.take();
+
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (!alive_[i] || static_cast<int>(i) == cur) continue;
+    queues_[i].push_back(frame);
+    ++ship_records_;
+    ship_bytes_ += frame->frame.size();
+    ship_lag_max_ = std::max<std::uint64_t>(ship_lag_max_, queues_[i].size());
+    obs::count("replica.ship.records");
+    obs::count("replica.ship.bytes",
+               static_cast<double>(frame->frame.size()));
+    if (queues_[i].size() >= options_.ship_queue_cap) drain_follower(i);
+  }
+  return local;
+}
+
+void ReplicationGroup::drain_follower(std::size_t i) {
+  while (!queues_[i].empty()) {
+    std::shared_ptr<ShipFrame> frame = std::move(queues_[i].front());
+    queues_[i].pop_front();
+    util::ByteReader reader(frame->frame);
+    const std::uint32_t len = reader.get_u32();
+    const std::uint32_t crc = reader.get_u32();
+    const std::vector<std::uint8_t> body = reader.get_bytes(len);
+    if (util::crc32(body) != crc) {
+      throw std::runtime_error("replica: ship frame CRC mismatch");
+    }
+    const serve::WalRecord record =
+        serve::decode_wal_record(body, base_options_.segment_store);
+    instances_[i]->apply_replicated(record);
+    acked_seq_[i] = frame->seq;
+    release_frame(frame);
+  }
+}
+
+void ReplicationGroup::release_frame(const std::shared_ptr<ShipFrame>& frame) {
+  if (--frame->unacked > 0) return;
+  if (!frame->pins.empty() && base_options_.segment_store != nullptr) {
+    base_options_.segment_store->unpin(frame->pins);
+  }
+}
+
+void ReplicationGroup::drain_all() {
+  const int cur = active_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (alive_[i] && static_cast<int>(i) != cur) drain_follower(i);
+  }
+}
+
+bool ReplicationGroup::kill_active() {
+  const int cur = active_.load(std::memory_order_relaxed);
+  int standbys = 0;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (alive_[i] && static_cast<int>(i) != cur) ++standbys;
+  }
+  if (standbys == 0) return false;
+
+  // Parity before promotion: after the drain every live follower has
+  // applied the primary's full history, so whichever is promoted answers
+  // queries byte-identically to the instance it replaces.  The
+  // release-store publishes that fully-drained state to lock-free
+  // readers of active().
+  drain_all();
+  alive_[static_cast<std::size_t>(cur)] = false;
+
+  int best = -1;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (!alive_[i]) continue;
+    if (best < 0 || acked_seq_[i] > acked_seq_[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  active_.store(best, std::memory_order_release);
+  ++failovers_;
+  obs::count("replica.failover");
+  if (!base_options_.dir.empty()) persist_term();
+  return true;
+}
+
+void ReplicationGroup::checkpoint() {
+  drain_all();
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (alive_[i]) instances_[i]->checkpoint();
+  }
+}
+
+serve::BackendResilience ReplicationGroup::resilience() const {
+  serve::BackendResilience r;
+  r.failovers = failovers_;
+  r.ship_records = ship_records_;
+  r.ship_bytes = ship_bytes_;
+  r.ship_lag_max = ship_lag_max_;
+  r.catch_ups = catch_ups_;
+  const int cur = active_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (alive_[i] && static_cast<int>(i) != cur) ++r.live_standbys;
+  }
+  return r;
+}
+
+serve::BackendFactory make_replicated_factory(int followers,
+                                              std::size_t ship_queue_cap) {
+  ReplicationOptions options;
+  options.followers = followers;
+  options.ship_queue_cap = ship_queue_cap;
+  return [options](int shard_id, const serve::ShardOptions& shard_options) {
+    return std::make_unique<ReplicationGroup>(shard_id, shard_options,
+                                              options);
+  };
+}
+
+}  // namespace bees::replica

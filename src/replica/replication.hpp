@@ -1,0 +1,152 @@
+// Per-shard primary -> follower replication by WAL shipping.
+//
+// A ReplicationGroup is one cluster shard slot backed by 1 + F Shard
+// instances: the active primary plus F standby followers.  Every mutation
+// the cluster applies to the primary is re-encoded as exactly the frame
+// the primary's on-disk WAL carries —
+//
+//   u32 body length | u32 CRC-32(body) | body
+//
+// where the body is encode_wal_record (inline) or, with a segment store
+// attached, encode_wal_record_chunked: the payload lives in the
+// content-addressed store and the frame carries only its manifest, so a
+// record whose chunks the store already holds (they were just written by
+// the primary's own WAL append) ships as a few dozen manifest bytes.
+// Shipped chunks are pinned (put_payload_pinned) until every follower has
+// acknowledged the frame, so a checkpoint-triggered compaction on the
+// primary can never reclaim a chunk a ship frame still references.
+//
+// Shipping is asynchronous with a bounded per-follower queue: frames
+// accumulate until the queue reaches `ship_queue_cap`, then the follower
+// drains (applies every queued frame, acknowledging by sequence number).
+// Queries never read followers, so follower lag is invisible to replies.
+// The two events that demand parity force a drain first:
+//
+//   kill_active() — deterministic failover.  Every live follower is
+//   drained to the primary's sequence, the primary is marked dead, and the
+//   follower with the highest acknowledged sequence (ties to the lowest
+//   index) is promoted.  Because promotion happens at apply-parity, the
+//   promoted instance's state is byte-for-byte the state the primary would
+//   have had, and every subsequent query is answered identically to a
+//   never-killed group.  Durable groups persist the promotion in a term
+//   file so a restart recovers the promoted timeline, and snapshot-install
+//   any instance the term left behind (the killed primary's stale dir, a
+//   follower that crashed mid-ship) from the active's encode_snapshot().
+//
+//   checkpoint() — every instance snapshots its own durable dir.
+//
+// A follower detects redelivery (seq <= its last applied: idempotent
+// no-op) and gaps (seq skips ahead: std::logic_error) — see
+// Shard::apply_replicated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/backend.hpp"
+
+namespace bees::replica {
+
+struct ReplicationOptions {
+  /// Standby followers behind the primary (>= 0; 0 degenerates to an
+  /// unreplicated slot whose kill_active is refused).
+  int followers = 1;
+  /// Frames queued to one follower before it is synchronously drained.
+  std::size_t ship_queue_cap = 64;
+};
+
+class ReplicationGroup final : public serve::ShardBackend {
+ public:
+  /// `shard_options` describes the primary; follower j lives under
+  /// `<dir>/replica-<j>` (in-memory when dir is empty) and shares the
+  /// segment store, checkpoint cadence, and index params.  With a durable
+  /// dir, construction recovers every instance from its own snapshot + WAL
+  /// tail, restores the term (which instance is active, how many failovers
+  /// happened), and catches stale instances up by snapshot install.
+  ReplicationGroup(int shard_id, const serve::ShardOptions& shard_options,
+                   const ReplicationOptions& options);
+
+  // Queries read active() without the cluster's mutation lock, so the
+  // active index is published atomically: kill_active() fully drains the
+  // promoted follower *before* the release-store, and a query that loads
+  // the new index (acquire) sees its complete state.
+  serve::Shard& active() override {
+    return *instances_[static_cast<std::size_t>(
+        active_.load(std::memory_order_acquire))];
+  }
+  const serve::Shard& active() const override {
+    return *instances_[static_cast<std::size_t>(
+        active_.load(std::memory_order_acquire))];
+  }
+
+  idx::ImageId apply(serve::WalRecord record) override;
+  void checkpoint() override;
+  bool kill_active() override;
+  serve::BackendResilience resilience() const override;
+
+  /// Brings every live follower to the active's sequence (applies all
+  /// queued ship frames).  kill_active and checkpoint call this; tests use
+  /// it to assert parity directly.
+  void drain_all();
+
+  int instance_count() const {
+    return static_cast<int>(instances_.size());
+  }
+  bool instance_alive(int i) const {
+    return alive_[static_cast<std::size_t>(i)];
+  }
+  int active_index() const {
+    return active_.load(std::memory_order_acquire);
+  }
+  std::uint64_t acked_seq(int i) const {
+    return acked_seq_[static_cast<std::size_t>(i)];
+  }
+  /// Test access to a specific instance (e.g. comparing a follower's state
+  /// against the primary's after a drain).
+  serve::Shard& instance(int i) {
+    return *instances_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  /// One frame queued to followers; chunk pins are released when the last
+  /// subscribed follower acknowledges.
+  struct ShipFrame {
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> frame;  ///< len|crc|body, as on disk.
+    std::vector<store::ChunkKey> pins;
+    int unacked = 0;  ///< Followers still holding a reference.
+  };
+
+  serve::ShardOptions instance_options(int i) const;
+  std::string term_path() const;
+  void persist_term() const;
+  void drain_follower(std::size_t i);
+  void release_frame(const std::shared_ptr<ShipFrame>& frame);
+
+  const int shard_id_;
+  serve::ShardOptions base_options_;
+  ReplicationOptions options_;
+  std::vector<std::unique_ptr<serve::Shard>> instances_;
+  std::vector<bool> alive_;
+  std::vector<std::uint64_t> acked_seq_;
+  /// Per-follower ship queues (index parallel to instances_; the active's
+  /// queue is always empty).
+  std::vector<std::deque<std::shared_ptr<ShipFrame>>> queues_;
+  std::atomic<int> active_{0};
+  std::uint64_t failovers_ = 0;
+  std::uint64_t ship_records_ = 0;
+  std::uint64_t ship_bytes_ = 0;
+  std::uint64_t ship_lag_max_ = 0;
+  std::uint64_t catch_ups_ = 0;
+};
+
+/// A BackendFactory giving every cluster shard slot `followers` standbys:
+/// plug into serve::ClusterOptions::backend_factory.
+serve::BackendFactory make_replicated_factory(
+    int followers, std::size_t ship_queue_cap = 64);
+
+}  // namespace bees::replica

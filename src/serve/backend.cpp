@@ -1,0 +1,35 @@
+#include "serve/backend.hpp"
+
+namespace bees::serve {
+namespace {
+
+class SingleBackend final : public ShardBackend {
+ public:
+  SingleBackend(int shard_id, const ShardOptions& options)
+      : shard_(shard_id, options) {}
+
+  Shard& active() override { return shard_; }
+  const Shard& active() const override { return shard_; }
+
+  idx::ImageId apply(WalRecord record) override {
+    return shard_.apply(std::move(record));
+  }
+
+  void checkpoint() override { shard_.checkpoint(); }
+
+  bool kill_active() override { return false; }  // nothing to promote
+
+  BackendResilience resilience() const override { return {}; }
+
+ private:
+  Shard shard_;
+};
+
+}  // namespace
+
+std::unique_ptr<ShardBackend> make_single_backend(int shard_id,
+                                                  const ShardOptions& options) {
+  return std::make_unique<SingleBackend>(shard_id, options);
+}
+
+}  // namespace bees::serve

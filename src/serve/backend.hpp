@@ -1,0 +1,83 @@
+// The shard-backend seam: how the cluster frontend reaches the state
+// machine behind each shard slot without knowing whether that slot is a
+// bare durable Shard or a replication group (src/replica) shipping its WAL
+// to standby followers.
+//
+// The contract every backend must honour is the one the cluster's
+// determinism proof leans on:
+//
+//   - active() always returns a Shard whose state is exactly the fold of
+//     the apply() calls issued so far, in order.  Queries read only the
+//     active instance, so a backend may maintain any number of standbys at
+//     any lag without affecting replies.
+//   - kill_active() may only change which instance is active, never what
+//     the active instance's state is.  A backend that promotes a standby
+//     must first bring it to apply-parity with the instance being killed —
+//     after a successful kill, every subsequent query must be answered
+//     byte-identically to a backend that was never killed.
+//
+// The factory is a dependency inversion: serve never links against the
+// replication layer; callers that want replicated shard slots (the fleet
+// simulator, tools, tests) install replica::make_replicated_factory into
+// ClusterOptions::backend_factory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "serve/shard.hpp"
+
+namespace bees::serve {
+
+/// Replication/failover counters one backend accumulated; all zeros for a
+/// single-instance backend.  Aggregated across shards by
+/// Cluster::resilience() and surfaced in the fleet report's `resilience`
+/// section — every field is a deterministic function of the applied
+/// mutation sequence and the kill schedule, never of wall-clock.
+struct BackendResilience {
+  std::uint64_t failovers = 0;     ///< Successful promotions.
+  std::uint64_t ship_records = 0;  ///< WAL frames shipped (x live followers).
+  std::uint64_t ship_bytes = 0;    ///< Framed ship bytes (x live followers).
+  std::uint64_t ship_lag_max = 0;  ///< Max frames queued to one follower.
+  std::uint64_t catch_ups = 0;     ///< Snapshot-install catch-ups.
+  std::uint64_t live_standbys = 0; ///< Followers currently promotable.
+};
+
+/// One shard slot of the cluster: the active Shard all queries read, plus
+/// whatever standby machinery the implementation keeps behind it.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// The instance queries read.  Stable between apply()/kill_active()
+  /// calls; after a kill it names the promoted standby.
+  virtual Shard& active() = 0;
+  virtual const Shard& active() const = 0;
+
+  /// Logs and applies one mutation to the active instance (and, for a
+  /// replicated backend, ships it).  Same contract as Shard::apply —
+  /// callers serialize mutations (the cluster's mutation lock).
+  virtual idx::ImageId apply(WalRecord record) = 0;
+
+  /// Checkpoints every durable instance this backend owns.
+  virtual void checkpoint() = 0;
+
+  /// Kills the active instance and promotes a standby at apply-parity.
+  /// Returns false (and changes nothing) when no live standby exists —
+  /// single-instance backends always refuse.
+  virtual bool kill_active() = 0;
+
+  virtual BackendResilience resilience() const = 0;
+};
+
+/// Builds the backend for shard slot `shard_id` from the per-shard options
+/// the cluster assembled (dir, segment store, checkpoint cadence, params).
+using BackendFactory = std::function<std::unique_ptr<ShardBackend>(
+    int shard_id, const ShardOptions& options)>;
+
+/// The default backend: exactly one Shard, no standbys, kill refused.
+std::unique_ptr<ShardBackend> make_single_backend(int shard_id,
+                                                  const ShardOptions& options);
+
+}  // namespace bees::serve

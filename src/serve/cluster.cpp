@@ -42,7 +42,10 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
     // records and snapshot manifests against the rebuilt directory.
     store_ = std::make_unique<store::SegmentStore>(store_options);
   }
-  shards_.reserve(static_cast<std::size_t>(n));
+  const BackendFactory factory =
+      options_.backend_factory ? options_.backend_factory
+                               : BackendFactory(make_single_backend);
+  backends_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     ShardOptions shard_options;
     if (!options_.data_dir.empty()) {
@@ -53,15 +56,19 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
     shard_options.wal_reset_on_checkpoint = options_.wal_reset_on_checkpoint;
     shard_options.binary_params = options_.binary_params;
     shard_options.float_params = options_.float_params;
-    shards_.push_back(std::make_unique<Shard>(i, shard_options));
+    backends_.push_back(factory(i, shard_options));
   }
   next_binary_local_.assign(static_cast<std::size_t>(n), 0);
   next_float_local_.assign(static_cast<std::size_t>(n), 0);
 
   // Rebuild the global routing tables from what each shard recovered.  A
-  // gid no shard claims (lost to a torn WAL tail) stays a hole.
+  // gid no shard claims (lost to a torn WAL tail) stays a hole.  A
+  // replicated backend recovers its promoted instance (the persisted term
+  // decides which), so the identity read here reflects any failover the
+  // previous process lifetime committed.
   for (int s = 0; s < n; ++s) {
-    const ShardIdentity identity = shards_[static_cast<std::size_t>(s)]->identity();
+    const ShardIdentity identity =
+        backends_[static_cast<std::size_t>(s)]->active().identity();
     for (std::size_t local = 0; local < identity.binary_globals.size();
          ++local) {
       const std::uint32_t gid = identity.binary_globals[local];
@@ -91,7 +98,7 @@ std::size_t Cluster::route(const idx::GeoTag& geo, std::uint32_t gid) const {
   // live where they do); untagged images spread by id.
   const std::uint64_t key =
       geo.valid ? idx::location_key(geo) : 0x8000000000000000ull + gid;
-  return static_cast<std::size_t>(mix64(key) % shards_.size());
+  return static_cast<std::size_t>(mix64(key) % backends_.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -412,9 +419,10 @@ idx::QueryResult Cluster::query_binary(
   // global (votes desc, gid asc) order restricted to its images, so the
   // merged-and-truncated list is exactly the single-index candidate set.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> merged;  // (gid, score)
-  for (const auto& shard : shards_) {
+  for (const auto& backend : backends_) {
     const auto candidates =
-        shard->binary_candidates(features, query_options.recall_target);
+        backend->active().binary_candidates(features,
+                                            query_options.recall_target);
     merged.insert(merged.end(), candidates.begin(), candidates.end());
   }
   std::sort(merged.begin(), merged.end(),
@@ -431,7 +439,7 @@ idx::QueryResult Cluster::query_binary(
 
   // Phase 2: exact rescore on the owning shards; per-shard top-k lists
   // cover the global top-k because within a shard local order is gid order.
-  std::vector<std::vector<idx::ImageId>> locals(shards_.size());
+  std::vector<std::vector<idx::ImageId>> locals(backends_.size());
   {
     std::lock_guard<std::mutex> lock(maps_mutex_);
     for (const auto& [gid, votes] : merged) {
@@ -440,10 +448,10 @@ idx::QueryResult Cluster::query_binary(
     }
   }
   idx::QueryResult out;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
+  for (std::size_t s = 0; s < backends_.size(); ++s) {
     if (locals[s].empty()) continue;
     const idx::QueryResult part =
-        shards_[s]->rescore_binary(features, locals[s], top_k);
+        backends_[s]->active().rescore_binary(features, locals[s], top_k);
     out.hits.insert(out.hits.end(), part.hits.begin(), part.hits.end());
     out.candidates_checked += part.candidates_checked;
     out.ops += part.ops;
@@ -474,7 +482,7 @@ std::vector<idx::QueryResult> Cluster::query_binary_batch(
   // functions, so each query's merged-and-truncated shortlist is exactly
   // what its solo query_binary would compute — while phase-2 work is
   // accumulated into one batched rescore per shard.
-  const std::size_t n_shards = shards_.size();
+  const std::size_t n_shards = backends_.size();
   std::vector<std::vector<const feat::BinaryFeatures*>> shard_features(
       n_shards);
   std::vector<std::vector<std::vector<idx::ImageId>>> shard_locals(n_shards);
@@ -484,9 +492,9 @@ std::vector<idx::QueryResult> Cluster::query_binary_batch(
     const BinaryBatchItem& item = items[q];
     const feat::BinaryFeatures& features = *item.features;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> merged;
-    for (const auto& shard : shards_) {
-      const auto candidates =
-          shard->binary_candidates(features, item.options.recall_target);
+    for (const auto& backend : backends_) {
+      const auto candidates = backend->active().binary_candidates(
+          features, item.options.recall_target);
       merged.insert(merged.end(), candidates.begin(), candidates.end());
     }
     std::sort(merged.begin(), merged.end(),
@@ -520,8 +528,8 @@ std::vector<idx::QueryResult> Cluster::query_binary_batch(
   for (std::size_t s = 0; s < n_shards; ++s) {
     if (shard_features[s].empty()) continue;
     const std::vector<idx::QueryResult> parts =
-        shards_[s]->rescore_binary_batch(shard_features[s], shard_locals[s],
-                                         shard_top_k[s]);
+        backends_[s]->active().rescore_binary_batch(
+            shard_features[s], shard_locals[s], shard_top_k[s]);
     for (std::size_t e = 0; e < parts.size(); ++e) {
       idx::QueryResult& out = results[shard_query[s][e]];
       out.hits.insert(out.hits.end(), parts[e].hits.begin(),
@@ -550,8 +558,8 @@ idx::QueryResult Cluster::query_float(const feat::FloatFeatures& features,
   obs::ScopedSpan span("fanout.float", "serve", obs::kLaneServer);
 
   std::vector<std::pair<double, std::uint32_t>> merged;  // (distance, gid)
-  for (const auto& shard : shards_) {
-    const auto candidates = shard->float_candidates(features);
+  for (const auto& backend : backends_) {
+    const auto candidates = backend->active().float_candidates(features);
     merged.insert(merged.end(), candidates.begin(), candidates.end());
   }
   std::sort(merged.begin(), merged.end());  // (distance asc, gid asc)
@@ -559,7 +567,7 @@ idx::QueryResult Cluster::query_float(const feat::FloatFeatures& features,
       std::max(0, options_.float_params.max_candidates));
   if (merged.size() > budget) merged.resize(budget);
 
-  std::vector<std::vector<idx::ImageId>> locals(shards_.size());
+  std::vector<std::vector<idx::ImageId>> locals(backends_.size());
   {
     std::lock_guard<std::mutex> lock(maps_mutex_);
     for (const auto& [distance, gid] : merged) {
@@ -568,10 +576,10 @@ idx::QueryResult Cluster::query_float(const feat::FloatFeatures& features,
     }
   }
   idx::QueryResult out;
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
+  for (std::size_t s = 0; s < backends_.size(); ++s) {
     if (locals[s].empty()) continue;
     const idx::QueryResult part =
-        shards_[s]->rescore_float(features, locals[s], top_k);
+        backends_[s]->active().rescore_float(features, locals[s], top_k);
     out.hits.insert(out.hits.end(), part.hits.begin(), part.hits.end());
     out.candidates_checked += part.candidates_checked;
     out.ops += part.ops;
@@ -592,8 +600,10 @@ double Cluster::query_global(const feat::ColorHistogram& histogram,
     query_feature_bytes_ += feature_bytes;
   }
   double best = 0.0;
-  for (const auto& shard : shards_) {
-    best = std::max(best, shard->peek_global(histogram, geo, geo_radius_deg));
+  for (const auto& backend : backends_) {
+    best = std::max(best,
+                    backend->active().peek_global(histogram, geo,
+                                                  geo_radius_deg));
   }
   obs::count("serve.query.global");
   return best;
@@ -616,7 +626,7 @@ idx::ImageId Cluster::apply_mutation(WalOp op, const idx::GeoTag& geo,
     std::lock_guard<std::mutex> lock(maps_mutex_);
     locations->push_back({static_cast<int>(s), predicted});
   }
-  const idx::ImageId local = shards_[s]->apply(std::move(record));
+  const idx::ImageId local = backends_[s]->apply(std::move(record));
   if (locations && local != predicted) {
     throw std::logic_error("cluster: shard local id drifted from prediction");
   }
@@ -717,19 +727,21 @@ double Cluster::thumbnail_bytes_of(idx::ImageId gid) const {
     loc = binary_locations_[gid];
   }
   if (loc.shard < 0) return 0.0;
-  return shards_[static_cast<std::size_t>(loc.shard)]->thumbnail_bytes_of_local(
-      loc.local);
+  return backends_[static_cast<std::size_t>(loc.shard)]
+      ->active()
+      .thumbnail_bytes_of_local(loc.local);
 }
 
 cloud::ServerStats Cluster::stats() const {
   cloud::ServerStats out;
   std::unordered_set<std::uint64_t> keys;
-  for (const auto& shard : shards_) {
-    const cloud::ServerStats st = shard->stats();
+  for (const auto& backend : backends_) {
+    const Shard& shard = backend->active();
+    const cloud::ServerStats st = shard.stats();
     out.images_stored += st.images_stored;
     out.image_bytes_received += st.image_bytes_received;
     out.feature_bytes_received += st.feature_bytes_received;
-    const std::vector<std::uint64_t> shard_keys = shard->location_keys();
+    const std::vector<std::uint64_t> shard_keys = shard.location_keys();
     keys.insert(shard_keys.begin(), shard_keys.end());
   }
   out.unique_locations = keys.size();
@@ -742,7 +754,30 @@ cloud::ServerStats Cluster::stats() const {
 
 void Cluster::checkpoint() {
   std::lock_guard<std::mutex> lock(mutation_mutex_);
-  for (const auto& shard : shards_) shard->checkpoint();
+  for (const auto& backend : backends_) backend->checkpoint();
+}
+
+bool Cluster::kill_primary(int shard) {
+  if (shard < 0 || shard >= shard_count()) return false;
+  // The mutation lock puts the kill *between* applies: no record is ever
+  // half-shipped when the promotion runs, which is what makes the promoted
+  // standby's state exactly the killed primary's.
+  std::lock_guard<std::mutex> lock(mutation_mutex_);
+  return backends_[static_cast<std::size_t>(shard)]->kill_active();
+}
+
+BackendResilience Cluster::resilience() const {
+  BackendResilience out;
+  for (const auto& backend : backends_) {
+    const BackendResilience r = backend->resilience();
+    out.failovers += r.failovers;
+    out.ship_records += r.ship_records;
+    out.ship_bytes += r.ship_bytes;
+    out.ship_lag_max = std::max(out.ship_lag_max, r.ship_lag_max);
+    out.catch_ups += r.catch_ups;
+    out.live_standbys += r.live_standbys;
+  }
+  return out;
 }
 
 idx::FeatureIndex Cluster::merged_binary_index() const {
@@ -754,8 +789,9 @@ idx::FeatureIndex Cluster::merged_binary_index() const {
   idx::FeatureIndex out(options_.binary_params);
   for (const Location& loc : locations) {
     if (loc.shard < 0) continue;
-    auto [features, geo] =
-        shards_[static_cast<std::size_t>(loc.shard)]->binary_entry(loc.local);
+    auto [features, geo] = backends_[static_cast<std::size_t>(loc.shard)]
+                               ->active()
+                               .binary_entry(loc.local);
     out.insert(std::move(features), geo);
   }
   return out;

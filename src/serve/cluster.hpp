@@ -33,6 +33,7 @@
 
 #include "cloud/server.hpp"
 #include "net/transport.hpp"
+#include "serve/backend.hpp"
 #include "serve/shard.hpp"
 #include "util/thread_pool.hpp"
 
@@ -81,6 +82,12 @@ struct ClusterOptions {
   /// images.
   bool enable_segment_store = false;
   store::SegmentStoreOptions segment_store;
+  /// How each shard slot is backed.  Unset = make_single_backend (one bare
+  /// Shard per slot, kill_primary refused).  Install
+  /// replica::make_replicated_factory to give every shard WAL-shipping
+  /// standby followers and deterministic failover; the cluster's query and
+  /// mutation planes are oblivious to the choice (see serve/backend.hpp).
+  BackendFactory backend_factory;
   idx::FeatureIndexParams binary_params;
   idx::FloatFeatureIndex::Params float_params;
 };
@@ -186,7 +193,22 @@ class Cluster {
     return shed_.load(std::memory_order_relaxed);
   }
 
-  int shard_count() const noexcept { return static_cast<int>(shards_.size()); }
+  int shard_count() const noexcept {
+    return static_cast<int>(backends_.size());
+  }
+
+  /// Kills shard `shard`'s active instance and promotes a standby at
+  /// apply-parity (see ShardBackend::kill_active).  Returns false — and
+  /// changes nothing — when the backend has no standby to promote
+  /// (single-instance backends, or a group whose standbys are exhausted).
+  /// Serialized against mutations, so a kill always lands between applies;
+  /// queries before and after a successful kill are answered
+  /// byte-identically to a never-killed cluster.
+  bool kill_primary(int shard);
+
+  /// Replication/failover counters summed over every shard backend; all
+  /// zeros under the default single-instance factory.
+  BackendResilience resilience() const;
 
   /// Every binary-indexed image merged into one standalone index in global
   /// id order — what bees_sim --save-index persists from a cluster run.
@@ -230,7 +252,7 @@ class Cluster {
   /// outlive the store; both precede shards_, which hold store pointers.
   std::unique_ptr<util::ThreadPool> store_pool_;
   std::unique_ptr<store::SegmentStore> store_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<ShardBackend>> backends_;
   std::unique_ptr<util::ThreadPool> pool_;
 
   std::atomic<std::size_t> pending_{0};

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 
 #include "index/persistence.hpp"
 #include "index/serialize.hpp"
@@ -64,6 +65,25 @@ Shard::Shard(int id, const ShardOptions& options)
   wal_recovered_pins_.clear();
 }
 
+Shard::Shard(int id, const ShardOptions& options,
+             const std::vector<std::uint8_t>& snapshot)
+    : id_(id),
+      options_(options),
+      server_(options.binary_params, options.float_params) {
+  if (!options_.dir.empty()) {
+    // The stale history under dir is superseded wholesale by the installed
+    // snapshot; keeping its WAL would replay records the snapshot already
+    // covers (harmless) or, worse, records past a divergence point.
+    std::filesystem::remove_all(options_.dir);
+    std::filesystem::create_directories(options_.dir);
+  }
+  restore_snapshot(snapshot);
+  if (!options_.dir.empty()) {
+    wal_ = std::make_unique<WriteAheadLog>(wal_path(), options_.segment_store);
+    checkpoint_locked();  // durably seed the installed state
+  }
+}
+
 std::string Shard::wal_path() const { return options_.dir + "/wal.log"; }
 
 std::string Shard::snapshot_path() const {
@@ -77,6 +97,24 @@ std::string Shard::manifest_path() const {
 idx::ImageId Shard::apply(WalRecord record) {
   std::lock_guard<std::mutex> lock(mutex_);
   record.seq = ++seq_;
+  if (wal_) wal_->append(record);  // Write-ahead: log before apply.
+  idx::ImageId local = idx::kInvalidImageId;
+  apply_locked(record, &local);
+  ++mutations_since_checkpoint_;
+  if (options_.checkpoint_every > 0 &&
+      mutations_since_checkpoint_ >= options_.checkpoint_every) {
+    checkpoint_locked();
+  }
+  return local;
+}
+
+idx::ImageId Shard::apply_replicated(const WalRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (record.seq <= seq_) return idx::kInvalidImageId;  // redelivery: no-op
+  if (record.seq != seq_ + 1) {
+    throw std::logic_error("shard: replicated record skips a sequence number");
+  }
+  seq_ = record.seq;
   if (wal_) wal_->append(record);  // Write-ahead: log before apply.
   idx::ImageId local = idx::kInvalidImageId;
   apply_locked(record, &local);
@@ -232,6 +270,11 @@ ShardIdentity Shard::identity() const {
 std::uint64_t Shard::last_applied_seq() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return seq_;
+}
+
+std::vector<std::uint8_t> Shard::encode_snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return encode_snapshot_locked();
 }
 
 void Shard::checkpoint() {

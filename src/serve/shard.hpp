@@ -54,6 +54,14 @@ class Shard {
   /// last intact record, never replayed).
   Shard(int id, const ShardOptions& options);
 
+  /// Snapshot install (replica catch-up): the shard's initial state is
+  /// `snapshot` (encode_snapshot output of a peer) instead of whatever its
+  /// dir holds.  A durable dir is wiped and re-seeded with a checkpoint of
+  /// the installed state, so the next restart recovers the caught-up shard
+  /// rather than the stale one.
+  Shard(int id, const ShardOptions& options,
+        const std::vector<std::uint8_t>& snapshot);
+
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
 
@@ -61,6 +69,15 @@ class Shard {
   /// number is assigned here.  Returns the local index id for binary/float
   /// ops, kInvalidImageId otherwise.
   idx::ImageId apply(WalRecord record);
+
+  /// Applies a record shipped from a replication primary, *preserving* the
+  /// sequence number the primary assigned.  Idempotent below the follower's
+  /// seq (a redelivered frame returns kInvalidImageId and changes nothing);
+  /// a gap — record.seq beyond last_applied_seq() + 1 — throws
+  /// std::logic_error, because applying past a hole would silently diverge
+  /// the follower from the primary.  WAL-logged like apply(), so a
+  /// follower's own crash recovery replays the shipped history.
+  idx::ImageId apply_replicated(const WalRecord& record);
 
   /// Query phase 1: this shard's candidates as (global id, score), ranked
   /// (score desc, global id asc).  Scores come from the index's configured
@@ -106,6 +123,11 @@ class Shard {
   std::vector<std::uint64_t> location_keys() const;
   ShardIdentity identity() const;
   std::uint64_t last_applied_seq() const;
+
+  /// The shard's full state as snapshot bytes (the same encoding
+  /// checkpoints persist) — what a replication group ships to catch a
+  /// stale follower up before streaming the WAL tail.
+  std::vector<std::uint8_t> encode_snapshot();
 
   /// Writes a snapshot now (atomic tmp+rename) and — unless the crash-window
   /// hook is off — truncates the WAL it makes redundant.  No-op without a

@@ -1,0 +1,137 @@
+// Damaged-network fleet scenarios: scripted backhaul partitions, relay
+// outages, and primary kills must keep the epoch-barrier determinism
+// contract — byte-identical reports across runs and worker counts — while
+// the resilience section records the disaster, and the disaster must only
+// reshape traffic it plausibly touches (kills alone change no reply).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "fleet/simulator.hpp"
+
+namespace bees::fleet {
+namespace {
+
+/// The busy fleet from the simulator suite plus a full disaster script:
+/// replicated shards, a relay tier, a mid-run partition, a targeted relay
+/// outage, and two primary kills.
+FleetOptions disaster_options() {
+  FleetOptions o;
+  o.seed = 1234;
+  o.devices = 12;
+  o.duration_s = 20.0;
+  o.epoch_s = 1.0;
+  o.rate_hz = 0.15;
+  o.batch = 3;
+  o.set_images = 18;
+  o.set_locations = 6;
+  o.width = 64;
+  o.height = 48;
+  o.shards = 2;
+  o.queue_depth = 8;
+  o.service_base_s = 0.05;
+  o.service_per_image_s = 0.02;
+  o.loss = 0.05;
+  o.workers = 1;
+  o.replicas = 1;
+  o.relays = 2;
+  o.relay_chunk_size = 256;
+  o.partitions.push_back({4, 9, -1});     // every backhaul down, epochs 4-8
+  o.relay_outages.push_back({12, 14, 1});  // relay 1 dead, epochs 12-13
+  o.primary_kills.push_back({6, 0});
+  o.primary_kills.push_back({15, 1});
+  return o;
+}
+
+TEST(FleetDisaster, ReportInvariantAcrossWorkerCounts) {
+  // The tentpole acceptance criterion: partitions + outages + kills, same
+  // seed, byte-identical JSON for 1 vs 8 phase-A workers.
+  FleetOptions o = disaster_options();
+  o.workers = 1;
+  const std::string w1 = run_fleet(o).report.to_json();
+  o.workers = 8;
+  const std::string w8 = run_fleet(o).report.to_json();
+  EXPECT_EQ(w1, w8);
+}
+
+TEST(FleetDisaster, SameSeedSameScheduleReproducesExactly) {
+  const FleetOptions o = disaster_options();
+  EXPECT_EQ(run_fleet(o).report.to_json(), run_fleet(o).report.to_json());
+}
+
+TEST(FleetDisaster, ResilienceSectionRecordsTheDisaster) {
+  const FleetReport r = run_fleet(disaster_options()).report;
+  EXPECT_EQ(r.resilience.failovers, 2u);
+  EXPECT_EQ(r.resilience.live_standbys, 0u);  // 1 replica, both promoted
+  EXPECT_GT(r.resilience.ship_records, 0u);
+  EXPECT_GT(r.resilience.relay_requests, 0u);
+  EXPECT_GT(r.resilience.relay_rejects, 0u);  // partitioned queries bounce
+  EXPECT_EQ(r.resilience.relay_held, r.resilience.relay_drained);
+  EXPECT_EQ(r.config.replicas, 1);
+  EXPECT_EQ(r.config.relays, 2);
+}
+
+TEST(FleetDisaster, KillsAloneChangeNothingButResilience) {
+  // Failover is invisible to traffic: with no relay damage, a run with
+  // primary kills differs from an undamaged replicated run only in the
+  // resilience section (sheds, latency, precision all identical).
+  FleetOptions calm = disaster_options();
+  calm.partitions.clear();
+  calm.relay_outages.clear();
+  calm.relays = 0;
+  calm.relay_chunk_size = 4096;
+
+  FleetOptions killed = calm;
+  calm.primary_kills.clear();
+
+  const FleetReport a = run_fleet(calm).report;
+  const FleetReport b = run_fleet(killed).report;
+  EXPECT_EQ(a.totals.to_json(calm.duration_s),
+            b.totals.to_json(calm.duration_s));
+  EXPECT_EQ(a.latency_all.to_json(), b.latency_all.to_json());
+  EXPECT_EQ(a.precision.to_json(), b.precision.to_json());
+  EXPECT_EQ(a.resilience.failovers, 0u);
+  EXPECT_EQ(b.resilience.failovers, 2u);
+}
+
+TEST(FleetDisaster, DedupCollapsesRepeatedBackhaulTraffic) {
+  // Co-located devices query near-duplicate scenes; the relay's CARE
+  // ledger must save a measurable share of backhaul bytes.
+  FleetOptions o = disaster_options();
+  o.partitions.clear();
+  o.relay_outages.clear();
+  o.primary_kills.clear();
+  o.replicas = 0;
+  o.relays = 1;  // one relay sees the whole fleet: maximal overlap
+  const FleetReport r = run_fleet(o).report;
+  EXPECT_GT(r.resilience.relay_ingress_bytes, 0u);
+  EXPECT_GT(r.resilience.relay_dedup_bytes_saved, 0u);
+  EXPECT_LT(r.resilience.relay_backhaul_bytes,
+            r.resilience.relay_ingress_bytes);
+}
+
+TEST(FleetDisaster, NonsenseScenariosAreRejected) {
+  FleetOptions o = disaster_options();
+  o.relays = 0;  // windows without a relay tier
+  EXPECT_THROW(run_fleet(o), std::invalid_argument);
+
+  o = disaster_options();
+  o.replicas = 0;  // kills without a standby
+  EXPECT_THROW(run_fleet(o), std::invalid_argument);
+
+  o = disaster_options();
+  o.primary_kills.push_back({3, 7});  // no such shard
+  EXPECT_THROW(run_fleet(o), std::invalid_argument);
+
+  o = disaster_options();
+  o.partitions.push_back({5, 5, -1});  // empty window
+  EXPECT_THROW(run_fleet(o), std::invalid_argument);
+
+  o = disaster_options();
+  o.relay_outages.push_back({1, 2, 9});  // no such relay
+  EXPECT_THROW(run_fleet(o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bees::fleet

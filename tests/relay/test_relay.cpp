@@ -1,0 +1,118 @@
+// Relay contract: CARE dedup charges a chunk's bytes once per relay,
+// identical payloads collapse to manifest-only backhaul, store-and-forward
+// preserves FIFO order across hold/drain, and tier routing is stable.
+#include "relay/relay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "store/chunk.hpp"
+
+namespace bees::relay {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t base) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(base + (i % 7));
+  }
+  return out;
+}
+
+TEST(Relay, FirstForwardChargesChunksPlusManifest) {
+  Relay relay(0, 64);
+  const auto payload = pattern(300, 1);
+  const std::uint64_t manifest_bytes =
+      store::encode_manifest(store::build_manifest(payload, 64)).size();
+  const std::uint64_t sent = relay.forward(payload);
+  EXPECT_EQ(sent, manifest_bytes + payload.size());
+  EXPECT_EQ(relay.stats().dedup_chunks_hit, 0u);
+  EXPECT_EQ(relay.stats().ingress_bytes, payload.size());
+  EXPECT_EQ(relay.stats().backhaul_bytes, sent);
+}
+
+TEST(Relay, RepeatForwardShipsOnlyTheManifest) {
+  Relay relay(0, 64);
+  const auto payload = pattern(300, 1);
+  relay.forward(payload);
+  const std::uint64_t again = relay.forward(payload);
+  const std::uint64_t manifest_bytes =
+      store::encode_manifest(store::build_manifest(payload, 64)).size();
+  EXPECT_EQ(again, manifest_bytes);
+  EXPECT_EQ(relay.stats().dedup_chunks_hit, (300 + 63) / 64);
+  EXPECT_EQ(relay.stats().dedup_bytes_saved, 300u);
+}
+
+TEST(Relay, PartialOverlapChargesOnlyFreshChunks) {
+  Relay relay(0, 64);
+  // Two payloads sharing their first 128 bytes exactly (two full chunks).
+  auto a = pattern(256, 1);
+  auto b = a;
+  for (std::size_t i = 128; i < b.size(); ++i) b[i] ^= 0xA5;
+  relay.forward(a);
+  const std::uint64_t sent_b = relay.forward(b);
+  const std::uint64_t manifest_bytes =
+      store::encode_manifest(store::build_manifest(b, 64)).size();
+  EXPECT_EQ(sent_b, manifest_bytes + 128u);  // only the changed half ships
+  EXPECT_EQ(relay.stats().dedup_chunks_hit, 2u);
+}
+
+TEST(Relay, DedupLedgersAreIndependentAcrossRelays) {
+  RelayTier tier(2, 64);
+  const auto payload = pattern(200, 3);
+  const std::uint64_t first = tier.at(0).forward(payload);
+  // Relay 1 has never pushed these chunks: it pays the full price again.
+  EXPECT_EQ(tier.at(1).forward(payload), first);
+  EXPECT_EQ(tier.stats().dedup_chunks_hit, 0u);
+}
+
+TEST(Relay, HoldDrainPreservesFifoOrder) {
+  Relay relay(0, 64);
+  relay.hold(11, pattern(100, 1));
+  relay.hold(22, pattern(100, 2));
+  relay.hold(33, pattern(100, 3));
+  EXPECT_EQ(relay.queue_depth(), 3u);
+  EXPECT_EQ(relay.stats().queue_depth_max, 3u);
+
+  const std::vector<HeldRequest> held = relay.take_held();
+  ASSERT_EQ(held.size(), 3u);
+  EXPECT_EQ(held[0].token, 11u);
+  EXPECT_EQ(held[1].token, 22u);
+  EXPECT_EQ(held[2].token, 33u);
+  EXPECT_EQ(relay.queue_depth(), 0u);
+  EXPECT_EQ(relay.stats().held_requests, 3u);
+  EXPECT_EQ(relay.stats().drained_requests, 3u);
+  // Peak depth survives the drain.
+  EXPECT_EQ(relay.stats().queue_depth_max, 3u);
+}
+
+TEST(Relay, TierRoutesByDeviceModulo) {
+  RelayTier tier(3, 64);
+  EXPECT_EQ(tier.route(0).id(), 0);
+  EXPECT_EQ(tier.route(4).id(), 1);
+  EXPECT_EQ(tier.route(5).id(), 2);
+  EXPECT_EQ(tier.route(6).id(), 0);
+  EXPECT_EQ(tier.size(), 3);
+}
+
+TEST(Relay, AggregateStatsSumAcrossTheTier) {
+  RelayTier tier(2, 64);
+  tier.at(0).forward(pattern(100, 1));
+  tier.at(1).forward(pattern(100, 1));
+  tier.at(1).hold(1, pattern(50, 2));
+  const RelayStats s = tier.stats();
+  EXPECT_EQ(s.forwarded_requests, 2u);
+  EXPECT_EQ(s.ingress_bytes, 200u);
+  EXPECT_EQ(s.held_requests, 1u);
+  EXPECT_EQ(s.queue_depth_max, 1u);
+}
+
+TEST(Relay, InvalidConstructionThrows) {
+  EXPECT_THROW(Relay(0, 0), std::invalid_argument);
+  EXPECT_THROW(RelayTier(0, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bees::relay

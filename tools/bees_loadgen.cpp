@@ -17,6 +17,9 @@
 //                [--batch-window N] [--service-base S] [--service-per-image S]
 //                [--bitrate KBPS] [--loss P] [--retries N] [--backoff S]
 //                [--battery PCT] [--no-adapt] [--workers N]
+//                [--replicas N] [--relays N] [--relay-chunk BYTES]
+//                [--partition B:E[:R]] [--relay-outage B:E[:R]]
+//                [--kill-primary E:S]
 //                [--slo-p99 S] [--slo-shed-rate F] [--report PATH] [--quiet]
 //
 //   --devices        fleet size                                (default 64)
@@ -41,6 +44,18 @@
 //   --battery        starting battery percentage 1..100        (default 100)
 //   --no-adapt       pin EAC/EDR/EAU at full-energy values (BEES-EA)
 //   --workers        phase-A worker threads; 0 = hardware      (default 1)
+//   --replicas       standby followers per shard; killing a primary
+//                    fails over to its most-caught-up follower  (default 0)
+//   --relays         edge relays between devices and core; uploads
+//                    dedup on content chunks (CARE)             (default 0)
+//   --relay-chunk    CARE chunking interval, bytes; requires
+//                    --relays                                   (default 4096)
+//   --partition      backhaul partition over epochs [B, E), optionally
+//                    only relay R; repeatable; requires --relays
+//   --relay-outage   relay down over epochs [B, E), optionally only
+//                    relay R; repeatable; requires --relays
+//   --kill-primary   kill shard S's primary at epoch E; repeatable;
+//                    requires --replicas
 //   --slo-p99        p99 latency target, s; with a target set the exit
 //                    code is 1 when the SLO verdict fails      (default off)
 //   --slo-shed-rate  max tolerated shed fraction 0..1          (default off)
@@ -69,7 +84,10 @@ int usage(const char* argv0) {
          "       [--service-base S]\n"
          "       [--service-per-image S] [--bitrate KBPS] [--loss P]\n"
          "       [--retries N] [--backoff S] [--battery PCT] [--no-adapt]\n"
-         "       [--workers N] [--slo-p99 S] [--slo-shed-rate F]\n"
+         "       [--workers N] [--replicas N] [--relays N]\n"
+         "       [--relay-chunk BYTES] [--partition B:E[:R]]\n"
+         "       [--relay-outage B:E[:R]] [--kill-primary E:S]\n"
+         "       [--slo-p99 S] [--slo-shed-rate F]\n"
          "       [--report PATH] [--quiet]\n";
   return 2;
 }
@@ -81,7 +99,38 @@ struct Options {
   bool quiet = false;
   bool server_threads_set = false;
   bool batch_window_set = false;
+  bool relay_chunk_set = false;
 };
+
+/// "B:E" or "B:E:R" -> an epoch window; returns false on malformed input.
+bool parse_window(const std::string& s, fleet::EpochWindow& out) {
+  try {
+    std::size_t p1 = s.find(':');
+    if (p1 == std::string::npos) return false;
+    std::size_t p2 = s.find(':', p1 + 1);
+    out.begin = std::stoull(s.substr(0, p1));
+    out.end = std::stoull(s.substr(p1 + 1, p2 == std::string::npos
+                                                ? std::string::npos
+                                                : p2 - p1 - 1));
+    out.target = p2 == std::string::npos ? -1 : std::stoi(s.substr(p2 + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return out.begin < out.end;
+}
+
+/// "E:S" -> a primary kill; returns false on malformed input.
+bool parse_kill(const std::string& s, fleet::PrimaryKill& out) {
+  try {
+    const std::size_t p = s.find(':');
+    if (p == std::string::npos) return false;
+    out.epoch = std::stoull(s.substr(0, p));
+    out.shard = std::stoi(s.substr(p + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return out.shard >= 0;
+}
 
 bool parse(int argc, char** argv, Options& opt) {
   fleet::FleetOptions& f = opt.fleet;
@@ -153,6 +202,25 @@ bool parse(int argc, char** argv, Options& opt) {
       f.adaptive = false;
     } else if (arg == "--workers" && next(v)) {
       f.workers = static_cast<int>(v);
+    } else if (arg == "--replicas" && next(v)) {
+      f.replicas = static_cast<int>(v);
+    } else if (arg == "--relays" && next(v)) {
+      f.relays = static_cast<int>(v);
+    } else if (arg == "--relay-chunk" && next(v)) {
+      f.relay_chunk_size = static_cast<std::uint32_t>(v);
+      opt.relay_chunk_set = true;
+    } else if (arg == "--partition" && i + 1 < argc) {
+      fleet::EpochWindow w;
+      if (!parse_window(argv[++i], w)) return false;
+      f.partitions.push_back(w);
+    } else if (arg == "--relay-outage" && i + 1 < argc) {
+      fleet::EpochWindow w;
+      if (!parse_window(argv[++i], w)) return false;
+      f.relay_outages.push_back(w);
+    } else if (arg == "--kill-primary" && i + 1 < argc) {
+      fleet::PrimaryKill k;
+      if (!parse_kill(argv[++i], k)) return false;
+      f.primary_kills.push_back(k);
     } else if (arg == "--slo-p99" && next(v)) {
       f.slo_p99_s = v;
     } else if (arg == "--slo-shed-rate" && next(v)) {
@@ -175,6 +243,7 @@ bool parse(int argc, char** argv, Options& opt) {
          f.bitrate_kbps > 0 && f.loss >= 0 && f.loss <= 1 &&
          f.retry.max_attempts >= 1 && f.retry.backoff_base_s > 0 &&
          opt.battery_pct > 0 && opt.battery_pct <= 100 && f.workers >= 0 &&
+         f.replicas >= 0 && f.relays >= 0 && f.relay_chunk_size >= 1 &&
          f.slo_max_shed_rate <= 1;
 }
 
@@ -187,6 +256,39 @@ int main(int argc, char** argv) {
     std::cerr << "bees_loadgen: --batch-window requires --server-threads "
                  "(the window coalesces the queue that pool serves)\n";
     return 2;
+  }
+  if (opt.fleet.relays < 1 &&
+      (opt.relay_chunk_set || !opt.fleet.partitions.empty() ||
+       !opt.fleet.relay_outages.empty())) {
+    std::cerr << "bees_loadgen: --relay-chunk/--partition/--relay-outage "
+                 "describe the relay tier; add --relays\n";
+    return 2;
+  }
+  if (!opt.fleet.primary_kills.empty() && opt.fleet.replicas < 1) {
+    std::cerr << "bees_loadgen: --kill-primary needs a standby to promote; "
+                 "add --replicas\n";
+    return 2;
+  }
+  for (const fleet::PrimaryKill& k : opt.fleet.primary_kills) {
+    if (k.shard >= opt.fleet.shards) {
+      std::cerr << "bees_loadgen: --kill-primary targets shard " << k.shard
+                << " but the cluster has " << opt.fleet.shards << "\n";
+      return 2;
+    }
+  }
+  for (const fleet::EpochWindow& w : opt.fleet.partitions) {
+    if (w.target >= opt.fleet.relays) {
+      std::cerr << "bees_loadgen: --partition targets relay " << w.target
+                << " but the tier has " << opt.fleet.relays << "\n";
+      return 2;
+    }
+  }
+  for (const fleet::EpochWindow& w : opt.fleet.relay_outages) {
+    if (w.target >= opt.fleet.relays) {
+      std::cerr << "bees_loadgen: --relay-outage targets relay " << w.target
+                << " but the tier has " << opt.fleet.relays << "\n";
+      return 2;
+    }
   }
 
   const fleet::FleetResult result = fleet::run_fleet(opt.fleet);
@@ -226,6 +328,22 @@ int main(int argc, char** argv) {
                            result.serve_wall_seconds
                      : 0.0,
                  result.wall_seconds);
+    if (opt.fleet.replicas > 0 || opt.fleet.relays > 0) {
+      std::fprintf(stderr,
+                   "resilience: %llu failovers (ship lag max %llu); relay "
+                   "backhaul %llu B of %llu B ingress (saved %llu B), "
+                   "held %llu, rejected %llu\n",
+                   static_cast<unsigned long long>(r.resilience.failovers),
+                   static_cast<unsigned long long>(r.resilience.ship_lag_max),
+                   static_cast<unsigned long long>(
+                       r.resilience.relay_backhaul_bytes),
+                   static_cast<unsigned long long>(
+                       r.resilience.relay_ingress_bytes),
+                   static_cast<unsigned long long>(
+                       r.resilience.relay_dedup_bytes_saved),
+                   static_cast<unsigned long long>(r.resilience.relay_held),
+                   static_cast<unsigned long long>(r.resilience.relay_rejects));
+    }
     if (opt.fleet.slo_p99_s > 0 || opt.fleet.slo_max_shed_rate >= 0) {
       std::fprintf(stderr, "slo: %s\n", r.slo.ok() ? "OK" : "VIOLATED");
     }

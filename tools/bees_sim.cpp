@@ -262,7 +262,21 @@ int main(int argc, char** argv) {
   // Observability is off (and free) unless an export was requested.
   const bool observe =
       !opt.metrics_json_path.empty() || !opt.trace_path.empty();
-  if (observe) obs::set_enabled(true);
+  if (observe) {
+    obs::set_enabled(true);
+    // Pre-declare the recovery/replication/relay counters at zero so a
+    // metrics export always carries them — a clean run reports explicit
+    // zeros rather than omitting the keys a dashboard selects on.
+    for (const char* name :
+         {"serve.wal.dropped_records", "serve.wal.dropped_bytes",
+          "replica.ship.records", "replica.ship.bytes", "replica.failover",
+          "replica.catch_up", "relay.forward.requests",
+          "relay.forward.backhaul_bytes", "relay.dedup.chunks_hit",
+          "relay.dedup.bytes_saved", "relay.hold.requests",
+          "relay.drain.requests"}) {
+      obs::count(name, 0.0);
+    }
+  }
 
   const wl::Imageset batch = wl::make_disaster_like(
       opt.images, opt.similar, opt.width, opt.height, opt.seed);
